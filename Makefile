@@ -1,0 +1,29 @@
+# Convenience targets for the temporal-aggregates reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench figures figures-full examples lint clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+figures:
+	$(PYTHON) -m repro.bench all --markdown --csv-dir results
+
+# The paper's full 1K..64K grid; the O(n^2) cells take a while.
+figures-full:
+	REPRO_BENCH_MAX_TUPLES=65536 $(PYTHON) -m repro.bench all --markdown --csv-dir results
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f > /dev/null || exit 1; done
+	@echo "all examples ran cleanly"
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null; true
+	rm -rf .pytest_cache .hypothesis src/repro.egg-info

@@ -1,0 +1,69 @@
+"""Shared workload fixtures for the benchmark suite.
+
+The benchmark grid mirrors Table 3 of the paper, scaled for pure
+Python: sizes double from 1K up to ``REPRO_BENCH_MAX_TUPLES`` (default
+4096 here, so ``pytest benchmarks/ --benchmark-only`` finishes in
+minutes; export 65536 for the paper's full grid).  Every workload is
+generated once per session and cached.
+
+Every benchmark runs exactly one round (`pedantic`): the O(n²) cells
+are seconds long, and the paper's claims are about orders of magnitude,
+not microseconds.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from typing import List, Tuple
+
+import pytest
+
+from repro.bench.config import bench_sizes
+from repro.workload.generator import WorkloadParameters, generate_triples
+from repro.workload.permute import k_disorder
+
+DEFAULT_BENCH_MAX = 4096
+
+#: The k-ordered-percentage used for partially ordered inputs (middle
+#: of the paper's {0.02, 0.08, 0.14}).
+PERCENTAGE = 0.08
+
+SIZES = bench_sizes(int(os.environ.get("REPRO_BENCH_MAX_TUPLES", DEFAULT_BENCH_MAX)))
+SEED = 1
+
+
+@lru_cache(maxsize=64)
+def workload(n: int, long_lived: int) -> Tuple[tuple, ...]:
+    """Random-order (start, end, None) triples, cached per grid cell."""
+    params = WorkloadParameters(
+        tuples=n, long_lived_percent=long_lived, seed=SEED
+    )
+    return tuple((s, e, None) for s, e, _v in generate_triples(params))
+
+
+@lru_cache(maxsize=64)
+def sorted_workload(n: int, long_lived: int) -> Tuple[tuple, ...]:
+    return tuple(sorted(workload(n, long_lived)))
+
+
+@lru_cache(maxsize=64)
+def disordered_workload(n: int, long_lived: int, k: int) -> Tuple[tuple, ...]:
+    ordered = sorted_workload(n, long_lived)
+    effective_k = min(k, max(0, len(ordered) - 1))
+    permutation = k_disorder(len(ordered), effective_k, PERCENTAGE, seed=SEED)
+    return tuple(ordered[i] for i in permutation)
+
+
+def run_once(benchmark, function, *args) -> object:
+    """One timed round — honest for multi-second quadratic cells."""
+    return benchmark.pedantic(function, args=args, rounds=1, iterations=1)
+
+
+def size_params() -> List[int]:
+    return SIZES
+
+
+@pytest.fixture(params=SIZES)
+def n(request) -> int:
+    return request.param

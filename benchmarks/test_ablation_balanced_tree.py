@@ -1,0 +1,70 @@
+"""Ablation — the balanced aggregation tree (Section 7 future work).
+
+The paper suggests a balanced variant to fix the sorted-input O(n²)
+pathology.  This bench quantifies the trade:
+
+* on sorted input the balanced tree is asymptotically faster than the
+  plain tree (O(n log n) vs O(n²));
+* it cannot stream or garbage-collect, so its memory matches the plain
+  tree's worst case and it stays behind ktree k=1;
+* on random input the plain tree is already fine, so balancing buys
+  little.
+"""
+
+import pytest
+
+from conftest import SIZES, run_once, sorted_workload, workload
+from repro.bench.measure import measure_strategy
+from repro.core.engine import make_evaluator
+
+
+def evaluate(strategy, triples, k=None):
+    return make_evaluator(strategy, "count", k=k).evaluate(list(triples))
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("strategy", ["aggregation_tree", "balanced_tree"])
+def test_ablation_sorted_input(benchmark, n, strategy):
+    run_once(benchmark, evaluate, strategy, sorted_workload(n, 0))
+    benchmark.extra_info["series"] = f"{strategy} sorted"
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("strategy", ["aggregation_tree", "balanced_tree"])
+def test_ablation_random_input(benchmark, n, strategy):
+    run_once(benchmark, evaluate, strategy, workload(n, 0))
+    benchmark.extra_info["series"] = f"{strategy} random"
+
+
+def test_shape_balanced_fixes_sorted_pathology(benchmark):
+    def check():
+        n = SIZES[-1]
+        ordered = list(sorted_workload(n, 0))
+        plain = measure_strategy("aggregation_tree", ordered).work
+        balanced = measure_strategy("balanced_tree", ordered).work
+        assert balanced * 10 < plain
+
+    run_once(benchmark, check)
+
+
+def test_shape_balanced_memory_matches_plain_tree(benchmark):
+    def check():
+        n = SIZES[-1]
+        ordered = list(sorted_workload(n, 0))
+        plain = measure_strategy("aggregation_tree", ordered).peak_bytes
+        balanced = measure_strategy("balanced_tree", ordered).peak_bytes
+        assert balanced == pytest.approx(plain, rel=0.05)
+
+    run_once(benchmark, check)
+
+
+def test_shape_ktree_still_wins_on_memory(benchmark):
+    def check():
+        n = SIZES[-1]
+        ordered = list(sorted_workload(n, 0))
+        balanced = measure_strategy("balanced_tree", ordered).peak_bytes
+        k1 = measure_strategy("kordered_tree", ordered, k=1).peak_bytes
+        assert k1 * 10 < balanced
+
+    run_once(benchmark, check)
+

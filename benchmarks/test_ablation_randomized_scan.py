@@ -1,0 +1,89 @@
+"""Ablation — page-group randomized scanning (Section 7 future work).
+
+"If the relation might be sorted, then the best choice would be the
+aggregation tree algorithm, with the relation's pages randomized when
+they are read to avoid linearizing the aggregation tree.  This
+randomization could be performed on each group of pages read into
+memory, and therefore would not affect the I/O time."
+
+This bench feeds the aggregation tree from a *sorted* heap file three
+ways — plain scan, randomized scan, and full pre-shuffle — and checks
+that group randomization recovers most of the random-order performance
+at identical sequential I/O.
+"""
+
+import pytest
+
+from conftest import SIZES, run_once, sorted_workload
+from repro.core.aggregation_tree import AggregationTreeEvaluator
+from repro.relation.relation import TemporalRelation
+from repro.relation.schema import EMPLOYED_SCHEMA
+from repro.storage.heapfile import HeapFile
+from repro.storage.randomized_scan import randomized_scan_triples
+
+GROUP_PAGES = 8
+
+
+def sorted_heap(n):
+    relation = TemporalRelation(EMPLOYED_SCHEMA, name=f"sorted_{n}")
+    for start, end, _none in sorted_workload(n, 0):
+        relation.insert(("T", 1), start, end)
+    return HeapFile.from_relation(relation)
+
+
+def tree_over(triples):
+    evaluator = AggregationTreeEvaluator("count")
+    result = evaluator.evaluate(triples)
+    return evaluator, result
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_plain_scan_sorted_file(benchmark, n):
+    heap = sorted_heap(n)
+    _ev, result = run_once(benchmark, tree_over, heap.scan_triples())
+    benchmark.extra_info["series"] = "plain scan (sorted file)"
+    assert len(result) > n
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_randomized_scan_sorted_file(benchmark, n):
+    heap = sorted_heap(n)
+    _ev, result = run_once(
+        benchmark, tree_over, randomized_scan_triples(heap, group_pages=GROUP_PAGES)
+    )
+    benchmark.extra_info["series"] = f"randomized scan ({GROUP_PAGES}-page groups)"
+    assert len(result) > n
+
+
+def test_shape_randomization_unlinearizes_the_tree(benchmark):
+    def check():
+        n = SIZES[-1]
+        heap = sorted_heap(n)
+        plain_ev, plain = tree_over(heap.scan_triples())
+        random_ev, randomized = tree_over(
+            randomized_scan_triples(heap, group_pages=GROUP_PAGES)
+        )
+        # Same answer, an order of magnitude less work, shallower tree.
+        assert randomized.rows == plain.rows
+        assert random_ev.counters.total_work * 5 < plain_ev.counters.total_work
+        assert random_ev.depth() * 2 < plain_ev.depth()
+
+    run_once(benchmark, check)
+
+
+def test_shape_io_cost_unchanged(benchmark):
+    def check():
+        """The selling point: randomization is free at the I/O level."""
+        n = SIZES[-1]
+        heap = sorted_heap(n)
+        heap.buffer.drop_cache()
+        list(heap.scan_triples())
+        plain_reads = heap.buffer.stats.page_reads
+
+        heap.buffer.drop_cache()
+        reads_before = heap.buffer.stats.page_reads
+        list(randomized_scan_triples(heap, group_pages=GROUP_PAGES))
+        randomized_reads = heap.buffer.stats.page_reads - reads_before
+        assert randomized_reads == plain_reads
+
+    run_once(benchmark, check)

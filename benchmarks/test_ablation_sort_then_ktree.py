@@ -1,0 +1,88 @@
+"""Ablation — "the simplest strategy": sort, then ktree with k = 1.
+
+The paper's abstract and Section 7 conclude that sorting the relation
+and running the k-ordered aggregation tree with k = 1 is the best
+overall strategy.  This bench runs the *whole* pipeline — external
+merge sort over paged storage plus the k=1 tree — against the plain
+aggregation tree and the linked list on unordered input, for both time
+and peak structure memory.
+"""
+
+import pytest
+
+from conftest import SIZES, run_once, workload
+from repro.bench.measure import measure_strategy
+from repro.core.kordered_tree import KOrderedTreeEvaluator
+from repro.relation.relation import TemporalRelation
+from repro.relation.schema import EMPLOYED_SCHEMA
+from repro.storage.external_sort import external_sort
+from repro.storage.heapfile import HeapFile
+
+
+def heap_for(n):
+    relation = TemporalRelation(EMPLOYED_SCHEMA, name=f"bench_{n}")
+    for start, end, _none in workload(n, 40):
+        relation.insert(("T", 1), start, end)
+    return HeapFile.from_relation(relation)
+
+
+def sort_then_ktree(heap):
+    ordered = external_sort(heap, run_pages=16)
+    evaluator = KOrderedTreeEvaluator("count", k=1)
+    result = evaluator.evaluate(ordered.scan_triples())
+    return result, evaluator.space.peak_bytes
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_sort_then_ktree_pipeline(benchmark, n):
+    heap = heap_for(n)
+    result, peak = run_once(benchmark, sort_then_ktree, heap)
+    benchmark.extra_info["series"] = "external sort + ktree k=1"
+    benchmark.extra_info["peak_bytes"] = peak
+    assert len(result) > n
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("strategy", ["aggregation_tree", "linked_list"])
+def test_direct_strategies(benchmark, n, strategy):
+    triples = workload(n, 40)
+
+    def run():
+        return measure_strategy(strategy, list(triples))
+
+    measurement = run_once(benchmark, run)
+    benchmark.extra_info["series"] = f"{strategy} unordered"
+    benchmark.extra_info["peak_bytes"] = measurement.peak_bytes
+
+
+def test_shape_sorted_ktree_memory_far_below_tree(benchmark):
+    def check():
+        """The strategy's selling point: near-tree speed at a fraction of
+        the memory (Section 6.3)."""
+        n = SIZES[-1]
+        heap = heap_for(n)
+        _result, ktree_peak = sort_then_ktree(heap)
+        tree_peak = measure_strategy(
+            "aggregation_tree", list(workload(n, 40))
+        ).peak_bytes
+        assert ktree_peak * 2 < tree_peak
+
+    run_once(benchmark, check)
+
+
+def test_shape_pipeline_beats_linked_list_work(benchmark):
+    def check():
+        from repro.metrics.counters import OperationCounters
+
+        n = SIZES[-1]
+        heap = heap_for(n)
+        ordered = external_sort(heap, run_pages=16)
+        counters = OperationCounters()
+        KOrderedTreeEvaluator("count", k=1, counters=counters).evaluate(
+            ordered.scan_triples()
+        )
+        linked = measure_strategy("linked_list", list(workload(n, 40))).work
+        assert counters.total_work * 5 < linked
+
+    run_once(benchmark, check)
+

@@ -1,0 +1,74 @@
+"""Ablation — temporal grouping by span (Section 7 future work).
+
+"If the number of spans is much smaller than the number of constant
+intervals, then fewer 'buckets' need be maintained … the performance of
+the slower algorithm tested here (the linked list) would be expected to
+improve."  This bench compares instant grouping (constant intervals)
+against span grouping with ever-coarser spans.
+"""
+
+import pytest
+
+from conftest import SIZES, run_once, workload
+from repro.bench.measure import measure_strategy
+from repro.core.interval import Interval
+from repro.core.span_grouping import span_aggregate
+from repro.metrics.counters import OperationCounters
+from repro.workload.generator import PAPER_LIFESPAN
+
+SPANS = [100_000, 10_000, 1_000]  # 10, 100, 1000 buckets over the lifespan
+WINDOW = Interval(0, PAPER_LIFESPAN - 1)
+
+
+def run_span(triples, span):
+    return span_aggregate(list(triples), "count", WINDOW, span)
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("span", SPANS)
+def test_span_grouping(benchmark, n, span):
+    result = run_once(benchmark, run_span, workload(n, 0), span)
+    benchmark.extra_info["series"] = f"span={span}"
+    assert len(result) == (PAPER_LIFESPAN + span - 1) // span
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_instant_grouping_baseline(benchmark, n):
+    triples = workload(n, 0)
+
+    def instant():
+        return measure_strategy("linked_list", list(triples)).result_rows
+
+    rows = run_once(benchmark, instant)
+    benchmark.extra_info["series"] = "instant (linked list)"
+    assert rows > n  # constant intervals vastly outnumber spans
+
+
+def test_shape_fewer_buckets_less_work(benchmark):
+    def check():
+        """Coarser spans -> fewer bucket updates."""
+        n = SIZES[-1]
+        triples = list(workload(n, 0))
+        work = {}
+        for span in SPANS:
+            counters = OperationCounters()
+            span_aggregate(triples, "count", WINDOW, span, counters=counters)
+            work[span] = counters.total_work
+        assert work[100_000] < work[10_000] < work[1_000]
+
+    run_once(benchmark, check)
+
+
+def test_shape_span_grouping_beats_instant_linked_list(benchmark):
+    def check():
+        """With 10 spans, even the naive strategy is cheap (Section 6.3's
+        single-year example)."""
+        n = SIZES[-1]
+        triples = list(workload(n, 0))
+        counters = OperationCounters()
+        span_aggregate(triples, "count", WINDOW, 100_000, counters=counters)
+        instant_work = measure_strategy("linked_list", triples).work
+        assert counters.total_work * 100 < instant_work
+
+    run_once(benchmark, check)
+

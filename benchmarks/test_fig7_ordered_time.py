@@ -1,0 +1,85 @@
+"""Figure 7 — evaluation time on ordered relations, 0 % long-lived.
+
+Series: linked list (sorted), aggregation tree (sorted — its O(n²)
+pathology), the k-ordered tree at k = 400/40/4 over k-disordered input,
+and the k-ordered tree with k = 1 over sorted input (the paper's
+recommended strategy).  Shape claims asserted:
+
+* smaller k is faster;
+* ktree k=1 on sorted input beats everything;
+* the sorted-input aggregation tree and the linked list are both
+  quadratic and far behind every ktree series.
+"""
+
+import pytest
+
+from conftest import SIZES, disordered_workload, run_once, sorted_workload
+from repro.core.engine import make_evaluator
+
+KS = [400, 40, 4]
+LONG_LIVED = 0
+
+
+def evaluate(strategy, triples, k=None):
+    return make_evaluator(strategy, "count", k=k).evaluate(list(triples))
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_fig7_linked_list_sorted(benchmark, n):
+    triples = sorted_workload(n, LONG_LIVED)
+    run_once(benchmark, evaluate, "linked_list", triples)
+    benchmark.extra_info["series"] = "linked_list sorted"
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_fig7_aggregation_tree_sorted(benchmark, n):
+    triples = sorted_workload(n, LONG_LIVED)
+    run_once(benchmark, evaluate, "aggregation_tree", triples)
+    benchmark.extra_info["series"] = "aggregation_tree sorted"
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("k", KS)
+def test_fig7_ktree(benchmark, n, k):
+    triples = disordered_workload(n, LONG_LIVED, k)
+    run_once(benchmark, evaluate, "kordered_tree", triples, k)
+    benchmark.extra_info["series"] = f"ktree k={k}"
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_fig7_ktree_sorted_k1(benchmark, n):
+    triples = sorted_workload(n, LONG_LIVED)
+    run_once(benchmark, evaluate, "kordered_tree", triples, 1)
+    benchmark.extra_info["series"] = "ktree sorted k=1"
+
+
+def test_fig7_shape_small_k_wins(benchmark):
+    def check():
+        from repro.bench.measure import measure_strategy
+
+        n = SIZES[-1]
+        work = {
+            k: measure_strategy(
+                "kordered_tree", list(disordered_workload(n, LONG_LIVED, k)), k=k
+            ).work
+            for k in KS
+        }
+        assert work[4] < work[40] < work[400]
+
+    run_once(benchmark, check)
+
+
+def test_fig7_shape_ktree_k1_beats_quadratic_series(benchmark):
+    def check():
+        from repro.bench.measure import measure_strategy
+
+        n = SIZES[-1]
+        ordered = list(sorted_workload(n, LONG_LIVED))
+        k1 = measure_strategy("kordered_tree", ordered, k=1).work
+        tree = measure_strategy("aggregation_tree", ordered).work
+        linked = measure_strategy("linked_list", ordered).work
+        assert k1 * 10 < tree
+        assert k1 * 10 < linked
+
+    run_once(benchmark, check)
+

@@ -1,0 +1,72 @@
+"""Figure 7 companion — the k-ordered-percentage sweep.
+
+Section 6.1: "The effect of the k-ordered-percentage was outweighted
+greatly by the effect of the k value … basically, larger k-ordered-
+percentages meant a more random tree which lead to a small increase in
+performance."  The main figures therefore show one curve per k.  This
+bench runs the full Table 3 percentage grid {0.02, 0.08, 0.14} for each
+k and asserts both halves of the claim:
+
+* within one k, work varies by a small factor across percentages;
+* across k values, work varies by much more than that.
+"""
+
+import pytest
+
+from conftest import PERCENTAGE, SIZES, run_once, sorted_workload
+from repro.bench.measure import measure_strategy
+from repro.workload.generator import PAPER_K_ORDERED_PERCENTAGES
+from repro.workload.permute import k_disorder
+
+KS = [400, 40, 4]
+
+
+def disordered(n, k, percentage, seed=1):
+    ordered = sorted_workload(n, 0)
+    effective_k = min(k, max(0, len(ordered) - 1))
+    permutation = k_disorder(len(ordered), effective_k, percentage, seed=seed)
+    return [ordered[i] for i in permutation]
+
+
+@pytest.mark.parametrize("k", KS)
+@pytest.mark.parametrize("percentage", PAPER_K_ORDERED_PERCENTAGES)
+def test_percentage_grid(benchmark, k, percentage):
+    n = SIZES[-1]
+    triples = disordered(n, k, percentage)
+
+    def run():
+        return measure_strategy("kordered_tree", triples, k=k).work
+
+    work = run_once(benchmark, run)
+    benchmark.extra_info["series"] = f"k={k} p={percentage}"
+    benchmark.extra_info["work"] = work
+
+
+def test_shape_percentage_effect_outweighed_by_k(benchmark):
+    def check():
+        n = SIZES[-1]
+        by_k = {}
+        for k in KS:
+            works = [
+                measure_strategy(
+                    "kordered_tree", disordered(n, k, p), k=k
+                ).work
+                for p in PAPER_K_ORDERED_PERCENTAGES
+            ]
+            by_k[k] = works
+        # The percentage's largest within-k effect...
+        percentage_effect = max(
+            max(works) / min(works) for works in by_k.values()
+        )
+        # ...is outweighed by k's effect at any fixed percentage.
+        k_effect = max(
+            by_k[400][i] / by_k[4][i]
+            for i in range(len(PAPER_K_ORDERED_PERCENTAGES))
+        )
+        assert k_effect > percentage_effect
+        # And more randomness does not hurt: the most-disordered grid
+        # point is no slower than the least-disordered one per k.
+        for k, works in by_k.items():
+            assert works[-1] <= works[0] * 1.1, f"k={k}: {works}"
+
+    run_once(benchmark, check)

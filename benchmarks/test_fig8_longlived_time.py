@@ -1,0 +1,103 @@
+"""Figure 8 — ordered relations with 80 % long-lived tuples.
+
+Same series as Figure 7 at the other extreme of Table 3.  The paper's
+distinctive claims, asserted as shape checks:
+
+* the linked list is essentially unaffected by long-lived tuples;
+* the sorted-input aggregation tree *improves* "paradoxically" — the
+  end-time insertions of long-lived tuples pre-split the right spine,
+  so the tree is bushier than the 0 %-long-lived degenerate list;
+* the k-ordered tree slows down (its garbage collector must wait for
+  distant end times), yet remains far ahead of the quadratic series.
+"""
+
+import pytest
+
+from conftest import SIZES, disordered_workload, run_once, sorted_workload
+from repro.core.engine import make_evaluator
+
+KS = [400, 40, 4]
+LONG_LIVED = 80
+
+
+def evaluate(strategy, triples, k=None):
+    return make_evaluator(strategy, "count", k=k).evaluate(list(triples))
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_fig8_linked_list_sorted(benchmark, n):
+    run_once(benchmark, evaluate, "linked_list", sorted_workload(n, LONG_LIVED))
+    benchmark.extra_info["series"] = "linked_list sorted"
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_fig8_aggregation_tree_sorted(benchmark, n):
+    run_once(
+        benchmark, evaluate, "aggregation_tree", sorted_workload(n, LONG_LIVED)
+    )
+    benchmark.extra_info["series"] = "aggregation_tree sorted"
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("k", KS)
+def test_fig8_ktree(benchmark, n, k):
+    triples = disordered_workload(n, LONG_LIVED, k)
+    run_once(benchmark, evaluate, "kordered_tree", triples, k)
+    benchmark.extra_info["series"] = f"ktree k={k}"
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_fig8_ktree_sorted_k1(benchmark, n):
+    run_once(
+        benchmark, evaluate, "kordered_tree", sorted_workload(n, LONG_LIVED), 1
+    )
+    benchmark.extra_info["series"] = "ktree sorted k=1"
+
+
+def test_fig8_shape_tree_paradox(benchmark):
+    def check():
+        """Sorted-input tree gets *faster* with many long-lived tuples."""
+        from repro.bench.measure import measure_strategy
+
+        n = SIZES[-1]
+        lean = measure_strategy(
+            "aggregation_tree", list(sorted_workload(n, 0))
+        ).work
+        heavy = measure_strategy(
+            "aggregation_tree", list(sorted_workload(n, 80))
+        ).work
+        assert heavy < lean / 2
+
+    run_once(benchmark, check)
+
+
+def test_fig8_shape_linked_list_roughly_unaffected(benchmark):
+    def check():
+        """List work changes by a small constant factor, not in order."""
+        from repro.bench.measure import measure_strategy
+
+        n = SIZES[-1]
+        lean = measure_strategy("linked_list", list(sorted_workload(n, 0))).work
+        heavy = measure_strategy("linked_list", list(sorted_workload(n, 80))).work
+        assert heavy < 3 * lean
+
+    run_once(benchmark, check)
+
+
+def test_fig8_shape_ktree_slower_than_fig7_but_still_ahead(benchmark):
+    def check():
+        from repro.bench.measure import measure_strategy
+
+        n = SIZES[-1]
+        k1_lean = measure_strategy(
+            "kordered_tree", list(sorted_workload(n, 0)), k=1
+        ).work
+        k1_heavy = measure_strategy(
+            "kordered_tree", list(sorted_workload(n, 80)), k=1
+        ).work
+        linked = measure_strategy("linked_list", list(sorted_workload(n, 80))).work
+        assert k1_heavy > k1_lean  # long-lived tuples cost the ktree
+        assert k1_heavy * 5 < linked  # but it stays far ahead
+
+    run_once(benchmark, check)
+

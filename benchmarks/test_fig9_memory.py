@@ -1,0 +1,86 @@
+"""Figure 9 — peak main memory, no long-lived tuples.
+
+Memory is reported under the paper's Section 6.2 model (16 bytes of
+structure + aggregate state per node), measured live by the
+SpaceTracker.  Shape claims asserted:
+
+* the aggregation tree needs the most memory (two nodes per unique
+  timestamp vs the list's one);
+* the k-ordered tree needs dramatically less, decreasing with k;
+* ktree with k=1 over sorted input is the smallest and nearly flat
+  in n.
+"""
+
+import pytest
+
+from conftest import SIZES, disordered_workload, run_once, sorted_workload, workload
+from repro.bench.measure import measure_strategy
+
+KS = [400, 40, 4]
+LONG_LIVED = 0
+
+
+def peak_bytes(strategy, triples, k=None):
+    return measure_strategy(strategy, list(triples), k=k).peak_bytes
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("strategy", ["linked_list", "aggregation_tree"])
+def test_fig9_order_insensitive_series(benchmark, n, strategy):
+    bytes_peak = run_once(benchmark, peak_bytes, strategy, workload(n, LONG_LIVED))
+    benchmark.extra_info["series"] = strategy
+    benchmark.extra_info["peak_bytes"] = bytes_peak
+    assert bytes_peak > 0
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("k", KS)
+def test_fig9_ktree(benchmark, n, k):
+    triples = disordered_workload(n, LONG_LIVED, k)
+    bytes_peak = run_once(benchmark, peak_bytes, "kordered_tree", triples, k)
+    benchmark.extra_info["series"] = f"ktree k={k}"
+    benchmark.extra_info["peak_bytes"] = bytes_peak
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_fig9_ktree_sorted_k1(benchmark, n):
+    triples = sorted_workload(n, LONG_LIVED)
+    bytes_peak = run_once(benchmark, peak_bytes, "kordered_tree", triples, 1)
+    benchmark.extra_info["series"] = "ktree sorted k=1"
+    benchmark.extra_info["peak_bytes"] = bytes_peak
+
+
+def test_fig9_shape_ordering(benchmark):
+    def check():
+        """tree > list > ktree k=400 > ktree k=4 > ktree sorted k=1."""
+        n = SIZES[-1]
+        tree = peak_bytes("aggregation_tree", workload(n, 0))
+        linked = peak_bytes("linked_list", workload(n, 0))
+        k400 = peak_bytes("kordered_tree", disordered_workload(n, 0, 400), k=400)
+        k4 = peak_bytes("kordered_tree", disordered_workload(n, 0, 4), k=4)
+        k1 = peak_bytes("kordered_tree", sorted_workload(n, 0), k=1)
+        assert tree > linked > k400 > k4 >= k1
+
+    run_once(benchmark, check)
+
+
+def test_fig9_shape_tree_is_two_nodes_per_timestamp(benchmark):
+    def check():
+        """Section 7: each unique timestamp adds two tree nodes, one cell."""
+        n = SIZES[-1]
+        tree = peak_bytes("aggregation_tree", workload(n, 0))
+        linked = peak_bytes("linked_list", workload(n, 0))
+        assert tree == pytest.approx(2 * linked, rel=0.02)
+
+    run_once(benchmark, check)
+
+
+def test_fig9_shape_k1_nearly_flat(benchmark):
+    def check():
+        small = peak_bytes("kordered_tree", sorted_workload(SIZES[0], 0), k=1)
+        large = peak_bytes("kordered_tree", sorted_workload(SIZES[-1], 0), k=1)
+        growth = len(SIZES) - 1  # doublings of n
+        assert large < small * (2**growth) / 2  # clearly sublinear in n
+
+    run_once(benchmark, check)
+

@@ -1,0 +1,61 @@
+"""Section 6.2 text — memory with 80 % long-lived tuples.
+
+"For relations with long-lived tuples, the results are much worse for
+the k-ordered tree algorithms; the memory requirements for the linked
+list and aggregation tree algorithms are totally unaffected by the
+presence of such tuples."
+"""
+
+import pytest
+
+from conftest import SIZES, disordered_workload, run_once, sorted_workload, workload
+from repro.bench.measure import measure_strategy
+
+LONG_LIVED = 80
+
+
+def peak_bytes(strategy, triples, k=None):
+    return measure_strategy(strategy, list(triples), k=k).peak_bytes
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("strategy", ["linked_list", "aggregation_tree"])
+def test_fig9b_order_insensitive_series(benchmark, n, strategy):
+    bytes_peak = run_once(
+        benchmark, peak_bytes, strategy, workload(n, LONG_LIVED)
+    )
+    benchmark.extra_info["series"] = strategy
+    benchmark.extra_info["peak_bytes"] = bytes_peak
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("k", [400, 4])
+def test_fig9b_ktree(benchmark, n, k):
+    triples = disordered_workload(n, LONG_LIVED, k)
+    bytes_peak = run_once(benchmark, peak_bytes, "kordered_tree", triples, k)
+    benchmark.extra_info["series"] = f"ktree k={k}"
+    benchmark.extra_info["peak_bytes"] = bytes_peak
+
+
+def test_fig9b_shape_ktree_blows_up(benchmark):
+    def check():
+        """k-tree peak inflates by an order of magnitude with long-lived."""
+        n = SIZES[-1]
+        lean = peak_bytes("kordered_tree", sorted_workload(n, 0), k=1)
+        heavy = peak_bytes("kordered_tree", sorted_workload(n, 80), k=1)
+        assert heavy > 10 * lean
+
+    run_once(benchmark, check)
+
+
+def test_fig9b_shape_list_and_tree_unaffected(benchmark):
+    def check():
+        """List/tree node counts depend on timestamps, not durations."""
+        n = SIZES[-1]
+        for strategy in ("linked_list", "aggregation_tree"):
+            lean = peak_bytes(strategy, workload(n, 0))
+            heavy = peak_bytes(strategy, workload(n, 80))
+            assert heavy == pytest.approx(lean, rel=0.05)
+
+    run_once(benchmark, check)
+

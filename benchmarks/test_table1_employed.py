@@ -1,0 +1,27 @@
+"""Table 1 — ``SELECT COUNT(Name) FROM Employed`` on every algorithm.
+
+A micro-benchmark of the paper's worked example; primarily asserts
+that every strategy reproduces the table exactly, with per-strategy
+timings as a bonus.
+"""
+
+import pytest
+
+from repro.core.engine import STRATEGIES, make_evaluator
+from repro.workload.employed import TABLE_1_EXPECTED, employed_relation
+
+TRIPLES = [
+    (row.start, row.end, None) for row in employed_relation()
+]
+
+
+@pytest.mark.parametrize("strategy", sorted(STRATEGIES))
+def test_table1(benchmark, strategy):
+    k = 400 if strategy == "kordered_tree" else None
+
+    def evaluate():
+        evaluator = make_evaluator(strategy, "count", k=k)
+        return evaluator.evaluate(list(TRIPLES))
+
+    result = benchmark(evaluate)
+    assert result.rows == TABLE_1_EXPECTED

@@ -1,0 +1,38 @@
+"""Table 2 — k-ordered-percentage examples (n=10000, k=100).
+
+Benchmarks the metric computation itself and asserts the five paper
+values (rows 4-5 from the reconstructed displacement histograms; see
+EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.core.ordering import k_ordered_percentage, percentage_from_histogram
+from repro.workload.permute import swap_pairs
+
+N, K = 10_000, 100
+
+CONFIGURATIONS = [
+    ("sorted", lambda: list(range(N)), 0.0),
+    ("two_swapped_100_apart", lambda: swap_pairs(N, 100, 1, seed=1), 0.0002),
+    ("twenty_100_out", lambda: swap_pairs(N, 100, 10, seed=2), 0.002),
+]
+
+
+@pytest.mark.parametrize("name,build,expected", CONFIGURATIONS)
+def test_table2_measured(benchmark, name, build, expected):
+    keys = build()
+    measured = benchmark(k_ordered_percentage, keys, K)
+    assert measured == pytest.approx(expected)
+
+
+HISTOGRAMS = [
+    ("one_per_displacement", {i: 1 for i in range(1, 101)}, 0.00505),
+    ("ten_per_displacement", {i: 10 for i in range(1, 101)}, 0.0505),
+]
+
+
+@pytest.mark.parametrize("name,histogram,expected", HISTOGRAMS)
+def test_table2_from_histogram(benchmark, name, histogram, expected):
+    measured = benchmark(percentage_from_histogram, histogram, K, N)
+    assert measured == pytest.approx(expected)

@@ -1,0 +1,124 @@
+"""Payroll history: department-level temporal aggregates.
+
+The scenario motivating the paper's introduction — "the average salary
+of employees grouped by department … a time-varying value" (Section 2).
+We build a small payroll history with hires, raises (a raise ends one
+tuple and starts another) and departures, then ask:
+
+* the headcount of the whole company over time,
+* the average salary per department over time (GROUP BY + instant
+  grouping),
+* quarterly payroll cost (GROUP BY SPAN — the Section 7 extension),
+* who earned the top salary over time (MAX).
+
+Run:  python examples/payroll_history.py
+"""
+
+from repro import Schema, TemporalRelation, temporal_aggregate
+from repro.core import grouped_temporal_aggregate
+from repro.tsql2 import Database
+
+#: Instants are days since the company was founded.
+QUARTER = 90
+
+PAYROLL_SCHEMA = Schema.of("name:str:12", "dept:str:12", "salary:int")
+
+#: (name, dept, salary) valid over [start, end]: each row is one salary
+#: period; a raise closes the old period and opens a new one.
+HISTORY = [
+    (("Ada", "Engineering", 90_000), 0, 179),
+    (("Ada", "Engineering", 105_000), 180, 599),  # raise on day 180
+    (("Grace", "Engineering", 98_000), 30, 599),
+    (("Edsger", "Research", 88_000), 0, 359),  # leaves after day 359
+    (("Barbara", "Research", 92_000), 60, 599),
+    (("Alan", "Research", 85_000), 120, 299),
+    (("Alan", "Research", 95_000), 300, 599),  # raise on day 300
+    (("Tony", "Sales", 70_000), 90, 449),
+    (("Margaret", "Sales", 77_000), 200, 599),
+]
+
+
+def build_payroll() -> TemporalRelation:
+    return TemporalRelation.from_rows(PAYROLL_SCHEMA, HISTORY, name="Payroll")
+
+
+def main() -> None:
+    payroll = build_payroll()
+    print(f"Payroll history: {len(payroll)} salary periods, "
+          f"lifespan {payroll.lifespan}")
+    print()
+
+    # ------------------------------------------------------------------
+    # Company headcount over time (COUNT by instant).
+    # ------------------------------------------------------------------
+    headcount = temporal_aggregate(payroll, "count").restrict(payroll.lifespan)
+    print("Company headcount over time:")
+    print(headcount.coalesce_values().pretty())
+    print()
+
+    # ------------------------------------------------------------------
+    # Average salary per department over time (the paper's motivating
+    # query: GROUP BY Dept composed with instant grouping).
+    # ------------------------------------------------------------------
+    by_dept = grouped_temporal_aggregate(
+        payroll, "avg", group_attribute="dept", value_attribute="salary"
+    )
+    print("Average salary per department over time:")
+    for dept, series in by_dept.items():
+        print(f"  -- {dept} --")
+        visible = series.restrict(payroll.lifespan).drop_value(None)
+        for row in visible:
+            print(f"    [{row.start:>3}, {row.end:>3}]  {row.value:>10,.0f}")
+    print()
+
+    # ------------------------------------------------------------------
+    # The same through TSQL2-lite, plus quarterly spans and MAX.
+    # ------------------------------------------------------------------
+    db = Database()
+    db.register(payroll)
+
+    print("TSQL2: SELECT dept, COUNT(name), AVG(salary) FROM Payroll GROUP BY dept")
+    result = db.execute(
+        "SELECT dept, COUNT(name), AVG(salary) FROM Payroll GROUP BY dept",
+        keep_empty=False,
+    )
+    print(result.pretty(limit=30))
+    print()
+
+    print(f"TSQL2: SELECT SUM(salary) FROM Payroll GROUP BY SPAN {QUARTER} [0, 599]")
+    quarterly = db.execute(
+        f"SELECT SUM(salary) FROM Payroll GROUP BY SPAN {QUARTER} [0, 599]"
+    )
+    print(quarterly.pretty())
+    print("(each row folds every salary period overlapping that quarter)")
+    print()
+
+    print("TSQL2: SELECT MAX(salary) FROM Payroll WHERE VALID OVERLAPS [180, 420]")
+    print(
+        db.execute(
+            "SELECT MAX(salary) FROM Payroll WHERE VALID OVERLAPS [180, 420]",
+            keep_empty=False,
+        ).pretty()
+    )
+    print()
+
+    # ------------------------------------------------------------------
+    # Salary spread, but only while the company is big enough (HAVING),
+    # and the planner's reasoning for the query (EXPLAIN).
+    # ------------------------------------------------------------------
+    print("TSQL2: SELECT MAX(salary) - MIN(salary), COUNT(name) FROM Payroll")
+    print("       HAVING COUNT(name) >= 5")
+    print(
+        db.execute(
+            "SELECT MAX(salary) - MIN(salary), COUNT(name) FROM Payroll "
+            "HAVING COUNT(name) >= 5"
+        ).pretty()
+    )
+    print()
+
+    print("TSQL2: EXPLAIN SELECT AVG(salary) FROM Payroll")
+    print(db.execute("EXPLAIN SELECT AVG(salary) FROM Payroll").pretty())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Thin setup.py shim.
+
+The project metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works in offline environments whose setuptools
+lacks wheel/PEP 660 support (pip then falls back to the legacy
+``setup.py develop`` code path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,34 @@
+"""``python -m repro`` — a 10-second demonstration.
+
+Prints the paper's worked example (Table 1) and points at the real
+entry points: the TSQL2 shell, the workload generator and the
+benchmark harness.
+"""
+
+import repro
+from repro import employed_relation, temporal_aggregate
+
+
+def main() -> int:
+    print(f"repro {repro.__version__} — Kline & Snodgrass, "
+          "'Computing Temporal Aggregates' (ICDE 1995)\n")
+    employed = employed_relation()
+    print("The Employed relation (paper Figure 1):")
+    print(employed.pretty())
+    print()
+    result, decision = temporal_aggregate(employed, "count", explain=True)
+    print("SELECT COUNT(Name) FROM Employed  ->  Table 1:")
+    print(result.pretty())
+    print()
+    print(f"planner: {decision.describe()}")
+    print()
+    print("next steps:")
+    print("  python -m repro.tsql2 --seed        # interactive TSQL2 shell")
+    print("  python -m repro.workload out.csv    # generate paper workloads")
+    print("  python -m repro.bench all           # regenerate the evaluation")
+    print("  docs/GUIDE.md                       # the user guide")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,46 @@
+"""Benchmark harness regenerating the paper's evaluation (Section 6).
+
+``python -m repro.bench all`` reruns every table and figure;
+:mod:`repro.bench.figures` documents the drivers individually.
+"""
+
+from repro.bench.config import bench_seeds, bench_sizes, quadratic_max
+from repro.bench.figures import (
+    DRIVERS,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure9_long_lived,
+    table1,
+    table2,
+    table3,
+)
+from repro.bench.measure import Measurement, mean_measurement, measure_strategy
+from repro.bench.plotting import ascii_loglog
+from repro.bench.reporting import Report, format_value
+from repro.bench.stats import SeriesStatistics, summarize, t_critical_95
+
+__all__ = [
+    "bench_sizes",
+    "bench_seeds",
+    "quadratic_max",
+    "DRIVERS",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure9_long_lived",
+    "table1",
+    "table2",
+    "table3",
+    "Measurement",
+    "measure_strategy",
+    "mean_measurement",
+    "Report",
+    "format_value",
+    "ascii_loglog",
+    "SeriesStatistics",
+    "summarize",
+    "t_critical_95",
+]

@@ -1,0 +1,80 @@
+"""Command-line entry point for the benchmark harness.
+
+Usage::
+
+    python -m repro.bench fig6 table2        # run selected drivers
+    python -m repro.bench all                # the full evaluation
+    python -m repro.bench all --markdown     # Markdown output
+    python -m repro.bench fig9 --csv-dir out # also write CSV files
+
+Environment knobs are documented in :mod:`repro.bench.config`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from repro.bench.figures import DRIVERS
+
+__all__ = ["main"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the tables and figures of Kline & Snodgrass 1995.",
+    )
+    parser.add_argument(
+        "drivers",
+        nargs="+",
+        help=f"drivers to run: {', '.join(sorted(DRIVERS))}, or 'all'",
+    )
+    parser.add_argument(
+        "--markdown", action="store_true", help="render Markdown instead of text"
+    )
+    parser.add_argument(
+        "--csv-dir", default=None, help="also write one CSV per report here"
+    )
+    parser.add_argument(
+        "--plot",
+        action="store_true",
+        help="also render each figure report as an ASCII log-log plot",
+    )
+    args = parser.parse_args(argv)
+
+    names = sorted(DRIVERS) if "all" in args.drivers else args.drivers
+    unknown = [name for name in names if name not in DRIVERS]
+    if unknown:
+        parser.error(f"unknown drivers: {', '.join(unknown)}")
+
+    if args.csv_dir:
+        os.makedirs(args.csv_dir, exist_ok=True)
+
+    for name in names:
+        started = time.perf_counter()
+        reports = DRIVERS[name]()
+        elapsed = time.perf_counter() - started
+        for index, report in enumerate(reports):
+            if args.markdown:
+                print(report.render_markdown())
+            else:
+                print(report.render_text())
+            if args.csv_dir:
+                suffix = "" if len(reports) == 1 else f"_{index}"
+                path = os.path.join(args.csv_dir, f"{name}{suffix}.csv")
+                with open(path, "w") as handle:
+                    handle.write(report.render_csv())
+            if args.plot and name.startswith("fig"):
+                from repro.bench.plotting import ascii_loglog
+
+                print(ascii_loglog(report))
+            print()
+        print(f"[{name} completed in {elapsed:.1f}s]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,76 @@
+"""Benchmark configuration: the Table 3 grid, scaled for pure Python.
+
+The paper sweeps 1K–64K tuples.  The two O(n²) cells (linked list on
+anything; aggregation tree on *sorted* input) cost minutes of pure
+Python at 64K, so the default grid stops at 16K tuples — enough to read
+the log-log slopes and orderings — and is widened by environment
+variables:
+
+``REPRO_BENCH_MAX_TUPLES``
+    Largest relation size (default 16384; the paper's full grid is
+    65536).
+``REPRO_BENCH_QUADRATIC_MAX``
+    Cap applied to the O(n²) series only (default: same as max).
+``REPRO_BENCH_SEEDS``
+    Comma-separated RNG seeds; multiple seeds reproduce the paper's
+    repeated runs (default "1").
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+__all__ = [
+    "bench_sizes",
+    "quadratic_max",
+    "bench_seeds",
+    "MIN_TUPLES",
+    "DEFAULT_MAX_TUPLES",
+]
+
+MIN_TUPLES = 1024
+DEFAULT_MAX_TUPLES = 16384
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be an integer, got {raw!r}") from None
+    if value < MIN_TUPLES:
+        raise ValueError(f"{name} must be at least {MIN_TUPLES}")
+    return value
+
+
+def bench_sizes(maximum: "int | None" = None) -> List[int]:
+    """Doubling sizes 1K, 2K, ... up to the configured maximum."""
+    top = maximum if maximum is not None else _env_int(
+        "REPRO_BENCH_MAX_TUPLES", DEFAULT_MAX_TUPLES
+    )
+    sizes = []
+    n = MIN_TUPLES
+    while n <= top:
+        sizes.append(n)
+        n *= 2
+    return sizes
+
+
+def quadratic_max() -> int:
+    """Size cap for the O(n²) series (linked list, sorted-input tree)."""
+    default = _env_int("REPRO_BENCH_MAX_TUPLES", DEFAULT_MAX_TUPLES)
+    return _env_int("REPRO_BENCH_QUADRATIC_MAX", default)
+
+
+def bench_seeds() -> List[int]:
+    """RNG seeds for repeated runs (paper: several seeds per cell)."""
+    raw = os.environ.get("REPRO_BENCH_SEEDS", "1")
+    try:
+        return [int(part) for part in raw.split(",") if part.strip()]
+    except ValueError:
+        raise ValueError(
+            f"REPRO_BENCH_SEEDS must be comma-separated ints, got {raw!r}"
+        ) from None

@@ -1,0 +1,102 @@
+"""Dependency-free ASCII log-log plots for bench reports.
+
+The paper presents its results as log-log graphs ("please be sure to
+note that the results are log-log graphs", Section 6).  This module
+renders a :class:`~repro.bench.reporting.Report` whose first column is
+the x axis (tuple counts) and whose remaining columns are series, as an
+ASCII scatter on log-log axes — enough to eyeball slopes and crossovers
+straight from a terminal, with no plotting dependencies.
+
+>>> print(ascii_loglog(figure6()[0]))
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.bench.reporting import Report
+
+__all__ = ["ascii_loglog"]
+
+#: Marker characters assigned to series in column order.
+_MARKERS = "ox+*#@%&"
+
+
+def _numeric(value) -> Optional[float]:
+    if isinstance(value, (int, float)) and value > 0:
+        return float(value)
+    return None
+
+
+def ascii_loglog(
+    report: Report, width: int = 64, height: int = 20, title: Optional[str] = None
+) -> str:
+    """Render a report as an ASCII log-log scatter plot.
+
+    The first column supplies x values; every other column is one
+    series.  Non-positive or non-numeric cells (the "-" capped cells)
+    are skipped.  Returns a multi-line string including a legend.
+    """
+    if width < 16 or height < 6:
+        raise ValueError("plot area too small to be legible")
+    series_names = list(report.columns[1:])
+    points = []  # (x, y, marker_index)
+    for row in report.rows:
+        x = _numeric(row[0])
+        if x is None:
+            continue
+        for index, value in enumerate(row[1:]):
+            y = _numeric(value)
+            if y is not None:
+                points.append((x, y, index))
+    if not points:
+        return f"(no plottable points in {report.title!r})"
+
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    log_x_low, log_x_high = math.log10(min(xs)), math.log10(max(xs))
+    log_y_low, log_y_high = math.log10(min(ys)), math.log10(max(ys))
+    x_span = max(log_x_high - log_x_low, 1e-9)
+    y_span = max(log_y_high - log_y_low, 1e-9)
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, index in points:
+        column = round((math.log10(x) - log_x_low) / x_span * (width - 1))
+        row_position = round((math.log10(y) - log_y_low) / y_span * (height - 1))
+        marker = _MARKERS[index % len(_MARKERS)]
+        cell = grid[height - 1 - row_position][column]
+        # Collisions render as '?' so overplotting is visible.
+        grid[height - 1 - row_position][column] = (
+            marker if cell in (" ", marker) else "?"
+        )
+
+    def _label(value: float) -> str:
+        if value >= 1000:
+            return f"{value:,.0f}"
+        if value >= 1:
+            return f"{value:.3g}"
+        return f"{value:.2g}"
+
+    lines = [f"== {title or report.title} (log-log) =="]
+    top_label = _label(10**log_y_high)
+    bottom_label = _label(10**log_y_low)
+    for row_index, cells in enumerate(grid):
+        if row_index == 0:
+            prefix = f"{top_label:>10} |"
+        elif row_index == height - 1:
+            prefix = f"{bottom_label:>10} |"
+        else:
+            prefix = f"{'':>10} |"
+        lines.append(prefix + "".join(cells))
+    lines.append(f"{'':>10} +" + "-" * width)
+    lines.append(
+        f"{'':>12}{_label(10 ** log_x_low)}"
+        + " " * max(1, width - 20)
+        + _label(10**log_x_high)
+    )
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={name}" for i, name in enumerate(series_names)
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,122 @@
+"""Report rendering for the figure/table drivers.
+
+Each driver in :mod:`repro.bench.figures` returns one or more
+:class:`Report` objects — a titled table with a note trail — that can
+be rendered as aligned text (for the console), Markdown (for
+EXPERIMENTS.md) or CSV (for external plotting).
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Any, List, Sequence
+
+__all__ = ["Report", "format_value"]
+
+
+def format_value(value: Any) -> str:
+    """Compact numeric formatting for report cells."""
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.3f}"
+        return f"{value:.5f}"
+    if isinstance(value, int) and abs(value) >= 10000:
+        return f"{value:,}"
+    return str(value)
+
+
+@dataclass
+class Report:
+    """A titled result table with explanatory notes."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[Sequence[Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells, report has {len(self.columns)} columns"
+            )
+        self.rows.append(tuple(values))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    # ------------------------------------------------------------------
+    # Renderers
+    # ------------------------------------------------------------------
+
+    def render_text(self) -> str:
+        rendered = [[format_value(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(str(column)), *(len(r[i]) for r in rendered), 1)
+            if rendered
+            else len(str(column))
+            for i, column in enumerate(self.columns)
+        ]
+        out = io.StringIO()
+        out.write(f"== {self.title} ==\n")
+        out.write(
+            "  ".join(str(c).rjust(w) for c, w in zip(self.columns, widths)) + "\n"
+        )
+        out.write("  ".join("-" * w for w in widths) + "\n")
+        for row in rendered:
+            out.write("  ".join(v.rjust(w) for v, w in zip(row, widths)) + "\n")
+        for note in self.notes:
+            out.write(f"note: {note}\n")
+        return out.getvalue()
+
+    def render_markdown(self) -> str:
+        lines = [f"### {self.title}", ""]
+        lines.append("| " + " | ".join(str(c) for c in self.columns) + " |")
+        lines.append("| " + " | ".join("---" for _ in self.columns) + " |")
+        for row in self.rows:
+            lines.append("| " + " | ".join(format_value(v) for v in row) + " |")
+        for note in self.notes:
+            lines.append("")
+            lines.append(f"*{note}*")
+        return "\n".join(lines)
+
+    def render_csv(self) -> str:
+        out = io.StringIO()
+        out.write(",".join(str(c) for c in self.columns) + "\n")
+        for row in self.rows:
+            out.write(",".join(str(v) for v in row) + "\n")
+        return out.getvalue()
+
+    def column_index(self, name: str) -> int:
+        return list(self.columns).index(name)
+
+    def series(self, column: str) -> List[Any]:
+        """All values of one column, in row order."""
+        index = self.column_index(column)
+        return [row[index] for row in self.rows]
+
+    @classmethod
+    def from_csv(cls, text: str, title: str = "from csv") -> "Report":
+        """Rebuild a report from :meth:`render_csv` output (numeric
+        cells are parsed back to int/float; '-' stays a string)."""
+        lines = [line for line in text.splitlines() if line.strip()]
+        if not lines:
+            raise ValueError("empty CSV")
+        columns = lines[0].split(",")
+        report = cls(title, columns)
+        for line in lines[1:]:
+            cells: List[Any] = []
+            for cell in line.split(","):
+                try:
+                    cells.append(int(cell))
+                except ValueError:
+                    try:
+                        cells.append(float(cell))
+                    except ValueError:
+                        cells.append(cell)
+            report.add_row(*cells)
+        return report

@@ -1,0 +1,387 @@
+"""Decomposable aggregate functions.
+
+All three evaluation algorithms in the paper maintain *partial aggregate
+state* — at linked-list cells, at aggregation-tree nodes, or in Tuma's
+aggregation sets — and combine partial states when emitting results (the
+tree algorithms merge states along the root-to-leaf path during the
+final depth-first traversal, Section 5.1).  That only works for
+aggregates whose state forms a commutative monoid:
+
+* ``identity()``      — state of an empty group,
+* ``absorb(s, v)``    — fold one tuple's attribute value into a state,
+* ``merge(a, b)``     — combine two disjoint groups' states,
+* ``finalize(s)``     — turn a state into the reported value.
+
+COUNT, SUM, MIN, MAX and AVG — the aggregates the paper discusses — all
+qualify, as do VARIANCE/STDDEV via the ``(n, Σv, Σv²)`` decomposition
+(an extension beyond the paper).  COUNT DISTINCT does *not* decompose
+into bounded state and is deliberately absent; the paper defers
+duplicate handling to a pre-sort (Section 7).
+
+Each aggregate also reports the byte cost of one state under the
+paper's accounting model (Section 6.2): COUNT stores a 4-byte counter;
+SUM, MIN and MAX store 4 bytes plus an empty marker; AVG stores 8 bytes
+(sum and count).  The space tracker in :mod:`repro.metrics.space` uses
+these numbers to reproduce Figure 9.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, Iterable
+
+__all__ = [
+    "Aggregate",
+    "AnyAggregate",
+    "EveryAggregate",
+    "CountAggregate",
+    "SumAggregate",
+    "MinAggregate",
+    "MaxAggregate",
+    "AvgAggregate",
+    "VarianceAggregate",
+    "StdDevAggregate",
+    "AGGREGATES",
+    "UnknownAggregateError",
+    "get_aggregate",
+    "register_aggregate",
+]
+
+
+class UnknownAggregateError(KeyError):
+    """Raised when looking up an aggregate name that is not registered."""
+
+
+class Aggregate:
+    """Base class for decomposable aggregates.
+
+    Subclasses define the monoid operations and two bits of metadata:
+
+    * ``name`` — the registry / TSQL2 keyword (lower case);
+    * ``state_bytes`` — bytes of one partial state under the Section 6.2
+      accounting model, used for the memory experiments;
+    * ``needs_value`` — False for COUNT, which ignores the attribute.
+    """
+
+    name: str = "abstract"
+    state_bytes: int = 0
+    needs_value: bool = True
+
+    #: True when :meth:`retract` is implemented — COUNT/SUM/AVG/VAR can
+    #: remove a previously absorbed value (group: not just a monoid),
+    #: which sweep evaluation and index deletion rely on.  MIN/MAX
+    #: cannot (removing the current minimum loses information).
+    invertible: bool = False
+
+    def identity(self) -> Any:
+        """State of an empty group."""
+        raise NotImplementedError
+
+    def absorb(self, state: Any, value: Any) -> Any:
+        """Fold one tuple's attribute value into ``state``."""
+        raise NotImplementedError
+
+    def retract(self, state: Any, value: Any) -> Any:
+        """Remove one previously absorbed value (invertible aggregates
+        only — see :attr:`invertible`)."""
+        raise NotImplementedError(
+            f"aggregate {self.name!r} is not invertible"
+        )
+
+    def merge(self, left: Any, right: Any) -> Any:
+        """Combine the states of two disjoint groups."""
+        raise NotImplementedError
+
+    def finalize(self, state: Any) -> Any:
+        """Reported value for ``state`` (None for empty value-aggregates)."""
+        raise NotImplementedError
+
+    def is_identity(self, state: Any) -> bool:
+        """True when ``state`` carries no absorbed tuples."""
+        return state == self.identity()
+
+    def fold(self, values: Iterable[Any]) -> Any:
+        """Absorb an iterable of values into a fresh state (convenience)."""
+        state = self.identity()
+        for value in values:
+            state = self.absorb(state, value)
+        return state
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class CountAggregate(Aggregate):
+    """COUNT — number of tuples overlapping each constant interval."""
+
+    name = "count"
+    state_bytes = 4
+    needs_value = False
+    invertible = True
+
+    def identity(self) -> int:
+        return 0
+
+    def absorb(self, state: int, value: Any) -> int:
+        return state + 1
+
+    def retract(self, state: int, value: Any) -> int:
+        return state - 1
+
+    def merge(self, left: int, right: int) -> int:
+        return left + right
+
+    def finalize(self, state: int) -> int:
+        return state
+
+
+class SumAggregate(Aggregate):
+    """SUM — None over empty groups, like SQL's NULL."""
+
+    name = "sum"
+    state_bytes = 4  # 4-byte value plus an empty-marker bit (Section 6.2)
+    invertible = True
+
+    def identity(self) -> None:
+        return None
+
+    def absorb(self, state: "float | None", value: float) -> float:
+        if state is None:
+            return value
+        return state + value
+
+    def retract(self, state: "float | None", value: float) -> float:
+        """Numeric inverse only: retracting the last value leaves 0,
+        not the empty marker — callers tracking emptiness themselves
+        (the sweep evaluator does) must reset to identity at count 0."""
+        if state is None:
+            raise ValueError("cannot retract from an empty SUM state")
+        return state - value
+
+    def merge(self, left: "float | None", right: "float | None") -> "float | None":
+        if left is None:
+            return right
+        if right is None:
+            return left
+        return left + right
+
+    def finalize(self, state: "float | None") -> "float | None":
+        return state
+
+
+class MinAggregate(Aggregate):
+    """MIN — smallest attribute value; None over empty groups."""
+
+    name = "min"
+    state_bytes = 4
+
+    def identity(self) -> None:
+        return None
+
+    def absorb(self, state: "Any | None", value: Any) -> Any:
+        if state is None or value < state:
+            return value
+        return state
+
+    def merge(self, left: "Any | None", right: "Any | None") -> "Any | None":
+        if left is None:
+            return right
+        if right is None:
+            return left
+        return left if left <= right else right
+
+    def finalize(self, state: "Any | None") -> "Any | None":
+        return state
+
+
+class MaxAggregate(Aggregate):
+    """MAX — largest attribute value; None over empty groups."""
+
+    name = "max"
+    state_bytes = 4
+
+    def identity(self) -> None:
+        return None
+
+    def absorb(self, state: "Any | None", value: Any) -> Any:
+        if state is None or value > state:
+            return value
+        return state
+
+    def merge(self, left: "Any | None", right: "Any | None") -> "Any | None":
+        if left is None:
+            return right
+        if right is None:
+            return left
+        return left if left >= right else right
+
+    def finalize(self, state: "Any | None") -> "Any | None":
+        return state
+
+
+class AvgAggregate(Aggregate):
+    """AVG — arithmetic mean, decomposed as a (sum, count) pair."""
+
+    name = "avg"
+    state_bytes = 8  # 4 bytes for the sum, 4 for the count (Section 6.2)
+    invertible = True
+
+    def identity(self) -> tuple:
+        return (0, 0)
+
+    def absorb(self, state: tuple, value: float) -> tuple:
+        return (state[0] + value, state[1] + 1)
+
+    def retract(self, state: tuple, value: float) -> tuple:
+        if state[1] <= 0:
+            raise ValueError("cannot retract from an empty AVG state")
+        return (state[0] - value, state[1] - 1)
+
+    def merge(self, left: tuple, right: tuple) -> tuple:
+        return (left[0] + right[0], left[1] + right[1])
+
+    def finalize(self, state: tuple) -> "float | None":
+        total, count = state
+        if count == 0:
+            return None
+        return total / count
+
+
+class VarianceAggregate(Aggregate):
+    """Population variance via the (n, Σv, Σv²) decomposition.
+
+    An extension beyond the paper, included to show the algorithms are
+    generic over any decomposable aggregate.
+    """
+
+    name = "variance"
+    state_bytes = 12
+    invertible = True
+    _min_count = 1
+
+    def identity(self) -> tuple:
+        return (0, 0.0, 0.0)
+
+    def absorb(self, state: tuple, value: float) -> tuple:
+        count, total, squares = state
+        return (count + 1, total + value, squares + value * value)
+
+    def retract(self, state: tuple, value: float) -> tuple:
+        count, total, squares = state
+        if count <= 0:
+            raise ValueError("cannot retract from an empty VARIANCE state")
+        return (count - 1, total - value, squares - value * value)
+
+    def merge(self, left: tuple, right: tuple) -> tuple:
+        return (
+            left[0] + right[0],
+            left[1] + right[1],
+            left[2] + right[2],
+        )
+
+    def finalize(self, state: tuple) -> "float | None":
+        count, total, squares = state
+        if count < self._min_count:
+            return None
+        mean = total / count
+        # Guard against tiny negative values from floating-point error.
+        return max(0.0, squares / count - mean * mean)
+
+
+class StdDevAggregate(VarianceAggregate):
+    """Population standard deviation (square root of the variance)."""
+
+    name = "stddev"
+
+    def finalize(self, state: tuple) -> "float | None":
+        variance = super().finalize(state)
+        if variance is None:
+            return None
+        return math.sqrt(variance)
+
+
+class AnyAggregate(Aggregate):
+    """ANY/SOME — True when some tuple's value is truthy; NULL when the
+    group is empty.
+
+    Decomposed as a ``(truthy, total)`` counter pair rather than a bare
+    boolean, which buys exact invertibility (retract works, so the
+    sweep evaluator and index deletion apply) at 8 modeled bytes.
+    """
+
+    name = "any"
+    state_bytes = 8
+    invertible = True
+
+    def identity(self) -> tuple:
+        return (0, 0)
+
+    def absorb(self, state: tuple, value: Any) -> tuple:
+        return (state[0] + (1 if value else 0), state[1] + 1)
+
+    def retract(self, state: tuple, value: Any) -> tuple:
+        if state[1] <= 0:
+            raise ValueError(f"cannot retract from an empty {self.name.upper()} state")
+        return (state[0] - (1 if value else 0), state[1] - 1)
+
+    def merge(self, left: tuple, right: tuple) -> tuple:
+        return (left[0] + right[0], left[1] + right[1])
+
+    def finalize(self, state: tuple) -> "bool | None":
+        truthy, total = state
+        if total == 0:
+            return None
+        return truthy > 0
+
+
+class EveryAggregate(AnyAggregate):
+    """EVERY/ALL — True when every tuple's value is truthy; NULL when
+    the group is empty.  Same counter decomposition as ANY."""
+
+    name = "every"
+
+    def finalize(self, state: tuple) -> "bool | None":
+        truthy, total = state
+        if total == 0:
+            return None
+        return truthy == total
+
+
+AGGREGATES: Dict[str, Callable[[], Aggregate]] = {}
+
+
+def register_aggregate(factory: Callable[[], Aggregate]) -> Callable[[], Aggregate]:
+    """Register an aggregate factory under its ``name`` attribute."""
+    instance = factory()
+    AGGREGATES[instance.name] = factory
+    return factory
+
+
+for _factory in (
+    CountAggregate,
+    SumAggregate,
+    MinAggregate,
+    MaxAggregate,
+    AvgAggregate,
+    VarianceAggregate,
+    StdDevAggregate,
+    AnyAggregate,
+    EveryAggregate,
+):
+    register_aggregate(_factory)
+
+
+def get_aggregate(name: str) -> Aggregate:
+    """Instantiate the aggregate registered under ``name``.
+
+    Accepts any capitalisation (TSQL2 keywords are case-insensitive).
+    """
+    key = name.strip().lower()
+    try:
+        factory = AGGREGATES[key]
+    except KeyError:
+        known = ", ".join(sorted(AGGREGATES))
+        raise UnknownAggregateError(
+            f"unknown aggregate {name!r}; known aggregates: {known}"
+        ) from None
+    return factory()

@@ -1,0 +1,124 @@
+"""Allen's thirteen interval relations.
+
+TSQL2's qualification language (OVERLAPS, PRECEDES, MEETS, CONTAINS …)
+is built on Allen's interval algebra; this module provides the
+complete, mutually exclusive and jointly exhaustive set of thirteen
+relations for the closed integer intervals of
+:mod:`repro.core.interval`:
+
+========== =============================== ==========
+relation   definition (a vs b)             inverse
+========== =============================== ==========
+before     a.end < b.start - 1 *           after
+meets      a.end + 1 == b.start            met_by
+overlaps   a starts first, ends inside b   overlapped_by
+starts     same start, a ends first        started_by
+during     a strictly inside b             contains
+finishes   same end, a starts later        finished_by
+equal      identical                       equal
+========== =============================== ==========
+
+``*`` — discrete closed intervals make "meets" the adjacent case
+(``[3,5]`` meets ``[6,9]``): there is no instant between them but they
+share none.  ``before`` therefore requires a genuine gap.  This is the
+standard discretisation of Allen's algebra; with it, **exactly one**
+relation holds for any pair of intervals (property-tested).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.core.interval import Interval
+
+__all__ = ["ALLEN_RELATIONS", "allen_relation", "holds", "inverse"]
+
+
+def _before(a: Interval, b: Interval) -> bool:
+    return a.end + 1 < b.start
+
+
+def _meets(a: Interval, b: Interval) -> bool:
+    return a.end + 1 == b.start
+
+
+def _overlaps(a: Interval, b: Interval) -> bool:
+    return a.start < b.start <= a.end < b.end
+
+
+def _starts(a: Interval, b: Interval) -> bool:
+    return a.start == b.start and a.end < b.end
+
+
+def _during(a: Interval, b: Interval) -> bool:
+    return b.start < a.start and a.end < b.end
+
+
+def _finishes(a: Interval, b: Interval) -> bool:
+    return a.end == b.end and a.start > b.start
+
+
+def _equal(a: Interval, b: Interval) -> bool:
+    return a == b
+
+
+def _flip(relation: Callable[[Interval, Interval], bool]):
+    return lambda a, b: relation(b, a)
+
+
+#: All thirteen relations, keyed by their conventional names.
+ALLEN_RELATIONS: Dict[str, Callable[[Interval, Interval], bool]] = {
+    "before": _before,
+    "meets": _meets,
+    "overlaps": _overlaps,
+    "starts": _starts,
+    "during": _during,
+    "finishes": _finishes,
+    "equal": _equal,
+    "after": _flip(_before),
+    "met_by": _flip(_meets),
+    "overlapped_by": _flip(_overlaps),
+    "started_by": _flip(_starts),
+    "contains": _flip(_during),
+    "finished_by": _flip(_finishes),
+}
+
+_INVERSES = {
+    "before": "after",
+    "meets": "met_by",
+    "overlaps": "overlapped_by",
+    "starts": "started_by",
+    "during": "contains",
+    "finishes": "finished_by",
+    "equal": "equal",
+}
+_INVERSES.update({v: k for k, v in _INVERSES.items()})
+
+
+def allen_relation(a: Interval, b: Interval) -> str:
+    """The unique Allen relation holding between ``a`` and ``b``."""
+    for name, relation in ALLEN_RELATIONS.items():
+        if relation(a, b):
+            return name
+    raise AssertionError(
+        f"no Allen relation matched {a} vs {b} (algebra bug)"
+    )  # pragma: no cover - exhaustiveness is property-tested
+
+
+def holds(name: str, a: Interval, b: Interval) -> bool:
+    """Does the named relation hold?  (Case-insensitive.)"""
+    try:
+        relation = ALLEN_RELATIONS[name.strip().lower()]
+    except KeyError:
+        known = ", ".join(sorted(ALLEN_RELATIONS))
+        raise ValueError(f"unknown Allen relation {name!r}; known: {known}") from None
+    return relation(a, b)
+
+
+def inverse(name: str) -> str:
+    """The converse relation (``inverse("during") == "contains"``)."""
+    try:
+        return _INVERSES[name.strip().lower()]
+    except KeyError:
+        known = ", ".join(sorted(_INVERSES))
+        raise ValueError(f"unknown Allen relation {name!r}; known: {known}") from None

@@ -1,0 +1,217 @@
+"""Calendars: mapping instants to civil time for span grouping.
+
+TSQL2's temporal grouping by span partitions the timeline "by a
+calendar defined length of time, such as a year" (paper Section 2).
+Fixed-length spans (every 90 instants) are handled by
+:mod:`repro.core.span_grouping`; *calendar* spans — months and years of
+unequal lengths — need an actual calendar that knows how many instants
+each unit covers.
+
+A :class:`Calendar` fixes two things:
+
+* the **granularity** of an instant (how much civil time one instant
+  represents: a second, a day, ...), and
+* the **epoch** (which civil date instant 0 falls on).
+
+With those, :meth:`Calendar.span_starts` enumerates the instants
+beginning each calendar unit inside a window, and
+:func:`calendar_span_aggregate` computes one aggregate value per
+calendar bucket — the irregular-bucket generalisation of
+:func:`~repro.core.span_grouping.span_aggregate`.
+
+The civil-date arithmetic is self-contained (proleptic Gregorian via
+``datetime.date``), so instants-as-days and instants-as-seconds both
+work for any realistic range.
+"""
+
+from __future__ import annotations
+
+from datetime import date, timedelta
+from typing import Any, Iterable, List, Optional, Tuple
+
+from repro.core.base import Triple, coerce_aggregate
+from repro.core.interval import FOREVER, Interval, InvalidIntervalError
+from repro.core.result import ConstantInterval, TemporalAggregateResult
+from repro.metrics.counters import OperationCounters
+
+__all__ = [
+    "Calendar",
+    "CalendarError",
+    "GRANULARITY_SECONDS",
+    "calendar_span_aggregate",
+]
+
+#: Seconds of civil time represented by one instant, per granularity.
+GRANULARITY_SECONDS = {
+    "second": 1,
+    "minute": 60,
+    "hour": 3600,
+    "day": 86_400,
+}
+
+#: Calendar units span_starts understands.  week/month/year have
+#: variable length in instants; the rest are fixed multiples.
+_UNITS = {"second", "minute", "hour", "day", "week", "month", "year"}
+
+
+class CalendarError(ValueError):
+    """Raised for unusable granularities, units or windows."""
+
+
+class Calendar:
+    """An instant <-> civil time mapping.
+
+    ``granularity`` names what one instant is ("second", "minute",
+    "hour" or "day"); ``epoch`` is the civil date of instant 0
+    (midnight at that date for sub-day granularities).
+    """
+
+    def __init__(self, granularity: str = "day", epoch: date = date(1995, 1, 1)):
+        if granularity not in GRANULARITY_SECONDS:
+            known = ", ".join(sorted(GRANULARITY_SECONDS))
+            raise CalendarError(
+                f"unknown granularity {granularity!r}; known: {known}"
+            )
+        self.granularity = granularity
+        self.epoch = epoch
+        self._instant_seconds = GRANULARITY_SECONDS[granularity]
+
+    # ------------------------------------------------------------------
+    # Instant <-> civil conversions
+    # ------------------------------------------------------------------
+
+    def instants_per(self, unit: str) -> Optional[int]:
+        """Instants in one ``unit``, or None when the unit is variable
+        length (month, year) at this granularity."""
+        if unit not in _UNITS:
+            raise CalendarError(f"unknown calendar unit {unit!r}")
+        if unit in GRANULARITY_SECONDS:
+            seconds = GRANULARITY_SECONDS[unit]
+            if seconds % self._instant_seconds:
+                raise CalendarError(
+                    f"one {unit} is not a whole number of "
+                    f"{self.granularity}-instants"
+                )
+            return seconds // self._instant_seconds
+        if unit == "week":
+            return 7 * (86_400 // self._instant_seconds)
+        return None  # month, year: variable
+
+    def date_of(self, instant: int) -> date:
+        """The civil date containing ``instant``."""
+        if instant < 0:
+            raise CalendarError("instants precede the origin")
+        per_day = 86_400 // self._instant_seconds
+        return self.epoch + timedelta(days=instant // per_day)
+
+    def instant_of(self, day: date) -> int:
+        """The first instant of civil date ``day``."""
+        delta = (day - self.epoch).days
+        if delta < 0:
+            raise CalendarError(f"{day} precedes the epoch {self.epoch}")
+        return delta * (86_400 // self._instant_seconds)
+
+    # ------------------------------------------------------------------
+    # Span enumeration
+    # ------------------------------------------------------------------
+
+    def span_starts(self, window: Interval, unit: str) -> List[int]:
+        """The instants beginning each ``unit``-bucket covering ``window``.
+
+        The first bucket starts at ``window.start`` (clipped); later
+        buckets start on natural unit boundaries (the 1st of each month,
+        January 1st of each year, ...).  The window must be bounded.
+        """
+        if window.end >= FOREVER:
+            raise InvalidIntervalError("calendar spans need a bounded window")
+        fixed = self.instants_per(unit)
+        if fixed is not None:
+            return list(range(window.start, window.end + 1, fixed))
+
+        # Variable-length units: walk civil months/years.
+        starts = [window.start]
+        current = self.date_of(window.start)
+        while True:
+            if unit == "month":
+                if current.month == 12:
+                    current = date(current.year + 1, 1, 1)
+                else:
+                    current = date(current.year, current.month + 1, 1)
+            else:  # year
+                current = date(current.year + 1, 1, 1)
+            instant = self.instant_of(current)
+            if instant > window.end:
+                break
+            starts.append(instant)
+        return starts
+
+    def format_instant(self, instant: int) -> str:
+        """Civil rendering of an instant (date, plus time-of-day for
+        sub-day granularities)."""
+        day = self.date_of(instant)
+        per_day = 86_400 // self._instant_seconds
+        remainder = (instant % per_day) * self._instant_seconds
+        if self._instant_seconds == 86_400:
+            return day.isoformat()
+        hours, rest = divmod(remainder, 3600)
+        minutes, seconds = divmod(rest, 60)
+        return f"{day.isoformat()} {hours:02d}:{minutes:02d}:{seconds:02d}"
+
+    def __repr__(self) -> str:
+        return f"Calendar(granularity={self.granularity!r}, epoch={self.epoch})"
+
+
+def calendar_span_aggregate(
+    triples: Iterable[Triple],
+    aggregate,
+    window: Interval,
+    unit: str,
+    calendar: Optional[Calendar] = None,
+    *,
+    counters: Optional[OperationCounters] = None,
+) -> TemporalAggregateResult:
+    """Aggregate per calendar unit (month, year, week, ...) over ``window``.
+
+    Each bucket's value folds every tuple whose valid time overlaps the
+    bucket, exactly like fixed spans but with civil boundaries.
+    Buckets are returned as constant intervals labelled by their
+    instant ranges; use ``calendar.format_instant`` to render them as
+    dates.
+    """
+    aggregate = coerce_aggregate(aggregate)
+    calendar = calendar if calendar is not None else Calendar()
+    counters = counters if counters is not None else OperationCounters()
+
+    starts = calendar.span_starts(window, unit)
+    bounds: List[Tuple[int, int]] = []
+    for index, start in enumerate(starts):
+        if index + 1 < len(starts):
+            bounds.append((start, starts[index + 1] - 1))
+        else:
+            bounds.append((start, window.end))
+    states: List[Any] = [aggregate.identity() for _ in bounds]
+
+    from bisect import bisect_right
+
+    for start, end, value in triples:
+        if start < 0 or end < start:
+            raise InvalidIntervalError(f"invalid tuple valid time [{start}, {end}]")
+        counters.tuples += 1
+        if end < window.start or start > window.end:
+            continue
+        clipped_start = max(start, window.start)
+        clipped_end = min(end, window.end)
+        first = bisect_right(starts, clipped_start) - 1
+        index = max(0, first)
+        while index < len(bounds) and bounds[index][0] <= clipped_end:
+            counters.node_visits += 1
+            states[index] = aggregate.absorb(states[index], value)
+            counters.aggregate_updates += 1
+            index += 1
+
+    rows = [
+        ConstantInterval(low, high, aggregate.finalize(state))
+        for (low, high), state in zip(bounds, states)
+    ]
+    counters.emitted += len(rows)
+    return TemporalAggregateResult(rows, check=False)

@@ -1,0 +1,173 @@
+"""Top-level evaluation engine: strategy registry and dispatch.
+
+This is the public entry point most users want:
+
+>>> from repro import temporal_aggregate
+>>> result = temporal_aggregate(employed, "count")
+
+``temporal_aggregate`` picks an algorithm automatically via the
+Section 6.3 planner, or runs the one named by ``strategy``.  The lower
+level :func:`make_evaluator` / :func:`evaluate_triples` functions serve
+benchmarks that need precise control and raw triple streams.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Type
+
+from repro.core.aggregation_tree import AggregationTreeEvaluator
+from repro.core.balanced_tree import BalancedTreeEvaluator
+from repro.core.base import Evaluator, Triple, coerce_aggregate
+from repro.core.kordered_tree import KOrderedTreeEvaluator
+from repro.core.linked_list import LinkedListEvaluator
+from repro.core.paged_tree import PagedAggregationTreeEvaluator
+from repro.core.planner import PlannerDecision, choose_strategy
+from repro.core.reference import ReferenceEvaluator
+from repro.core.result import TemporalAggregateResult
+from repro.core.sweep import SweepEvaluator
+from repro.core.two_pass import TwoPassEvaluator
+from repro.metrics.counters import OperationCounters
+from repro.metrics.space import SpaceTracker
+
+__all__ = [
+    "STRATEGIES",
+    "UnknownStrategyError",
+    "make_evaluator",
+    "evaluate_triples",
+    "temporal_aggregate",
+]
+
+
+class UnknownStrategyError(KeyError):
+    """Raised for a strategy name not in the registry."""
+
+
+#: All evaluation strategies, keyed by their registry names.
+STRATEGIES: Dict[str, Type[Evaluator]] = {
+    LinkedListEvaluator.name: LinkedListEvaluator,
+    AggregationTreeEvaluator.name: AggregationTreeEvaluator,
+    KOrderedTreeEvaluator.name: KOrderedTreeEvaluator,
+    BalancedTreeEvaluator.name: BalancedTreeEvaluator,
+    PagedAggregationTreeEvaluator.name: PagedAggregationTreeEvaluator,
+    SweepEvaluator.name: SweepEvaluator,
+    TwoPassEvaluator.name: TwoPassEvaluator,
+    ReferenceEvaluator.name: ReferenceEvaluator,
+}
+
+
+def make_evaluator(
+    strategy: str,
+    aggregate: "Aggregate | str",
+    *,
+    k: Optional[int] = None,
+    counters: Optional[OperationCounters] = None,
+    space: Optional[SpaceTracker] = None,
+) -> Evaluator:
+    """Instantiate the evaluator registered under ``strategy``.
+
+    ``k`` is only meaningful for (and only accepted by) the k-ordered
+    tree; it defaults to 1, the paper's recommended setting.
+    """
+    try:
+        factory = STRATEGIES[strategy]
+    except KeyError:
+        known = ", ".join(sorted(STRATEGIES))
+        raise UnknownStrategyError(
+            f"unknown strategy {strategy!r}; known strategies: {known}"
+        ) from None
+    if factory is KOrderedTreeEvaluator:
+        return KOrderedTreeEvaluator(
+            aggregate, k if k is not None else 1, counters=counters, space=space
+        )
+    if k is not None:
+        raise ValueError(f"strategy {strategy!r} does not take a k parameter")
+    return factory(aggregate, counters=counters, space=space)
+
+
+def evaluate_triples(
+    triples: Iterable[Triple],
+    aggregate: "Aggregate | str",
+    strategy: str = "aggregation_tree",
+    *,
+    k: Optional[int] = None,
+    counters: Optional[OperationCounters] = None,
+    space: Optional[SpaceTracker] = None,
+) -> TemporalAggregateResult:
+    """Evaluate directly over ``(start, end, value)`` triples."""
+    evaluator = make_evaluator(strategy, aggregate, k=k, counters=counters, space=space)
+    return evaluator.evaluate(triples)
+
+
+def temporal_aggregate(
+    relation,
+    aggregate: "Aggregate | str",
+    attribute: Optional[str] = None,
+    *,
+    strategy: str = "auto",
+    k: Optional[int] = None,
+    memory_budget_bytes: Optional[int] = None,
+    counters: Optional[OperationCounters] = None,
+    space: Optional[SpaceTracker] = None,
+    explain: bool = False,
+) -> "TemporalAggregateResult | tuple[TemporalAggregateResult, PlannerDecision]":
+    """Compute a temporal aggregate over a relation, grouped by instant.
+
+    Parameters
+    ----------
+    relation:
+        A :class:`~repro.relation.relation.TemporalRelation`.
+    aggregate:
+        Aggregate instance or name ("count", "sum", "min", "max",
+        "avg", ...).  COUNT ignores ``attribute``.
+    attribute:
+        Which explicit attribute feeds the aggregate (required for
+        value aggregates).
+    strategy:
+        An evaluator name, ``"auto"`` to let the Section 6.3 rule-based
+        planner choose from the relation's statistics, or
+        ``"auto_cost"`` for the cost-model-based variant.
+    explain:
+        When true, also return the :class:`PlannerDecision` (a
+        synthesised one when ``strategy`` was given explicitly).
+
+    Returns the result, or ``(result, decision)`` with ``explain``.
+    """
+    aggregate = coerce_aggregate(aggregate)
+    if aggregate.needs_value and attribute is None:
+        raise ValueError(
+            f"aggregate {aggregate.name!r} needs an attribute to aggregate"
+        )
+
+    if strategy == "auto":
+        decision = choose_strategy(
+            relation.statistics(),
+            aggregate=aggregate,
+            memory_budget_bytes=memory_budget_bytes,
+        )
+    elif strategy == "auto_cost":
+        from repro.core.planner import choose_strategy_cost_based
+
+        decision = choose_strategy_cost_based(
+            relation.statistics(),
+            aggregate=aggregate,
+            memory_budget_bytes=memory_budget_bytes,
+        )
+    else:
+        decision = PlannerDecision(
+            strategy=strategy,
+            k=k,
+            reason="strategy requested explicitly",
+        )
+
+    target = relation.sorted_by_time() if decision.sort_first else relation
+    evaluator = make_evaluator(
+        decision.strategy,
+        aggregate,
+        k=decision.k,
+        counters=counters,
+        space=space,
+    )
+    result = evaluator.evaluate_relation(target, attribute)
+    if explain:
+        return result, decision
+    return result

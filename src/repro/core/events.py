@@ -1,0 +1,89 @@
+"""Aggregation over event relations (paper Section 2).
+
+"We assume that the temporal dimensions are intervals; aggregates may
+also be evaluated over event relations."  An *event* relation stamps
+each tuple with a single instant rather than an interval.  Events
+embed into the interval machinery as degenerate intervals ``[t, t]``,
+so every core evaluator applies unchanged; this module provides the
+embedding plus the aggregations that are natural for events:
+
+* :func:`event_triples` — lift ``(instant, value)`` events to triples;
+* :func:`event_instant_aggregate` — the aggregate at each instant
+  (non-event instants report the empty value);
+* :func:`event_span_aggregate` / window helpers — events bucketed per
+  span or trailing window, the usual event-series queries.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Optional, Tuple
+
+from repro.core.base import Triple
+from repro.core.engine import evaluate_triples
+from repro.core.interval import Interval
+from repro.core.moving import moving_window_aggregate
+from repro.core.result import TemporalAggregateResult
+from repro.core.span_grouping import span_aggregate
+
+__all__ = [
+    "event_triples",
+    "event_instant_aggregate",
+    "event_span_aggregate",
+    "event_window_aggregate",
+]
+
+Event = Tuple[int, Any]
+
+
+def event_triples(events: Iterable[Event]) -> Iterator[Triple]:
+    """Lift ``(instant, value)`` events to degenerate-interval triples."""
+    for instant, value in events:
+        if instant < 0:
+            raise ValueError(f"event instant {instant} precedes the origin")
+        yield (instant, instant, value)
+
+
+def event_instant_aggregate(
+    events: Iterable[Event],
+    aggregate,
+    strategy: str = "aggregation_tree",
+    *,
+    k: Optional[int] = None,
+) -> TemporalAggregateResult:
+    """The aggregate of the events at each instant.
+
+    Instants without events carry the aggregate's empty value (0 for
+    COUNT, None for the value aggregates), and simultaneous events
+    fold together — e.g. COUNT gives the multiplicity profile of the
+    event stream.
+    """
+    return evaluate_triples(
+        list(event_triples(events)), aggregate, strategy, k=k
+    )
+
+
+def event_span_aggregate(
+    events: Iterable[Event],
+    aggregate,
+    window: Interval,
+    span: int,
+) -> TemporalAggregateResult:
+    """Events bucketed per fixed-length span (e.g. alarms per hour)."""
+    return span_aggregate(list(event_triples(events)), aggregate, window, span)
+
+
+def event_window_aggregate(
+    events: Iterable[Event],
+    aggregate,
+    window: int,
+    strategy: str = "aggregation_tree",
+) -> TemporalAggregateResult:
+    """Trailing-window aggregate of an event stream.
+
+    The value at instant ``t`` aggregates the events of
+    ``[t - window + 1, t]`` — events-per-last-hour style queries —
+    via the moving-window reduction of :mod:`repro.core.moving`.
+    """
+    return moving_window_aggregate(
+        event_triples(events), aggregate, window, strategy
+    )

@@ -1,0 +1,99 @@
+"""Attribute grouping combined with temporal grouping.
+
+TSQL2 aggregates compose a classic GROUP BY with temporal grouping
+(paper Section 2): ``SELECT Dept, AVG(Salary) FROM Employed GROUP BY
+Dept`` returns, for every department, a *time-varying* average.  This
+module implements that composition for instant grouping: the relation
+is partitioned by the grouping attribute in one scan, then each
+partition is evaluated with any of the core algorithms, yielding one
+:class:`~repro.core.result.TemporalAggregateResult` per group.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.core.base import coerce_aggregate
+from repro.core.engine import make_evaluator
+from repro.core.result import TemporalAggregateResult
+
+__all__ = ["GroupedResult", "grouped_temporal_aggregate"]
+
+
+class GroupedResult:
+    """Per-group temporal aggregate results with dict-like access."""
+
+    def __init__(self, groups: Dict[Any, TemporalAggregateResult]) -> None:
+        self._groups = dict(groups)
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(sorted(self._groups, key=repr))
+
+    def __getitem__(self, group: Any) -> TemporalAggregateResult:
+        return self._groups[group]
+
+    def __contains__(self, group: Any) -> bool:
+        return group in self._groups
+
+    def groups(self) -> List[Any]:
+        """The grouping-attribute values, sorted for stable output."""
+        return sorted(self._groups, key=repr)
+
+    def items(self) -> Iterator[Tuple[Any, TemporalAggregateResult]]:
+        for group in self.groups():
+            yield group, self._groups[group]
+
+    def value_at(self, group: Any, instant: int) -> Any:
+        return self._groups[group].value_at(instant)
+
+    def pretty(self, limit_per_group: int = 10) -> str:
+        blocks = []
+        for group, result in self.items():
+            blocks.append(f"== {group!r} ==")
+            blocks.append(result.pretty(limit=limit_per_group))
+        return "\n".join(blocks)
+
+    def __repr__(self) -> str:
+        return f"GroupedResult({len(self._groups)} groups)"
+
+
+def grouped_temporal_aggregate(
+    relation,
+    aggregate,
+    group_attribute: str,
+    value_attribute: Optional[str] = None,
+    *,
+    strategy: str = "aggregation_tree",
+    k: Optional[int] = None,
+) -> GroupedResult:
+    """GROUP BY ``group_attribute``, then aggregate each group by instant.
+
+    One counted scan partitions the relation; the chosen strategy then
+    runs once per partition.  Partitioning preserves input order within
+    each group, so a k-ordered relation yields k-ordered partitions and
+    the k-ordered tree remains applicable per group.
+    """
+    aggregate = coerce_aggregate(aggregate)
+    if aggregate.needs_value and value_attribute is None:
+        raise ValueError(
+            f"aggregate {aggregate.name!r} needs a value attribute"
+        )
+
+    group_position = relation.schema.position_of(group_attribute)
+    extract_value = relation.value_extractor(value_attribute)
+
+    partitions: Dict[Any, list] = {}
+    for row in relation.scan():
+        key = row.values[group_position]
+        partitions.setdefault(key, []).append(
+            (row.start, row.end, extract_value(row))
+        )
+
+    groups = {}
+    for key, triples in partitions.items():
+        evaluator = make_evaluator(strategy, aggregate, k=k)
+        groups[key] = evaluator.evaluate(triples)
+    return GroupedResult(groups)

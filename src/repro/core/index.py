@@ -1,0 +1,177 @@
+"""A live temporal-aggregate index over the aggregation tree.
+
+The aggregation tree is built incrementally, which makes it more than
+a one-shot evaluator: kept alive between queries it is an *index* of
+the running aggregate, answering point probes and window queries while
+new tuples keep arriving — the natural "query evaluation" deployment
+the paper's introduction motivates (a query analyzer computing the
+same aggregate repeatedly as the relation grows).
+
+:class:`TemporalAggregateIndex` wraps the tree with:
+
+* :meth:`insert` — fold in one more tuple (O(tree depth) amortised);
+* :meth:`value_at` — the aggregate at one instant, by walking the
+  root-to-leaf path and merging states (no full traversal);
+* :meth:`query` — constant intervals clipped to a window, via a DFS
+  that skips subtrees outside the window;
+* :meth:`result` — the full timeline, identical to what the one-shot
+  evaluator would produce over the same tuples.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List
+
+from repro.core.aggregation_tree import AggregationTreeEvaluator
+from repro.core.base import Triple, coerce_aggregate
+from repro.core.interval import Interval
+from repro.core.result import ConstantInterval, TemporalAggregateResult
+
+__all__ = ["TemporalAggregateIndex"]
+
+
+class TemporalAggregateIndex:
+    """An incrementally maintained instant-grouped aggregate."""
+
+    def __init__(self, aggregate) -> None:
+        self.aggregate = coerce_aggregate(aggregate)
+        self._evaluator = AggregationTreeEvaluator(self.aggregate)
+        self.tuple_count = 0
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def insert(self, start: int, end: int, value: Any = None) -> None:
+        """Fold one tuple into the index."""
+        self._evaluator._check_triple(start, end)
+        self._evaluator.insert(start, end, value)
+        self.tuple_count += 1
+
+    def extend(self, triples: Iterable[Triple]) -> None:
+        for start, end, value in triples:
+            self.insert(start, end, value)
+
+    def _exactly_invertible(self) -> bool:
+        """Can retract restore the empty state?  (COUNT/AVG/VARIANCE
+        can; SUM's empty marker is unreachable; MIN/MAX lack retract.)"""
+        aggregate = self.aggregate
+        if not aggregate.invertible:
+            return False
+        probe = aggregate.absorb(aggregate.identity(), 1)
+        try:
+            return aggregate.is_identity(aggregate.retract(probe, 1))
+        except ValueError:  # pragma: no cover - defensive
+            return False
+
+    def delete(self, start: int, end: int, value: Any = None) -> None:
+        """Remove one **previously inserted** tuple.
+
+        Works by retracing the insert descent with ``retract``: splits
+        only ever refine the tree, so the maximal nodes inside
+        ``[start, end]`` are exactly the nodes the insert charged.
+        Only exactly invertible aggregates qualify (COUNT, AVG,
+        VARIANCE/STDDEV); deleting a tuple that was never inserted
+        corrupts the index, as in any inverted-update structure.
+        """
+        if not self._exactly_invertible():
+            raise ValueError(
+                f"aggregate {self.aggregate.name!r} does not support "
+                "deletion (needs an exact retract; use count/avg/variance)"
+            )
+        if self.tuple_count == 0:
+            raise ValueError("the index is empty")
+        self._evaluator._check_triple(start, end)
+        aggregate = self.aggregate
+        root = self._evaluator.root
+        stack = [root] if root is not None else []
+        while stack:
+            node = stack.pop()
+            if start <= node.start and node.end <= end:
+                node.state = aggregate.retract(node.state, value)
+                continue
+            if node.left is None:
+                raise KeyError(
+                    f"tuple [{start}, {end}] was never inserted: its "
+                    "boundaries are missing from the index"
+                )
+            if node.right.start <= end and start <= node.right.end:
+                stack.append(node.right)
+            if node.left.start <= end and start <= node.left.end:
+                stack.append(node.left)
+        self.tuple_count -= 1
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def value_at(self, instant: int) -> Any:
+        """The aggregate at ``instant`` — one root-to-leaf walk."""
+        if instant < 0:
+            raise ValueError("instants precede the origin")
+        aggregate = self.aggregate
+        node = self._evaluator.root
+        state = aggregate.identity()
+        while node is not None:
+            state = aggregate.merge(state, node.state)
+            if node.left is None:
+                break
+            node = node.left if instant <= node.left.end else node.right
+        return aggregate.finalize(state)
+
+    def query(self, window: Interval) -> TemporalAggregateResult:
+        """Constant intervals clipped to ``window`` (subtrees fully
+        outside the window are never visited)."""
+        aggregate = self.aggregate
+        rows: List[ConstantInterval] = []
+        root = self._evaluator.root
+        if root is None:
+            # No tuples yet: the window is one empty constant interval.
+            empty = aggregate.finalize(aggregate.identity())
+            return TemporalAggregateResult(
+                [ConstantInterval(window.start, window.end, empty)], check=False
+            )
+        stack = [(root, aggregate.identity())]
+        while stack:
+            node, inherited = stack.pop()
+            if node.end < window.start or node.start > window.end:
+                continue
+            state = aggregate.merge(inherited, node.state)
+            if node.left is None:
+                piece = Interval(node.start, node.end).intersect(window)
+                if piece is not None:
+                    rows.append(
+                        ConstantInterval(
+                            piece.start, piece.end, aggregate.finalize(state)
+                        )
+                    )
+                continue
+            stack.append((node.right, state))
+            stack.append((node.left, state))
+        return TemporalAggregateResult(rows, check=False)
+
+    def result(self) -> TemporalAggregateResult:
+        """The full timeline (equivalent to a fresh batch evaluation)."""
+        return self._evaluator.traverse()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        return self._evaluator.node_count()
+
+    @property
+    def depth(self) -> int:
+        return self._evaluator.depth()
+
+    @property
+    def space(self):
+        return self._evaluator.space
+
+    def __repr__(self) -> str:
+        return (
+            f"TemporalAggregateIndex({self.aggregate.name}, "
+            f"{self.tuple_count} tuples, {self.node_count} nodes)"
+        )

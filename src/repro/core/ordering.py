@@ -1,0 +1,122 @@
+"""Sortedness metrics for temporal relations (paper Section 5.2).
+
+The paper defines two ways to quantify how far a relation is from being
+*totally ordered by time* (sorted by start time, ties broken by end
+time):
+
+* **k-orderedness** — a relation is *k-ordered* when every tuple is at
+  most ``k`` positions away from its position in the totally ordered
+  version.  A sorted relation is 0-ordered.  This is the property the
+  k-ordered aggregation tree's garbage collector relies on.
+* **k-ordered-percentage** — with ``n`` tuples and ``n_i`` of them
+  ``i`` positions out of order, the quotient ``Σ i·n_i / (k·n)``,
+  ranging from 0 (sorted) towards 1 (maximally disordered for that
+  ``k``).  Table 2 of the paper tabulates examples for ``n = 10000``,
+  ``k = 100``; :mod:`tests.core.test_ordering_table2` and the
+  corresponding bench regenerate them.
+
+All functions operate on sequences of *sort keys* (anything totally
+ordered — ints or ``(start, end)`` pairs), so they serve both raw
+timestamp lists and :class:`~repro.relation.relation.TemporalRelation`
+rows.  Displacements are computed against a *stable* sort, so duplicate
+keys keep their relative order and a relation with many identical
+timestamps is still 0-ordered when already sorted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, TypeVar
+
+__all__ = [
+    "displacements",
+    "displacement_histogram",
+    "k_orderedness",
+    "is_k_ordered",
+    "k_ordered_percentage",
+    "percentage_from_histogram",
+]
+
+Key = TypeVar("Key")
+
+
+def displacements(keys: Sequence[Key]) -> List[int]:
+    """Per-position distance from the stable-sorted position.
+
+    ``displacements(keys)[i]`` is how many positions the element
+    currently at position ``i`` must move to reach its place in the
+    totally ordered sequence.  Stable: equal keys keep their relative
+    order and contribute zero displacement when already adjacent.
+    """
+    order = sorted(range(len(keys)), key=lambda i: (keys[i], i))
+    result = [0] * len(keys)
+    for sorted_position, original_position in enumerate(order):
+        result[original_position] = abs(sorted_position - original_position)
+    return result
+
+
+def displacement_histogram(keys: Sequence[Key]) -> Dict[int, int]:
+    """Map displacement ``i >= 1`` to the count ``n_i`` of tuples moved by it.
+
+    Tuples already in position (displacement 0) are omitted, matching
+    the paper's ``n_i`` notation.
+    """
+    histogram: Dict[int, int] = {}
+    for distance in displacements(keys):
+        if distance:
+            histogram[distance] = histogram.get(distance, 0) + 1
+    return histogram
+
+
+def k_orderedness(keys: Sequence[Key]) -> int:
+    """The smallest ``k`` for which the sequence is k-ordered.
+
+    0 means totally ordered.  Every sequence of length ``n`` is at
+    worst ``(n-1)``-ordered.
+    """
+    dists = displacements(keys)
+    return max(dists, default=0)
+
+
+def is_k_ordered(keys: Sequence[Key], k: int) -> bool:
+    """True when every element is at most ``k`` positions out of place."""
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    return k_orderedness(keys) <= k
+
+
+def k_ordered_percentage(keys: Sequence[Key], k: int) -> float:
+    """The paper's k-ordered-percentage ``Σ i·n_i / (k·n)``.
+
+    ``k`` must be at least the sequence's actual k-orderedness (the
+    formula is only defined for valid ``k``).  Sorted input yields 0
+    for any positive ``k``; by convention an empty or sorted sequence
+    with ``k = 0`` also yields 0.
+    """
+    n = len(keys)
+    dists = displacements(keys)
+    actual_k = max(dists, default=0)
+    if k < actual_k:
+        raise ValueError(
+            f"sequence is only {actual_k}-ordered; k={k} is too small"
+        )
+    if n == 0 or k == 0:
+        return 0.0
+    return sum(dists) / (k * n)
+
+
+def percentage_from_histogram(histogram: Dict[int, int], k: int, n: int) -> float:
+    """The k-ordered-percentage from a displacement histogram.
+
+    ``Σ i·n_i / (k·n)`` computed directly from ``{i: n_i}``.  Table 2
+    of the paper describes its configurations by histogram ("1000 are
+    50 places out of order"), and this evaluates the quotient for them
+    without constructing a permutation.
+    """
+    if k <= 0 or n <= 0:
+        raise ValueError("k and n must be positive")
+    total_displaced = sum(histogram.values())
+    if total_displaced > n:
+        raise ValueError("histogram counts exceed the number of tuples")
+    if any(i < 1 or i > k for i in histogram):
+        raise ValueError("displacements must lie in [1, k]")
+    return sum(i * count for i, count in histogram.items()) / (k * n)

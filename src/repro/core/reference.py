@@ -1,0 +1,73 @@
+"""Brute-force oracle for temporal aggregation.
+
+This evaluator exists for *trust*, not speed: it computes constant
+intervals by first materialising every tuple, deriving the elementary
+intervals directly from the sorted boundary instants, and then — for
+each elementary interval — scanning **all** tuples to fold in the ones
+that overlap it.  O(n·m) time, no shared code with the real algorithms
+(no incremental splitting, no trees), which makes agreement between the
+two a meaningful check.  The whole property-based test suite compares
+the linked list, both trees, and the two-pass baseline against this
+oracle on randomly generated relations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List
+
+from repro.core.base import Evaluator, Triple
+from repro.core.interval import FOREVER, ORIGIN
+from repro.core.result import ConstantInterval, TemporalAggregateResult
+
+__all__ = ["ReferenceEvaluator", "constant_interval_boundaries"]
+
+
+def constant_interval_boundaries(triples: List[Triple]) -> List[int]:
+    """The sorted start instants of the elementary (constant) intervals.
+
+    A tuple ``[s, e]`` changes the overlapping set at instant ``s``
+    (it enters) and at instant ``e + 1`` (it has left).  Together with
+    the origin these instants begin the constant intervals; each
+    interval ends one instant before the next boundary, and the last
+    runs to FOREVER.
+    """
+    boundaries = {ORIGIN}
+    for start, end, _value in triples:
+        boundaries.add(start)
+        if end < FOREVER:
+            boundaries.add(end + 1)
+    return sorted(boundaries)
+
+
+class ReferenceEvaluator(Evaluator):
+    """O(n·m) per-constant-interval rescan; the test oracle."""
+
+    name = "reference"
+
+    def evaluate(self, triples: Iterable[Triple]) -> TemporalAggregateResult:
+        aggregate = self.aggregate
+        rows = list(triples)
+        for start, end, _value in rows:
+            self._check_triple(start, end)
+        self.counters.tuples += len(rows)
+
+        boundaries = constant_interval_boundaries(rows)
+        result: List[ConstantInterval] = []
+        for index, interval_start in enumerate(boundaries):
+            if index + 1 < len(boundaries):
+                interval_end = boundaries[index + 1] - 1
+            else:
+                interval_end = FOREVER
+            state: Any = aggregate.identity()
+            for start, end, value in rows:
+                self.counters.node_visits += 1
+                if start <= interval_start and interval_end <= end:
+                    state = aggregate.absorb(state, value)
+                    self.counters.aggregate_updates += 1
+            result.append(
+                ConstantInterval(
+                    interval_start, interval_end, aggregate.finalize(state)
+                )
+            )
+            self.counters.emitted += 1
+        return TemporalAggregateResult(result, check=False)

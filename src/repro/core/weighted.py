@@ -1,0 +1,101 @@
+"""Time-weighted summaries of constant-interval results.
+
+A temporal aggregate answers "what was the value at each instant"; a
+reporting layer usually wants one number per period — "the average
+headcount over 1995" — where each constant interval must weigh by its
+*duration*.  (The plain mean of the result rows would weight a 1-day
+blip equally with a 300-day plateau.)
+
+These reducers consume any :class:`~repro.core.result.TemporalAggregateResult`
+over a bounded window:
+
+* :func:`time_weighted_mean` — ∫ value dt / window length,
+* :func:`time_weighted_total` — ∫ value dt (value-instants, e.g.
+  person-days of employment when fed a COUNT result),
+* :func:`duration_where` — instants on which a predicate holds
+  (uptime-style queries).
+
+``None`` rows (empty groups of value aggregates) are excluded from the
+integral; ``time_weighted_mean`` divides by covered duration only when
+``skip_empty`` is set, else treats the window as the denominator with
+empty stretches contributing zero.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.core.interval import FOREVER, Interval
+from repro.core.result import TemporalAggregateResult
+
+__all__ = ["time_weighted_mean", "time_weighted_total", "duration_where"]
+
+
+def _bounded(window: Interval) -> None:
+    if window.end >= FOREVER:
+        raise ValueError("time-weighted summaries need a bounded window")
+
+
+def time_weighted_total(
+    result: TemporalAggregateResult, window: Interval
+) -> float:
+    """∫ value dt over ``window`` (None rows contribute nothing).
+
+    Fed a COUNT result this is total value-instants — e.g. person-days
+    of employment across the window.
+    """
+    _bounded(window)
+    total = 0.0
+    for row in result.restrict(window):
+        if row.value is None:
+            continue
+        total += row.value * (row.end - row.start + 1)
+    return total
+
+
+def time_weighted_mean(
+    result: TemporalAggregateResult,
+    window: Interval,
+    *,
+    skip_empty: bool = False,
+) -> Optional[float]:
+    """Duration-weighted mean value over ``window``.
+
+    With ``skip_empty`` the denominator is only the instants where a
+    value exists (mean-while-defined); otherwise the whole window is
+    the denominator and empty stretches count as zero.  Returns None
+    when no instant carries a value and ``skip_empty`` is set.
+    """
+    _bounded(window)
+    total = 0.0
+    covered = 0
+    for row in result.restrict(window):
+        if row.value is None:
+            continue
+        duration = row.end - row.start + 1
+        total += row.value * duration
+        covered += duration
+    if skip_empty:
+        if covered == 0:
+            return None
+        return total / covered
+    return total / window.duration
+
+
+def duration_where(
+    result: TemporalAggregateResult,
+    window: Interval,
+    predicate: Callable[[Any], bool],
+) -> int:
+    """Instants of ``window`` whose value satisfies ``predicate``.
+
+    ``duration_where(count_result, window, lambda v: v == 0)`` is the
+    idle time; with ``v >= threshold`` it is overload time, etc.  Rows
+    with value None are passed to the predicate as None.
+    """
+    _bounded(window)
+    instants = 0
+    for row in result.restrict(window):
+        if predicate(row.value):
+            instants += row.end - row.start + 1
+    return instants

@@ -1,0 +1,6 @@
+"""Instrumentation: operation counters and the Section 6.2 space model."""
+
+from repro.metrics.counters import OperationCounters
+from repro.metrics.space import NODE_OVERHEAD_BYTES, SpaceTracker
+
+__all__ = ["OperationCounters", "NODE_OVERHEAD_BYTES", "SpaceTracker"]

@@ -1,0 +1,71 @@
+"""Operation counters for algorithm instrumentation.
+
+Wall-clock comparisons in pure Python say little about the paper's
+*algorithmic* claims, so every evaluator in :mod:`repro.core` can be
+handed an :class:`OperationCounters` object and will tally the abstract
+operations that dominate its running time:
+
+* ``tuples`` — input tuples processed (all algorithms scan once; the
+  two-pass baseline reports double),
+* ``node_visits`` — tree nodes or list cells touched while locating
+  and updating constant intervals (the paper's O(n²) vs O(n·log n)
+  distinction shows up here, machine-independently),
+* ``splits`` — constant intervals split in two,
+* ``aggregate_updates`` — partial-state absorptions,
+* ``gc_passes`` / ``nodes_collected`` — garbage-collection activity of
+  the k-ordered tree,
+* ``emitted`` — result rows produced.
+
+Counters are plain ints on a slotted object, cheap enough to leave on
+even in benchmarks that measure wall-clock.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["OperationCounters"]
+
+
+class OperationCounters:
+    """Mutable tally of the abstract operations an evaluator performs."""
+
+    __slots__ = (
+        "tuples",
+        "node_visits",
+        "splits",
+        "aggregate_updates",
+        "gc_passes",
+        "nodes_collected",
+        "emitted",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.tuples = 0
+        self.node_visits = 0
+        self.splits = 0
+        self.aggregate_updates = 0
+        self.gc_passes = 0
+        self.nodes_collected = 0
+        self.emitted = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        """An immutable dict view for reports and assertions."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def merge(self, other: "OperationCounters") -> None:
+        """Accumulate another counter set into this one."""
+        for name in self.__slots__:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    @property
+    def total_work(self) -> int:
+        """A single machine-independent cost figure (visits + updates)."""
+        return self.node_visits + self.aggregate_updates + self.splits
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{k}={v}" for k, v in self.snapshot().items())
+        return f"OperationCounters({parts})"

@@ -1,0 +1,206 @@
+"""Bitemporal relations: transaction time on top of valid time.
+
+The paper's introduction distinguishes the two temporal dimensions:
+"when the tuple was written to disk (known as transaction time), or
+when the tuple was known to be valid (known as valid time)" — and
+TSQL2, the language the paper targets, supports both.  The aggregation
+algorithms operate on the *valid-time* dimension; this module supplies
+the transaction-time substrate that turns an append-only history into
+the valid-time relations they consume:
+
+* a :class:`BitemporalRelation` is an append-only log of *versions*;
+  each version carries explicit attribute values, a valid-time
+  interval, and the transaction-time interval during which the
+  database believed it (``[recorded_at, logically deleted)``);
+* :meth:`BitemporalRelation.record` appends facts;
+  :meth:`BitemporalRelation.rescind` closes a version's transaction
+  time (nothing is ever physically deleted);
+* :meth:`BitemporalRelation.as_of` reconstructs the valid-time
+  :class:`~repro.relation.relation.TemporalRelation` the database
+  contained at any past transaction instant — so "what did we think
+  the headcount history was, as of last Tuesday" is simply a temporal
+  aggregate over ``history.as_of(last_tuesday)``.
+
+Transaction timestamps must be non-decreasing (the database writes in
+commit order), which also means every ``as_of`` view is retroactively
+bounded in the paper's Section 5.2 sense whenever the source feed is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, List, Optional, Sequence
+
+from repro.core.interval import FOREVER
+from repro.relation.relation import TemporalRelation
+from repro.relation.schema import Schema
+from repro.relation.tuples import TemporalTuple
+
+__all__ = ["BitemporalVersion", "BitemporalRelation", "TransactionOrderError"]
+
+
+class TransactionOrderError(ValueError):
+    """Transaction timestamps must never go backwards."""
+
+
+@dataclass(frozen=True)
+class BitemporalVersion:
+    """One immutable version in the append-only history."""
+
+    values: tuple
+    valid_start: int
+    valid_end: int
+    recorded_at: int  # transaction-time start (inclusive)
+    rescinded_at: int  # transaction-time end (exclusive); FOREVER = live
+
+    @property
+    def is_current(self) -> bool:
+        return self.rescinded_at >= FOREVER
+
+    def known_at(self, transaction_instant: int) -> bool:
+        """Did the database believe this version at that instant?"""
+        return self.recorded_at <= transaction_instant < self.rescinded_at
+
+    def to_tuple(self) -> TemporalTuple:
+        return TemporalTuple(self.values, self.valid_start, self.valid_end)
+
+
+class BitemporalRelation:
+    """An append-only bitemporal store over one schema."""
+
+    def __init__(self, schema: Schema, name: str = "bitemporal") -> None:
+        self.schema = schema
+        self.name = name
+        self._versions: List[BitemporalVersion] = []
+        self._clock = 0  # latest transaction timestamp seen
+
+    # ------------------------------------------------------------------
+    # Writing (transaction time only ever moves forward)
+    # ------------------------------------------------------------------
+
+    def _advance_clock(self, transaction_time: int) -> None:
+        if transaction_time < self._clock:
+            raise TransactionOrderError(
+                f"transaction time {transaction_time} precedes the current "
+                f"clock {self._clock}; commits are ordered"
+            )
+        self._clock = transaction_time
+
+    def record(
+        self,
+        values: Sequence[Any],
+        valid_start: int,
+        valid_end: int,
+        transaction_time: int,
+    ) -> BitemporalVersion:
+        """Append one fact, believed from ``transaction_time`` on."""
+        if transaction_time < 0:
+            raise TransactionOrderError("transaction time precedes the origin")
+        self._advance_clock(transaction_time)
+        checked = self.schema.validate_values(values)
+        # Reuse valid-time validation from the in-memory relation path.
+        probe = TemporalRelation(self.schema)
+        probe.insert(checked, valid_start, valid_end)
+        version = BitemporalVersion(
+            values=checked,
+            valid_start=valid_start,
+            valid_end=valid_end,
+            recorded_at=transaction_time,
+            rescinded_at=FOREVER,
+        )
+        self._versions.append(version)
+        return version
+
+    def rescind(self, version: BitemporalVersion, transaction_time: int) -> BitemporalVersion:
+        """Logically delete a version: close its transaction time.
+
+        Returns the replacement (closed) version; the history keeps
+        both — nothing is physically removed.
+        """
+        self._advance_clock(transaction_time)
+        try:
+            position = self._versions.index(version)
+        except ValueError:
+            raise KeyError("version is not part of this relation") from None
+        if not version.is_current:
+            raise TransactionOrderError("version was already rescinded")
+        if transaction_time < version.recorded_at:
+            raise TransactionOrderError(
+                "cannot rescind a version before it was recorded"
+            )
+        closed = BitemporalVersion(
+            values=version.values,
+            valid_start=version.valid_start,
+            valid_end=version.valid_end,
+            recorded_at=version.recorded_at,
+            rescinded_at=transaction_time,
+        )
+        self._versions[position] = closed
+        return closed
+
+    def correct(
+        self,
+        version: BitemporalVersion,
+        transaction_time: int,
+        *,
+        values: Optional[Sequence[Any]] = None,
+        valid_start: Optional[int] = None,
+        valid_end: Optional[int] = None,
+    ) -> BitemporalVersion:
+        """A correction: rescind the old belief and record the new one
+        in the same transaction instant."""
+        self.rescind(version, transaction_time)
+        return self.record(
+            values if values is not None else version.values,
+            valid_start if valid_start is not None else version.valid_start,
+            valid_end if valid_end is not None else version.valid_end,
+            transaction_time,
+        )
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._versions)
+
+    def __iter__(self) -> Iterator[BitemporalVersion]:
+        return iter(self._versions)
+
+    @property
+    def transaction_clock(self) -> int:
+        return self._clock
+
+    def current_versions(self) -> List[BitemporalVersion]:
+        return [v for v in self._versions if v.is_current]
+
+    def as_of(self, transaction_instant: int, name: Optional[str] = None) -> TemporalRelation:
+        """The valid-time relation believed at ``transaction_instant``.
+
+        Versions appear in recording order, so bounded-delay feeds give
+        retroactively bounded (k-ordered) views — ready for the
+        k-ordered aggregation tree without sorting (Section 6.3).
+        """
+        if transaction_instant < 0:
+            raise TransactionOrderError("transaction time precedes the origin")
+        rows = [
+            version.to_tuple()
+            for version in self._versions
+            if version.known_at(transaction_instant)
+        ]
+        return TemporalRelation(
+            self.schema,
+            rows,
+            name=name or f"{self.name}@{transaction_instant}",
+        )
+
+    def current(self, name: Optional[str] = None) -> TemporalRelation:
+        """The presently-believed valid-time relation."""
+        return self.as_of(self._clock, name=name or f"{self.name}@current")
+
+    def __repr__(self) -> str:
+        live = sum(1 for v in self._versions if v.is_current)
+        return (
+            f"BitemporalRelation({self.name!r}, {len(self._versions)} versions, "
+            f"{live} current, clock={self._clock})"
+        )

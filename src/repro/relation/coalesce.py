@@ -1,0 +1,57 @@
+"""Valid-time coalescing of temporal relations.
+
+TSQL2 results are *coalesced* by valid time (paper Section 5.1): tuples
+with identical explicit attribute values whose valid-time intervals
+overlap or meet are merged into one tuple stamped with the union
+interval.  The aggregation algorithms do not require coalesced input —
+constant intervals are induced by whatever timestamps are present — but
+coalescing changes COUNT semantics (duplicate periods collapse), so it
+is offered as an explicit preprocessing step, mirroring the paper's
+Section 7 note that duplicate elimination is best done before
+aggregation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.relation.relation import TemporalRelation
+from repro.relation.tuples import TemporalTuple
+
+__all__ = ["coalesce_rows", "coalesce_relation"]
+
+
+def coalesce_rows(rows: Iterable[TemporalTuple]) -> List[TemporalTuple]:
+    """Merge value-equivalent rows whose intervals overlap or meet.
+
+    The result is sorted by (values, start) internally and returned in
+    time order (start, end, values) for determinism.
+    """
+    by_values = {}
+    for row in rows:
+        by_values.setdefault(row.values, []).append(row)
+
+    merged: List[TemporalTuple] = []
+    for values, group in by_values.items():
+        group.sort(key=lambda r: (r.start, r.end))
+        current_start, current_end = group[0].start, group[0].end
+        for row in group[1:]:
+            if row.start <= current_end + 1:
+                # Overlapping or adjacent: extend the running interval.
+                current_end = max(current_end, row.end)
+            else:
+                merged.append(TemporalTuple(values, current_start, current_end))
+                current_start, current_end = row.start, row.end
+        merged.append(TemporalTuple(values, current_start, current_end))
+
+    merged.sort(key=lambda r: (r.start, r.end, repr(r.values)))
+    return merged
+
+
+def coalesce_relation(relation: TemporalRelation) -> TemporalRelation:
+    """A new relation with value-equivalent overlapping tuples merged."""
+    return TemporalRelation(
+        relation.schema,
+        coalesce_rows(relation),
+        name=f"{relation.name}_coalesced",
+    )

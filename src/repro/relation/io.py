@@ -1,0 +1,201 @@
+"""CSV import/export for temporal relations.
+
+Temporal relations travel as ordinary CSV with two extra trailing
+columns, ``valid_start`` and ``valid_end`` (the closed valid-time
+bounds; ``forever`` spells the open end):
+
+.. code-block:: text
+
+    name,salary,valid_start,valid_end
+    Richard,40000,18,forever
+    Karen,45000,8,20
+
+:func:`read_csv` can work against a declared
+:class:`~repro.relation.schema.Schema` (values are validated) or infer
+one from the data: a column whose every value parses as int becomes
+``int``, else ``float``, else ``str``.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import List, Optional, TextIO, Union
+
+from repro.core.interval import format_instant, parse_instant
+from repro.relation.relation import TemporalRelation
+from repro.relation.schema import Attribute, Schema, SchemaError
+
+__all__ = [
+    "read_csv",
+    "write_csv",
+    "to_csv_text",
+    "from_csv_text",
+    "RelationIOError",
+]
+
+_TIME_COLUMNS = ("valid_start", "valid_end")
+
+
+class RelationIOError(ValueError):
+    """Raised for malformed temporal CSV files."""
+
+
+def _open_for_read(source: Union[str, TextIO]) -> "tuple[TextIO, bool]":
+    if isinstance(source, str):
+        return open(source, "r", newline=""), True
+    return source, False
+
+
+def _open_for_write(target: Union[str, TextIO]) -> "tuple[TextIO, bool]":
+    if isinstance(target, str):
+        return open(target, "w", newline=""), True
+    return target, False
+
+
+def write_csv(relation: TemporalRelation, target: Union[str, TextIO]) -> None:
+    """Write ``relation`` as temporal CSV (path or open text file)."""
+    handle, owned = _open_for_write(target)
+    try:
+        writer = csv.writer(handle)
+        writer.writerow(list(relation.schema.names()) + list(_TIME_COLUMNS))
+        for row in relation:
+            writer.writerow(
+                [str(value) for value in row.values]
+                + [format_instant(row.start), format_instant(row.end)]
+            )
+    finally:
+        if owned:
+            handle.close()
+
+
+def _infer_schema(names: List[str], columns: List[List[str]]) -> Schema:
+    attributes = []
+    for name, values in zip(names, columns):
+        kind = "int"
+        for value in values:
+            try:
+                int(value)
+            except ValueError:
+                kind = "float"
+                break
+        if kind == "float":
+            for value in values:
+                try:
+                    float(value)
+                except ValueError:
+                    kind = "str"
+                    break
+        width = 0
+        if kind == "str":
+            longest = max((len(v.encode("utf-8")) for v in values), default=1)
+            width = max(8, longest)
+        attributes.append(Attribute(name, kind, width))
+    return Schema(tuple(attributes))
+
+
+def read_csv(
+    source: Union[str, TextIO],
+    schema: Optional[Schema] = None,
+    name: str = "from_csv",
+) -> TemporalRelation:
+    """Read a temporal CSV into a relation.
+
+    The last two columns must be ``valid_start`` and ``valid_end``.
+    With ``schema=None`` the explicit-attribute types are inferred from
+    the data; otherwise the header must match the schema's attribute
+    names (case-insensitively) and every value is validated.
+    """
+    handle, owned = _open_for_read(source)
+    try:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise RelationIOError("empty CSV: no header row") from None
+        if len(header) < 3:
+            raise RelationIOError(
+                "temporal CSV needs at least one attribute plus "
+                "valid_start, valid_end"
+            )
+        if tuple(h.strip().lower() for h in header[-2:]) != _TIME_COLUMNS:
+            raise RelationIOError(
+                f"last two columns must be {_TIME_COLUMNS}, got {header[-2:]}"
+            )
+        attribute_names = [h.strip() for h in header[:-2]]
+
+        raw_rows: List[List[str]] = []
+        for line_number, record in enumerate(reader, start=2):
+            if not record or all(not cell.strip() for cell in record):
+                continue
+            if len(record) != len(header):
+                raise RelationIOError(
+                    f"line {line_number}: expected {len(header)} fields, "
+                    f"got {len(record)}"
+                )
+            raw_rows.append(record)
+
+        if schema is None:
+            columns = [
+                [record[i] for record in raw_rows]
+                for i in range(len(attribute_names))
+            ]
+            schema = _infer_schema(attribute_names, columns)
+        else:
+            declared = [a.name.lower() for a in schema.attributes]
+            seen = [n.lower() for n in attribute_names]
+            if declared != seen:
+                raise RelationIOError(
+                    f"header {attribute_names} does not match schema "
+                    f"attributes {schema.names()}"
+                )
+
+        relation = TemporalRelation(schema, name=name)
+        for line_offset, record in enumerate(raw_rows):
+            values = []
+            for attribute, cell in zip(schema.attributes, record):
+                cell = cell.strip()
+                if attribute.type == "int":
+                    try:
+                        values.append(int(cell))
+                    except ValueError:
+                        raise RelationIOError(
+                            f"value {cell!r} is not an int for attribute "
+                            f"{attribute.name!r}"
+                        ) from None
+                elif attribute.type == "float":
+                    try:
+                        values.append(float(cell))
+                    except ValueError:
+                        raise RelationIOError(
+                            f"value {cell!r} is not a float for attribute "
+                            f"{attribute.name!r}"
+                        ) from None
+                else:
+                    values.append(cell)
+            try:
+                start = parse_instant(record[-2])
+                end = parse_instant(record[-1])
+                relation.insert(values, start, end)
+            except (ValueError, SchemaError) as exc:
+                raise RelationIOError(
+                    f"row {line_offset + 2}: {exc}"
+                ) from exc
+        return relation
+    finally:
+        if owned:
+            handle.close()
+
+
+def to_csv_text(relation: TemporalRelation) -> str:
+    """The relation as a CSV string (convenience for small relations)."""
+    buffer = io.StringIO()
+    write_csv(relation, buffer)
+    return buffer.getvalue()
+
+
+def from_csv_text(
+    text: str, schema: Optional[Schema] = None, name: str = "from_csv"
+) -> TemporalRelation:
+    """Parse a CSV string (convenience counterpart of :func:`to_csv_text`)."""
+    return read_csv(io.StringIO(text), schema=schema, name=name)

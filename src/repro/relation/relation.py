@@ -1,0 +1,269 @@
+"""In-memory temporal relations.
+
+A :class:`TemporalRelation` is the substrate every algorithm in this
+package consumes: an ordered bag of :class:`TemporalTuple` rows sharing
+a :class:`~repro.relation.schema.Schema`, each stamped with a closed
+valid-time interval.
+
+Two design points mirror the paper:
+
+* **Scan accounting.**  All of the paper's algorithms read the relation
+  exactly once; Tuma's earlier implementation read it twice (Section 4.1
+  / Section 6).  :meth:`TemporalRelation.scan` counts the number of full
+  scans so tests and benches can assert the 1-scan/2-scan distinction.
+* **Order statistics.**  The choice of algorithm depends on whether the
+  relation is sorted and, if nearly sorted, on its k-orderedness
+  (Sections 5.2, 6.3).  :meth:`TemporalRelation.statistics` computes the
+  numbers the query optimizer needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.interval import FOREVER, Interval, InvalidIntervalError
+from repro.core.ordering import k_ordered_percentage, k_orderedness
+from repro.relation.schema import Schema
+from repro.relation.tuples import TemporalTuple, timestamp_sort_key
+
+__all__ = ["TemporalRelation", "RelationStatistics"]
+
+
+@dataclass(frozen=True)
+class RelationStatistics:
+    """Optimizer-facing summary of a relation (Sections 5.2 and 6.3)."""
+
+    tuple_count: int
+    unique_timestamps: int
+    long_lived_count: int
+    lifespan: Optional[Interval]
+    is_totally_ordered: bool
+    k: int
+    k_ordered_percentage: float
+
+    @property
+    def long_lived_fraction(self) -> float:
+        if self.tuple_count == 0:
+            return 0.0
+        return self.long_lived_count / self.tuple_count
+
+
+class TemporalRelation:
+    """An ordered, in-memory bag of temporal tuples over one schema."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        rows: Optional[Iterable[TemporalTuple]] = None,
+        name: str = "relation",
+    ) -> None:
+        self.schema = schema
+        self.name = name
+        self._rows: List[TemporalTuple] = list(rows) if rows is not None else []
+        self.scan_count = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls,
+        schema: Schema,
+        rows: Iterable[Tuple[Sequence[Any], int, int]],
+        name: str = "relation",
+    ) -> "TemporalRelation":
+        """Build a relation from ``(values, start, end)`` triples,
+        validating every row against the schema."""
+        relation = cls(schema, name=name)
+        for values, start, end in rows:
+            relation.insert(values, start, end)
+        return relation
+
+    def insert(self, values: Sequence[Any], start: int, end: int) -> TemporalTuple:
+        """Validate and append one tuple; returns the stored row."""
+        if start < 0 or end < start:
+            raise InvalidIntervalError(
+                f"invalid valid-time bounds [{start}, {end}]"
+            )
+        if end > FOREVER:
+            raise InvalidIntervalError(
+                f"valid-time end {end} exceeds FOREVER"
+            )
+        row = TemporalTuple(self.schema.validate_values(values), start, end)
+        self._rows.append(row)
+        return row
+
+    def extend(self, rows: Iterable[TemporalTuple]) -> None:
+        """Append already-validated rows (e.g. from another relation)."""
+        self._rows.extend(rows)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[TemporalTuple]:
+        return iter(self._rows)
+
+    def __getitem__(self, index: int) -> TemporalTuple:
+        return self._rows[index]
+
+    def rows(self) -> List[TemporalTuple]:
+        """A copy of the row list (mutating it does not affect the relation)."""
+        return list(self._rows)
+
+    def scan(self) -> Iterator[TemporalTuple]:
+        """One sequential scan of the relation, counted for accounting.
+
+        The paper's algorithms all make a single segmented scan of the
+        input (Section 6); Tuma's baseline makes two.  Tests assert on
+        :attr:`scan_count` to verify that property.
+        """
+        self.scan_count += 1
+        return iter(self._rows)
+
+    def scan_triples(
+        self, attribute: Optional[str] = None
+    ) -> Iterator[Tuple[int, int, Any]]:
+        """One counted scan yielding ``(start, end, value)`` triples.
+
+        ``attribute`` selects which explicit attribute feeds the
+        aggregate; ``None`` yields ``value=None`` (sufficient for
+        COUNT, which ignores values).
+        """
+        if attribute is None:
+            extractor: Callable[[TemporalTuple], Any] = lambda row: None
+        else:
+            position = self.schema.position_of(attribute)
+            extractor = lambda row: row.values[position]
+        self.scan_count += 1
+        for row in self._rows:
+            yield (row.start, row.end, extractor(row))
+
+    def value_extractor(self, attribute: Optional[str]) -> Callable[[TemporalTuple], Any]:
+        """A fast accessor for one attribute (None for value-less COUNT)."""
+        if attribute is None:
+            return lambda row: None
+        position = self.schema.position_of(attribute)
+        return lambda row: row.values[position]
+
+    # ------------------------------------------------------------------
+    # Ordering
+    # ------------------------------------------------------------------
+
+    @property
+    def is_totally_ordered(self) -> bool:
+        """True when rows are sorted by (start, end) — Section 5.2."""
+        rows = self._rows
+        return all(
+            timestamp_sort_key(rows[i]) <= timestamp_sort_key(rows[i + 1])
+            for i in range(len(rows) - 1)
+        )
+
+    def sorted_by_time(self, name: Optional[str] = None) -> "TemporalRelation":
+        """A new relation with rows totally ordered by time.
+
+        Sorting is the paper's recommended preprocessing step before the
+        k-ordered tree with k=1 (Section 7).
+        """
+        ordered = sorted(self._rows, key=timestamp_sort_key)
+        return TemporalRelation(
+            self.schema, ordered, name=name or f"{self.name}_sorted"
+        )
+
+    def sort_in_place(self) -> None:
+        """Sort this relation's rows by (start, end)."""
+        self._rows.sort(key=timestamp_sort_key)
+
+    def reordered(
+        self, permutation: Sequence[int], name: Optional[str] = None
+    ) -> "TemporalRelation":
+        """A new relation with rows permuted by ``permutation``."""
+        if sorted(permutation) != list(range(len(self._rows))):
+            raise ValueError("not a permutation of the row positions")
+        rows = [self._rows[i] for i in permutation]
+        return TemporalRelation(
+            self.schema, rows, name=name or f"{self.name}_permuted"
+        )
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    @property
+    def lifespan(self) -> Optional[Interval]:
+        """Hull of all valid-time intervals; None for an empty relation."""
+        if not self._rows:
+            return None
+        start = min(row.start for row in self._rows)
+        end = max(row.end for row in self._rows)
+        return Interval(start, end)
+
+    def unique_timestamps(self) -> int:
+        """Distinct finite start/end instants (the paper's Figure 2 count:
+        Employed has 6 unique timestamps; FOREVER is not a timestamp)."""
+        stamps = set()
+        for row in self._rows:
+            stamps.add(row.start)
+            stamps.add(row.end)
+        stamps.discard(FOREVER)
+        return len(stamps)
+
+    def constant_interval_count(self) -> int:
+        """Exact number of constant intervals this relation induces.
+
+        A start ``s > ORIGIN`` begins a new interval at ``s``; an end
+        ``e < FOREVER`` begins one at ``e + 1``; plus the initial
+        interval (Figure 2: 6 unique timestamps -> 7 intervals).
+        """
+        boundaries = set()
+        for row in self._rows:
+            if row.start > 0:
+                boundaries.add(row.start)
+            if row.end < FOREVER:
+                boundaries.add(row.end + 1)
+        return len(boundaries) + 1
+
+    def statistics(self) -> RelationStatistics:
+        """Summary statistics used by the query planner (Section 6.3)."""
+        span = self.lifespan
+        span_length = span.duration if span is not None else 0
+        long_lived = sum(
+            1 for row in self._rows if span_length and row.is_long_lived(span_length)
+        )
+        starts = [timestamp_sort_key(row) for row in self._rows]
+        k = k_orderedness(starts)
+        return RelationStatistics(
+            tuple_count=len(self._rows),
+            unique_timestamps=self.unique_timestamps(),
+            long_lived_count=long_lived,
+            lifespan=span,
+            is_totally_ordered=(k == 0),
+            k=k,
+            k_ordered_percentage=k_ordered_percentage(starts, k) if k else 0.0,
+        )
+
+    # ------------------------------------------------------------------
+    # Presentation
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return (
+            f"TemporalRelation({self.name!r}, {len(self._rows)} tuples, "
+            f"schema={self.schema.names()})"
+        )
+
+    def pretty(self, limit: int = 20) -> str:
+        """A small fixed-width rendering for examples and debugging."""
+        header = " | ".join(self.schema.names()) + " | valid"
+        lines = [header, "-" * len(header)]
+        for row in self._rows[:limit]:
+            rendered = " | ".join(str(v) for v in row.values)
+            lines.append(f"{rendered} | {row.interval}")
+        if len(self._rows) > limit:
+            lines.append(f"... ({len(self._rows) - limit} more)")
+        return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""Temporal tuples: explicit attribute values plus a valid-time interval.
+
+A :class:`TemporalTuple` is deliberately tiny — a NamedTuple of
+``(values, start, end)`` — because the aggregation algorithms touch
+millions of them in the benchmarks.  The valid-time interval is stored
+as two plain ints (``start``, ``end``, closed on both ends) rather than
+an :class:`~repro.core.interval.Interval` object so hot loops avoid an
+attribute indirection; :attr:`TemporalTuple.interval` materialises the
+object form on demand.
+"""
+
+from __future__ import annotations
+
+from typing import Any, NamedTuple, Tuple
+
+from repro.core.interval import Interval, format_instant
+
+__all__ = ["TemporalTuple", "timestamp_sort_key"]
+
+
+class TemporalTuple(NamedTuple):
+    """One row of a temporal relation.
+
+    ``values`` holds the explicit attributes in schema order; ``start``
+    and ``end`` are the closed valid-time bounds.
+    """
+
+    values: Tuple[Any, ...]
+    start: int
+    end: int
+
+    @property
+    def interval(self) -> Interval:
+        """The valid-time interval as an :class:`Interval` object."""
+        return Interval(self.start, self.end)
+
+    @property
+    def duration(self) -> int:
+        """Number of instants this tuple is valid for."""
+        return self.end - self.start + 1
+
+    def value(self, position: int) -> Any:
+        """The explicit attribute at ``position`` (schema order)."""
+        return self.values[position]
+
+    def overlaps_instant(self, instant: int) -> bool:
+        return self.start <= instant <= self.end
+
+    def is_long_lived(self, lifespan: int) -> bool:
+        """Paper definition: duration at least 20% of the relation lifespan."""
+        return self.duration >= 0.2 * lifespan
+
+    def pretty(self) -> str:
+        rendered = ", ".join(repr(v) for v in self.values)
+        return (
+            f"({rendered}) @ [{format_instant(self.start)}, "
+            f"{format_instant(self.end)}]"
+        )
+
+
+def timestamp_sort_key(row: TemporalTuple) -> Tuple[int, int]:
+    """Sort key for *totally ordered by time* (Section 5.2).
+
+    Tuples sort by start time, with ties broken by end time.
+    """
+    return (row.start, row.end)

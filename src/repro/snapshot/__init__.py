@@ -1,0 +1,27 @@
+"""Snapshot (conventional) aggregate computation — paper Section 3.
+
+Epstein's result-tuple algorithm for scalar and grouped aggregates,
+plus the timeslice operator that connects snapshot and temporal
+semantics: a temporal aggregate at instant ``t`` equals the snapshot
+aggregate over the timeslice at ``t``.
+"""
+
+from repro.snapshot.epstein import (
+    ResultTuple,
+    grouped_aggregate,
+    scalar_aggregate,
+)
+from repro.snapshot.timeslice import (
+    snapshot_aggregate,
+    snapshot_grouped_aggregate,
+    timeslice,
+)
+
+__all__ = [
+    "ResultTuple",
+    "scalar_aggregate",
+    "grouped_aggregate",
+    "timeslice",
+    "snapshot_aggregate",
+    "snapshot_grouped_aggregate",
+]

@@ -1,0 +1,105 @@
+"""Snapshot aggregate computation (paper Section 3).
+
+Conventional (snapshot) databases evaluate aggregates with Epstein's
+two-step algorithm [Epstein 1979], which the paper recounts as the
+baseline that temporal aggregation generalises:
+
+1. *"Allocate a tuple to hold the result.  This tuple contains two
+   attributes, a counter (initialized to zero) used to count the
+   number of tuples that satisfy this aggregate's qualification, and a
+   result attribute."*
+2. *"For each tuple that qualifies, update the counter and the
+   aggregate result."*
+
+The counter serves COUNT/AVG directly and lets MIN/MAX/SUM "recognize
+the first tuple".  Aggregate functions (with a GROUP BY) extend the
+scheme with one such result tuple per group in a temporary relation,
+and scalar aggregates "may be computed and then replaced by their value
+in their query" — which is how :mod:`repro.snapshot.timeslice` lets a
+temporal relation answer snapshot queries at one instant.
+
+This module implements that machinery over plain value rows, so the
+temporal evaluators' results can be cross-checked against the
+snapshot-at-every-instant semantics they must by definition equal.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Hashable, Iterable, Optional, Tuple
+
+from repro.core.aggregates import Aggregate
+from repro.core.base import coerce_aggregate
+
+__all__ = ["ResultTuple", "scalar_aggregate", "grouped_aggregate"]
+
+
+class ResultTuple:
+    """Epstein's result tuple: a qualification counter plus state.
+
+    The ``count`` attribute is the paper's explicit counter; ``state``
+    is the aggregate's partial result.  ``absorb`` is step 2 of the
+    algorithm.
+    """
+
+    __slots__ = ("aggregate", "count", "state")
+
+    def __init__(self, aggregate: Aggregate) -> None:
+        self.aggregate = aggregate
+        self.count = 0
+        self.state = aggregate.identity()
+
+    @property
+    def is_first(self) -> bool:
+        """True before any qualifying tuple arrived (the paper's
+        first-tuple recognition for MIN/MAX)."""
+        return self.count == 0
+
+    def absorb(self, value: Any) -> None:
+        self.count += 1
+        self.state = self.aggregate.absorb(self.state, value)
+
+    def result(self) -> Any:
+        return self.aggregate.finalize(self.state)
+
+
+def scalar_aggregate(
+    values: Iterable[Any],
+    aggregate: "Aggregate | str",
+    qualification: Optional[Callable[[Any], bool]] = None,
+) -> Tuple[Any, int]:
+    """Epstein's scalar aggregate: one pass, one result tuple.
+
+    Returns ``(result, qualifying_count)`` — the count is exposed
+    because the algorithm materialises it anyway and callers (like
+    AVG or the executor's empty-group handling) rely on it.
+    """
+    aggregate = coerce_aggregate(aggregate)
+    holder = ResultTuple(aggregate)
+    for value in values:
+        if qualification is not None and not qualification(value):
+            continue
+        holder.absorb(value)
+    return holder.result(), holder.count
+
+
+def grouped_aggregate(
+    rows: Iterable[Any],
+    aggregate: "Aggregate | str",
+    group_key: Callable[[Any], Hashable],
+    value_of: Callable[[Any], Any],
+    qualification: Optional[Callable[[Any], bool]] = None,
+) -> Dict[Hashable, Any]:
+    """Aggregate function with GROUP BY: a temporary relation of result
+    tuples keyed by the grouping value (Section 3's extension)."""
+    aggregate = coerce_aggregate(aggregate)
+    temporary: Dict[Hashable, ResultTuple] = {}
+    for row in rows:
+        if qualification is not None and not qualification(row):
+            continue
+        key = group_key(row)
+        holder = temporary.get(key)
+        if holder is None:
+            holder = ResultTuple(aggregate)
+            temporary[key] = holder
+        holder.absorb(value_of(row))
+    return {key: holder.result() for key, holder in temporary.items()}

@@ -1,0 +1,41 @@
+"""Paged storage substrate: codec, pages, buffer manager, heap files,
+external sort.
+
+The paper evaluates over on-disk relations of 128-byte tuples scanned
+sequentially (Section 6); this package provides that substrate so the
+algorithms and benchmarks can run storage-backed, with physical I/O
+counted by the buffer manager.
+"""
+
+from repro.storage.buffer import BufferManager, IOStatistics
+from repro.storage.codec import (
+    CodecError,
+    FixedWidthCodec,
+    TIMESTAMP_BYTES,
+    TIMESTAMP_FOREVER,
+)
+from repro.storage.external_sort import SortStatistics, external_sort
+from repro.storage.heapfile import HeapFile
+from repro.storage.page import PAGE_HEADER_BYTES, PAGE_SIZE, Page, PageError
+from repro.storage.randomized_scan import randomized_scan, randomized_scan_triples
+from repro.storage.zonemap import ZoneMap, windowed_aggregate
+
+__all__ = [
+    "CodecError",
+    "FixedWidthCodec",
+    "TIMESTAMP_BYTES",
+    "TIMESTAMP_FOREVER",
+    "Page",
+    "PageError",
+    "PAGE_SIZE",
+    "PAGE_HEADER_BYTES",
+    "BufferManager",
+    "IOStatistics",
+    "HeapFile",
+    "SortStatistics",
+    "external_sort",
+    "randomized_scan",
+    "randomized_scan_triples",
+    "ZoneMap",
+    "windowed_aggregate",
+]

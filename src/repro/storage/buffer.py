@@ -1,0 +1,131 @@
+"""A small LRU buffer manager over a page file.
+
+The paper's cost discussion (Section 6.3) weighs main memory against
+disk I/O — "if memory is cheaper than disk I/O, then the aggregation
+tree is the best approach; … if the disk access time necessary to sort
+the relation is less costly than the memory the aggregation tree
+requires, then the k-ordered aggregation tree is the best approach."
+To make that trade-off measurable, all storage access goes through a
+:class:`BufferManager` that caches a bounded number of pages and counts
+physical reads, writes, hits and misses.
+
+Eviction is least-recently-used with write-back: dirty pages are
+written only when evicted or flushed.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from typing import BinaryIO, Dict
+
+from repro.storage.page import PAGE_SIZE, Page, PageError
+
+__all__ = ["BufferManager", "IOStatistics"]
+
+
+class IOStatistics:
+    """Physical and logical I/O counts for one buffer manager."""
+
+    __slots__ = ("page_reads", "page_writes", "hits", "misses", "evictions")
+
+    def __init__(self) -> None:
+        self.page_reads = 0
+        self.page_writes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{k}={v}" for k, v in self.snapshot().items())
+        return f"IOStatistics({parts})"
+
+
+class BufferManager:
+    """LRU page cache with write-back over one open page file."""
+
+    def __init__(self, handle: BinaryIO, record_bytes: int, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError("buffer capacity must be at least one page")
+        self._handle = handle
+        self._record_bytes = record_bytes
+        self._capacity = capacity
+        self._cache: "OrderedDict[int, Page]" = OrderedDict()
+        self.stats = IOStatistics()
+
+    # ------------------------------------------------------------------
+    # Page file geometry
+    # ------------------------------------------------------------------
+
+    def page_count(self) -> int:
+        """Pages currently in the file (cached new pages included)."""
+        self._handle.seek(0, os.SEEK_END)
+        on_disk = self._handle.tell() // PAGE_SIZE
+        beyond = max((pid + 1 for pid in self._cache), default=0)
+        return max(on_disk, beyond)
+
+    # ------------------------------------------------------------------
+    # Fetch / allocate
+    # ------------------------------------------------------------------
+
+    def get(self, page_id: int) -> Page:
+        """Fetch a page, reading from disk on a miss."""
+        if page_id in self._cache:
+            self.stats.hits += 1
+            self._cache.move_to_end(page_id)
+            return self._cache[page_id]
+        self.stats.misses += 1
+        self._handle.seek(page_id * PAGE_SIZE)
+        raw = self._handle.read(PAGE_SIZE)
+        if len(raw) != PAGE_SIZE:
+            raise PageError(f"page {page_id} is beyond the end of the file")
+        self.stats.page_reads += 1
+        page = Page(self._record_bytes, bytearray(raw))
+        page.dirty = False
+        self._admit(page_id, page)
+        return page
+
+    def allocate(self) -> "tuple[int, Page]":
+        """Create a fresh page at the end of the file."""
+        page_id = self.page_count()
+        page = Page(self._record_bytes)
+        self._admit(page_id, page)
+        return page_id, page
+
+    def _admit(self, page_id: int, page: Page) -> None:
+        self._cache[page_id] = page
+        self._cache.move_to_end(page_id)
+        while len(self._cache) > self._capacity:
+            victim_id, victim = self._cache.popitem(last=False)
+            self.stats.evictions += 1
+            if victim.dirty:
+                self._write(victim_id, victim)
+
+    # ------------------------------------------------------------------
+    # Write-back
+    # ------------------------------------------------------------------
+
+    def _write(self, page_id: int, page: Page) -> None:
+        self._handle.seek(page_id * PAGE_SIZE)
+        self._handle.write(page.to_bytes())
+        self.stats.page_writes += 1
+        page.dirty = False
+
+    def mark_dirty(self, page_id: int) -> None:
+        """Note an in-place mutation of a cached page."""
+        self._cache[page_id].dirty = True
+
+    def flush(self) -> None:
+        """Write every dirty cached page back to disk."""
+        for page_id, page in self._cache.items():
+            if page.dirty:
+                self._write(page_id, page)
+        self._handle.flush()
+
+    def drop_cache(self) -> None:
+        """Flush, then empty the cache (used by tests to force misses)."""
+        self.flush()
+        self._cache.clear()

@@ -1,0 +1,122 @@
+"""Fixed-size pages holding fixed-width records.
+
+The storage substrate uses classic database pages: the file is an array
+of :data:`PAGE_SIZE`-byte pages, each holding as many fixed-width
+records as fit after an 8-byte header.  Because records are
+constant-size (see :mod:`repro.storage.codec`), no slot directory is
+needed — the header stores only the live record count and the record
+width, and records pack densely from the front.
+
+Header layout (big-endian):
+
+====== ===== ==========================
+offset bytes field
+====== ===== ==========================
+0      4     record count
+4      2     record width in bytes
+6      2     reserved (zero)
+====== ===== ==========================
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, Optional
+
+__all__ = ["PAGE_SIZE", "PAGE_HEADER_BYTES", "Page", "PageError"]
+
+#: Bytes per page.  8 KiB is a conventional database page size; at the
+#: paper's 128-byte tuples one page holds 63 records.
+PAGE_SIZE = 8192
+
+PAGE_HEADER_BYTES = 8
+
+_HEADER = struct.Struct(">IHH")
+
+
+class PageError(ValueError):
+    """Raised for malformed pages or out-of-range slots."""
+
+
+class Page:
+    """One in-memory page image with record-level accessors."""
+
+    __slots__ = ("data", "record_bytes", "dirty")
+
+    def __init__(self, record_bytes: int, data: Optional[bytearray] = None) -> None:
+        if record_bytes <= 0 or record_bytes > PAGE_SIZE - PAGE_HEADER_BYTES:
+            raise PageError(f"record width {record_bytes} does not fit a page")
+        self.record_bytes = record_bytes
+        self.dirty = False
+        if data is None:
+            self.data = bytearray(PAGE_SIZE)
+            self._set_header(0)
+            self.dirty = True
+        else:
+            if len(data) != PAGE_SIZE:
+                raise PageError(f"page image must be {PAGE_SIZE} bytes")
+            self.data = bytearray(data)
+            count, width, _reserved = _HEADER.unpack_from(self.data, 0)
+            if width != record_bytes:
+                raise PageError(
+                    f"page declares {width}-byte records, expected {record_bytes}"
+                )
+            if count > self.capacity:
+                raise PageError(f"page declares {count} records, over capacity")
+
+    def _set_header(self, count: int) -> None:
+        _HEADER.pack_into(self.data, 0, count, self.record_bytes, 0)
+
+    # ------------------------------------------------------------------
+    # Capacity and counts
+    # ------------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        """Records that fit on one page."""
+        return (PAGE_SIZE - PAGE_HEADER_BYTES) // self.record_bytes
+
+    @property
+    def record_count(self) -> int:
+        return _HEADER.unpack_from(self.data, 0)[0]
+
+    @property
+    def is_full(self) -> bool:
+        return self.record_count >= self.capacity
+
+    # ------------------------------------------------------------------
+    # Record access
+    # ------------------------------------------------------------------
+
+    def _offset(self, slot: int) -> int:
+        return PAGE_HEADER_BYTES + slot * self.record_bytes
+
+    def append(self, record: bytes) -> int:
+        """Store a record in the next free slot; returns the slot index."""
+        if len(record) != self.record_bytes:
+            raise PageError(
+                f"record is {len(record)} bytes, page stores {self.record_bytes}"
+            )
+        slot = self.record_count
+        if slot >= self.capacity:
+            raise PageError("page is full")
+        offset = self._offset(slot)
+        self.data[offset : offset + self.record_bytes] = record
+        self._set_header(slot + 1)
+        self.dirty = True
+        return slot
+
+    def read(self, slot: int) -> bytes:
+        """The record stored in ``slot``."""
+        if not 0 <= slot < self.record_count:
+            raise PageError(f"slot {slot} out of range (page has {self.record_count})")
+        offset = self._offset(slot)
+        return bytes(self.data[offset : offset + self.record_bytes])
+
+    def records(self) -> Iterator[bytes]:
+        """All live records in slot order."""
+        for slot in range(self.record_count):
+            yield self.read(slot)
+
+    def to_bytes(self) -> bytes:
+        return bytes(self.data)

@@ -1,0 +1,40 @@
+"""TSQL2-lite: the query-language slice the paper exercises.
+
+>>> from repro.tsql2 import Database
+>>> from repro.workload import employed_relation
+>>> db = Database()
+>>> db.register(employed_relation())
+>>> print(db.execute("SELECT COUNT(Name) FROM Employed E").pretty())
+"""
+
+from repro.tsql2.ast import (
+    AggregateCall,
+    AlgorithmHint,
+    ColumnRef,
+    Comparison,
+    GroupBy,
+    Query,
+    ValidOverlaps,
+)
+from repro.tsql2.executor import Database, QueryResult, TSQL2SemanticError
+from repro.tsql2.lexer import TSQL2SyntaxError, Token, tokenize
+from repro.tsql2.parser import parse
+from repro.tsql2.shell import Shell
+
+__all__ = [
+    "tokenize",
+    "Token",
+    "TSQL2SyntaxError",
+    "parse",
+    "Query",
+    "AggregateCall",
+    "ColumnRef",
+    "Comparison",
+    "ValidOverlaps",
+    "GroupBy",
+    "AlgorithmHint",
+    "Database",
+    "QueryResult",
+    "TSQL2SemanticError",
+    "Shell",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro.tsql2`` — the interactive TSQL2-lite shell."""
+
+from repro.tsql2.shell import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

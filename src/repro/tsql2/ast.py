@@ -1,0 +1,192 @@
+"""Abstract syntax for TSQL2-lite queries.
+
+The AST mirrors the dialect's grammar (see :mod:`repro.tsql2.parser`).
+All nodes are frozen dataclasses; the executor consumes them directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+__all__ = [
+    "AggregateCall",
+    "ColumnRef",
+    "Literal",
+    "BinaryOp",
+    "Comparison",
+    "ValidOverlaps",
+    "GroupBy",
+    "Having",
+    "AlgorithmHint",
+    "Query",
+]
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A bare attribute in the select list (must be grouped by)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class AggregateCall:
+    """``COUNT(Name)``, ``AVG(Salary)``, ``COUNT(*)`` ..."""
+
+    function: str  # lower-case aggregate name
+    argument: Optional[str]  # attribute, or None for ``*``
+
+    def label(self) -> str:
+        inner = self.argument if self.argument is not None else "*"
+        return f"{self.function.upper()}({inner})"
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A numeric constant inside an aggregate expression."""
+
+    value: Any
+
+    def label(self) -> str:
+        return str(self.value)
+
+    def aggregate_calls(self) -> "Tuple[AggregateCall, ...]":
+        return ()
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    """Arithmetic over aggregate results: ``MAX(S) - MIN(S)`` etc.
+
+    Epstein's observation that scalar aggregates "may be computed and
+    then replaced by their value in their query" (paper Section 2) is
+    exactly how these evaluate: each contained aggregate call is
+    computed once, then the arithmetic runs per constant interval.
+    """
+
+    operator: str  # + - * /
+    left: Any  # AggregateCall | Literal | BinaryOp
+    right: Any
+
+    def label(self) -> str:
+        def side(node) -> str:
+            text = node.label()
+            if isinstance(node, BinaryOp):
+                return f"({text})"
+            return text
+
+        return f"{side(self.left)} {self.operator} {side(self.right)}"
+
+    def aggregate_calls(self) -> "Tuple[AggregateCall, ...]":
+        calls = []
+        for node in (self.left, self.right):
+            if isinstance(node, AggregateCall):
+                calls.append(node)
+            elif isinstance(node, (BinaryOp, Literal)):
+                calls.extend(node.aggregate_calls())
+        return tuple(calls)
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``attribute op literal`` in the WHERE clause."""
+
+    attribute: str
+    operator: str  # = <> < <= > >=
+    literal: Any
+
+
+@dataclass(frozen=True)
+class ValidOverlaps:
+    """``VALID OVERLAPS [a, b]`` — keep tuples whose valid time
+    intersects the window."""
+
+    start: int
+    end: int
+
+
+@dataclass(frozen=True)
+class Having:
+    """One HAVING condition: an aggregate expression compared to a
+    literal, filtering result rows (constant intervals / groups)."""
+
+    item: Any  # AggregateCall | BinaryOp | Literal
+    operator: str
+    literal: Any
+
+    def aggregate_calls(self) -> "Tuple[AggregateCall, ...]":
+        if isinstance(self.item, AggregateCall):
+            return (self.item,)
+        if isinstance(self.item, (BinaryOp, Literal)):
+            return self.item.aggregate_calls()
+        return ()
+
+
+@dataclass(frozen=True)
+class GroupBy:
+    """Temporal and attribute grouping.
+
+    ``kind``:
+
+    * ``"instant"`` — TSQL2's default temporal grouping (the paper's
+      focus): one aggregate value per constant interval;
+    * ``"span"`` — fixed-length buckets over a bounded window
+      (Section 7 future work);
+
+    ``attributes`` adds a classic GROUP BY over explicit attributes
+    (composable with instant grouping, as in the paper's
+    department-average example).
+
+    Span grouping takes either a fixed length in instants (``span``)
+    or a calendar unit (``unit``: week/month/year — buckets of uneven
+    length resolved by the default :class:`~repro.core.calendar.Calendar`).
+    """
+
+    kind: str = "instant"
+    attributes: Tuple[str, ...] = ()
+    span: Optional[int] = None
+    unit: Optional[str] = None
+    window: Optional[Tuple[int, int]] = None
+
+
+@dataclass(frozen=True)
+class AlgorithmHint:
+    """``USING ALGORITHM name`` or ``USING ALGORITHM name(k=4)``."""
+
+    strategy: str
+    k: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class Query:
+    """One parsed TSQL2-lite SELECT."""
+
+    select: Tuple[Any, ...]  # ColumnRef | AggregateCall | BinaryOp | Literal
+    table: str
+    alias: Optional[str] = None
+    where: Tuple[Any, ...] = ()  # Comparison | ValidOverlaps, conjoined
+    group_by: GroupBy = field(default_factory=GroupBy)
+    having: Tuple["Having", ...] = ()
+    hint: Optional[AlgorithmHint] = None
+    explain: bool = False  # EXPLAIN SELECT ...: plan, don't execute
+
+    def aggregate_calls(self) -> Tuple[AggregateCall, ...]:
+        """Every aggregate call in the select list and HAVING clause,
+        expressions included, de-duplicated in first-appearance order."""
+        calls = []
+        sources = list(self.select) + [condition.item for condition in self.having]
+        for item in sources:
+            if isinstance(item, AggregateCall):
+                found = (item,)
+            elif isinstance(item, (BinaryOp, Literal)):
+                found = item.aggregate_calls()
+            else:
+                found = ()
+            for call in found:
+                if call not in calls:
+                    calls.append(call)
+        return tuple(calls)
+
+    def column_refs(self) -> Tuple[ColumnRef, ...]:
+        return tuple(item for item in self.select if isinstance(item, ColumnRef))

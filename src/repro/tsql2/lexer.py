@@ -1,0 +1,123 @@
+"""Tokenizer for the TSQL2-lite dialect.
+
+The paper expresses its queries in TSQL2 (``SELECT COUNT(Name) FROM
+Employed E``); this package implements the slice of the language the
+paper exercises — aggregate select lists, optional WHERE
+qualifications, temporal grouping (by instant, by span) and classic
+GROUP BY — plus an ``USING ALGORITHM`` hint for forcing an evaluation
+strategy, mirroring the optimizer discussion in Section 6.3.
+
+The lexer is a hand-rolled scanner producing a flat token list; every
+token carries its source position so parse errors can point at the
+offending character.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+__all__ = ["Token", "TSQL2SyntaxError", "tokenize", "KEYWORDS"]
+
+KEYWORDS = {
+    "EXPLAIN",
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "GROUP",
+    "BY",
+    "HAVING",
+    "AND",
+    "INSTANT",
+    "SPAN",
+    "VALID",
+    "OVERLAPS",
+    "USING",
+    "ALGORITHM",
+    "AS",
+    "FOREVER",
+}
+
+_SYMBOLS = {
+    "(", ")", ",", "[", "]", "*", "=", "<", ">", "<=", ">=", "<>",
+    "+", "-", "/",
+}
+
+
+class TSQL2SyntaxError(ValueError):
+    """A lexical or syntactic error, annotated with the source position."""
+
+    def __init__(self, message: str, position: int, text: str = "") -> None:
+        pointer = ""
+        if text:
+            snippet = text[max(0, position - 20) : position + 20]
+            pointer = f" near ...{snippet!r}"
+        super().__init__(f"{message} (at offset {position}{pointer})")
+        self.position = position
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: kind is KEYWORD, IDENT, NUMBER, STRING or SYMBOL."""
+
+    kind: str
+    value: str
+    position: int
+
+    def matches(self, kind: str, value: "str | None" = None) -> bool:
+        if self.kind != kind:
+            return False
+        return value is None or self.value == value
+
+
+def tokenize(text: str) -> List[Token]:
+    """Scan ``text`` into tokens; raises :class:`TSQL2SyntaxError`."""
+    tokens: List[Token] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char.isspace():
+            index += 1
+            continue
+        if char == "-" and text.startswith("--", index):
+            newline = text.find("\n", index)
+            index = length if newline < 0 else newline + 1
+            continue
+        # Two-character symbols first.
+        two = text[index : index + 2]
+        if two in _SYMBOLS:
+            tokens.append(Token("SYMBOL", two, index))
+            index += 2
+            continue
+        if char in _SYMBOLS:
+            tokens.append(Token("SYMBOL", char, index))
+            index += 1
+            continue
+        if char == "'":
+            closing = text.find("'", index + 1)
+            if closing < 0:
+                raise TSQL2SyntaxError("unterminated string literal", index, text)
+            tokens.append(Token("STRING", text[index + 1 : closing], index))
+            index = closing + 1
+            continue
+        if char.isdigit():
+            end = index
+            while end < length and (text[end].isdigit() or text[end] == "_"):
+                end += 1
+            tokens.append(Token("NUMBER", text[index:end].replace("_", ""), index))
+            index = end
+            continue
+        if char.isalpha() or char == "_":
+            end = index
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            word = text[index:end]
+            if word.upper() in KEYWORDS:
+                tokens.append(Token("KEYWORD", word.upper(), index))
+            else:
+                tokens.append(Token("IDENT", word, index))
+            index = end
+            continue
+        raise TSQL2SyntaxError(f"unexpected character {char!r}", index, text)
+    return tokens

@@ -1,0 +1,39 @@
+"""Workload generators reproducing the paper's Section 6 test data."""
+
+from repro.workload.employed import (
+    EMPLOYED_ROWS,
+    TABLE_1_EXPECTED,
+    employed_relation,
+)
+from repro.workload.generator import (
+    PAPER_K_ORDERED_PERCENTAGES,
+    PAPER_LIFESPAN,
+    PAPER_LONG_LIVED_PERCENTS,
+    PAPER_SIZES,
+    WorkloadParameters,
+    generate_relation,
+    generate_triples,
+)
+from repro.workload.permute import (
+    disorder_relation,
+    k_disorder,
+    measured_percentage,
+    swap_pairs,
+)
+
+__all__ = [
+    "EMPLOYED_ROWS",
+    "TABLE_1_EXPECTED",
+    "employed_relation",
+    "PAPER_LIFESPAN",
+    "PAPER_SIZES",
+    "PAPER_LONG_LIVED_PERCENTS",
+    "PAPER_K_ORDERED_PERCENTAGES",
+    "WorkloadParameters",
+    "generate_relation",
+    "generate_triples",
+    "swap_pairs",
+    "k_disorder",
+    "disorder_relation",
+    "measured_percentage",
+]

@@ -1,0 +1,90 @@
+"""Command-line workload generation.
+
+Emit the paper's Section 6 synthetic relations as temporal CSV, ready
+for the TSQL2 shell or external tooling::
+
+    python -m repro.workload --tuples 4096 --long-lived 40 --seed 7 out.csv
+    python -m repro.workload --tuples 1024 --sorted out.csv
+    python -m repro.workload --tuples 1024 --k 40 --percentage 0.08 out.csv
+    python -m repro.workload --employed employed.csv
+
+``--k``/``--percentage`` produce the Figures 7-9 style partially
+ordered relations (sorted, then k-disordered).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.relation.io import write_csv
+from repro.workload.employed import employed_relation
+from repro.workload.generator import (
+    PAPER_LIFESPAN,
+    WorkloadParameters,
+    generate_relation,
+)
+from repro.workload.permute import disorder_relation
+
+__all__ = ["main"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.workload",
+        description="Generate the paper's Section 6 workloads as temporal CSV.",
+    )
+    parser.add_argument("output", help="destination CSV path ('-' for stdout)")
+    parser.add_argument("--tuples", type=int, default=1024)
+    parser.add_argument(
+        "--long-lived", type=int, default=0, metavar="PERCENT",
+        help="percentage of long-lived tuples (paper: 0, 40, 80)",
+    )
+    parser.add_argument("--lifespan", type=int, default=PAPER_LIFESPAN)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--sorted", action="store_true", help="sort the relation by time"
+    )
+    parser.add_argument(
+        "--k", type=int, default=None,
+        help="disorder a sorted relation to this k-orderedness",
+    )
+    parser.add_argument(
+        "--percentage", type=float, default=0.08,
+        help="k-ordered-percentage for --k (default 0.08)",
+    )
+    parser.add_argument(
+        "--employed", action="store_true",
+        help="emit the paper's 4-tuple Employed example instead",
+    )
+    args = parser.parse_args(argv)
+
+    if args.employed:
+        relation = employed_relation()
+    else:
+        parameters = WorkloadParameters(
+            tuples=args.tuples,
+            long_lived_percent=args.long_lived,
+            lifespan=args.lifespan,
+            seed=args.seed,
+        )
+        relation = generate_relation(parameters)
+        if args.k is not None:
+            relation = disorder_relation(
+                relation, args.k, args.percentage, seed=args.seed
+            )
+        elif args.sorted:
+            relation = relation.sorted_by_time()
+
+    if args.output == "-":
+        write_csv(relation, sys.stdout)
+    else:
+        write_csv(relation, args.output)
+        print(
+            f"wrote {len(relation)} tuples to {args.output}", file=sys.stderr
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,55 @@
+"""The paper's running example: the Employed relation (Figure 1).
+
+Employed records who was employed when:
+
+====== ====== ===== =====
+name   salary start end
+====== ====== ===== =====
+Richard  40K    18  ∞
+Karen    45K     8  20
+Nathan   35K     7  12
+Nathan   37K    18  21
+====== ====== ===== =====
+
+("Nathan was not employed during [13, 17]", and the relation is in no
+particular order.)  Its six unique timestamps induce seven constant
+intervals (Figure 2), and ``SELECT COUNT(Name) FROM Employed`` returns
+Table 1.  :data:`TABLE_1_EXPECTED` is the re-derived expectation —
+see DESIGN.md for the derivation, since the scanned table in our
+source text is partially garbled.
+"""
+
+from __future__ import annotations
+
+from repro.core.interval import FOREVER
+from repro.core.result import ConstantInterval
+from repro.relation.relation import TemporalRelation
+from repro.relation.schema import EMPLOYED_SCHEMA
+
+__all__ = ["employed_relation", "TABLE_1_EXPECTED", "EMPLOYED_ROWS"]
+
+#: (values, start, end) rows exactly as in Figure 1 (salary in dollars).
+EMPLOYED_ROWS = [
+    (("Richard", 40_000), 18, FOREVER),
+    (("Karen", 45_000), 8, 20),
+    (("Nathan", 35_000), 7, 12),
+    (("Nathan", 37_000), 18, 21),
+]
+
+#: Expected result of ``SELECT COUNT(Name) FROM Employed`` (Table 1),
+#: including the empty leading interval; drop the count-0 row to match
+#: TSQL2's presentation.
+TABLE_1_EXPECTED = [
+    ConstantInterval(0, 6, 0),
+    ConstantInterval(7, 7, 1),
+    ConstantInterval(8, 12, 2),
+    ConstantInterval(13, 17, 1),
+    ConstantInterval(18, 20, 3),
+    ConstantInterval(21, 21, 2),
+    ConstantInterval(22, FOREVER, 1),
+]
+
+
+def employed_relation() -> TemporalRelation:
+    """A fresh copy of the Employed relation, in the paper's tuple order."""
+    return TemporalRelation.from_rows(EMPLOYED_SCHEMA, EMPLOYED_ROWS, name="Employed")

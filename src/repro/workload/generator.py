@@ -1,0 +1,144 @@
+"""Synthetic relation generation following the paper's Section 6 setup.
+
+The paper's test relations:
+
+* lifespan of **one million instants**;
+* tuple start positions generated **independently and uniformly**, so
+  relations have many unique timestamps;
+* **short-lived** tuples: duration uniform in [1, 1000] instants;
+* **long-lived** tuples: duration uniform in [20 %, 80 %] of the
+  relation lifespan (200 000 – 800 000 instants);
+* tuples extending past the relation's lifespan are **discarded** (we
+  regenerate until the tuple fits, which preserves the requested tuple
+  count while keeping the same conditional distribution);
+* relation sizes 1K–64K tuples (128 KB–8 MB at 128 B/tuple), doubling;
+* long-lived percentages 0 %, 40 %, 80 % (Table 3).
+
+Generators are deterministic given a seed; every benchmark records the
+seed it used.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.relation.relation import TemporalRelation
+from repro.relation.schema import EMPLOYED_SCHEMA, Schema
+
+__all__ = [
+    "WorkloadParameters",
+    "generate_relation",
+    "generate_triples",
+    "PAPER_LIFESPAN",
+    "PAPER_SIZES",
+    "PAPER_LONG_LIVED_PERCENTS",
+    "PAPER_K_ORDERED_PERCENTAGES",
+]
+
+#: Relation lifespan in instants (paper Section 6).
+PAPER_LIFESPAN = 1_000_000
+
+#: Relation sizes in tuples (paper Table 3: 1K ... 64K, doubling).
+PAPER_SIZES = [1024, 2048, 4096, 8192, 16384, 32768, 65536]
+
+#: Long-lived tuple percentages tested (Table 3).
+PAPER_LONG_LIVED_PERCENTS = [0, 40, 80]
+
+#: k-ordered-percentage values tested (Table 3).
+PAPER_K_ORDERED_PERCENTAGES = [0.02, 0.08, 0.14]
+
+_SHORT_MAX_DURATION = 1000
+_LONG_MIN_FRACTION = 0.2
+_LONG_MAX_FRACTION = 0.8
+
+_NAMES = [
+    "Richard", "Karen", "Nathan", "Andrey", "Curtis", "Suchen",
+    "Mike", "Sampath", "Ilsoo", "Nick",
+]
+
+
+class WorkloadParameters:
+    """One cell of the paper's test grid (Table 3)."""
+
+    def __init__(
+        self,
+        tuples: int,
+        long_lived_percent: int = 0,
+        lifespan: int = PAPER_LIFESPAN,
+        seed: int = 0,
+    ) -> None:
+        if tuples < 0:
+            raise ValueError("tuple count must be non-negative")
+        if not 0 <= long_lived_percent <= 100:
+            raise ValueError("long-lived percentage must be in [0, 100]")
+        if lifespan < _SHORT_MAX_DURATION:
+            raise ValueError(
+                f"lifespan must be at least {_SHORT_MAX_DURATION} instants"
+            )
+        self.tuples = tuples
+        self.long_lived_percent = long_lived_percent
+        self.lifespan = lifespan
+        self.seed = seed
+
+    def label(self) -> str:
+        return (
+            f"n={self.tuples}, long-lived={self.long_lived_percent}%, "
+            f"lifespan={self.lifespan}, seed={self.seed}"
+        )
+
+    def __repr__(self) -> str:
+        return f"WorkloadParameters({self.label()})"
+
+
+def _draw_tuple(rng: random.Random, lifespan: int, long_lived: bool) -> Tuple[int, int]:
+    """One (start, end) pair fitting inside [0, lifespan - 1].
+
+    Tuples that would extend past the lifespan are discarded and
+    redrawn, following the paper.
+    """
+    while True:
+        start = rng.randrange(lifespan)
+        if long_lived:
+            duration = rng.randint(
+                int(_LONG_MIN_FRACTION * lifespan), int(_LONG_MAX_FRACTION * lifespan)
+            )
+        else:
+            duration = rng.randint(1, _SHORT_MAX_DURATION)
+        end = start + duration - 1
+        if end < lifespan:
+            return start, end
+
+
+def generate_triples(parameters: WorkloadParameters) -> List[Tuple[int, int, int]]:
+    """Random ``(start, end, salary)`` triples, in generation order.
+
+    Long-lived tuples are spread evenly through the sequence (every
+    tuple is long-lived with the given probability, decided by the
+    seeded RNG) so prefixes of the workload are representative.
+    """
+    rng = random.Random(parameters.seed)
+    probability = parameters.long_lived_percent / 100.0
+    triples = []
+    for _ in range(parameters.tuples):
+        long_lived = rng.random() < probability
+        start, end = _draw_tuple(rng, parameters.lifespan, long_lived)
+        salary = rng.randrange(20_000, 120_000)
+        triples.append((start, end, salary))
+    return triples
+
+
+def generate_relation(
+    parameters: WorkloadParameters,
+    schema: Optional[Schema] = None,
+    name: Optional[str] = None,
+) -> TemporalRelation:
+    """A random TemporalRelation over the Employed schema (by default)."""
+    rng = random.Random(parameters.seed + 1)
+    schema = schema if schema is not None else EMPLOYED_SCHEMA
+    relation = TemporalRelation(
+        schema, name=name or f"synthetic_{parameters.tuples}"
+    )
+    for start, end, salary in generate_triples(parameters):
+        relation.insert((rng.choice(_NAMES), salary), start, end)
+    return relation

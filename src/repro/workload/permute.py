@@ -1,0 +1,141 @@
+"""Controlled disordering of sorted relations (paper Section 6).
+
+The ordered-input experiments (Figures 7 and 8) start from a sorted
+relation and alter it "according to various k-ordered and
+k-ordered-percentages test values"; a k-ordered relation also serves as
+a tractable stand-in for a retroactively bounded one (for a uniform
+arrival rate the two are identical — Section 6).
+
+:func:`k_disorder` builds a permutation with
+
+* **max displacement exactly ≤ k** — the result is k-ordered, and
+* **k-ordered-percentage ≈ the requested target** — achieved by
+  composing disjoint swaps of elements ``d ≤ k`` positions apart, each
+  of which displaces two tuples by ``d`` (adding ``2d`` to the
+  percentage's numerator).
+
+All functions are pure and deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.core.ordering import k_ordered_percentage
+from repro.relation.relation import TemporalRelation
+
+__all__ = ["swap_pairs", "k_disorder", "disorder_relation", "measured_percentage"]
+
+
+def swap_pairs(
+    n: int, distance: int, pairs: int, seed: int = 0
+) -> List[int]:
+    """A permutation of ``range(n)`` made of ``pairs`` disjoint swaps of
+    elements ``distance`` apart (each swap displaces two tuples by
+    ``distance``).  Used to build Table 2's example configurations."""
+    if distance <= 0 or distance >= n:
+        raise ValueError("swap distance must be in [1, n-1]")
+    if pairs < 0:
+        raise ValueError("pair count must be non-negative")
+    permutation = list(range(n))
+    used = [False] * n
+    rng = random.Random(seed)
+    placed = 0
+    attempts = 0
+    max_attempts = 50 * max(1, pairs)
+    while placed < pairs:
+        attempts += 1
+        if attempts > max_attempts:
+            # Fall back to a deterministic scan for a free slot pair.
+            for i in range(n - distance):
+                if not used[i] and not used[i + distance]:
+                    break
+            else:
+                raise ValueError(
+                    f"cannot place {pairs} disjoint swaps of distance "
+                    f"{distance} in {n} positions"
+                )
+        else:
+            i = rng.randrange(n - distance)
+            if used[i] or used[i + distance]:
+                continue
+        used[i] = used[i + distance] = True
+        permutation[i], permutation[i + distance] = (
+            permutation[i + distance],
+            permutation[i],
+        )
+        placed += 1
+    return permutation
+
+
+def k_disorder(
+    n: int, k: int, percentage: float, seed: int = 0
+) -> List[int]:
+    """A k-ordered permutation of ``range(n)`` with k-ordered-percentage
+    approximately ``percentage``.
+
+    The numerator target is ``percentage * k * n``; disjoint swaps at
+    distance ``k`` contribute ``2k`` each, with one final shorter swap
+    to land within ``2k/(k·n)`` of the target.  Requesting more
+    disorder than disjoint swaps can express raises ``ValueError``.
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    if not 0.0 <= percentage <= 1.0:
+        raise ValueError("k-ordered-percentage must be within [0, 1]")
+    if n == 0 or k == 0 or percentage == 0.0:
+        return list(range(n))
+
+    target = percentage * k * n
+    full_swaps = int(target // (2 * k))
+    remainder = target - full_swaps * 2 * k
+    # Disjoint swaps at distance k pack into blocks of 2k positions (k
+    # swaps per full block, plus whatever the tail block allows); clamp
+    # the request to what is geometrically placeable, trading percentage
+    # accuracy for feasibility on tiny or extreme inputs.
+    max_pairs = k * (n // (2 * k)) + max(0, (n % (2 * k)) - k)
+    if full_swaps > max_pairs:
+        full_swaps = max_pairs
+        remainder = 0.0
+    permutation = swap_pairs(n, k, full_swaps, seed=seed) if full_swaps else list(range(n))
+
+    leftover_distance = int(round(remainder / 2))
+    if leftover_distance >= 1:
+        # One extra swap at the leftover distance, placed on a free slot.
+        rng = random.Random(seed + 1)
+        for _ in range(200):
+            i = rng.randrange(n - leftover_distance)
+            if (
+                permutation[i] == i
+                and permutation[i + leftover_distance] == i + leftover_distance
+            ):
+                permutation[i], permutation[i + leftover_distance] = (
+                    permutation[i + leftover_distance],
+                    permutation[i],
+                )
+                break
+    return permutation
+
+
+def disorder_relation(
+    relation: TemporalRelation,
+    k: int,
+    percentage: float,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> TemporalRelation:
+    """Sort ``relation`` by time, then disorder it to the requested
+    k-orderedness — the exact preparation of Figures 7 and 8."""
+    ordered = relation.sorted_by_time()
+    permutation = k_disorder(len(ordered), k, percentage, seed=seed)
+    result = ordered.reordered(
+        permutation, name=name or f"{relation.name}_k{k}_p{percentage}"
+    )
+    return result
+
+
+def measured_percentage(relation: TemporalRelation, k: int) -> float:
+    """Convenience: the actual k-ordered-percentage of a relation."""
+    keys = [(row.start, row.end) for row in relation]
+    return k_ordered_percentage(keys, k)

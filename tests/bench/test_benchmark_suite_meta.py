@@ -1,0 +1,73 @@
+"""Meta-checks over the benchmark suite itself.
+
+The benches are the reproduction's evidence, so their own structure is
+worth guarding: every paper figure/table has a bench file, every bench
+file asserts at least one qualitative *shape*, and the bench grid stays
+wired to the environment knobs.
+"""
+
+import pathlib
+import re
+
+ROOT = pathlib.Path(__file__).resolve().parents[2]
+BENCH_DIR = ROOT / "benchmarks"
+
+
+def bench_files():
+    return sorted(BENCH_DIR.glob("test_*.py"))
+
+
+class TestSuiteShape:
+    def test_every_paper_artifact_has_a_bench(self):
+        names = {path.stem for path in bench_files()}
+        for artifact in (
+            "test_table1_employed",
+            "test_table2_kordered_percentage",
+            "test_fig6_unordered_time",
+            "test_fig7_ordered_time",
+            "test_fig7b_percentage_sweep",
+            "test_fig8_longlived_time",
+            "test_fig9_memory",
+            "test_fig9b_memory_longlived",
+        ):
+            assert artifact in names, artifact
+
+    def test_every_section7_ablation_has_a_bench(self):
+        names = {path.stem for path in bench_files()}
+        for ablation in (
+            "test_ablation_balanced_tree",
+            "test_ablation_span_grouping",
+            "test_ablation_sort_then_ktree",
+            "test_ablation_randomized_scan",
+            "test_ablation_paged_tree",
+            "test_ablation_sweep",
+            "test_ablation_zonemap",
+        ):
+            assert ablation in names, ablation
+
+    def test_figure_and_ablation_benches_assert_shapes(self):
+        """Timing without assertions proves nothing; each figure or
+        ablation bench must carry at least one shape/assert test."""
+        for path in bench_files():
+            if path.stem.startswith("test_table"):
+                continue  # tables assert exact values inline
+            text = path.read_text()
+            has_shape = re.search(r"def test_\w*shape\w*\(", text)
+            has_assert = "assert " in text
+            assert has_shape or path.stem in (
+                "test_fig6_unordered_time",
+            ), f"{path.name} has no shape test"
+            assert has_assert, f"{path.name} asserts nothing"
+
+    def test_benches_use_the_shared_grid(self):
+        """Every sweeping bench parametrises over conftest.SIZES so the
+        REPRO_BENCH_MAX_TUPLES knob governs the whole suite."""
+        for path in bench_files():
+            if path.stem.startswith("test_table"):
+                continue
+            text = path.read_text()
+            assert "SIZES" in text, f"{path.name} ignores the size grid"
+
+    def test_conftest_documents_the_knobs(self):
+        text = (BENCH_DIR / "conftest.py").read_text()
+        assert "REPRO_BENCH_MAX_TUPLES" in text

@@ -1,0 +1,69 @@
+"""Tests of the benchmark configuration knobs."""
+
+import pytest
+
+from repro.bench.config import (
+    DEFAULT_MAX_TUPLES,
+    MIN_TUPLES,
+    bench_seeds,
+    bench_sizes,
+    quadratic_max,
+)
+
+
+class TestSizes:
+    def test_default_grid(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_MAX_TUPLES", raising=False)
+        sizes = bench_sizes()
+        assert sizes[0] == MIN_TUPLES
+        assert sizes[-1] == DEFAULT_MAX_TUPLES
+        assert all(b == 2 * a for a, b in zip(sizes, sizes[1:]))
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_MAX_TUPLES", "4096")
+        assert bench_sizes() == [1024, 2048, 4096]
+
+    def test_explicit_maximum_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_MAX_TUPLES", "65536")
+        assert bench_sizes(2048) == [1024, 2048]
+
+    def test_paper_grid_reachable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_MAX_TUPLES", "65536")
+        assert bench_sizes()[-1] == 65536
+
+    def test_bad_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_MAX_TUPLES", "lots")
+        with pytest.raises(ValueError):
+            bench_sizes()
+
+    def test_too_small_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_MAX_TUPLES", "10")
+        with pytest.raises(ValueError):
+            bench_sizes()
+
+
+class TestQuadraticCap:
+    def test_defaults_to_max(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_MAX_TUPLES", "8192")
+        monkeypatch.delenv("REPRO_BENCH_QUADRATIC_MAX", raising=False)
+        assert quadratic_max() == 8192
+
+    def test_independent_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_MAX_TUPLES", "16384")
+        monkeypatch.setenv("REPRO_BENCH_QUADRATIC_MAX", "2048")
+        assert quadratic_max() == 2048
+
+
+class TestSeeds:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SEEDS", raising=False)
+        assert bench_seeds() == [1]
+
+    def test_multiple(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SEEDS", "1,2,3")
+        assert bench_seeds() == [1, 2, 3]
+
+    def test_bad_seeds_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SEEDS", "one,two")
+        with pytest.raises(ValueError):
+            bench_seeds()

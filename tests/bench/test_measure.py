@@ -1,0 +1,58 @@
+"""Tests of the bench measurement helpers."""
+
+import pytest
+
+from repro.bench.measure import Measurement, mean_measurement, measure_strategy
+
+
+def sample(**overrides):
+    base = dict(
+        strategy="linked_list",
+        tuples=10,
+        seconds=1.0,
+        work=100,
+        peak_nodes=5,
+        peak_bytes=100,
+        result_rows=7,
+    )
+    base.update(overrides)
+    return Measurement(**base)
+
+
+class TestMeasureStrategy:
+    def test_measures_a_run(self):
+        triples = [(3, 5, None), (8, 9, None)]
+        measurement = measure_strategy("aggregation_tree", triples)
+        assert measurement.strategy == "aggregation_tree"
+        assert measurement.tuples == 2
+        assert measurement.result_rows == 5
+        assert measurement.seconds >= 0
+        assert measurement.work > 0
+        assert measurement.peak_bytes > 0
+
+    def test_k_forwarded(self):
+        triples = [(3, 5, None), (8, 9, None)]
+        measurement = measure_strategy("kordered_tree", triples, k=2)
+        assert measurement.result_rows == 5
+
+    def test_value_aggregates(self):
+        measurement = measure_strategy(
+            "linked_list", [(0, 5, 10)], aggregate="sum"
+        )
+        assert measurement.result_rows == 2
+
+
+class TestMeanMeasurement:
+    def test_averages_fields(self):
+        mean = mean_measurement([sample(seconds=1.0), sample(seconds=3.0)])
+        assert mean.seconds == pytest.approx(2.0)
+        assert mean.work == 100
+        assert mean.strategy == "linked_list"
+
+    def test_single_sample_identity(self):
+        only = sample()
+        assert mean_measurement([only]) == only
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_measurement([])

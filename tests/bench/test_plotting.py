@@ -1,0 +1,83 @@
+"""Tests of the ASCII log-log plot renderer."""
+
+import pytest
+
+from repro.bench.plotting import ascii_loglog
+from repro.bench.reporting import Report
+
+
+def small_report():
+    report = Report("demo", ["n", "slow", "fast"])
+    report.add_row(1024, 0.05, 0.005)
+    report.add_row(2048, 0.20, 0.011)
+    report.add_row(4096, 0.80, 0.024)
+    return report
+
+
+class TestAsciiLogLog:
+    def test_contains_title_and_legend(self):
+        text = ascii_loglog(small_report())
+        assert "demo (log-log)" in text
+        assert "o=slow" in text and "x=fast" in text
+
+    def test_axis_labels(self):
+        text = ascii_loglog(small_report())
+        assert "1,024" in text
+        assert "4,096" in text
+        assert "0.8" in text
+        assert "0.005" in text
+
+    def test_markers_present(self):
+        text = ascii_loglog(small_report())
+        # Three points per series.
+        plot_lines = [l for l in text.splitlines() if "|" in l]
+        body = "".join(plot_lines)
+        assert body.count("o") + body.count("?") >= 3
+        assert body.count("x") + body.count("?") >= 3
+
+    def test_monotone_series_descends_on_grid(self):
+        """Larger y values must land on higher rows."""
+        report = Report("mono", ["n", "v"])
+        report.add_row(10, 1.0)
+        report.add_row(100, 100.0)
+        lines = ascii_loglog(report, width=20, height=8).splitlines()
+        rows_with_marker = [
+            i for i, line in enumerate(lines) if "o" in line and "|" in line
+        ]
+        assert len(rows_with_marker) == 2
+        assert rows_with_marker[0] < rows_with_marker[1]
+
+    def test_capped_cells_skipped(self):
+        report = Report("capped", ["n", "v"])
+        report.add_row(10, "-")
+        report.add_row(100, 5.0)
+        text = ascii_loglog(report)
+        assert "log-log" in text  # renders without error
+
+    def test_empty_report(self):
+        report = Report("empty", ["n", "v"])
+        assert "no plottable points" in ascii_loglog(report)
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            ascii_loglog(small_report(), width=4)
+        with pytest.raises(ValueError):
+            ascii_loglog(small_report(), height=2)
+
+    def test_custom_title(self):
+        text = ascii_loglog(small_report(), title="Figure 6")
+        assert "Figure 6 (log-log)" in text
+
+    def test_collision_marker(self):
+        report = Report("overlap", ["n", "a", "b"])
+        report.add_row(10, 5.0, 5.0)  # identical point in both series
+        report.add_row(100, 50.0, 7.0)
+        text = ascii_loglog(report, width=20, height=8)
+        assert "?" in text
+
+    def test_renders_real_figure_report(self):
+        from repro.bench.figures import figure9
+
+        (report,) = figure9(sizes=[64, 128], seeds=[1])
+        text = ascii_loglog(report)
+        assert "legend:" in text

@@ -1,0 +1,92 @@
+"""Tests of report rendering."""
+
+import pytest
+
+from repro.bench.reporting import Report, format_value
+
+
+class TestFormatValue:
+    def test_small_float(self):
+        assert format_value(0.01234) == "0.01234"
+
+    def test_mid_float(self):
+        assert format_value(3.14159) == "3.142"
+
+    def test_large_float_grouped(self):
+        assert format_value(12345.6) == "12,346"
+
+    def test_zero(self):
+        assert format_value(0.0) == "0"
+
+    def test_large_int_grouped(self):
+        assert format_value(1_234_567) == "1,234,567"
+
+    def test_small_int_plain(self):
+        assert format_value(42) == "42"
+
+    def test_strings_pass_through(self):
+        assert format_value("-") == "-"
+
+
+class TestReport:
+    def test_add_row_checks_width(self):
+        report = Report("t", ["a", "b"])
+        report.add_row(1, 2)
+        with pytest.raises(ValueError, match="cells"):
+            report.add_row(1, 2, 3)
+
+    def test_render_text_contains_all_parts(self):
+        report = Report("Figure X", ["n", "seconds"])
+        report.add_row(1024, 0.5)
+        report.add_note("a note")
+        text = report.render_text()
+        assert "Figure X" in text
+        assert "1024" in text
+        assert "note: a note" in text
+
+    def test_render_markdown_table(self):
+        report = Report("T", ["n", "v"])
+        report.add_row(1, 2)
+        lines = report.render_markdown().splitlines()
+        assert lines[0] == "### T"
+        assert "| n | v |" in lines
+        assert "| 1 | 2 |" in lines
+
+    def test_render_csv(self):
+        report = Report("T", ["n", "v"])
+        report.add_row(1, 2)
+        assert report.render_csv() == "n,v\n1,2\n"
+
+    def test_series_extraction(self):
+        report = Report("T", ["n", "v"])
+        report.add_row(1, 10)
+        report.add_row(2, 20)
+        assert report.series("v") == [10, 20]
+        with pytest.raises(ValueError):
+            report.column_index("missing")
+
+    def test_empty_report_renders(self):
+        report = Report("empty", ["col"])
+        assert "empty" in report.render_text()
+        assert "col" in report.render_markdown()
+
+    def test_csv_roundtrip(self):
+        report = Report("T", ["n", "seconds", "note"])
+        report.add_row(1024, 0.5, "-")
+        report.add_row(2048, 2.0, "capped")
+        back = Report.from_csv(report.render_csv(), title="T")
+        assert list(back.columns) == ["n", "seconds", "note"]
+        assert back.rows == [(1024, 0.5, "-"), (2048, 2.0, "capped")]
+
+    def test_from_csv_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Report.from_csv("")
+
+    def test_from_csv_feeds_the_plotter(self):
+        from repro.bench.plotting import ascii_loglog
+
+        report = Report("T", ["n", "v"])
+        report.add_row(10, 1.5)
+        report.add_row(100, 15.0)
+        back = Report.from_csv(report.render_csv())
+        assert "legend:" in ascii_loglog(back)

@@ -1,0 +1,85 @@
+"""Tests of the multi-seed confidence-interval statistics."""
+
+import math
+
+import pytest
+
+from repro.bench.stats import SeriesStatistics, summarize, t_critical_95
+
+
+class TestTCritical:
+    def test_tabulated_values(self):
+        assert t_critical_95(1) == pytest.approx(12.706)
+        assert t_critical_95(9) == pytest.approx(2.262)
+
+    def test_between_tabulated_rows_is_conservative(self):
+        # df=22 falls back to the next tabulated row (25).
+        assert t_critical_95(22) == pytest.approx(2.060)
+
+    def test_large_samples_approach_normal(self):
+        assert t_critical_95(10_000) == pytest.approx(1.96)
+
+    def test_invalid_df(self):
+        with pytest.raises(ValueError):
+            t_critical_95(0)
+
+
+class TestSummarize:
+    def test_single_sample(self):
+        stats = summarize([5.0])
+        assert stats.mean == 5.0
+        assert stats.stdev == 0.0
+        assert stats.ci95_half_width == 0.0
+        assert stats.within_paper_tolerance()
+
+    def test_known_values(self):
+        # Samples 2, 4, 6: mean 4, stdev 2, half-width 4.303*2/sqrt(3).
+        stats = summarize([2.0, 4.0, 6.0])
+        assert stats.mean == 4.0
+        assert stats.stdev == pytest.approx(2.0)
+        assert stats.ci95_half_width == pytest.approx(4.303 * 2 / math.sqrt(3))
+
+    def test_ci_bounds(self):
+        stats = summarize([10.0, 10.0, 10.0, 10.0])
+        assert stats.ci95_low == stats.ci95_high == 10.0
+
+    def test_relative_ci(self):
+        stats = summarize([9.9, 10.0, 10.1])
+        assert stats.relative_ci < 0.05
+        assert stats.within_paper_tolerance()
+
+    def test_noisy_samples_fail_tolerance(self):
+        stats = summarize([1.0, 10.0, 100.0])
+        assert not stats.within_paper_tolerance()
+
+    def test_zero_mean_edge(self):
+        assert summarize([0.0, 0.0]).relative_ci == 0.0
+        assert summarize([-1.0, 1.0]).relative_ci == math.inf
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_describe_format(self):
+        text = summarize([1.0, 2.0, 3.0]).describe()
+        assert "95% CI" in text and "n=3" in text
+
+
+class TestPaperMethodology:
+    def test_bench_cells_meet_the_papers_criterion(self):
+        """Multi-seed work measurements vary well under 10 % (work is
+        nearly deterministic; only the workload draw varies)."""
+        from repro.bench.measure import measure_strategy
+        from repro.workload.generator import WorkloadParameters, generate_triples
+
+        works = []
+        for seed in (1, 2, 3, 4):
+            triples = [
+                (s, e, None)
+                for s, e, _v in generate_triples(
+                    WorkloadParameters(tuples=512, seed=seed)
+                )
+            ]
+            works.append(measure_strategy("aggregation_tree", triples).work)
+        stats = summarize(works)
+        assert stats.within_paper_tolerance(0.10)

@@ -1,0 +1,46 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.relation.relation import TemporalRelation
+from repro.relation.schema import EMPLOYED_SCHEMA
+from repro.workload.employed import employed_relation
+from repro.workload.generator import WorkloadParameters, generate_relation
+
+
+@pytest.fixture
+def employed() -> TemporalRelation:
+    """A fresh copy of the paper's Employed relation."""
+    return employed_relation()
+
+
+@pytest.fixture
+def small_random_relation() -> TemporalRelation:
+    """A deterministic 200-tuple random relation (40% long-lived)."""
+    return generate_relation(
+        WorkloadParameters(tuples=200, long_lived_percent=40, seed=99)
+    )
+
+
+def random_triples(seed: int, n: int, max_instant: int = 100, values: bool = True):
+    """Small random (start, end, value) lists for cross-checking."""
+    rng = random.Random(seed)
+    triples = []
+    for _ in range(n):
+        start = rng.randrange(max_instant)
+        end = start + rng.randrange(max_instant // 4 + 1)
+        value = rng.randrange(-50, 100) if values else None
+        triples.append((start, end, value))
+    return triples
+
+
+def tiny_relation(rows) -> TemporalRelation:
+    """Build an Employed-schema relation from (name, salary, start, end)."""
+    relation = TemporalRelation(EMPLOYED_SCHEMA, name="tiny")
+    for name, salary, start, end in rows:
+        relation.insert((name, salary), start, end)
+    return relation

@@ -1,0 +1,222 @@
+"""Tests of the decomposable aggregate monoids."""
+
+import math
+import statistics
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.aggregates import (
+    AGGREGATES,
+    AvgAggregate,
+    CountAggregate,
+    MaxAggregate,
+    MinAggregate,
+    StdDevAggregate,
+    SumAggregate,
+    UnknownAggregateError,
+    VarianceAggregate,
+    get_aggregate,
+)
+
+ALL_NAMES = ["count", "sum", "min", "max", "avg", "variance", "stddev"]
+
+values_strategy = st.lists(
+    st.integers(min_value=-1000, max_value=1000), max_size=30
+)
+
+
+class TestRegistry:
+    def test_all_paper_aggregates_registered(self):
+        for name in ("count", "sum", "min", "max", "avg"):
+            assert name in AGGREGATES
+
+    def test_lookup_case_insensitive(self):
+        assert isinstance(get_aggregate("COUNT"), CountAggregate)
+        assert isinstance(get_aggregate(" Avg "), AvgAggregate)
+
+    def test_unknown_name_raises_with_suggestions(self):
+        with pytest.raises(UnknownAggregateError, match="median"):
+            get_aggregate("median")
+
+    def test_state_bytes_match_section_6_2(self):
+        assert CountAggregate.state_bytes == 4
+        assert SumAggregate.state_bytes == 4
+        assert MinAggregate.state_bytes == 4
+        assert MaxAggregate.state_bytes == 4
+        assert AvgAggregate.state_bytes == 8
+
+    def test_count_ignores_values(self):
+        assert CountAggregate.needs_value is False
+        assert SumAggregate.needs_value is True
+
+
+class TestCount:
+    def test_empty(self):
+        agg = CountAggregate()
+        assert agg.finalize(agg.identity()) == 0
+
+    def test_absorb_counts(self):
+        agg = CountAggregate()
+        state = agg.fold([None, None, None])
+        assert agg.finalize(state) == 3
+
+    def test_merge_adds(self):
+        agg = CountAggregate()
+        assert agg.merge(2, 5) == 7
+
+
+class TestSum:
+    def test_empty_is_none(self):
+        agg = SumAggregate()
+        assert agg.finalize(agg.identity()) is None
+
+    def test_sum(self):
+        agg = SumAggregate()
+        assert agg.finalize(agg.fold([1, 2, 3])) == 6
+
+    def test_merge_with_empty_side(self):
+        agg = SumAggregate()
+        assert agg.merge(None, 5) == 5
+        assert agg.merge(5, None) == 5
+        assert agg.merge(None, None) is None
+
+    def test_negative_values(self):
+        agg = SumAggregate()
+        assert agg.finalize(agg.fold([-3, 3])) == 0
+
+
+class TestMinMax:
+    def test_min(self):
+        agg = MinAggregate()
+        assert agg.finalize(agg.fold([5, -2, 9])) == -2
+
+    def test_max(self):
+        agg = MaxAggregate()
+        assert agg.finalize(agg.fold([5, -2, 9])) == 9
+
+    def test_empty_is_none(self):
+        assert MinAggregate().finalize(None) is None
+        assert MaxAggregate().finalize(None) is None
+
+    def test_single_value(self):
+        agg = MinAggregate()
+        assert agg.finalize(agg.fold([7])) == 7
+
+    def test_works_on_strings(self):
+        agg = MaxAggregate()
+        assert agg.finalize(agg.fold(["Karen", "Richard", "Nathan"])) == "Richard"
+
+
+class TestAvg:
+    def test_empty_is_none(self):
+        agg = AvgAggregate()
+        assert agg.finalize(agg.identity()) is None
+
+    def test_average(self):
+        agg = AvgAggregate()
+        assert agg.finalize(agg.fold([1, 2, 3, 4])) == 2.5
+
+    def test_merge_weighted(self):
+        agg = AvgAggregate()
+        left = agg.fold([10, 20])
+        right = agg.fold([40])
+        assert agg.finalize(agg.merge(left, right)) == pytest.approx(70 / 3)
+
+
+class TestVarianceStdDev:
+    def test_variance_matches_statistics_module(self):
+        agg = VarianceAggregate()
+        data = [3, 7, 7, 19]
+        assert agg.finalize(agg.fold(data)) == pytest.approx(
+            statistics.pvariance(data)
+        )
+
+    def test_stddev_is_sqrt_of_variance(self):
+        var = VarianceAggregate()
+        std = StdDevAggregate()
+        data = [1, 5, 9, 14]
+        assert std.finalize(std.fold(data)) == pytest.approx(
+            math.sqrt(var.finalize(var.fold(data)))
+        )
+
+    def test_constant_data_zero_variance(self):
+        agg = VarianceAggregate()
+        assert agg.finalize(agg.fold([4, 4, 4])) == pytest.approx(0.0)
+
+    def test_empty_is_none(self):
+        agg = VarianceAggregate()
+        assert agg.finalize(agg.identity()) is None
+
+
+class TestMonoidLaws:
+    """The tree algorithms require genuine commutative monoids."""
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    @given(data=values_strategy)
+    def test_identity_is_neutral(self, name, data):
+        agg = get_aggregate(name)
+        state = agg.fold(data)
+        assert agg.merge(state, agg.identity()) == state
+        assert agg.merge(agg.identity(), state) == state
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    @given(data=values_strategy, split=st.integers(min_value=0, max_value=30))
+    def test_merge_equals_fold_of_concatenation(self, name, data, split):
+        agg = get_aggregate(name)
+        split = min(split, len(data))
+        left = agg.fold(data[:split])
+        right = agg.fold(data[split:])
+        merged = agg.merge(left, right)
+        direct = agg.fold(data)
+        if isinstance(merged, tuple):
+            assert merged == pytest.approx(direct)
+        else:
+            assert merged == direct or merged == pytest.approx(direct)
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    @given(data=values_strategy)
+    def test_merge_commutative(self, name, data):
+        agg = get_aggregate(name)
+        half = len(data) // 2
+        left = agg.fold(data[:half])
+        right = agg.fold(data[half:])
+        assert agg.merge(left, right) == agg.merge(right, left)
+
+    @pytest.mark.parametrize("name", ["count", "avg", "variance", "stddev"])
+    @given(data=values_strategy)
+    def test_retract_reverses_fold(self, name, data):
+        """Exactly invertible aggregates: absorbing then retracting the
+        same values (in any order) returns to the identity state."""
+        agg = get_aggregate(name)
+        state = agg.fold(data)
+        for value in reversed(data):
+            state = agg.retract(state, value)
+        if isinstance(state, tuple):
+            assert state == pytest.approx(agg.identity())
+        else:
+            assert state == agg.identity()
+
+    @pytest.mark.parametrize("name", ["count", "sum", "avg", "variance"])
+    @given(data=values_strategy, value=st.integers(min_value=-50, max_value=50))
+    def test_retract_inverts_one_absorb(self, name, data, value):
+        agg = get_aggregate(name)
+        state = agg.fold(data)
+        if name == "sum" and state is None:
+            return  # sum cannot retract into the empty marker
+        roundtrip = agg.retract(agg.absorb(state, value), value)
+        if isinstance(roundtrip, tuple):
+            assert roundtrip == pytest.approx(state)
+        else:
+            assert roundtrip == state or roundtrip == pytest.approx(state)
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    @given(data=values_strategy)
+    def test_is_identity_detects_empty(self, name, data):
+        agg = get_aggregate(name)
+        assert agg.is_identity(agg.identity())
+        if data:
+            # Absorbing at least one value must leave the identity
+            # (count increments; others record the value).
+            assert not agg.is_identity(agg.fold(data))

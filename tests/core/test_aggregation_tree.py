@@ -1,0 +1,145 @@
+"""Unit tests for the aggregation tree (Section 5.1)."""
+
+import random
+
+import pytest
+
+from repro.core.aggregation_tree import AggregationTreeEvaluator, TreeNode
+from repro.core.interval import FOREVER, InvalidIntervalError
+
+
+def run(triples, aggregate="count"):
+    evaluator = AggregationTreeEvaluator(aggregate)
+    result = evaluator.evaluate(triples)
+    return evaluator, result
+
+
+class TestConstruction:
+    def test_empty_input(self):
+        _ev, result = run([])
+        assert [tuple(r) for r in result] == [(0, FOREVER, 0)]
+
+    def test_single_tuple(self):
+        evaluator, result = run([(5, 9, None)])
+        assert [tuple(r) for r in result] == [
+            (0, 4, 0),
+            (5, 9, 1),
+            (10, FOREVER, 0),
+        ]
+        assert evaluator.counters.splits == 2
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(InvalidIntervalError):
+            run([(5, 2, None)])
+
+    def test_each_split_allocates_two_nodes(self):
+        evaluator, _ = run([(5, 9, None), (20, 30, None)])
+        assert (
+            evaluator.space.allocated_total
+            == 1 + 2 * evaluator.counters.splits
+        )
+
+    def test_node_count_is_odd(self):
+        """A proper binary tree over u splits has 2·splits + 1 nodes."""
+        evaluator, _ = run([(3, 8, None), (6, 20, None), (1, 4, None)])
+        assert evaluator.node_count() == 2 * evaluator.counters.splits + 1
+
+    def test_leaf_intervals_partition_timeline(self):
+        evaluator, _ = run([(3, 8, None), (6, 20, None)])
+        leaves = evaluator.leaf_intervals()
+        assert leaves[0][0] == 0
+        assert leaves[-1][1] == FOREVER
+        for (a, b), (c, _d) in zip(leaves, leaves[1:]):
+            assert b + 1 == c
+
+
+class TestCoverShortcut:
+    def test_covering_tuple_updates_root_only(self):
+        evaluator = AggregationTreeEvaluator("count")
+        evaluator.build([(5, 9, None)])
+        visits = evaluator.counters.node_visits
+        evaluator.insert(0, FOREVER, None)
+        assert evaluator.counters.node_visits == visits + 1  # root only
+        assert evaluator.root.state == 1
+
+    def test_internal_state_not_pushed_to_leaves(self):
+        evaluator = AggregationTreeEvaluator("count")
+        evaluator.build([(5, 9, None), (0, FOREVER, None)])
+        # The covering tuple's count lives at the root...
+        assert evaluator.root.state == 1
+        # ...and materialises only during traversal.
+        result = evaluator.traverse()
+        assert [r.value for r in result] == [1, 2, 1]
+
+
+class TestDegenerateShapes:
+    def test_sorted_input_linear_depth(self):
+        """Sorted input degrades the tree to a list (the O(n²) case)."""
+        n = 60
+        triples = [(i * 10, i * 10 + 5, None) for i in range(n)]
+        evaluator, _ = run(triples)
+        assert evaluator.depth() >= n  # essentially one level per tuple
+
+    def test_random_input_shallower_than_sorted(self):
+        n = 200
+        sorted_triples = [(i * 10, i * 10 + 5, None) for i in range(n)]
+        shuffled = sorted_triples[:]
+        random.Random(3).shuffle(shuffled)
+        ev_sorted, _ = run(sorted_triples)
+        ev_random, _ = run(shuffled)
+        assert ev_random.depth() < ev_sorted.depth()
+
+    def test_deep_tree_does_not_recurse(self):
+        """Iterative insert/traverse survive degenerate 3000-level trees."""
+        n = 3000
+        triples = [(i, i, None) for i in range(1, n)]
+        _ev, result = run(triples)
+        # Boundaries land at 1..n (starts and ends+1): n+1 leaves.
+        assert len(result) == n + 1
+
+    def test_same_answer_for_any_order(self):
+        triples = [(3, 8, 1), (6, 20, 2), (1, 4, 3), (15, 40, 4)]
+        _ev, expected = run(list(triples), aggregate="sum")
+        for seed in range(5):
+            shuffled = triples[:]
+            random.Random(seed).shuffle(shuffled)
+            _ev2, result = run(shuffled, aggregate="sum")
+            assert result.rows == expected.rows
+
+
+class TestTraversal:
+    def test_rows_in_time_order(self):
+        triples = [(50, 60, None), (5, 9, None), (30, 80, None)]
+        _ev, result = run(triples)
+        starts = [r.start for r in result]
+        assert starts == sorted(starts)
+        result.verify_partition(full_cover=True)
+
+    def test_path_accumulation_for_min(self):
+        # A covering tuple's small value must reach every leaf below it.
+        _ev, result = run([(0, FOREVER, 5), (10, 20, 99)], aggregate="min")
+        assert result.value_at(15) == 5
+        assert result.value_at(0) == 5
+
+    def test_traverse_is_repeatable(self):
+        evaluator = AggregationTreeEvaluator("count")
+        evaluator.build([(5, 9, None)])
+        first = evaluator.traverse()
+        second = evaluator.traverse()
+        assert first.rows == second.rows
+
+    def test_evaluate_resets_state(self):
+        evaluator = AggregationTreeEvaluator("count")
+        first = evaluator.evaluate([(5, 9, None)])
+        second = evaluator.evaluate([(5, 9, None)])
+        assert first.rows == second.rows
+        assert second.value_at(7) == 1  # not 2: no state leaked
+
+
+class TestTreeNode:
+    def test_is_leaf(self):
+        node = TreeNode(0, 10, 0)
+        assert node.is_leaf
+        node.left = TreeNode(0, 5, 0)
+        node.right = TreeNode(6, 10, 0)
+        assert not node.is_leaf

@@ -1,0 +1,95 @@
+"""Tests of Allen's interval algebra on discrete closed intervals."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.allen import ALLEN_RELATIONS, allen_relation, holds, inverse
+from repro.core.interval import Interval
+
+instants = st.integers(min_value=0, max_value=60)
+intervals = st.builds(lambda a, b: Interval(min(a, b), max(a, b)), instants, instants)
+
+
+class TestNamedCases:
+    CASES = [
+        ("before", Interval(0, 3), Interval(6, 9)),
+        ("meets", Interval(0, 5), Interval(6, 9)),
+        ("overlaps", Interval(0, 6), Interval(4, 9)),
+        ("starts", Interval(4, 6), Interval(4, 9)),
+        ("during", Interval(5, 7), Interval(4, 9)),
+        ("finishes", Interval(6, 9), Interval(4, 9)),
+        ("equal", Interval(4, 9), Interval(4, 9)),
+        ("after", Interval(6, 9), Interval(0, 3)),
+        ("met_by", Interval(6, 9), Interval(0, 5)),
+        ("overlapped_by", Interval(4, 9), Interval(0, 6)),
+        ("started_by", Interval(4, 9), Interval(4, 6)),
+        ("contains", Interval(4, 9), Interval(5, 7)),
+        ("finished_by", Interval(4, 9), Interval(6, 9)),
+    ]
+
+    @pytest.mark.parametrize("name,a,b", CASES)
+    def test_classification(self, name, a, b):
+        assert allen_relation(a, b) == name
+        assert holds(name, a, b)
+
+    def test_all_thirteen_present(self):
+        assert len(ALLEN_RELATIONS) == 13
+        assert {name for name, _a, _b in self.CASES} == set(ALLEN_RELATIONS)
+
+    def test_discrete_meets_vs_before(self):
+        """Adjacent closed intervals meet; a gap of one instant is before."""
+        assert allen_relation(Interval(0, 5), Interval(6, 9)) == "meets"
+        assert allen_relation(Interval(0, 5), Interval(7, 9)) == "before"
+
+    def test_unknown_relation_name(self):
+        with pytest.raises(ValueError, match="unknown Allen"):
+            holds("adjacent", Interval(0, 1), Interval(2, 3))
+
+
+class TestInverses:
+    @pytest.mark.parametrize("name,a,b", TestNamedCases.CASES)
+    def test_inverse_swaps_operands(self, name, a, b):
+        assert allen_relation(b, a) == inverse(name)
+
+    def test_inverse_is_involution(self):
+        for name in ALLEN_RELATIONS:
+            assert inverse(inverse(name)) == name
+
+    def test_equal_is_self_inverse(self):
+        assert inverse("equal") == "equal"
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            inverse("sideways")
+
+
+class TestAlgebraProperties:
+    @given(intervals, intervals)
+    def test_exactly_one_relation_holds(self, a, b):
+        matching = [
+            name for name, rel in ALLEN_RELATIONS.items() if rel(a, b)
+        ]
+        assert len(matching) == 1
+
+    @given(intervals, intervals)
+    def test_relation_consistent_with_inverse(self, a, b):
+        assert allen_relation(b, a) == inverse(allen_relation(a, b))
+
+    @given(intervals)
+    def test_self_relation_is_equal(self, a):
+        assert allen_relation(a, a) == "equal"
+
+    @given(intervals, intervals)
+    def test_overlap_relations_match_interval_overlaps(self, a, b):
+        """Interval.overlaps(b) iff the Allen relation is one that
+        shares an instant."""
+        sharing = {
+            "overlaps", "overlapped_by", "starts", "started_by",
+            "during", "contains", "finishes", "finished_by", "equal",
+        }
+        assert a.overlaps(b) == (allen_relation(a, b) in sharing)
+
+    @given(intervals, intervals)
+    def test_meets_matches_interval_meets(self, a, b):
+        assert a.meets(b) == (allen_relation(a, b) == "meets")

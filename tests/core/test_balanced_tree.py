@@ -1,0 +1,83 @@
+"""Tests of the balanced aggregation tree (Section 7 future work)."""
+
+import math
+import random
+
+from repro.core.aggregation_tree import AggregationTreeEvaluator
+from repro.core.balanced_tree import BalancedTreeEvaluator
+from repro.core.interval import FOREVER
+
+
+def workload(n, seed=0):
+    rng = random.Random(seed)
+    triples = []
+    for _ in range(n):
+        s = rng.randrange(5000)
+        triples.append((s, s + rng.randrange(200), rng.randrange(100)))
+    return triples
+
+
+class TestEquivalence:
+    def test_matches_plain_tree_random_order(self):
+        triples = workload(300, seed=1)
+        plain = AggregationTreeEvaluator("sum").evaluate(list(triples))
+        balanced = BalancedTreeEvaluator("sum").evaluate(list(triples))
+        assert balanced.rows == plain.rows
+
+    def test_matches_plain_tree_sorted_order(self):
+        triples = sorted(workload(300, seed=2))
+        plain = AggregationTreeEvaluator("count").evaluate(list(triples))
+        balanced = BalancedTreeEvaluator("count").evaluate(list(triples))
+        assert balanced.rows == plain.rows
+
+    def test_empty_input(self):
+        result = BalancedTreeEvaluator("count").evaluate([])
+        assert [tuple(r) for r in result] == [(0, FOREVER, 0)]
+
+    def test_single_tuple(self):
+        result = BalancedTreeEvaluator("count").evaluate([(5, 9, None)])
+        assert [tuple(r) for r in result] == [
+            (0, 4, 0),
+            (5, 9, 1),
+            (10, FOREVER, 0),
+        ]
+
+
+class TestBalance:
+    def test_depth_is_logarithmic_even_when_sorted(self):
+        """The whole point: sorted input no longer degenerates."""
+        n = 512
+        triples = [(i * 10, i * 10 + 4, None) for i in range(n)]
+        evaluator = BalancedTreeEvaluator("count")
+        evaluator.evaluate(triples)
+        leaves = 2 * n + 1  # every tuple adds two boundaries here
+        assert evaluator.depth() <= 2 * math.ceil(math.log2(leaves)) + 1
+
+    def test_order_insensitive_node_count(self):
+        base = workload(200, seed=3)
+        shuffled = base[:]
+        random.Random(4).shuffle(shuffled)
+        ev_a = BalancedTreeEvaluator("count")
+        ev_a.evaluate(list(base))
+        ev_b = BalancedTreeEvaluator("count")
+        ev_b.evaluate(shuffled)
+        assert ev_a.node_count() == ev_b.node_count()
+
+    def test_node_count_is_2m_minus_1(self):
+        """m elementary intervals -> a full binary tree of 2m-1 nodes."""
+        triples = [(5, 9, None), (20, 30, None)]
+        evaluator = BalancedTreeEvaluator("count")
+        result = evaluator.evaluate(triples)
+        m = len(result)
+        assert evaluator.node_count() == 2 * m - 1
+
+    def test_insert_work_is_logarithmic(self):
+        """Abstract work per tuple grows like log n, not n."""
+        def work(n):
+            triples = [(i * 10, i * 10 + 4, None) for i in range(n)]
+            evaluator = BalancedTreeEvaluator("count")
+            evaluator.evaluate(triples)
+            return evaluator.counters.node_visits / n
+
+        # Per-tuple visit cost grows by ~a constant per doubling.
+        assert work(2048) - work(256) < 10

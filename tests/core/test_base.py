@@ -1,0 +1,71 @@
+"""Tests of the shared evaluator machinery."""
+
+import pytest
+
+from repro.core.aggregates import CountAggregate
+from repro.core.base import Evaluator, coerce_aggregate
+from repro.core.interval import FOREVER, InvalidIntervalError
+from repro.metrics.counters import OperationCounters
+from repro.metrics.space import SpaceTracker
+
+
+class TestCoerceAggregate:
+    def test_instance_passes_through(self):
+        aggregate = CountAggregate()
+        assert coerce_aggregate(aggregate) is aggregate
+
+    def test_name_resolves(self):
+        assert isinstance(coerce_aggregate("count"), CountAggregate)
+
+    def test_bad_name_raises(self):
+        from repro.core.aggregates import UnknownAggregateError
+
+        with pytest.raises(UnknownAggregateError):
+            coerce_aggregate("percentile")
+
+
+class TestEvaluatorBase:
+    def test_abstract_evaluate(self):
+        with pytest.raises(NotImplementedError):
+            Evaluator("count").evaluate([])
+
+    def test_default_instrumentation_created(self):
+        evaluator = Evaluator("count")
+        assert isinstance(evaluator.counters, OperationCounters)
+        assert isinstance(evaluator.space, SpaceTracker)
+
+    def test_supplied_instrumentation_used(self):
+        counters = OperationCounters()
+        space = SpaceTracker()
+        evaluator = Evaluator("count", counters=counters, space=space)
+        assert evaluator.counters is counters
+        assert evaluator.space is space
+
+    def test_check_triple_bounds(self):
+        Evaluator._check_triple(0, FOREVER)
+        Evaluator._check_triple(5, 5)
+        with pytest.raises(InvalidIntervalError):
+            Evaluator._check_triple(-1, 5)
+        with pytest.raises(InvalidIntervalError):
+            Evaluator._check_triple(9, 3)
+        with pytest.raises(InvalidIntervalError):
+            Evaluator._check_triple(0, FOREVER + 1)
+
+    def test_repr_names_aggregate(self):
+        assert "count" in repr(Evaluator("count"))
+
+    def test_scans_required_default(self):
+        assert Evaluator.scans_required == 1
+
+    def test_evaluate_relation_scans_once(self, employed):
+        from repro.core.linked_list import LinkedListEvaluator
+
+        employed.scan_count = 0
+        LinkedListEvaluator("count").evaluate_relation(employed)
+        assert employed.scan_count == 1
+
+    def test_evaluate_relation_with_attribute(self, employed):
+        from repro.core.linked_list import LinkedListEvaluator
+
+        result = LinkedListEvaluator("max").evaluate_relation(employed, "salary")
+        assert result.value_at(19) == 45_000

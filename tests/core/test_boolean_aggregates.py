@@ -1,0 +1,92 @@
+"""Tests of the ANY/EVERY boolean aggregates."""
+
+import pytest
+
+from repro.core.aggregates import AnyAggregate, EveryAggregate, get_aggregate
+from repro.core.engine import STRATEGIES, make_evaluator
+from repro.core.reference import ReferenceEvaluator
+
+
+class TestMonoid:
+    def test_registered(self):
+        assert isinstance(get_aggregate("any"), AnyAggregate)
+        assert isinstance(get_aggregate("EVERY"), EveryAggregate)
+
+    def test_any_semantics(self):
+        agg = AnyAggregate()
+        assert agg.finalize(agg.fold([])) is None
+        assert agg.finalize(agg.fold([0, 0])) is False
+        assert agg.finalize(agg.fold([0, 1])) is True
+
+    def test_every_semantics(self):
+        agg = EveryAggregate()
+        assert agg.finalize(agg.fold([])) is None
+        assert agg.finalize(agg.fold([1, 1])) is True
+        assert agg.finalize(agg.fold([1, 0])) is False
+
+    def test_truthiness_coercion(self):
+        agg = AnyAggregate()
+        assert agg.finalize(agg.fold(["", 0, None])) is False
+        assert agg.finalize(agg.fold(["x"])) is True
+
+    def test_exactly_invertible(self):
+        for cls in (AnyAggregate, EveryAggregate):
+            agg = cls()
+            state = agg.fold([1, 0, 1])
+            for value in (1, 0, 1):
+                state = agg.retract(state, value)
+            assert state == agg.identity()
+
+    def test_retract_empty_raises(self):
+        with pytest.raises(ValueError):
+            AnyAggregate().retract((0, 0), 1)
+
+
+class TestAcrossEvaluators:
+    TRIPLES = [(0, 9, 1), (5, 14, 0), (12, 20, 1)]
+
+    @pytest.mark.parametrize("strategy", sorted(STRATEGIES))
+    @pytest.mark.parametrize("name", ["any", "every"])
+    def test_every_strategy_agrees(self, strategy, name):
+        k = 10 if strategy == "kordered_tree" else None
+        expected = ReferenceEvaluator(name).evaluate(list(self.TRIPLES))
+        evaluator = make_evaluator(strategy, name, k=k)
+        result = evaluator.evaluate(list(self.TRIPLES))
+        assert result.rows == expected.rows
+
+    def test_values_by_hand(self):
+        result = ReferenceEvaluator("every").evaluate(list(self.TRIPLES))
+        assert result.value_at(2) is True  # only the truthy tuple
+        assert result.value_at(7) is False  # truthy + falsy overlap
+        assert result.value_at(10) is False
+        assert result.value_at(16) is True
+        assert result.value_at(30) is None  # empty
+
+    def test_index_deletion_supported(self):
+        from repro.core.index import TemporalAggregateIndex
+
+        index = TemporalAggregateIndex("any")
+        index.insert(0, 9, 0)
+        index.insert(5, 14, 1)
+        assert index.value_at(7) is True
+        index.delete(5, 14, 1)
+        assert index.value_at(7) is False
+
+
+class TestThroughTSQL2:
+    def test_every_in_a_query(self):
+        from repro.relation.relation import TemporalRelation
+        from repro.relation.schema import Schema
+        from repro.tsql2.executor import Database
+
+        schema = Schema.of("sensor:str:8", "healthy:int")
+        relation = TemporalRelation(schema, name="Fleet")
+        relation.insert(("a", 1), 0, 9)
+        relation.insert(("b", 0), 5, 14)
+        db = Database()
+        db.register(relation)
+        result = db.execute("SELECT EVERY(healthy), ANY(healthy) FROM Fleet")
+        by_start = {row[0]: (row[2], row[3]) for row in result}
+        assert by_start[0] == (True, True)
+        assert by_start[5] == (False, True)
+        assert by_start[10] == (False, False)

@@ -1,0 +1,177 @@
+"""Tests of calendars and calendar-span aggregation."""
+
+from datetime import date
+
+import pytest
+
+from repro.core.calendar import (
+    Calendar,
+    CalendarError,
+    calendar_span_aggregate,
+)
+from repro.core.interval import FOREVER, Interval, InvalidIntervalError
+
+
+@pytest.fixture
+def daily():
+    """Instants are days; instant 0 is 1995-01-01."""
+    return Calendar("day", epoch=date(1995, 1, 1))
+
+
+@pytest.fixture
+def hourly():
+    return Calendar("hour", epoch=date(1995, 1, 1))
+
+
+class TestCalendarBasics:
+    def test_unknown_granularity(self):
+        with pytest.raises(CalendarError, match="granularity"):
+            Calendar("fortnight")
+
+    def test_instants_per_fixed_units(self, daily, hourly):
+        assert daily.instants_per("day") == 1
+        assert daily.instants_per("week") == 7
+        assert hourly.instants_per("day") == 24
+        assert hourly.instants_per("week") == 168
+
+    def test_instants_per_variable_units(self, daily):
+        assert daily.instants_per("month") is None
+        assert daily.instants_per("year") is None
+
+    def test_sub_granularity_unit_rejected(self, daily):
+        with pytest.raises(CalendarError, match="whole number"):
+            daily.instants_per("hour")
+
+    def test_unknown_unit(self, daily):
+        with pytest.raises(CalendarError, match="unit"):
+            daily.instants_per("quarter")
+
+    def test_date_of(self, daily):
+        assert daily.date_of(0) == date(1995, 1, 1)
+        assert daily.date_of(31) == date(1995, 2, 1)
+        assert daily.date_of(365) == date(1996, 1, 1)
+
+    def test_date_of_hourly(self, hourly):
+        assert hourly.date_of(0) == date(1995, 1, 1)
+        assert hourly.date_of(23) == date(1995, 1, 1)
+        assert hourly.date_of(24) == date(1995, 1, 2)
+
+    def test_instant_of_roundtrip(self, daily):
+        for day in (date(1995, 1, 1), date(1995, 3, 14), date(2001, 12, 31)):
+            assert daily.date_of(daily.instant_of(day)) == day
+
+    def test_before_epoch_rejected(self, daily):
+        with pytest.raises(CalendarError):
+            daily.instant_of(date(1994, 12, 31))
+        with pytest.raises(CalendarError):
+            daily.date_of(-1)
+
+    def test_format_instant_daily(self, daily):
+        assert daily.format_instant(31) == "1995-02-01"
+
+    def test_format_instant_hourly(self, hourly):
+        assert hourly.format_instant(25) == "1995-01-02 01:00:00"
+
+
+class TestSpanStarts:
+    def test_fixed_unit_spans(self, daily):
+        assert daily.span_starts(Interval(0, 20), "week") == [0, 7, 14]
+
+    def test_month_boundaries_vary(self, daily):
+        # Jan 1995 has 31 days, Feb 28: months start at 0, 31, 59, 90.
+        starts = daily.span_starts(Interval(0, 95), "month")
+        assert starts == [0, 31, 59, 90]
+
+    def test_year_boundaries_with_leap_year(self, daily):
+        # 1995 (365) then 1996 (leap, 366).
+        starts = daily.span_starts(Interval(0, 800), "year")
+        assert starts == [0, 365, 731]
+
+    def test_window_starting_mid_month(self, daily):
+        # Window starts Jan 15; first bucket is the partial month.
+        starts = daily.span_starts(Interval(14, 95), "month")
+        assert starts == [14, 31, 59, 90]
+
+    def test_unbounded_window_rejected(self, daily):
+        with pytest.raises(InvalidIntervalError):
+            daily.span_starts(Interval(0, FOREVER), "month")
+
+
+class TestCalendarSpanAggregate:
+    def test_monthly_counts(self, daily):
+        # One tuple per civil month of Q1 1995 plus one spanning Jan-Feb.
+        triples = [
+            (0, 30, None),  # all of January
+            (31, 58, None),  # all of February
+            (59, 89, None),  # all of March
+            (20, 40, None),  # straddles Jan/Feb
+        ]
+        result = calendar_span_aggregate(
+            triples, "count", Interval(0, 89), "month", daily
+        )
+        assert [tuple(r) for r in result] == [
+            (0, 30, 2),
+            (31, 58, 2),
+            (59, 89, 1),
+        ]
+
+    def test_yearly_sum(self, daily):
+        triples = [(100, 100, 5), (400, 400, 7), (401, 401, 1)]
+        result = calendar_span_aggregate(
+            triples, "sum", Interval(0, 730), "year", daily
+        )
+        assert [r.value for r in result] == [5, 8]
+
+    def test_tuples_outside_window_ignored(self, daily):
+        triples = [(5000, 6000, None)]
+        result = calendar_span_aggregate(
+            triples, "count", Interval(0, 89), "month", daily
+        )
+        assert all(r.value == 0 for r in result)
+
+    def test_matches_fixed_span_for_weeks(self, daily):
+        """Weeks are fixed length: must agree with span_aggregate."""
+        import random
+
+        from repro.core.span_grouping import span_aggregate
+
+        rng = random.Random(9)
+        triples = [
+            (s := rng.randrange(80), s + rng.randrange(30), None)
+            for _ in range(50)
+        ]
+        window = Interval(0, 83)
+        via_calendar = calendar_span_aggregate(
+            list(triples), "count", window, "week", daily
+        )
+        via_fixed = span_aggregate(list(triples), "count", window, 7)
+        assert via_calendar.rows == via_fixed.rows
+
+    def test_bucket_values_match_direct_overlap_count(self, daily):
+        import random
+
+        rng = random.Random(4)
+        triples = [
+            (s := rng.randrange(365), s + rng.randrange(60), None)
+            for _ in range(60)
+        ]
+        result = calendar_span_aggregate(
+            list(triples), "count", Interval(0, 364), "month", daily
+        )
+        for row in result:
+            direct = sum(
+                1 for s, e, _v in triples if s <= row.end and row.start <= e
+            )
+            assert row.value == direct
+
+    def test_invalid_tuple_rejected(self, daily):
+        with pytest.raises(InvalidIntervalError):
+            calendar_span_aggregate(
+                [(9, 2, None)], "count", Interval(0, 30), "month", daily
+            )
+
+    def test_default_calendar(self):
+        result = calendar_span_aggregate(
+            [(0, 10, None)], "count", Interval(0, 13), "week"
+        )
+        assert [tuple(r) for r in result] == [(0, 6, 1), (7, 13, 1)]

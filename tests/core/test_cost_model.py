@@ -1,0 +1,137 @@
+"""Tests of the analytic cost model.
+
+A cost model earns its keep by *choosing right*, not by predicting
+absolute numbers.  These tests check exactly that: across the paper's
+workload regimes, the model's winner among the paper's three
+algorithms matches the measured winner, the quadratic strategies are
+priced as quadratic, and the space estimates track Figure 9's shape.
+"""
+
+import pytest
+
+from repro.bench.measure import measure_strategy
+from repro.core.cost_model import (
+    COSTED_STRATEGIES,
+    estimate_constant_intervals,
+    estimate_coverage,
+    estimate_peak_nodes,
+    estimate_work,
+    estimates_table,
+    rank_strategies,
+)
+from repro.workload.generator import WorkloadParameters, generate_relation
+from repro.workload.permute import disorder_relation
+
+PAPER_TRIO = ("linked_list", "aggregation_tree", "kordered_tree")
+
+
+def regimes():
+    base = generate_relation(WorkloadParameters(1024, 0, seed=5))
+    heavy = generate_relation(WorkloadParameters(1024, 80, seed=5))
+    return {
+        "random": (base, None),
+        "random_long_lived": (heavy, None),
+        "sorted": (base.sorted_by_time(), 1),
+        "nearly_sorted": (disorder_relation(base, 40, 0.08), 40),
+    }
+
+
+class TestBasics:
+    def test_all_strategies_priced(self):
+        stats = generate_relation(WorkloadParameters(256, 0, seed=1)).statistics()
+        table = estimates_table(stats, k=4)
+        assert set(table) == set(COSTED_STRATEGIES)
+        for entry in table.values():
+            assert entry["work"] > 0
+            assert entry["peak_nodes"] > 0
+
+    def test_unknown_strategy(self):
+        stats = generate_relation(WorkloadParameters(16, 0, seed=1)).statistics()
+        with pytest.raises(ValueError):
+            estimate_work("reference", stats)
+        with pytest.raises(ValueError):
+            estimate_peak_nodes("reference", stats)
+
+    def test_constant_interval_estimate(self, employed):
+        assert estimate_constant_intervals(employed.statistics()) == 7
+
+    def test_coverage_grows_with_long_lived(self):
+        lean = generate_relation(WorkloadParameters(512, 0, seed=2)).statistics()
+        heavy = generate_relation(WorkloadParameters(512, 80, seed=2)).statistics()
+        assert estimate_coverage(heavy) > 10 * estimate_coverage(lean)
+
+    def test_work_scales_superlinearly_for_list(self):
+        small = generate_relation(WorkloadParameters(512, 0, seed=3)).statistics()
+        large = generate_relation(WorkloadParameters(2048, 0, seed=3)).statistics()
+        ratio = estimate_work("linked_list", large) / estimate_work(
+            "linked_list", small
+        )
+        assert ratio > 8  # ~quadratic: 4 doublings of work for 2 of n
+
+
+class TestChoosesLikeTheMeasurements:
+    @pytest.mark.parametrize("regime", ["random", "random_long_lived", "sorted", "nearly_sorted"])
+    def test_winner_among_paper_trio_matches(self, regime):
+        relation, declared_k = regimes()[regime]
+        stats = relation.statistics()
+        k = declared_k if declared_k is not None else max(1, stats.k)
+
+        estimated = {
+            strategy: estimate_work(strategy, stats, k=k)
+            for strategy in PAPER_TRIO
+        }
+        measured = {
+            strategy: measure_strategy(
+                strategy,
+                list(relation.scan_triples()),
+                k=k if strategy == "kordered_tree" else None,
+            ).work
+            for strategy in PAPER_TRIO
+        }
+        est_winner = min(estimated, key=estimated.get)
+        meas_winner = min(measured, key=measured.get)
+        assert est_winner == meas_winner, (estimated, measured)
+
+    def test_linked_list_never_estimated_fastest(self):
+        for relation, declared_k in regimes().values():
+            stats = relation.statistics()
+            ranking = rank_strategies(stats, k=declared_k or max(1, stats.k))
+            assert ranking[0][0] != "linked_list"
+            assert ranking[-1][0] in ("linked_list", "aggregation_tree", "two_pass")
+
+    def test_sorted_regime_prices_tree_as_quadratic(self):
+        relation, _ = regimes()["sorted"]
+        stats = relation.statistics()
+        tree = estimate_work("aggregation_tree", stats)
+        ktree = estimate_work("kordered_tree", stats, k=1)
+        assert tree > 20 * ktree
+
+
+class TestSpaceEstimates:
+    def test_figure9_shape(self):
+        stats = generate_relation(WorkloadParameters(2048, 0, seed=6)).statistics()
+        tree = estimate_peak_nodes("aggregation_tree", stats)
+        linked = estimate_peak_nodes("linked_list", stats)
+        ktree = estimate_peak_nodes("kordered_tree", stats, k=1)
+        assert tree == pytest.approx(2 * linked, rel=0.01)
+        assert ktree * 50 < linked
+
+    def test_long_lived_inflates_ktree_space_only(self):
+        lean = generate_relation(WorkloadParameters(2048, 0, seed=7)).statistics()
+        heavy = generate_relation(WorkloadParameters(2048, 80, seed=7)).statistics()
+        assert estimate_peak_nodes("kordered_tree", heavy, k=1) > 10 * (
+            estimate_peak_nodes("kordered_tree", lean, k=1)
+        )
+        assert estimate_peak_nodes("linked_list", heavy) == pytest.approx(
+            estimate_peak_nodes("linked_list", lean), rel=0.02
+        )
+
+    def test_estimates_track_measured_peaks_within_2x(self):
+        relation = generate_relation(WorkloadParameters(1024, 0, seed=8))
+        stats = relation.statistics()
+        for strategy in ("linked_list", "aggregation_tree", "sweep"):
+            predicted = estimate_peak_nodes(strategy, stats)
+            actual = measure_strategy(
+                strategy, list(relation.scan_triples())
+            ).peak_nodes
+            assert predicted == pytest.approx(actual, rel=1.0)  # within 2x

@@ -1,0 +1,61 @@
+"""Cost-model regression pins.
+
+The reproduction's claims rest on *operation counts*, so the counts
+themselves are part of the contract: for a fixed seeded workload, every
+algorithm must perform exactly the work it performs today.  If an
+intentional change to an algorithm shifts these numbers, update the
+fingerprints here **and** re-check EXPERIMENTS.md — that is the point
+of the pin.
+
+Workload: 512 tuples, 40 % long-lived, seed 2026 (ktree runs on the
+sorted copy, matching its intended regime).
+"""
+
+import pytest
+
+from repro.bench.measure import measure_strategy
+from repro.workload.generator import WorkloadParameters, generate_triples
+
+#: (strategy, k, sorted_input) -> (total_work, peak_nodes, result_rows)
+FINGERPRINTS = {
+    ("linked_list", None, False): (189140, 1024, 1024),
+    ("aggregation_tree", None, False): (17253, 2047, 1024),
+    ("balanced_tree", None, False): (10665, 2047, 1024),
+    ("two_pass", None, False): (170766, 1024, 1024),
+    ("sweep", None, False): (2048, 1024, 1024),
+    ("kordered_tree", 1, True): (19160, 283, 1024),
+    ("paged_tree", None, False): (17253, 2047, 1024),
+}
+
+
+@pytest.fixture(scope="module")
+def workload():
+    params = WorkloadParameters(tuples=512, long_lived_percent=40, seed=2026)
+    return [(s, e, None) for s, e, _v in generate_triples(params)]
+
+
+class TestCostFingerprints:
+    @pytest.mark.parametrize(
+        "strategy,k,sorted_input", sorted(FINGERPRINTS, key=repr)
+    )
+    def test_work_and_space_pinned(self, workload, strategy, k, sorted_input):
+        data = sorted(workload) if sorted_input else list(workload)
+        measurement = measure_strategy(strategy, data, k=k)
+        expected = FINGERPRINTS[(strategy, k, sorted_input)]
+        assert (
+            measurement.work,
+            measurement.peak_nodes,
+            measurement.result_rows,
+        ) == expected
+
+    def test_all_row_counts_agree(self, workload):
+        """Same constant-interval count from every fingerprinted run."""
+        rows = {fingerprint[2] for fingerprint in FINGERPRINTS.values()}
+        assert len(rows) == 1
+
+    def test_workload_is_the_expected_one(self, workload):
+        """Guard the generator itself: if the seeded workload drifts,
+        every fingerprint above is invalid."""
+        assert len(workload) == 512
+        assert workload[0][:2] == (678636, 986257)
+        assert sum(s for s, _e, _v in workload) % 1_000_003 == 159959

@@ -1,0 +1,86 @@
+"""Tests of duplicate elimination (Section 7)."""
+
+import pytest
+
+from repro.core.distinct import (
+    distinct_temporal_aggregate,
+    distinct_triples,
+    value_coalesced_triples,
+)
+from repro.core.reference import ReferenceEvaluator
+
+
+class TestDistinctTriples:
+    def test_exact_duplicates_removed(self):
+        triples = [(3, 5, "a"), (3, 5, "a"), (3, 5, "b")]
+        assert distinct_triples(triples) == [(3, 5, "a"), (3, 5, "b")]
+
+    def test_output_sorted_by_time(self):
+        triples = [(9, 10, 1), (3, 4, 2), (3, 4, 2)]
+        result = distinct_triples(triples)
+        assert result == [(3, 4, 2), (9, 10, 1)]
+
+    def test_same_interval_different_values_kept(self):
+        triples = [(3, 5, 1), (3, 5, 2)]
+        assert len(distinct_triples(triples)) == 2
+
+    def test_empty(self):
+        assert distinct_triples([]) == []
+
+
+class TestValueCoalescedTriples:
+    def test_overlapping_periods_merge(self):
+        triples = [(0, 8, "x"), (5, 15, "x")]
+        assert value_coalesced_triples(triples) == [(0, 15, "x")]
+
+    def test_meeting_periods_merge(self):
+        triples = [(0, 4, "x"), (5, 9, "x")]
+        assert value_coalesced_triples(triples) == [(0, 9, "x")]
+
+    def test_gap_keeps_periods_apart(self):
+        triples = [(0, 4, "x"), (6, 9, "x")]
+        assert value_coalesced_triples(triples) == [(0, 4, "x"), (6, 9, "x")]
+
+    def test_values_kept_separate(self):
+        triples = [(0, 8, "x"), (5, 15, "y")]
+        assert len(value_coalesced_triples(triples)) == 2
+
+    def test_output_sorted(self):
+        triples = [(20, 30, "b"), (0, 10, "a")]
+        result = value_coalesced_triples(triples)
+        assert result[0][0] <= result[1][0]
+
+
+class TestDistinctAggregate:
+    def test_count_distinct_exact(self):
+        triples = [(3, 5, "a")] * 3 + [(3, 5, "b")]
+        result = distinct_temporal_aggregate(triples, "count", mode="exact")
+        assert result.value_at(4) == 2
+
+    def test_count_distinct_coalesce(self):
+        """A continuously present value counts once per instant even
+        when its presence was recorded as overlapping fragments."""
+        triples = [(0, 8, "a"), (5, 15, "a"), (10, 12, "b")]
+        plain = ReferenceEvaluator("count").evaluate(list(triples))
+        assert plain.value_at(6) == 2  # both "a" fragments
+
+    # after coalescing, "a" counts once
+        cooked = distinct_temporal_aggregate(triples, "count", mode="coalesce")
+        assert cooked.value_at(6) == 1
+        assert cooked.value_at(11) == 2  # a + b
+
+    def test_matches_reference_after_dedup(self):
+        triples = [(3, 5, 1), (3, 5, 1), (8, 20, 2)]
+        via_helper = distinct_temporal_aggregate(triples, "sum", mode="exact")
+        direct = ReferenceEvaluator("sum").evaluate(distinct_triples(triples))
+        assert via_helper.rows == direct.rows
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="exact|coalesce"):
+            distinct_temporal_aggregate([(0, 1, 1)], "count", mode="fuzzy")
+
+    def test_default_strategy_is_sorted_ktree(self):
+        """The sort paid for dedup feeds the ktree k=1 pipeline."""
+        triples = [(i * 5, i * 5 + 2, 1) for i in range(100, 0, -1)]
+        result = distinct_temporal_aggregate(triples, "count")
+        assert result.value_at(7) == 1

@@ -1,0 +1,142 @@
+"""Tests of the strategy registry, dispatch and top-level API."""
+
+import pytest
+
+from repro.core.engine import (
+    STRATEGIES,
+    UnknownStrategyError,
+    evaluate_triples,
+    make_evaluator,
+    temporal_aggregate,
+)
+from repro.core.kordered_tree import KOrderedTreeEvaluator
+from repro.core.planner import PlannerDecision
+from repro.metrics.counters import OperationCounters
+from repro.metrics.space import SpaceTracker
+
+
+class TestRegistry:
+    def test_all_paper_strategies_present(self):
+        assert set(STRATEGIES) == {
+            "linked_list",
+            "aggregation_tree",
+            "kordered_tree",
+            "balanced_tree",
+            "paged_tree",
+            "sweep",
+            "two_pass",
+            "reference",
+        }
+
+    def test_make_evaluator_by_name(self):
+        evaluator = make_evaluator("linked_list", "count")
+        assert evaluator.name == "linked_list"
+        assert evaluator.aggregate.name == "count"
+
+    def test_unknown_strategy(self):
+        with pytest.raises(UnknownStrategyError, match="quadtree"):
+            make_evaluator("quadtree", "count")
+
+    def test_k_defaults_to_one(self):
+        evaluator = make_evaluator("kordered_tree", "count")
+        assert isinstance(evaluator, KOrderedTreeEvaluator)
+        assert evaluator.k == 1
+
+    def test_k_rejected_for_other_strategies(self):
+        with pytest.raises(ValueError, match="does not take"):
+            make_evaluator("linked_list", "count", k=3)
+
+    def test_instrumentation_is_wired_through(self):
+        counters = OperationCounters()
+        space = SpaceTracker()
+        evaluator = make_evaluator(
+            "aggregation_tree", "count", counters=counters, space=space
+        )
+        evaluator.evaluate([(3, 5, None)])
+        assert counters.tuples == 1
+        assert space.peak_nodes > 0
+
+
+class TestEvaluateTriples:
+    def test_default_strategy(self):
+        result = evaluate_triples([(3, 5, None)], "count")
+        assert result.value_at(4) == 1
+
+    def test_named_strategy_and_k(self):
+        result = evaluate_triples(
+            [(3, 5, None), (8, 9, None)], "count", "kordered_tree", k=2
+        )
+        assert result.value_at(8) == 1
+
+
+class TestTemporalAggregate:
+    def test_auto_strategy(self, employed):
+        result = temporal_aggregate(employed, "count")
+        assert len(result) == 7
+
+    def test_explain_returns_decision(self, employed):
+        result, decision = temporal_aggregate(employed, "count", explain=True)
+        assert isinstance(decision, PlannerDecision)
+        assert decision.strategy in STRATEGIES
+        assert len(result) == 7
+
+    def test_explicit_strategy_decision_reason(self, employed):
+        _result, decision = temporal_aggregate(
+            employed, "count", strategy="linked_list", explain=True
+        )
+        assert decision.strategy == "linked_list"
+        assert "explicit" in decision.reason
+
+    def test_value_aggregate_requires_attribute(self, employed):
+        with pytest.raises(ValueError, match="needs an attribute"):
+            temporal_aggregate(employed, "sum")
+
+    def test_count_needs_no_attribute(self, employed):
+        assert temporal_aggregate(employed, "count").value_at(19) == 3
+
+    def test_attribute_aggregation(self, employed):
+        result = temporal_aggregate(employed, "sum", "salary")
+        assert result.value_at(19) == 40_000 + 45_000 + 37_000
+
+    def test_aggregate_instance_accepted(self, employed):
+        from repro.core.aggregates import MaxAggregate
+
+        result = temporal_aggregate(employed, MaxAggregate(), "salary")
+        assert result.value_at(19) == 45_000
+
+    def test_unknown_attribute_raises(self, employed):
+        from repro.relation.schema import SchemaError
+
+        with pytest.raises(SchemaError):
+            temporal_aggregate(employed, "sum", "bonus")
+
+    def test_all_strategies_agree(self, small_random_relation):
+        results = {}
+        for strategy in sorted(STRATEGIES):
+            k = len(small_random_relation) if strategy == "kordered_tree" else None
+            results[strategy] = temporal_aggregate(
+                small_random_relation, "count", strategy=strategy, k=k
+            ).rows
+        baseline = results.pop("reference")
+        for strategy, rows in results.items():
+            assert rows == baseline, f"{strategy} disagrees with the oracle"
+
+    def test_auto_cost_strategy(self, small_random_relation):
+        result, decision = temporal_aggregate(
+            small_random_relation, "count", strategy="auto_cost", explain=True
+        )
+        assert "cost-based" in decision.reason or "no candidate" in decision.reason
+        baseline = temporal_aggregate(
+            small_random_relation, "count", strategy="reference"
+        )
+        assert result.rows == baseline.rows
+
+    def test_memory_budget_forces_sort_plan(self, small_random_relation):
+        _result, decision = temporal_aggregate(
+            small_random_relation,
+            "count",
+            memory_budget_bytes=64,
+            explain=True,
+        )
+        assert decision.sort_first
+        assert decision.strategy == "kordered_tree"

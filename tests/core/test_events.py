@@ -1,0 +1,74 @@
+"""Tests of aggregation over event relations (Section 2)."""
+
+import pytest
+
+from repro.core.events import (
+    event_instant_aggregate,
+    event_span_aggregate,
+    event_triples,
+    event_window_aggregate,
+)
+from repro.core.interval import FOREVER, Interval
+
+
+class TestEventTriples:
+    def test_degenerate_intervals(self):
+        assert list(event_triples([(5, "a"), (9, "b")])) == [
+            (5, 5, "a"),
+            (9, 9, "b"),
+        ]
+
+    def test_negative_instant_rejected(self):
+        with pytest.raises(ValueError):
+            list(event_triples([(-1, "x")]))
+
+
+class TestInstantAggregate:
+    def test_multiplicity_profile(self):
+        events = [(5, None), (5, None), (9, None)]
+        result = event_instant_aggregate(events, "count")
+        assert result.value_at(5) == 2
+        assert result.value_at(7) == 0
+        assert result.value_at(9) == 1
+
+    def test_value_aggregate_at_events(self):
+        events = [(5, 10), (5, 30), (9, 7)]
+        result = event_instant_aggregate(events, "avg")
+        assert result.value_at(5) == 20.0
+        assert result.value_at(9) == 7.0
+        assert result.value_at(6) is None
+
+    def test_partition_invariant(self):
+        result = event_instant_aggregate([(3, None), (9, None)], "count")
+        result.verify_partition(full_cover=True)
+        assert result[-1].end == FOREVER
+
+
+class TestSpanAggregate:
+    def test_events_per_bucket(self):
+        events = [(1, None), (5, None), (15, None), (29, None)]
+        result = event_span_aggregate(events, "count", Interval(0, 29), 10)
+        assert [r.value for r in result] == [2, 1, 1]
+
+    def test_events_outside_window_ignored(self):
+        result = event_span_aggregate([(99, None)], "count", Interval(0, 29), 10)
+        assert all(r.value == 0 for r in result)
+
+
+class TestWindowAggregate:
+    def test_events_per_trailing_window(self):
+        events = [(10, None), (12, None), (30, None)]
+        result = event_window_aggregate(events, "count", window=5)
+        assert result.value_at(9) == 0
+        assert result.value_at(12) == 2  # both 10 and 12 within [8, 12]
+        assert result.value_at(14) == 2  # window [10, 14]
+        assert result.value_at(17) == 0  # both expired
+        assert result.value_at(30) == 1
+
+    def test_max_over_window(self):
+        events = [(10, 5), (12, 9)]
+        result = event_window_aggregate(events, "max", window=4)
+        assert result.value_at(11) == 5
+        assert result.value_at(13) == 9
+        assert result.value_at(14) == 9  # 10's event expired, 12's alive
+        assert result.value_at(16) is None

@@ -1,0 +1,134 @@
+"""Tests of granularity conversion."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.granularity import (
+    GranularityError,
+    coarsen,
+    coarsen_triples,
+    conversion_factor,
+    refine,
+    refine_triples,
+)
+from repro.core.interval import FOREVER, Interval
+
+
+class TestConversionFactor:
+    def test_known_factors(self):
+        assert conversion_factor("second", "minute") == 60
+        assert conversion_factor("minute", "hour") == 60
+        assert conversion_factor("hour", "day") == 24
+        assert conversion_factor("second", "day") == 86_400
+
+    def test_identity(self):
+        assert conversion_factor("hour", "hour") == 1
+
+    def test_wrong_direction(self):
+        with pytest.raises(GranularityError, match="finer"):
+            conversion_factor("day", "hour")
+
+    def test_unknown_granularity(self):
+        with pytest.raises(GranularityError, match="unknown"):
+            conversion_factor("second", "fortnight")
+
+
+class TestCoarsen:
+    def test_covering_semantics(self):
+        # Seconds 59..61 touch minutes 0 and 1.
+        assert coarsen(Interval(59, 61), "second", "minute") == Interval(0, 1)
+
+    def test_aligned_interval(self):
+        assert coarsen(Interval(60, 119), "second", "minute") == Interval(1, 1)
+
+    def test_forever_preserved(self):
+        result = coarsen(Interval(120, FOREVER), "second", "minute")
+        assert result == Interval(2, FOREVER)
+
+    def test_collapses_distinct_fine_stamps(self):
+        a = coarsen(Interval(3, 8), "second", "minute")
+        b = coarsen(Interval(12, 50), "second", "minute")
+        assert a == b == Interval(0, 0)
+
+
+class TestRefine:
+    def test_expands_to_full_units(self):
+        assert refine(Interval(1, 1), "minute", "second") == Interval(60, 119)
+
+    def test_forever_preserved(self):
+        assert refine(Interval(2, FOREVER), "minute", "second") == Interval(
+            120, FOREVER
+        )
+
+    @given(
+        start=st.integers(min_value=0, max_value=5000),
+        length=st.integers(min_value=0, max_value=5000),
+    )
+    def test_roundtrip_covers_original(self, start, length):
+        original = Interval(start, start + length)
+        back = refine(coarsen(original, "second", "hour"), "hour", "second")
+        assert back.covers(original)
+
+    @given(
+        start=st.integers(min_value=0, max_value=500),
+        length=st.integers(min_value=0, max_value=500),
+    )
+    def test_refine_then_coarsen_is_identity(self, start, length):
+        original = Interval(start, start + length)
+        there = refine(original, "minute", "second")
+        back = coarsen(there, "second", "minute")
+        assert back == original
+
+
+class TestTripleLifting:
+    def test_coarsen_triples(self):
+        triples = [(59, 61, "a"), (120, FOREVER, "b")]
+        assert list(coarsen_triples(triples, "second", "minute")) == [
+            (0, 1, "a"),
+            (2, FOREVER, "b"),
+        ]
+
+    def test_refine_triples(self):
+        triples = [(1, 1, "a")]
+        assert list(refine_triples(triples, "minute", "second")) == [
+            (60, 119, "a")
+        ]
+
+    def test_coarse_query_shrinks_state(self):
+        """Section 6.3: coarser granularity -> fewer unique timestamps
+        -> smaller structures."""
+        import random
+
+        from repro.core.aggregation_tree import AggregationTreeEvaluator
+
+        rng = random.Random(6)
+        fine = [
+            (s := rng.randrange(100_000), s + rng.randrange(2000), None)
+            for _ in range(400)
+        ]
+        fine_tree = AggregationTreeEvaluator("count")
+        fine_tree.evaluate(list(fine))
+        coarse_tree = AggregationTreeEvaluator("count")
+        coarse_tree.evaluate(list(coarsen_triples(fine, "second", "day")))
+        assert coarse_tree.space.peak_nodes * 5 < fine_tree.space.peak_nodes
+
+    def test_coarse_aggregate_matches_refined_probe(self):
+        """A count at day granularity at day d equals the count of
+        tuples whose (second) valid time touches day d."""
+        import random
+
+        from repro.core.reference import ReferenceEvaluator
+
+        rng = random.Random(7)
+        fine = [
+            (s := rng.randrange(400_000), s + rng.randrange(100_000), None)
+            for _ in range(60)
+        ]
+        coarse_result = ReferenceEvaluator("count").evaluate(
+            list(coarsen_triples(fine, "second", "day"))
+        )
+        for day in (0, 1, 3, 5):
+            low, high = day * 86_400, day * 86_400 + 86_399
+            touching = sum(1 for s, e, _v in fine if s <= high and e >= low)
+            assert coarse_result.value_at(day) == touching

@@ -1,0 +1,159 @@
+"""Tests of the live temporal-aggregate index."""
+
+import random
+
+import pytest
+
+from repro.core.index import TemporalAggregateIndex
+from repro.core.interval import FOREVER, Interval
+from repro.core.reference import ReferenceEvaluator
+
+
+def workload(n, seed=0):
+    rng = random.Random(seed)
+    return [
+        (s := rng.randrange(300), s + rng.randrange(50), rng.randrange(100))
+        for _ in range(n)
+    ]
+
+
+class TestPointProbes:
+    def test_empty_index(self):
+        index = TemporalAggregateIndex("count")
+        assert index.value_at(0) == 0
+        assert index.value_at(10**9) == 0
+
+    def test_empty_value_aggregate(self):
+        index = TemporalAggregateIndex("max")
+        assert index.value_at(5) is None
+
+    def test_probe_matches_batch_everywhere(self):
+        triples = workload(80, seed=1)
+        index = TemporalAggregateIndex("sum")
+        index.extend(triples)
+        batch = ReferenceEvaluator("sum").evaluate(list(triples))
+        for instant in (0, 10, 77, 150, 299, 400, 10**7):
+            assert index.value_at(instant) == batch.value_at(instant)
+
+    def test_probe_is_one_path_walk(self):
+        """value_at must not traverse the whole tree."""
+        triples = workload(300, seed=2)
+        index = TemporalAggregateIndex("count")
+        index.extend(triples)
+        visits_before = index._evaluator.counters.node_visits
+        index.value_at(150)
+        # value_at does its own walk without counters; verify instead
+        # that counters did not move (no full traversal happened).
+        assert index._evaluator.counters.node_visits == visits_before
+
+    def test_negative_instant_rejected(self):
+        with pytest.raises(ValueError):
+            TemporalAggregateIndex("count").value_at(-1)
+
+
+class TestWindowQueries:
+    def test_query_matches_restricted_batch(self):
+        triples = workload(60, seed=3)
+        index = TemporalAggregateIndex("min")
+        index.extend(triples)
+        batch = ReferenceEvaluator("min").evaluate(list(triples))
+        window = Interval(40, 220)
+        assert index.query(window).rows == batch.restrict(window).rows
+
+    def test_query_on_empty_index(self):
+        index = TemporalAggregateIndex("count")
+        result = index.query(Interval(5, 9))
+        assert [tuple(r) for r in result] == [(5, 9, 0)]
+
+    def test_query_whole_timeline(self):
+        triples = workload(40, seed=4)
+        index = TemporalAggregateIndex("count")
+        index.extend(triples)
+        full = index.query(Interval(0, FOREVER))
+        assert full.rows == index.result().rows
+
+
+class TestIncrementalMaintenance:
+    def test_inserts_between_queries(self):
+        index = TemporalAggregateIndex("count")
+        index.insert(10, 20)
+        assert index.value_at(15) == 1
+        index.insert(15, 30)
+        assert index.value_at(15) == 2
+        assert index.value_at(25) == 1
+
+    def test_result_equals_fresh_batch_after_growth(self):
+        triples = workload(100, seed=5)
+        index = TemporalAggregateIndex("avg")
+        for i, triple in enumerate(triples):
+            index.insert(*triple)
+            if i % 25 == 0:
+                index.result()  # interleaved traversals must not corrupt
+        batch = ReferenceEvaluator("avg").evaluate(list(triples))
+        assert index.result().rows == batch.rows
+
+    def test_tuple_count_and_repr(self):
+        index = TemporalAggregateIndex("count")
+        index.extend(workload(7, seed=6))
+        assert index.tuple_count == 7
+        assert "7 tuples" in repr(index)
+
+    def test_invalid_tuple_rejected(self):
+        index = TemporalAggregateIndex("count")
+        with pytest.raises(Exception):
+            index.insert(9, 3)
+
+    def test_node_count_and_depth_exposed(self):
+        index = TemporalAggregateIndex("count")
+        index.extend(workload(50, seed=7))
+        assert index.node_count > 50
+        assert index.depth > 3
+        assert index.space.live_nodes == index.node_count
+
+
+class TestDeletion:
+    def test_insert_then_delete_restores_values(self):
+        triples = workload(40, seed=8)
+        index = TemporalAggregateIndex("count")
+        index.extend(triples)
+        extra = (50, 120, None)
+        index.insert(*extra)
+        index.delete(*extra)
+        batch = ReferenceEvaluator("count").evaluate(list(triples))
+        for instant in (0, 60, 100, 250, 10**6):
+            assert index.value_at(instant) == batch.value_at(instant)
+        assert index.tuple_count == len(triples)
+
+    def test_delete_every_tuple_returns_to_empty(self):
+        triples = workload(25, seed=9)
+        index = TemporalAggregateIndex("avg")
+        index.extend(triples)
+        for triple in triples:
+            index.delete(*triple)
+        for instant in (0, 100, 10**6):
+            assert index.value_at(instant) is None
+
+    def test_delete_interleaved_with_queries(self):
+        index = TemporalAggregateIndex("count")
+        index.insert(10, 20)
+        index.insert(15, 30)
+        index.delete(10, 20)
+        assert index.value_at(12) == 0
+        assert index.value_at(18) == 1
+
+    def test_unknown_boundaries_detected(self):
+        index = TemporalAggregateIndex("count")
+        index.insert(10, 20)
+        with pytest.raises(KeyError, match="never inserted"):
+            index.delete(11, 19)  # boundaries absent from the tree
+
+    def test_min_max_sum_rejected(self):
+        for name in ("min", "max", "sum"):
+            index = TemporalAggregateIndex(name)
+            index.insert(0, 5, 1)
+            with pytest.raises(ValueError, match="deletion"):
+                index.delete(0, 5, 1)
+
+    def test_empty_index_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            TemporalAggregateIndex("count").delete(0, 5)

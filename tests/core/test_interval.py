@@ -1,0 +1,193 @@
+"""Unit and property tests for the closed-interval time model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.interval import (
+    FOREVER,
+    ORIGIN,
+    Interval,
+    InvalidIntervalError,
+    format_instant,
+    parse_instant,
+)
+
+instants = st.integers(min_value=0, max_value=500)
+
+
+def interval_strategy():
+    return st.builds(
+        lambda a, b: Interval(min(a, b), max(a, b)), instants, instants
+    )
+
+
+class TestConstruction:
+    def test_valid_interval(self):
+        interval = Interval(3, 9)
+        assert interval.start == 3
+        assert interval.end == 9
+
+    def test_single_instant(self):
+        assert Interval.instant(5) == Interval(5, 5)
+        assert Interval(5, 5).is_instant
+
+    def test_always_covers_the_timeline(self):
+        assert Interval.always() == Interval(ORIGIN, FOREVER)
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(InvalidIntervalError):
+            Interval(9, 3)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(InvalidIntervalError):
+            Interval(-1, 3)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Interval(1, 2).start = 7  # type: ignore[misc]
+
+    def test_ordering_is_start_then_end(self):
+        assert Interval(1, 5) < Interval(2, 3)
+        assert Interval(1, 3) < Interval(1, 5)
+
+
+class TestParsing:
+    def test_parse_plain(self):
+        assert Interval.parse("[8, 20]") == Interval(8, 20)
+
+    def test_parse_forever(self):
+        assert Interval.parse("[18, forever]") == Interval(18, FOREVER)
+
+    def test_parse_infinity_spellings(self):
+        for spelling in ("inf", "infinity", "forever"):
+            assert parse_instant(spelling) == FOREVER
+
+    def test_parse_garbage_rejected(self):
+        with pytest.raises(InvalidIntervalError):
+            Interval.parse("[8; 20]")
+        with pytest.raises(InvalidIntervalError):
+            parse_instant("soon")
+
+    def test_parse_negative_rejected(self):
+        with pytest.raises(InvalidIntervalError):
+            parse_instant("-4")
+
+    def test_format_roundtrip(self):
+        assert parse_instant(format_instant(42)) == 42
+        assert parse_instant(format_instant(FOREVER)) == FOREVER
+
+    def test_str_rendering(self):
+        assert str(Interval(18, FOREVER)) == "[18, forever]"
+
+
+class TestMembershipAndSize:
+    def test_duration_closed(self):
+        assert Interval(8, 20).duration == 13
+        assert Interval(5, 5).duration == 1
+
+    def test_contains(self):
+        interval = Interval(8, 20)
+        assert 8 in interval
+        assert 20 in interval
+        assert 7 not in interval
+        assert 21 not in interval
+
+    def test_instants_iteration(self):
+        assert list(Interval(3, 6).instants()) == [3, 4, 5, 6]
+
+    def test_instants_refuses_unbounded(self):
+        with pytest.raises(InvalidIntervalError):
+            Interval(3, FOREVER).instants()
+
+
+class TestRelations:
+    def test_overlap_shared_instant(self):
+        assert Interval(1, 5).overlaps(Interval(5, 9))
+
+    def test_no_overlap_when_meeting(self):
+        assert not Interval(1, 4).overlaps(Interval(5, 9))
+        assert Interval(1, 4).meets(Interval(5, 9))
+
+    def test_meets_needs_adjacency(self):
+        assert not Interval(1, 3).meets(Interval(5, 9))
+
+    def test_covers(self):
+        assert Interval(1, 10).covers(Interval(3, 7))
+        assert Interval(1, 10).covers(Interval(1, 10))
+        assert not Interval(3, 7).covers(Interval(1, 10))
+
+    def test_precedes(self):
+        assert Interval(1, 4).precedes(Interval(5, 9))
+        assert not Interval(1, 5).precedes(Interval(5, 9))
+
+    def test_intersect(self):
+        assert Interval(1, 6).intersect(Interval(4, 9)) == Interval(4, 6)
+        assert Interval(1, 3).intersect(Interval(5, 9)) is None
+
+    def test_hull(self):
+        assert Interval(1, 3).hull(Interval(7, 9)) == Interval(1, 9)
+
+    @given(interval_strategy(), interval_strategy())
+    def test_overlap_is_symmetric(self, a, b):
+        assert a.overlaps(b) == b.overlaps(a)
+
+    @given(interval_strategy(), interval_strategy())
+    def test_intersection_inside_both(self, a, b):
+        shared = a.intersect(b)
+        if shared is None:
+            assert not a.overlaps(b)
+        else:
+            assert a.covers(shared) and b.covers(shared)
+
+    @given(interval_strategy(), interval_strategy())
+    def test_hull_covers_both(self, a, b):
+        hull = a.hull(b)
+        assert hull.covers(a) and hull.covers(b)
+
+    @given(interval_strategy(), interval_strategy())
+    def test_overlap_iff_intersection(self, a, b):
+        assert a.overlaps(b) == (a.intersect(b) is not None)
+
+
+class TestSplitting:
+    def test_split_at_start_partitions(self):
+        left, right = Interval(0, 17).split_at_start(8)
+        assert left == Interval(0, 7)
+        assert right == Interval(8, 17)
+
+    def test_split_at_end_partitions(self):
+        left, right = Interval(8, 17).split_at_end(12)
+        assert left == Interval(8, 12)
+        assert right == Interval(13, 17)
+
+    def test_split_at_start_boundary_equal_start_rejected(self):
+        with pytest.raises(InvalidIntervalError):
+            Interval(5, 9).split_at_start(5)
+
+    def test_split_at_end_boundary_equal_end_rejected(self):
+        with pytest.raises(InvalidIntervalError):
+            Interval(5, 9).split_at_end(9)
+
+    def test_split_outside_rejected(self):
+        with pytest.raises(InvalidIntervalError):
+            Interval(5, 9).split_at_start(10)
+        with pytest.raises(InvalidIntervalError):
+            Interval(5, 9).split_at_end(4)
+
+    @given(interval_strategy(), instants)
+    def test_start_split_partitions_exactly(self, interval, boundary):
+        if interval.start < boundary <= interval.end:
+            left, right = interval.split_at_start(boundary)
+            assert left.end + 1 == right.start
+            assert left.start == interval.start
+            assert right.end == interval.end
+            assert left.duration + right.duration == interval.duration
+
+    @given(interval_strategy(), instants)
+    def test_end_split_partitions_exactly(self, interval, boundary):
+        if interval.start <= boundary < interval.end:
+            left, right = interval.split_at_end(boundary)
+            assert left.end == boundary
+            assert left.end + 1 == right.start
+            assert left.duration + right.duration == interval.duration

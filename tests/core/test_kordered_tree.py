@@ -1,0 +1,218 @@
+"""Unit tests for the k-ordered aggregation tree (Section 5.3)."""
+
+import random
+
+import pytest
+
+from repro.core.aggregation_tree import AggregationTreeEvaluator
+from repro.core.interval import FOREVER
+from repro.core.kordered_tree import KOrderedTreeEvaluator, KOrderViolationError
+from repro.workload.permute import k_disorder
+
+
+def sorted_workload(n, seed=0, span=30):
+    rng = random.Random(seed)
+    triples = []
+    clock = 0
+    for _ in range(n):
+        clock += rng.randrange(0, 8)
+        triples.append((clock, clock + rng.randrange(span), rng.randrange(100)))
+    return triples
+
+
+def disordered(triples, k, seed=0):
+    permutation = k_disorder(len(triples), k, 0.5, seed=seed)
+    return [triples[i] for i in permutation]
+
+
+class TestEquivalence:
+    def test_matches_tree_on_sorted_input(self):
+        triples = sorted_workload(300, seed=1)
+        reference = AggregationTreeEvaluator("count").evaluate(list(triples))
+        result = KOrderedTreeEvaluator("count", k=1).evaluate(list(triples))
+        assert result.rows == reference.rows
+
+    @pytest.mark.parametrize("k", [1, 3, 10, 50])
+    def test_matches_tree_on_k_disordered_input(self, k):
+        base = sorted_workload(200, seed=k)
+        shuffled = disordered(base, k, seed=k)
+        reference = AggregationTreeEvaluator("sum").evaluate(list(shuffled))
+        result = KOrderedTreeEvaluator("sum", k=k).evaluate(list(shuffled))
+        assert result.rows == reference.rows
+
+    def test_oversized_k_behaves_like_plain_tree(self):
+        triples = sorted_workload(100, seed=7)
+        random.Random(7).shuffle(triples)
+        reference = AggregationTreeEvaluator("max").evaluate(list(triples))
+        result = KOrderedTreeEvaluator("max", k=len(triples)).evaluate(
+            list(triples)
+        )
+        assert result.rows == reference.rows
+
+    def test_k_zero_on_sorted_input(self):
+        triples = sorted_workload(150, seed=3)
+        reference = AggregationTreeEvaluator("count").evaluate(list(triples))
+        result = KOrderedTreeEvaluator("count", k=0).evaluate(list(triples))
+        assert result.rows == reference.rows
+
+    def test_empty_input(self):
+        result = KOrderedTreeEvaluator("count", k=1).evaluate([])
+        assert [tuple(r) for r in result] == [(0, FOREVER, 0)]
+
+    def test_result_partitions_timeline(self):
+        triples = sorted_workload(250, seed=9)
+        result = KOrderedTreeEvaluator("count", k=1).evaluate(triples)
+        result.verify_partition(full_cover=True)
+
+
+class TestGarbageCollection:
+    def test_peak_nodes_bounded_on_sorted_input(self):
+        """The Figure 9 effect: k=1 keeps a constant-size working set."""
+        small = KOrderedTreeEvaluator("count", k=1)
+        small.evaluate(sorted_workload(200, seed=4, span=5))
+        large = KOrderedTreeEvaluator("count", k=1)
+        large.evaluate(sorted_workload(2000, seed=4, span=5))
+        # 10x the tuples, roughly the same peak (short-lived, sorted).
+        assert large.space.peak_nodes <= 3 * small.space.peak_nodes
+
+    def test_peak_far_below_plain_tree(self):
+        triples = sorted_workload(1000, seed=5, span=5)
+        tree = AggregationTreeEvaluator("count")
+        tree.evaluate(list(triples))
+        ktree = KOrderedTreeEvaluator("count", k=1)
+        ktree.evaluate(list(triples))
+        assert ktree.space.peak_nodes * 10 < tree.space.peak_nodes
+
+    def test_larger_k_keeps_more(self):
+        triples = sorted_workload(600, seed=6, span=5)
+        peaks = []
+        for k in (1, 10, 100):
+            evaluator = KOrderedTreeEvaluator("count", k=k)
+            evaluator.evaluate(disordered(triples, k, seed=k))
+            peaks.append(evaluator.space.peak_nodes)
+        assert peaks[0] < peaks[1] < peaks[2]
+
+    def test_long_lived_tuples_block_collection(self):
+        """Section 6.2: long-lived tuples inflate the k-tree's memory."""
+        short = sorted_workload(500, seed=8, span=5)
+        evaluator_short = KOrderedTreeEvaluator("count", k=1)
+        evaluator_short.evaluate(short)
+
+        long_lived = [(s, s + 10_000, v) for s, _e, v in short]
+        evaluator_long = KOrderedTreeEvaluator("count", k=1)
+        evaluator_long.evaluate(long_lived)
+        assert (
+            evaluator_long.space.peak_nodes
+            > 5 * evaluator_short.space.peak_nodes
+        )
+
+    def test_gc_counters_active(self):
+        evaluator = KOrderedTreeEvaluator("count", k=1)
+        evaluator.evaluate(sorted_workload(100, seed=2, span=5))
+        assert evaluator.counters.gc_passes > 0
+        assert evaluator.counters.nodes_collected > 0
+        # Collections come in leaf+parent pairs.
+        assert evaluator.counters.nodes_collected % 2 == 0
+
+    def test_live_nodes_match_allocations_minus_frees(self):
+        evaluator = KOrderedTreeEvaluator("count", k=2)
+        evaluator.evaluate(sorted_workload(150, seed=12, span=8))
+        assert (
+            evaluator.space.live_nodes
+            == evaluator.space.allocated_total
+            - evaluator.counters.nodes_collected
+        )
+
+
+class TestStreaming:
+    def test_rows_emitted_during_run(self):
+        """Results stream out before the scan finishes."""
+        triples = sorted_workload(300, seed=10, span=5)
+        evaluator = KOrderedTreeEvaluator("count", k=1)
+
+        emitted_mid_run = 0
+
+        def stream():
+            nonlocal emitted_mid_run
+            for index, triple in enumerate(triples):
+                if index == len(triples) - 1:
+                    emitted_mid_run = len(evaluator._emitted)
+                yield triple
+
+        evaluator.evaluate(stream())
+        assert emitted_mid_run > 0
+
+    def test_window_capacity(self):
+        assert KOrderedTreeEvaluator("count", k=10).window_capacity == 21
+        assert KOrderedTreeEvaluator("count", k=0).window_capacity == 1
+
+    def test_threshold_is_running_max(self):
+        evaluator = KOrderedTreeEvaluator("count", k=1)
+        evaluator.evaluate([(5, 6, None), (3, 4, None), (7, 8, None),
+                            (9, 10, None), (11, 12, None)])
+        assert evaluator.gc_threshold >= 5
+
+
+class TestViolationDetection:
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            KOrderedTreeEvaluator("count", k=-1)
+
+    def test_violation_raises(self):
+        """A tuple arriving after its region was emitted is detected."""
+        triples = [(i * 10, i * 10 + 2, None) for i in range(50)]
+        triples.append((0, 5, None))  # massively late
+        with pytest.raises(KOrderViolationError, match="not 1-ordered"):
+            KOrderedTreeEvaluator("count", k=1).evaluate(triples)
+
+    def test_violation_message_explains_emission(self):
+        triples = [(i * 10, i * 10 + 2, None) for i in range(50)]
+        triples.append((0, 5, None))
+        with pytest.raises(KOrderViolationError, match="already emitted"):
+            KOrderedTreeEvaluator("count", k=1).evaluate(triples)
+
+    def test_no_false_positives_within_k(self):
+        base = sorted_workload(400, seed=13)
+        for k in (1, 5, 20):
+            shuffled = disordered(base, k, seed=k)
+            KOrderedTreeEvaluator("count", k=k).evaluate(shuffled)  # no raise
+
+
+class TestEmissionOrder:
+    def test_streamed_prefix_is_time_ordered_and_contiguous(self):
+        """Rows emitted during the scan and the final flush must stitch
+        into one seamless, time-ordered partition."""
+        triples = sorted_workload(400, seed=21, span=6)
+        evaluator = KOrderedTreeEvaluator("count", k=1)
+        result = evaluator.evaluate(triples)
+        result.verify_partition(full_cover=True)
+        starts = [row.start for row in result]
+        assert starts == sorted(starts)
+
+    def test_emitted_rows_never_revised(self):
+        """Once emitted, a constant interval is final: its value equals
+        the batch evaluation's value at every contained instant."""
+        triples = sorted_workload(300, seed=22, span=4)
+        evaluator = KOrderedTreeEvaluator("count", k=1)
+
+        snapshots = []
+
+        def stream():
+            for index, triple in enumerate(triples):
+                if index % 50 == 49:
+                    snapshots.append(list(evaluator._emitted))
+                yield triple
+
+        result = evaluator.evaluate(stream())
+        for snapshot in snapshots:
+            for row in snapshot:
+                assert result.value_at(row.start) == row.value
+                assert result.value_at(row.end) == row.value
+
+
+class TestReuse:
+    def test_evaluate_resets_between_runs(self):
+        evaluator = KOrderedTreeEvaluator("count", k=1)
+        first = evaluator.evaluate(sorted_workload(80, seed=14))
+        second = evaluator.evaluate(sorted_workload(80, seed=14))
+        assert first.rows == second.rows

@@ -1,0 +1,147 @@
+"""Unit tests for the linked-list (naive) algorithm (Section 4.2)."""
+
+import pytest
+
+from repro.core.interval import FOREVER
+from repro.core.linked_list import LinkedListEvaluator
+from repro.core.interval import InvalidIntervalError
+
+
+def run(triples, aggregate="count"):
+    evaluator = LinkedListEvaluator(aggregate)
+    result = evaluator.evaluate(triples)
+    return evaluator, result
+
+
+class TestBasics:
+    def test_empty_input_single_cell(self):
+        evaluator, result = run([])
+        assert [tuple(r) for r in result] == [(0, FOREVER, 0)]
+        assert evaluator.space.peak_nodes == 1
+
+    def test_single_tuple_three_cells(self):
+        _ev, result = run([(5, 9, None)])
+        assert [tuple(r) for r in result] == [
+            (0, 4, 0),
+            (5, 9, 1),
+            (10, FOREVER, 0),
+        ]
+
+    def test_tuple_starting_at_origin(self):
+        _ev, result = run([(0, 9, None)])
+        assert [tuple(r) for r in result] == [(0, 9, 1), (10, FOREVER, 0)]
+
+    def test_tuple_reaching_forever(self):
+        _ev, result = run([(5, FOREVER, None)])
+        assert [tuple(r) for r in result] == [(0, 4, 0), (5, FOREVER, 1)]
+
+    def test_whole_timeline_tuple_no_split(self):
+        evaluator, result = run([(0, FOREVER, None)])
+        assert [tuple(r) for r in result] == [(0, FOREVER, 1)]
+        assert evaluator.counters.splits == 0
+
+    def test_instant_tuple(self):
+        _ev, result = run([(7, 7, None)])
+        assert [tuple(r) for r in result] == [
+            (0, 6, 0),
+            (7, 7, 1),
+            (8, FOREVER, 0),
+        ]
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(InvalidIntervalError):
+            run([(9, 3, None)])
+        with pytest.raises(InvalidIntervalError):
+            run([(-1, 3, None)])
+
+
+class TestOverlapHandling:
+    def test_identical_tuples_share_cells(self):
+        evaluator, result = run([(5, 9, None)] * 3)
+        assert result.value_at(7) == 3
+        # Only the first tuple splits; the rest just update.
+        assert evaluator.counters.splits == 2
+
+    def test_nested_tuples(self):
+        _ev, result = run([(0, 100, None), (40, 60, None)])
+        assert result.value_at(39) == 1
+        assert result.value_at(50) == 2
+        assert result.value_at(61) == 1
+
+    def test_chain_of_meeting_tuples(self):
+        _ev, result = run([(0, 4, None), (5, 9, None), (10, 14, None)])
+        assert [r.value for r in result] == [1, 1, 1, 0]
+
+    def test_shared_boundaries_reuse_splits(self):
+        evaluator, result = run([(5, 9, None), (5, 9, None), (5, 20, None)])
+        assert result.value_at(5) == 3
+        assert result.value_at(15) == 1
+        # Boundaries 5, 10 from the first tuple; 21 from the third.
+        assert evaluator.counters.splits == 3
+
+
+class TestStateAndCounters:
+    def test_cell_count_bound(self):
+        """At most one new cell per unique finite timestamp + 1."""
+        triples = [(10 * i, 10 * i + 5, None) for i in range(20)]
+        evaluator, result = run(triples)
+        finite_stamps = 2 * 20  # all distinct here
+        assert evaluator.space.peak_nodes <= finite_stamps + 1
+
+    def test_walk_is_quadratic_shaped(self):
+        """Visits grow ~4x when n doubles (the Figure 6 slope)."""
+        import random
+
+        rng = random.Random(5)
+
+        def visits(n):
+            triples = []
+            for _ in range(n):
+                s = rng.randrange(10_000)
+                triples.append((s, s + rng.randrange(100), None))
+            evaluator, _ = run(triples)
+            return evaluator.counters.node_visits
+
+        small, large = visits(200), visits(400)
+        assert large > 2.5 * small  # quadratic, not linear
+
+    def test_emitted_matches_rows(self):
+        evaluator, result = run([(3, 5, None), (10, 12, None)])
+        assert evaluator.counters.emitted == len(result)
+
+    def test_aggregate_updates_equal_total_overlaps(self):
+        evaluator, _result = run([(0, 9, None), (5, 14, None)])
+        # Tuple 1 updates the single cell [0,9]; tuple 2 then splits it
+        # and updates [5,9] and [10,14]: three updates in insert order.
+        assert evaluator.counters.aggregate_updates == 3
+
+
+class TestValueAggregates:
+    def test_sum_over_overlap(self):
+        _ev, result = run([(0, 9, 10), (5, 14, 32)], aggregate="sum")
+        assert result.value_at(2) == 10
+        assert result.value_at(7) == 42
+        assert result.value_at(12) == 32
+        assert result.value_at(20) is None
+
+    def test_min_with_negative(self):
+        _ev, result = run([(0, 9, -5), (5, 14, 3)], aggregate="min")
+        assert result.value_at(7) == -5
+        assert result.value_at(12) == 3
+
+    def test_avg(self):
+        _ev, result = run([(0, 9, 10), (0, 9, 20)], aggregate="avg")
+        assert result.value_at(3) == 15.0
+
+
+class TestPartitionInvariant:
+    def test_result_partitions_timeline(self):
+        import random
+
+        rng = random.Random(11)
+        triples = [
+            (s := rng.randrange(50), s + rng.randrange(20), None)
+            for _ in range(60)
+        ]
+        _ev, result = run(triples)
+        result.verify_partition(full_cover=True)

@@ -1,0 +1,86 @@
+"""Tests of moving-window temporal aggregates."""
+
+import random
+
+import pytest
+
+from repro.core.interval import FOREVER
+from repro.core.moving import extend_for_window, moving_window_aggregate
+from repro.core.reference import ReferenceEvaluator
+
+
+class TestExtendForWindow:
+    def test_window_one_is_identity(self):
+        triples = [(3, 5, 1), (8, 8, 2)]
+        assert list(extend_for_window(triples, 1)) == triples
+
+    def test_extension_saturates_at_forever(self):
+        extended = list(extend_for_window([(5, FOREVER, 1)], 10))
+        assert extended == [(5, FOREVER, 1)]
+
+    def test_extension_amount(self):
+        assert list(extend_for_window([(3, 5, 1)], 4)) == [(3, 8, 1)]
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            list(extend_for_window([(0, 1, 1)], 0))
+
+    def test_order_preserved(self):
+        triples = [(9, 10, 1), (3, 4, 2)]
+        extended = list(extend_for_window(triples, 5))
+        assert [t[2] for t in extended] == [1, 2]
+
+
+class TestMovingWindowAggregate:
+    def test_window_one_equals_instant_grouping(self):
+        triples = [(2, 4, 10), (8, 9, 20)]
+        moving = moving_window_aggregate(list(triples), "count", 1)
+        plain = ReferenceEvaluator("count").evaluate(list(triples))
+        assert moving.rows == plain.rows
+
+    def test_event_lingers_for_window_length(self):
+        """A single instant event stays visible for w instants."""
+        result = moving_window_aggregate([(10, 10, 5)], "count", 3)
+        assert result.value_at(9) == 0
+        assert result.value_at(10) == 1
+        assert result.value_at(12) == 1
+        assert result.value_at(13) == 0
+
+    def test_matches_bruteforce_window_semantics(self):
+        """value_at(t) must equal the aggregate of tuples overlapping
+        [t-w+1, t] — checked against a direct computation."""
+        rng = random.Random(17)
+        triples = [
+            (s := rng.randrange(60), s + rng.randrange(10), rng.randrange(50))
+            for _ in range(40)
+        ]
+        w = 7
+        result = moving_window_aggregate(list(triples), "max", w)
+        for t in range(0, 90):
+            window_low = max(0, t - w + 1)
+            visible = [
+                v for s, e, v in triples if s <= t and e >= window_low
+            ]
+            expected = max(visible) if visible else None
+            assert result.value_at(t) == expected, f"instant {t}"
+
+    def test_strategy_and_k_forwarded(self):
+        triples = sorted(
+            [(i * 3, i * 3 + 1, None) for i in range(50)]
+        )
+        result = moving_window_aggregate(
+            list(triples), "count", 5, strategy="kordered_tree", k=1
+        )
+        plain = moving_window_aggregate(list(triples), "count", 5)
+        assert result.rows == plain.rows
+
+    def test_larger_window_never_smaller_count(self):
+        rng = random.Random(23)
+        triples = [
+            (s := rng.randrange(40), s + rng.randrange(6), None)
+            for _ in range(25)
+        ]
+        narrow = moving_window_aggregate(list(triples), "count", 2)
+        wide = moving_window_aggregate(list(triples), "count", 9)
+        for t in range(0, 60):
+            assert wide.value_at(t) >= narrow.value_at(t)

@@ -1,0 +1,156 @@
+"""Tests for the Section 5.2 sortedness metrics."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.ordering import (
+    displacement_histogram,
+    displacements,
+    is_k_ordered,
+    k_ordered_percentage,
+    k_orderedness,
+    percentage_from_histogram,
+)
+
+key_lists = st.lists(st.integers(min_value=0, max_value=50), max_size=40)
+
+
+class TestDisplacements:
+    def test_sorted_input_all_zero(self):
+        assert displacements([1, 2, 3, 4]) == [0, 0, 0, 0]
+
+    def test_single_swap(self):
+        # [2, 1, 3]: positions 0 and 1 are each one place off.
+        assert displacements([2, 1, 3]) == [1, 1, 0]
+
+    def test_reversed_input(self):
+        assert displacements([4, 3, 2, 1]) == [3, 1, 1, 3]
+
+    def test_duplicates_are_stable(self):
+        # All-equal keys are already "sorted" under a stable comparison.
+        assert displacements([5, 5, 5]) == [0, 0, 0]
+
+    def test_duplicates_mixed(self):
+        # Stable sort keeps the two 2s in their original relative order.
+        assert displacements([2, 1, 2]) == [1, 1, 0]
+
+    def test_empty(self):
+        assert displacements([]) == []
+
+    @given(key_lists)
+    def test_displacements_are_a_permutation_distance(self, keys):
+        dists = displacements(keys)
+        assert len(dists) == len(keys)
+        assert all(0 <= d <= max(0, len(keys) - 1) for d in dists)
+
+    @given(st.lists(st.integers(), max_size=40, unique=True))
+    def test_sorting_zeroes_displacements(self, keys):
+        assert displacements(sorted(keys)) == [0] * len(keys)
+
+
+class TestKOrderedness:
+    def test_sorted_is_zero_ordered(self):
+        assert k_orderedness([1, 2, 3]) == 0
+
+    def test_adjacent_swap_is_one_ordered(self):
+        assert k_orderedness([2, 1, 3, 4]) == 1
+
+    def test_distance_swap(self):
+        keys = list(range(10))
+        keys[0], keys[5] = keys[5], keys[0]
+        assert k_orderedness(keys) == 5
+
+    def test_is_k_ordered_monotone(self):
+        keys = [3, 1, 2]
+        assert not is_k_ordered(keys, 1)
+        assert is_k_ordered(keys, 2)
+        assert is_k_ordered(keys, 3)
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            is_k_ordered([1], -1)
+
+    def test_empty_is_zero_ordered(self):
+        assert k_orderedness([]) == 0
+
+    @given(key_lists)
+    def test_every_list_is_n_minus_1_ordered(self, keys):
+        assert is_k_ordered(keys, max(0, len(keys) - 1))
+
+    @given(st.lists(st.integers(min_value=0, max_value=30), max_size=25))
+    def test_k_orderedness_is_minimal(self, keys):
+        k = k_orderedness(keys)
+        assert is_k_ordered(keys, k)
+        if k > 0:
+            assert not is_k_ordered(keys, k - 1)
+
+
+class TestPercentage:
+    def test_sorted_is_zero(self):
+        assert k_ordered_percentage(list(range(100)), 10) == 0.0
+
+    def test_two_swapped(self):
+        keys = list(range(10))
+        keys[0], keys[4] = keys[4], keys[0]
+        # Two tuples displaced 4 each: (4 + 4) / (4 * 10).
+        assert k_ordered_percentage(keys, 4) == pytest.approx(0.2)
+
+    def test_paper_full_disorder_example(self):
+        # Paper Section 5.2: n=6, k=3, swap 1-4, 2-5, 3-6 -> ratio 1.
+        keys = [4, 5, 6, 1, 2, 3]
+        assert k_ordered_percentage(keys, 3) == pytest.approx(1.0)
+
+    def test_k_too_small_rejected(self):
+        keys = [5, 1, 2, 3, 4, 0]
+        with pytest.raises(ValueError, match="too small"):
+            k_ordered_percentage(keys, 2)
+
+    def test_empty_sequence(self):
+        assert k_ordered_percentage([], 5) == 0.0
+
+    def test_zero_k_on_sorted(self):
+        assert k_ordered_percentage([1, 2, 3], 0) == 0.0
+
+    @given(key_lists, st.integers(min_value=1, max_value=60))
+    def test_percentage_bounded(self, keys, extra):
+        k = k_orderedness(keys) + extra
+        ratio = k_ordered_percentage(keys, k)
+        assert 0.0 <= ratio <= 1.0
+
+    @given(st.lists(st.integers(), min_size=2, max_size=30, unique=True))
+    def test_larger_k_shrinks_percentage(self, keys):
+        random.Random(0).shuffle(keys)
+        k = max(1, k_orderedness(keys))
+        assert k_ordered_percentage(keys, k * 2) <= k_ordered_percentage(keys, k)
+
+
+class TestHistogram:
+    def test_histogram_of_sorted_is_empty(self):
+        assert displacement_histogram([1, 2, 3]) == {}
+
+    def test_histogram_counts(self):
+        keys = list(range(8))
+        keys[0], keys[2] = keys[2], keys[0]  # two tuples displaced 2
+        keys[5], keys[6] = keys[6], keys[5]  # two tuples displaced 1
+        assert displacement_histogram(keys) == {2: 2, 1: 2}
+
+    def test_percentage_from_histogram_matches_direct(self):
+        keys = list(range(20))
+        keys[3], keys[9] = keys[9], keys[3]
+        k = 6
+        direct = k_ordered_percentage(keys, k)
+        via_hist = percentage_from_histogram(
+            displacement_histogram(keys), k, len(keys)
+        )
+        assert direct == pytest.approx(via_hist)
+
+    def test_histogram_validation(self):
+        with pytest.raises(ValueError):
+            percentage_from_histogram({1: 5}, 0, 10)
+        with pytest.raises(ValueError):
+            percentage_from_histogram({5: 2}, 3, 10)  # displacement > k
+        with pytest.raises(ValueError):
+            percentage_from_histogram({1: 20}, 3, 10)  # counts exceed n

@@ -1,0 +1,152 @@
+"""Tests of the limited-memory (paged) aggregation tree (Section 7)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aggregation_tree import AggregationTreeEvaluator
+from repro.core.interval import FOREVER
+from repro.core.paged_tree import (
+    MIN_NODE_BUDGET,
+    PagedAggregationTreeEvaluator,
+    SpillMetrics,
+)
+
+
+def workload(n, seed=0, span=500, horizon=20_000):
+    rng = random.Random(seed)
+    return [
+        (s := rng.randrange(horizon), s + rng.randrange(span), rng.randrange(100))
+        for _ in range(n)
+    ]
+
+
+class TestBasics:
+    def test_budget_floor(self):
+        with pytest.raises(ValueError):
+            PagedAggregationTreeEvaluator("count", node_budget=MIN_NODE_BUDGET - 1)
+
+    def test_empty_input(self):
+        result = PagedAggregationTreeEvaluator("count", node_budget=16).evaluate([])
+        assert [tuple(r) for r in result] == [(0, FOREVER, 0)]
+
+    def test_no_spill_under_budget(self):
+        evaluator = PagedAggregationTreeEvaluator("count", node_budget=4096)
+        result = evaluator.evaluate([(5, 9, None)])
+        assert evaluator.metrics.evictions == 0
+        assert [tuple(r) for r in result] == [
+            (0, 4, 0),
+            (5, 9, 1),
+            (10, FOREVER, 0),
+        ]
+
+    def test_traversal_consumes_the_tree(self):
+        evaluator = PagedAggregationTreeEvaluator("count", node_budget=32)
+        evaluator.evaluate(workload(100, seed=1))
+        assert evaluator.space.live_nodes == 0
+        assert evaluator.root is None
+
+    def test_evaluate_reusable(self):
+        evaluator = PagedAggregationTreeEvaluator("count", node_budget=32)
+        first = evaluator.evaluate(workload(80, seed=2))
+        second = evaluator.evaluate(workload(80, seed=2))
+        assert first.rows == second.rows
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("budget", [16, 64, 512])
+    @pytest.mark.parametrize("aggregate", ["count", "sum", "min", "avg"])
+    def test_matches_plain_tree(self, budget, aggregate):
+        triples = workload(250, seed=budget)
+        expected = AggregationTreeEvaluator(aggregate).evaluate(list(triples))
+        result = PagedAggregationTreeEvaluator(
+            aggregate, node_budget=budget
+        ).evaluate(list(triples))
+        assert result.rows == expected.rows
+
+    def test_sorted_degenerate_input(self):
+        triples = [(i, i + 3, 1) for i in range(1500)]
+        expected = AggregationTreeEvaluator("count").evaluate(list(triples))
+        evaluator = PagedAggregationTreeEvaluator("count", node_budget=64)
+        result = evaluator.evaluate(list(triples))
+        assert result.rows == expected.rows
+
+    def test_covering_tuples_fold_into_stub_states(self):
+        """Whole-region tuples absorb at stubs, never pend."""
+        triples = workload(200, seed=7, span=50, horizon=5_000)
+        triples += [(0, FOREVER, 1)] * 5  # cover everything
+        expected = AggregationTreeEvaluator("count").evaluate(list(triples))
+        result = PagedAggregationTreeEvaluator("count", node_budget=32).evaluate(
+            list(triples)
+        )
+        assert result.rows == expected.rows
+
+    @given(
+        seed=st.integers(min_value=0, max_value=500),
+        n=st.integers(min_value=0, max_value=120),
+        budget=st.sampled_from([16, 32, 128]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_oracle_agreement(self, seed, n, budget):
+        triples = workload(n, seed=seed, span=30, horizon=300)
+        expected = AggregationTreeEvaluator("sum").evaluate(list(triples))
+        result = PagedAggregationTreeEvaluator("sum", node_budget=budget).evaluate(
+            list(triples)
+        )
+        assert result.rows == expected.rows
+
+
+class TestMemoryBound:
+    def test_peak_respects_budget_with_slack(self):
+        budget = 64
+        evaluator = PagedAggregationTreeEvaluator("count", node_budget=budget)
+        evaluator.evaluate(workload(2000, seed=3))
+        # Insert overshoot + replay transients allow bounded slack.
+        assert evaluator.space.peak_nodes < 3 * budget
+
+    def test_peak_far_below_plain_tree(self):
+        triples = workload(2000, seed=4)
+        plain = AggregationTreeEvaluator("count")
+        plain.evaluate(list(triples))
+        paged = PagedAggregationTreeEvaluator("count", node_budget=128)
+        paged.evaluate(list(triples))
+        assert paged.space.peak_nodes * 10 < plain.space.peak_nodes
+
+    def test_metrics_populated_when_spilling(self):
+        evaluator = PagedAggregationTreeEvaluator("count", node_budget=32)
+        evaluator.evaluate(workload(500, seed=5))
+        metrics = evaluator.metrics
+        assert metrics.evictions > 0
+        assert metrics.reloads == metrics.evictions
+        assert metrics.spilled_bytes > 0
+        assert metrics.replayed_tuples == metrics.spilled_tuples
+        assert metrics.deepest_replay >= 1
+
+    def test_shared_metrics_object(self):
+        metrics = SpillMetrics()
+        evaluator = PagedAggregationTreeEvaluator(
+            "count", node_budget=32, metrics=metrics
+        )
+        evaluator.evaluate(workload(300, seed=6))
+        assert metrics.evictions == evaluator.metrics.evictions
+
+
+class TestEngineIntegration:
+    def test_registered_strategy(self, employed):
+        from repro.core.engine import temporal_aggregate
+        from repro.workload.employed import TABLE_1_EXPECTED
+
+        result = temporal_aggregate(employed, "count", strategy="paged_tree")
+        assert result.rows == TABLE_1_EXPECTED
+
+    def test_tsql2_hint(self, employed):
+        from repro.tsql2 import Database
+
+        db = Database()
+        db.register(employed)
+        result = db.execute(
+            "SELECT COUNT(Name) FROM Employed USING ALGORITHM paged"
+        )
+        assert len(result) == 7

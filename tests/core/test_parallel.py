@@ -1,0 +1,116 @@
+"""Tests of partitioned evaluation and result merging."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.interval import FOREVER
+from repro.core.parallel import (
+    MERGEABLE_AGGREGATES,
+    merge_results,
+    partitioned_aggregate,
+)
+from repro.core.reference import ReferenceEvaluator
+
+
+def workload(n, seed=0):
+    rng = random.Random(seed)
+    return [
+        (s := rng.randrange(500), s + rng.randrange(100), rng.randrange(-10, 90))
+        for _ in range(n)
+    ]
+
+
+class TestMergeResults:
+    def test_count_merge_by_hand(self):
+        left = ReferenceEvaluator("count").evaluate([(0, 9, None)])
+        right = ReferenceEvaluator("count").evaluate([(5, 14, None)])
+        merged = merge_results(left, right, "count")
+        assert merged.value_at(2) == 1
+        assert merged.value_at(7) == 2
+        assert merged.value_at(12) == 1
+        assert merged.value_at(100) == 0
+        merged.verify_partition(full_cover=True)
+
+    def test_boundaries_are_the_union(self):
+        left = ReferenceEvaluator("count").evaluate([(0, 9, None)])
+        right = ReferenceEvaluator("count").evaluate([(5, 14, None)])
+        merged = merge_results(left, right, "count")
+        starts = [row.start for row in merged]
+        assert starts == [0, 5, 10, 15]
+
+    def test_sum_merge_with_nulls(self):
+        left = ReferenceEvaluator("sum").evaluate([(0, 4, 10)])
+        right = ReferenceEvaluator("sum").evaluate([(3, 8, 5)])
+        merged = merge_results(left, right, "sum")
+        assert merged.value_at(1) == 10
+        assert merged.value_at(3) == 15
+        assert merged.value_at(7) == 5
+        assert merged.value_at(20) is None
+
+    def test_min_merge(self):
+        left = ReferenceEvaluator("min").evaluate([(0, 9, 7)])
+        right = ReferenceEvaluator("min").evaluate([(5, 14, 3)])
+        merged = merge_results(left, right, "min")
+        assert merged.value_at(6) == 3
+        assert merged.value_at(2) == 7
+
+    def test_avg_rejected(self):
+        left = ReferenceEvaluator("avg").evaluate([(0, 4, 10)])
+        with pytest.raises(ValueError, match="AVG"):
+            merge_results(left, left, "avg")
+
+    def test_mergeable_registry(self):
+        assert MERGEABLE_AGGREGATES == {"count", "sum", "min", "max"}
+
+
+class TestPartitionedAggregate:
+    @pytest.mark.parametrize("aggregate", sorted(MERGEABLE_AGGREGATES))
+    @pytest.mark.parametrize("partitions", [1, 2, 5])
+    def test_matches_single_evaluation(self, aggregate, partitions):
+        triples = workload(120, seed=partitions)
+        expected = ReferenceEvaluator(aggregate).evaluate(list(triples))
+        merged = partitioned_aggregate(
+            list(triples), aggregate, partitions=partitions
+        )
+        # The merged result may cut rows finer (union of partition
+        # boundaries); compare by probing and by coalesced rows.
+        for instant in (0, 50, 200, 499, 10**6):
+            assert merged.value_at(instant) == expected.value_at(instant)
+        assert merged.coalesce_values() == expected.coalesce_values()
+
+    def test_threaded_matches_serial(self):
+        triples = workload(100, seed=9)
+        serial = partitioned_aggregate(list(triples), "count", partitions=4)
+        threaded = partitioned_aggregate(
+            list(triples), "count", partitions=4, threads=True
+        )
+        assert serial.rows == threaded.rows
+
+    def test_empty_input(self):
+        merged = partitioned_aggregate([], "count", partitions=3)
+        assert [tuple(r) for r in merged] == [(0, FOREVER, 0)]
+
+    def test_invalid_partition_count(self):
+        with pytest.raises(ValueError):
+            partitioned_aggregate([], "count", partitions=0)
+
+    def test_avg_rejected_up_front(self):
+        with pytest.raises(ValueError, match="AVG"):
+            partitioned_aggregate([(0, 1, 1)], "avg")
+
+    @given(
+        seed=st.integers(min_value=0, max_value=300),
+        n=st.integers(min_value=0, max_value=60),
+        partitions=st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_equivalence(self, seed, n, partitions):
+        triples = workload(n, seed=seed)
+        expected = ReferenceEvaluator("sum").evaluate(list(triples))
+        merged = partitioned_aggregate(
+            list(triples), "sum", partitions=partitions
+        )
+        assert merged.coalesce_values() == expected.coalesce_values()

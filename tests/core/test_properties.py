@@ -1,0 +1,166 @@
+"""Property-based cross-checks: every algorithm against the oracle.
+
+These are the tests that make the reproduction trustworthy: hypothesis
+generates arbitrary small relations (including pathological shapes —
+duplicates, instants, FOREVER tails, shared boundaries) and every
+algorithm must agree exactly with the independent brute-force oracle,
+for every aggregate.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aggregation_tree import AggregationTreeEvaluator
+from repro.core.balanced_tree import BalancedTreeEvaluator
+from repro.core.interval import FOREVER
+from repro.core.kordered_tree import KOrderedTreeEvaluator
+from repro.core.linked_list import LinkedListEvaluator
+from repro.core.ordering import k_orderedness
+from repro.core.reference import ReferenceEvaluator
+from repro.core.sweep import SweepEvaluator
+from repro.core.two_pass import TwoPassEvaluator
+
+# Compact instants keep many collisions (shared boundaries, duplicate
+# tuples), which is where splitting logic can go wrong.
+starts = st.integers(min_value=0, max_value=40)
+lengths = st.integers(min_value=0, max_value=25)
+values = st.integers(min_value=-20, max_value=99)
+
+
+@st.composite
+def triples_strategy(draw, max_size=25, with_forever=True):
+    n = draw(st.integers(min_value=0, max_value=max_size))
+    triples = []
+    for _ in range(n):
+        start = draw(starts)
+        if with_forever and draw(st.booleans()) and draw(st.booleans()):
+            end = FOREVER
+        else:
+            end = start + draw(lengths)
+        triples.append((start, end, draw(values)))
+    return triples
+
+
+EVALUATORS = [
+    ("linked_list", lambda agg: LinkedListEvaluator(agg)),
+    ("aggregation_tree", lambda agg: AggregationTreeEvaluator(agg)),
+    ("balanced_tree", lambda agg: BalancedTreeEvaluator(agg)),
+    ("two_pass", lambda agg: TwoPassEvaluator(agg)),
+    ("kordered_tree_wide", lambda agg: KOrderedTreeEvaluator(agg, k=64)),
+    ("sweep", lambda agg: SweepEvaluator(agg)),
+]
+
+AGGREGATES = ["count", "sum", "min", "max", "avg"]
+
+
+class TestAgreementWithOracle:
+    @pytest.mark.parametrize("name,factory", EVALUATORS)
+    @pytest.mark.parametrize("aggregate", AGGREGATES)
+    @given(triples=triples_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_algorithm_matches_reference(self, name, factory, aggregate, triples):
+        expected = ReferenceEvaluator(aggregate).evaluate(list(triples))
+        result = factory(aggregate).evaluate(list(triples))
+        assert result.rows == expected.rows, f"{name}/{aggregate} diverged"
+
+
+class TestResultShape:
+    @given(triples=triples_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_partition_invariant(self, triples):
+        result = AggregationTreeEvaluator("count").evaluate(list(triples))
+        result.verify_partition(full_cover=True)
+
+    @given(triples=triples_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_row_count_matches_boundary_count(self, triples):
+        from repro.core.reference import constant_interval_boundaries
+
+        result = LinkedListEvaluator("count").evaluate(list(triples))
+        assert len(result) == len(constant_interval_boundaries(list(triples)))
+
+    @given(triples=triples_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_count_conservation(self, triples):
+        """Σ over constant intervals of count·duration = Σ tuple durations
+        (for bounded tuples) — a mass-conservation invariant."""
+        bounded = [(s, e, v) for s, e, v in triples if e < FOREVER]
+        result = LinkedListEvaluator("count").evaluate(list(bounded))
+        mass = sum(
+            row.value * (row.end - row.start + 1)
+            for row in result
+            if row.end < FOREVER
+        )
+        expected = sum(e - s + 1 for s, e, _v in bounded)
+        assert mass == expected
+
+    @given(triples=triples_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_coalesced_values_lossless(self, triples):
+        result = AggregationTreeEvaluator("count").evaluate(list(triples))
+        merged = result.coalesce_values()
+        for instant in (0, 7, 23, 41, 10**7):
+            assert merged.value_at(instant) == result.value_at(instant)
+
+
+class TestKOrderedStreaming:
+    @given(triples=triples_strategy(), k=st.integers(min_value=0, max_value=30))
+    @settings(max_examples=60, deadline=None)
+    def test_ktree_with_honest_k_matches_batch(self, triples, k):
+        """For any input, the k-tree with k >= the true k-orderedness
+        produces exactly the batch tree's answer."""
+        keys = [(s, e) for s, e, _v in triples]
+        honest_k = max(k, k_orderedness(keys))
+        expected = AggregationTreeEvaluator("sum").evaluate(list(triples))
+        result = KOrderedTreeEvaluator("sum", k=honest_k).evaluate(list(triples))
+        assert result.rows == expected.rows
+
+    @pytest.mark.parametrize("aggregate", AGGREGATES)
+    @given(triples=triples_strategy())
+    @settings(max_examples=25, deadline=None)
+    def test_gc_active_ktree_matches_oracle(self, aggregate, triples):
+        """k=1 over sorted input keeps the GC busy for every aggregate
+        (min/max path-state merging during collection included)."""
+        ordered = sorted(triples, key=lambda t: (t[0], t[1]))
+        expected = ReferenceEvaluator(aggregate).evaluate(list(ordered))
+        evaluator = KOrderedTreeEvaluator(aggregate, k=1)
+        result = evaluator.evaluate(list(ordered))
+        assert result.rows == expected.rows
+
+    @given(triples=triples_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_sorted_input_k1_and_peak_bound(self, triples):
+        ordered = sorted(triples, key=lambda t: (t[0], t[1]))
+        expected = ReferenceEvaluator("count").evaluate(list(ordered))
+        evaluator = KOrderedTreeEvaluator("count", k=1)
+        result = evaluator.evaluate(list(ordered))
+        assert result.rows == expected.rows
+        # Peak is bounded by what the whole tree would have allocated.
+        assert evaluator.space.peak_nodes <= 2 * (2 * len(ordered)) + 1
+
+    @given(triples=triples_strategy(max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_gc_frees_are_consistent(self, triples):
+        evaluator = KOrderedTreeEvaluator("count", k=1)
+        evaluator.evaluate(sorted(triples, key=lambda t: (t[0], t[1])))
+        assert (
+            evaluator.space.live_nodes + evaluator.counters.nodes_collected
+            == evaluator.space.allocated_total
+        )
+
+
+class TestOrderInsensitivity:
+    @given(
+        triples=triples_strategy(max_size=15),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_tree_result_independent_of_order(self, triples, seed):
+        import random
+
+        shuffled = list(triples)
+        random.Random(seed).shuffle(shuffled)
+        a = AggregationTreeEvaluator("min").evaluate(list(triples))
+        b = AggregationTreeEvaluator("min").evaluate(shuffled)
+        assert a.rows == b.rows

@@ -1,0 +1,77 @@
+"""Hand-checked cases for the brute-force oracle itself.
+
+The oracle anchors every equivalence test, so it gets its own
+independent, fully hand-computed expectations.
+"""
+
+from repro.core.interval import FOREVER
+from repro.core.reference import ReferenceEvaluator
+
+
+class TestReferenceByHand:
+    def test_empty(self):
+        result = ReferenceEvaluator("count").evaluate([])
+        assert [tuple(r) for r in result] == [(0, FOREVER, 0)]
+
+    def test_two_disjoint_tuples(self):
+        result = ReferenceEvaluator("count").evaluate(
+            [(2, 3, None), (6, 8, None)]
+        )
+        assert [tuple(r) for r in result] == [
+            (0, 1, 0),
+            (2, 3, 1),
+            (4, 5, 0),
+            (6, 8, 1),
+            (9, FOREVER, 0),
+        ]
+
+    def test_two_overlapping_tuples_sum(self):
+        result = ReferenceEvaluator("sum").evaluate([(0, 5, 10), (3, 8, 7)])
+        assert [tuple(r) for r in result] == [
+            (0, 2, 10),
+            (3, 5, 17),
+            (6, 8, 7),
+            (9, FOREVER, None),
+        ]
+
+    def test_containment_min(self):
+        result = ReferenceEvaluator("min").evaluate([(0, 10, 5), (4, 6, 1)])
+        assert result.value_at(3) == 5
+        assert result.value_at(5) == 1
+        assert result.value_at(8) == 5
+
+    def test_shared_start(self):
+        result = ReferenceEvaluator("count").evaluate(
+            [(3, 9, None), (3, 5, None)]
+        )
+        assert [tuple(r) for r in result] == [
+            (0, 2, 0),
+            (3, 5, 2),
+            (6, 9, 1),
+            (10, FOREVER, 0),
+        ]
+
+    def test_shared_end(self):
+        result = ReferenceEvaluator("count").evaluate(
+            [(1, 7, None), (4, 7, None)]
+        )
+        assert [tuple(r) for r in result] == [
+            (0, 0, 0),
+            (1, 3, 1),
+            (4, 7, 2),
+            (8, FOREVER, 0),
+        ]
+
+    def test_instant_tuples_stacking(self):
+        result = ReferenceEvaluator("count").evaluate(
+            [(4, 4, None), (4, 4, None), (4, 4, None)]
+        )
+        assert result.value_at(4) == 3
+        assert result.value_at(3) == 0
+        assert result.value_at(5) == 0
+
+    def test_partition_invariant(self):
+        result = ReferenceEvaluator("count").evaluate(
+            [(2, 3, None), (6, 8, None), (0, FOREVER, None)]
+        )
+        result.verify_partition(full_cover=True)

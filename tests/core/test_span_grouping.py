@@ -1,0 +1,112 @@
+"""Tests of temporal grouping by span (Sections 2 and 7)."""
+
+import pytest
+
+from repro.core.interval import FOREVER, Interval, InvalidIntervalError
+from repro.core.span_grouping import span_aggregate, span_boundaries
+from repro.metrics.counters import OperationCounters
+
+
+class TestSpanBoundaries:
+    def test_exact_division(self):
+        assert span_boundaries(Interval(0, 29), 10) == [0, 10, 20]
+
+    def test_ragged_final_span(self):
+        assert span_boundaries(Interval(0, 25), 10) == [0, 10, 20]
+
+    def test_offset_window(self):
+        assert span_boundaries(Interval(5, 24), 10) == [5, 15]
+
+    def test_span_larger_than_window(self):
+        assert span_boundaries(Interval(0, 5), 100) == [0]
+
+    def test_zero_span_rejected(self):
+        with pytest.raises(ValueError):
+            span_boundaries(Interval(0, 10), 0)
+
+    def test_unbounded_window_rejected(self):
+        with pytest.raises(InvalidIntervalError):
+            span_boundaries(Interval(0, FOREVER), 10)
+
+
+class TestSpanAggregate:
+    def test_counts_overlapping_tuples_per_span(self):
+        triples = [(0, 4, None), (8, 12, None), (25, 27, None)]
+        result = span_aggregate(triples, "count", Interval(0, 29), 10)
+        assert [tuple(r) for r in result] == [
+            (0, 9, 2),  # [0,4] and [8,12] both touch the first decade
+            (10, 19, 1),
+            (20, 29, 1),
+        ]
+
+    def test_tuple_spanning_every_bucket(self):
+        triples = [(0, 29, None)]
+        result = span_aggregate(triples, "count", Interval(0, 29), 10)
+        assert [r.value for r in result] == [1, 1, 1]
+
+    def test_tuples_outside_window_ignored(self):
+        triples = [(100, 200, None), (0, 5, None)]
+        result = span_aggregate(triples, "count", Interval(0, 29), 10)
+        assert [r.value for r in result] == [1, 0, 0]
+
+    def test_tuple_clipped_at_window_edges(self):
+        triples = [(25, 45, None)]
+        result = span_aggregate(triples, "count", Interval(0, 39), 10)
+        assert [r.value for r in result] == [0, 0, 1, 1]
+
+    def test_sum_per_quarter(self):
+        triples = [(0, 19, 100), (10, 29, 50)]
+        result = span_aggregate(triples, "sum", Interval(0, 29), 10)
+        assert [r.value for r in result] == [100, 150, 50]
+
+    def test_empty_bucket_value_none_for_value_aggregates(self):
+        result = span_aggregate([], "max", Interval(0, 19), 10)
+        assert [r.value for r in result] == [None, None]
+
+    def test_ragged_last_bucket_interval(self):
+        result = span_aggregate([], "count", Interval(0, 24), 10)
+        assert [tuple(r) for r in result] == [
+            (0, 9, 0),
+            (10, 19, 0),
+            (20, 24, 0),
+        ]
+
+    def test_invalid_tuple_rejected(self):
+        with pytest.raises(InvalidIntervalError):
+            span_aggregate([(9, 3, None)], "count", Interval(0, 29), 10)
+
+    def test_counters_track_bucket_updates(self):
+        counters = OperationCounters()
+        span_aggregate(
+            [(0, 29, None)], "count", Interval(0, 29), 10, counters=counters
+        )
+        assert counters.aggregate_updates == 3
+        assert counters.emitted == 3
+
+    def test_fewer_buckets_than_constant_intervals(self):
+        """Section 7: span grouping maintains far fewer buckets."""
+        triples = [(i * 7, i * 7 + 3, None) for i in range(100)]
+        counters = OperationCounters()
+        result = span_aggregate(
+            triples, "count", Interval(0, 699), 100, counters=counters
+        )
+        assert len(result) == 7  # vs ~200 constant intervals
+
+    def test_agrees_with_instant_grouping_folded(self):
+        """A span bucket's COUNT equals the count of distinct tuples
+        overlapping that span — cross-check against a direct filter."""
+        import random
+
+        rng = random.Random(3)
+        triples = [
+            (s := rng.randrange(200), s + rng.randrange(50), None)
+            for _ in range(80)
+        ]
+        window = Interval(0, 199)
+        span = 40
+        result = span_aggregate(list(triples), "count", window, span)
+        for row in result:
+            direct = sum(
+                1 for s, e, _v in triples if s <= row.end and row.start <= e
+            )
+            assert row.value == direct

@@ -1,0 +1,143 @@
+"""Tests of the endpoint sweep (sort-merge) evaluator."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aggregates import get_aggregate
+from repro.core.interval import FOREVER, InvalidIntervalError
+from repro.core.reference import ReferenceEvaluator
+from repro.core.sweep import SweepEvaluator
+
+
+def workload(n, seed=0, with_forever=True):
+    rng = random.Random(seed)
+    triples = []
+    for _ in range(n):
+        s = rng.randrange(200)
+        if with_forever and rng.random() < 0.1:
+            e = FOREVER
+        else:
+            e = s + rng.randrange(60)
+        triples.append((s, e, rng.randrange(-30, 80)))
+    return triples
+
+
+class TestBasics:
+    def test_empty(self):
+        result = SweepEvaluator("count").evaluate([])
+        assert [tuple(r) for r in result] == [(0, FOREVER, 0)]
+
+    def test_single_tuple(self):
+        result = SweepEvaluator("count").evaluate([(5, 9, None)])
+        assert [tuple(r) for r in result] == [
+            (0, 4, 0),
+            (5, 9, 1),
+            (10, FOREVER, 0),
+        ]
+
+    def test_invalid_bounds(self):
+        with pytest.raises(InvalidIntervalError):
+            SweepEvaluator("count").evaluate([(9, 3, None)])
+
+    def test_registered_strategy(self):
+        from repro.core.engine import STRATEGIES
+
+        assert STRATEGIES["sweep"] is SweepEvaluator
+
+
+class TestInvertibility:
+    def test_invertible_flags(self):
+        assert get_aggregate("count").invertible
+        assert get_aggregate("sum").invertible
+        assert get_aggregate("avg").invertible
+        assert get_aggregate("variance").invertible
+        assert not get_aggregate("min").invertible
+        assert not get_aggregate("max").invertible
+
+    def test_retract_inverts_absorb(self):
+        for name in ("count", "avg", "variance"):
+            agg = get_aggregate(name)
+            state = agg.fold([3, 7, 9])
+            back = agg.retract(agg.absorb(state, 42), 42)
+            assert back == state
+
+    def test_retract_on_min_raises(self):
+        with pytest.raises(NotImplementedError):
+            get_aggregate("min").retract(5, 5)
+
+    def test_sum_retract_empty_raises(self):
+        with pytest.raises(ValueError):
+            get_aggregate("sum").retract(None, 5)
+
+    def test_avg_retract_empty_raises(self):
+        with pytest.raises(ValueError):
+            get_aggregate("avg").retract((0, 0), 5)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize(
+        "aggregate", ["count", "sum", "min", "max", "avg", "variance"]
+    )
+    def test_matches_reference(self, aggregate):
+        triples = workload(120, seed=hash(aggregate) % 1000)
+        expected = ReferenceEvaluator(aggregate).evaluate(list(triples))
+        result = SweepEvaluator(aggregate).evaluate(list(triples))
+        assert result.rows == expected.rows
+
+    def test_string_min_max(self):
+        triples = [(0, 9, "Karen"), (5, 14, "Richard"), (8, 20, "Ada")]
+        for aggregate in ("min", "max"):
+            expected = ReferenceEvaluator(aggregate).evaluate(list(triples))
+            result = SweepEvaluator(aggregate).evaluate(list(triples))
+            assert result.rows == expected.rows
+
+    def test_sum_returns_to_null_after_everything_expires(self):
+        result = SweepEvaluator("sum").evaluate([(5, 9, 10)])
+        assert result.value_at(20) is None  # not 0: the group is empty
+
+    def test_duplicate_values_with_lazy_deletion(self):
+        """The heap must only discard one copy of a duplicate value."""
+        triples = [(0, 9, 5), (0, 4, 5)]
+        result = SweepEvaluator("max").evaluate(list(triples))
+        assert result.value_at(2) == 5
+        assert result.value_at(7) == 5  # second copy still alive
+        assert result.value_at(10) is None
+
+    @given(
+        seed=st.integers(min_value=0, max_value=1000),
+        n=st.integers(min_value=0, max_value=40),
+        aggregate=st.sampled_from(["count", "sum", "min", "max", "avg"]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_oracle_agreement(self, seed, n, aggregate):
+        triples = workload(n, seed=seed)
+        expected = ReferenceEvaluator(aggregate).evaluate(list(triples))
+        result = SweepEvaluator(aggregate).evaluate(list(triples))
+        assert result.rows == expected.rows
+
+
+class TestOrderInsensitiveCost:
+    def test_same_work_sorted_or_shuffled(self):
+        """The sweep's cost is the sort: input order is irrelevant —
+        unlike the aggregation tree's O(n²) sorted-input pathology."""
+        base = sorted(workload(400, seed=4, with_forever=False))
+        shuffled = base[:]
+        random.Random(5).shuffle(shuffled)
+
+        sorted_eval = SweepEvaluator("count")
+        sorted_eval.evaluate(list(base))
+        shuffled_eval = SweepEvaluator("count")
+        shuffled_eval.evaluate(shuffled)
+        assert (
+            sorted_eval.counters.total_work
+            == shuffled_eval.counters.total_work
+        )
+
+    def test_event_list_is_the_space_cost(self):
+        triples = workload(100, seed=6, with_forever=False)
+        evaluator = SweepEvaluator("count")
+        evaluator.evaluate(list(triples))
+        assert evaluator.space.peak_nodes == 2 * len(triples)

@@ -1,0 +1,85 @@
+"""Tests of Tuma's two-scan baseline (Section 4.1)."""
+
+import random
+
+import pytest
+
+from repro.core.interval import FOREVER, InvalidIntervalError
+from repro.core.linked_list import LinkedListEvaluator
+from repro.core.reference import constant_interval_boundaries
+from repro.core.two_pass import TwoPassEvaluator
+
+
+class TestBoundaries:
+    def test_no_tuples(self):
+        assert constant_interval_boundaries([]) == [0]
+
+    def test_single_tuple(self):
+        assert constant_interval_boundaries([(5, 9, None)]) == [0, 5, 10]
+
+    def test_forever_end_adds_no_boundary(self):
+        assert constant_interval_boundaries([(5, FOREVER, None)]) == [0, 5]
+
+    def test_duplicate_boundaries_collapse(self):
+        triples = [(5, 9, None), (5, 9, None), (5, 20, None)]
+        assert constant_interval_boundaries(triples) == [0, 5, 10, 21]
+
+    def test_meeting_tuples(self):
+        triples = [(0, 4, None), (5, 9, None)]
+        assert constant_interval_boundaries(triples) == [0, 5, 10]
+
+
+class TestEvaluation:
+    def test_employed_equivalence(self, employed):
+        expected = LinkedListEvaluator("count").evaluate(
+            employed.scan_triples()
+        )
+        result = TwoPassEvaluator("count").evaluate_relation(employed)
+        assert result.rows == expected.rows
+
+    def test_random_equivalence(self):
+        rng = random.Random(21)
+        triples = [
+            (s := rng.randrange(100), s + rng.randrange(30), rng.randrange(50))
+            for _ in range(150)
+        ]
+        expected = LinkedListEvaluator("avg").evaluate(list(triples))
+        result = TwoPassEvaluator("avg").evaluate(list(triples))
+        assert result.rows == expected.rows
+
+    def test_generator_input_is_materialised(self):
+        result = TwoPassEvaluator("count").evaluate(
+            (t for t in [(5, 9, None)])
+        )
+        assert result.value_at(7) == 1
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(InvalidIntervalError):
+            TwoPassEvaluator("count").evaluate([(9, 5, None)])
+
+
+class TestTwoScanBehaviour:
+    def test_reads_the_relation_twice(self, employed):
+        """The paper's criticism of Tuma's method, made assertable."""
+        employed.scan_count = 0
+        TwoPassEvaluator("count").evaluate_relation(employed)
+        assert employed.scan_count == 2
+
+    def test_single_scan_algorithms_read_once(self, employed):
+        employed.scan_count = 0
+        LinkedListEvaluator("count").evaluate(employed.scan_triples())
+        assert employed.scan_count == 1
+
+    def test_tuples_counter_reflects_double_read(self, employed):
+        evaluator = TwoPassEvaluator("count")
+        evaluator.evaluate_relation(employed)
+        assert evaluator.counters.tuples == 2 * len(employed)
+
+    def test_scans_required_metadata(self):
+        assert TwoPassEvaluator.scans_required == 2
+        assert LinkedListEvaluator.scans_required == 1
+
+    def test_states_allocated_per_constant_interval(self, employed):
+        evaluator = TwoPassEvaluator("count")
+        result = evaluator.evaluate_relation(employed)
+        assert evaluator.space.peak_nodes == len(result)

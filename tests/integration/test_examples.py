@@ -1,0 +1,58 @@
+"""Every shipped example must run cleanly end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parents[2] / "examples").glob("*.py")
+)
+
+
+class TestExamplesExist:
+    def test_at_least_three_examples(self):
+        assert len(EXAMPLES) >= 3
+
+    def test_quickstart_present(self):
+        assert any(path.name == "quickstart.py" for path in EXAMPLES)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+class TestExamplesRun:
+    def test_runs_without_error(self, path):
+        completed = subprocess.run(
+            [sys.executable, str(path)],
+            capture_output=True,
+            text=True,
+            timeout=240,
+        )
+        assert completed.returncode == 0, completed.stderr[-2000:]
+        assert completed.stdout.strip(), "example produced no output"
+
+
+class TestPackageEntryPoint:
+    def test_python_dash_m_repro(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert completed.returncode == 0, completed.stderr[-1000:]
+        assert "Table 1" in completed.stdout
+        assert "forever" in completed.stdout
+
+
+class TestQuickstartContent:
+    def test_quickstart_prints_table_1(self):
+        path = next(p for p in EXAMPLES if p.name == "quickstart.py")
+        completed = subprocess.run(
+            [sys.executable, str(path)], capture_output=True, text=True,
+            timeout=240,
+        )
+        out = completed.stdout
+        assert "[22, forever]" in out or "forever" in out
+        assert "Planner decision" in out
+        assert "MISMATCH" not in out

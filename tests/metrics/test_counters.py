@@ -1,0 +1,55 @@
+"""Tests of the operation counters."""
+
+from repro.metrics.counters import OperationCounters
+
+
+class TestOperationCounters:
+    def test_starts_at_zero(self):
+        counters = OperationCounters()
+        assert all(value == 0 for value in counters.snapshot().values())
+
+    def test_reset(self):
+        counters = OperationCounters()
+        counters.tuples = 5
+        counters.splits = 2
+        counters.reset()
+        assert counters.tuples == 0
+        assert counters.splits == 0
+
+    def test_snapshot_is_detached(self):
+        counters = OperationCounters()
+        snapshot = counters.snapshot()
+        counters.tuples = 9
+        assert snapshot["tuples"] == 0
+
+    def test_merge_accumulates(self):
+        a = OperationCounters()
+        b = OperationCounters()
+        a.node_visits = 3
+        b.node_visits = 4
+        b.emitted = 1
+        a.merge(b)
+        assert a.node_visits == 7
+        assert a.emitted == 1
+        assert b.node_visits == 4  # source untouched
+
+    def test_total_work(self):
+        counters = OperationCounters()
+        counters.node_visits = 10
+        counters.aggregate_updates = 5
+        counters.splits = 2
+        assert counters.total_work == 17
+
+    def test_repr_lists_fields(self):
+        text = repr(OperationCounters())
+        assert "node_visits=0" in text
+        assert "gc_passes=0" in text
+
+    def test_slots_prevent_typos(self):
+        counters = OperationCounters()
+        try:
+            counters.node_visit = 1  # type: ignore[attr-defined]
+        except AttributeError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("typo attribute silently accepted")

@@ -1,0 +1,61 @@
+"""Tests of the Section 6.2 space model."""
+
+import pytest
+
+from repro.core.aggregates import AvgAggregate, CountAggregate
+from repro.metrics.space import NODE_OVERHEAD_BYTES, SpaceTracker
+
+
+class TestSpaceTracker:
+    def test_node_bytes_for_count(self):
+        tracker = SpaceTracker(CountAggregate())
+        assert tracker.node_bytes == NODE_OVERHEAD_BYTES + 4 == 20
+
+    def test_node_bytes_for_avg(self):
+        tracker = SpaceTracker(AvgAggregate())
+        assert tracker.node_bytes == NODE_OVERHEAD_BYTES + 8 == 24
+
+    def test_default_aggregate_is_count_like(self):
+        assert SpaceTracker().node_bytes == 20
+
+    def test_allocate_and_free(self):
+        tracker = SpaceTracker()
+        tracker.allocate(3)
+        tracker.free(2)
+        assert tracker.live_nodes == 1
+        assert tracker.allocated_total == 3
+
+    def test_peak_tracks_high_water_mark(self):
+        tracker = SpaceTracker()
+        tracker.allocate(5)
+        tracker.free(4)
+        tracker.allocate(2)
+        assert tracker.peak_nodes == 5
+        assert tracker.live_nodes == 3
+
+    def test_peak_bytes(self):
+        tracker = SpaceTracker(CountAggregate())
+        tracker.allocate(10)
+        assert tracker.peak_bytes == 200
+        assert tracker.live_bytes == 200
+
+    def test_over_free_rejected(self):
+        tracker = SpaceTracker()
+        tracker.allocate(1)
+        with pytest.raises(ValueError, match="freeing"):
+            tracker.free(2)
+
+    def test_reset(self):
+        tracker = SpaceTracker()
+        tracker.allocate(7)
+        tracker.reset()
+        assert tracker.live_nodes == 0
+        assert tracker.peak_nodes == 0
+        assert tracker.allocated_total == 0
+
+    def test_snapshot(self):
+        tracker = SpaceTracker()
+        tracker.allocate(2)
+        snapshot = tracker.snapshot()
+        assert snapshot["live_nodes"] == 2
+        assert snapshot["peak_bytes"] == 40

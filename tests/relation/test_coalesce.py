@@ -1,0 +1,72 @@
+"""Tests of valid-time coalescing."""
+
+from repro.relation.coalesce import coalesce_relation, coalesce_rows
+from repro.relation.relation import TemporalRelation
+from repro.relation.schema import EMPLOYED_SCHEMA
+from repro.relation.tuples import TemporalTuple
+
+
+def row(name, salary, start, end):
+    return TemporalTuple((name, salary), start, end)
+
+
+class TestCoalesceRows:
+    def test_disjoint_rows_untouched(self):
+        rows = [row("A", 1, 0, 5), row("A", 1, 10, 15)]
+        assert coalesce_rows(rows) == rows
+
+    def test_overlapping_value_equivalent_rows_merge(self):
+        rows = [row("A", 1, 0, 8), row("A", 1, 5, 15)]
+        assert coalesce_rows(rows) == [row("A", 1, 0, 15)]
+
+    def test_meeting_rows_merge(self):
+        rows = [row("A", 1, 0, 4), row("A", 1, 5, 9)]
+        assert coalesce_rows(rows) == [row("A", 1, 0, 9)]
+
+    def test_different_values_never_merge(self):
+        rows = [row("A", 1, 0, 8), row("A", 2, 5, 15)]
+        assert len(coalesce_rows(rows)) == 2
+
+    def test_chain_merges_transitively(self):
+        rows = [row("A", 1, 0, 4), row("A", 1, 5, 9), row("A", 1, 8, 20)]
+        assert coalesce_rows(rows) == [row("A", 1, 0, 20)]
+
+    def test_contained_row_absorbed(self):
+        rows = [row("A", 1, 0, 20), row("A", 1, 5, 9)]
+        assert coalesce_rows(rows) == [row("A", 1, 0, 20)]
+
+    def test_unsorted_input_handled(self):
+        rows = [row("A", 1, 10, 15), row("A", 1, 0, 12)]
+        assert coalesce_rows(rows) == [row("A", 1, 0, 15)]
+
+    def test_empty(self):
+        assert coalesce_rows([]) == []
+
+    def test_output_in_time_order(self):
+        rows = [row("B", 2, 50, 60), row("A", 1, 0, 5)]
+        merged = coalesce_rows(rows)
+        assert merged[0].start <= merged[1].start
+
+
+class TestCoalesceRelation:
+    def test_duplicate_periods_collapse_for_count(self):
+        """Section 7: duplicate elimination changes COUNT semantics."""
+        from repro.core.engine import temporal_aggregate
+
+        relation = TemporalRelation(EMPLOYED_SCHEMA, name="dups")
+        relation.insert(("Karen", 45_000), 0, 10)
+        relation.insert(("Karen", 45_000), 5, 20)  # duplicate period
+        raw = temporal_aggregate(relation, "count")
+        assert raw.value_at(7) == 2
+
+        merged = coalesce_relation(relation)
+        assert len(merged) == 1
+        cooked = temporal_aggregate(merged, "count")
+        assert cooked.value_at(7) == 1
+        assert cooked.value_at(15) == 1
+
+    def test_name_suffix(self, employed):
+        assert coalesce_relation(employed).name == "Employed_coalesced"
+
+    def test_employed_already_coalesced(self, employed):
+        assert len(coalesce_relation(employed)) == len(employed)

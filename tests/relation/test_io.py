@@ -1,0 +1,125 @@
+"""Tests of temporal CSV import/export."""
+
+import io
+
+import pytest
+
+from repro.core.interval import FOREVER
+from repro.relation.io import (
+    RelationIOError,
+    from_csv_text,
+    read_csv,
+    to_csv_text,
+    write_csv,
+)
+from repro.relation.schema import EMPLOYED_SCHEMA, Schema
+
+EMPLOYED_CSV = """\
+name,salary,valid_start,valid_end
+Richard,40000,18,forever
+Karen,45000,8,20
+Nathan,35000,7,12
+Nathan,37000,18,21
+"""
+
+
+class TestRead:
+    def test_read_with_schema(self, employed):
+        relation = from_csv_text(EMPLOYED_CSV, schema=EMPLOYED_SCHEMA)
+        assert relation.rows() == employed.rows()
+
+    def test_read_with_inference(self):
+        relation = from_csv_text(EMPLOYED_CSV)
+        assert relation.schema.attribute("salary").type == "int"
+        assert relation.schema.attribute("name").type == "str"
+        assert relation[0].end == FOREVER
+
+    def test_float_inference(self):
+        text = "reading,valid_start,valid_end\n3.5,0,10\n4,11,20\n"
+        relation = from_csv_text(text)
+        assert relation.schema.attribute("reading").type == "float"
+        assert relation[1].values[0] == 4.0
+
+    def test_blank_lines_skipped(self):
+        text = "a,valid_start,valid_end\nx,0,5\n\n   \ny,6,9\n"
+        assert len(from_csv_text(text)) == 2
+
+    def test_from_file_path(self, tmp_path, employed):
+        path = tmp_path / "employed.csv"
+        path.write_text(EMPLOYED_CSV)
+        relation = read_csv(str(path), schema=EMPLOYED_SCHEMA, name="E")
+        assert relation.name == "E"
+        assert len(relation) == 4
+
+
+class TestReadErrors:
+    def test_empty_file(self):
+        with pytest.raises(RelationIOError, match="header"):
+            from_csv_text("")
+
+    def test_missing_time_columns(self):
+        with pytest.raises(RelationIOError, match="valid_start"):
+            from_csv_text("name,salary,start,end\nA,1,0,5\n")
+
+    def test_too_few_columns(self):
+        with pytest.raises(RelationIOError, match="at least one attribute"):
+            from_csv_text("valid_start,valid_end\n0,5\n")
+
+    def test_ragged_row(self):
+        with pytest.raises(RelationIOError, match="expected 4 fields"):
+            from_csv_text("a,b,valid_start,valid_end\nx,1,0\n")
+
+    def test_schema_header_mismatch(self):
+        with pytest.raises(RelationIOError, match="does not match schema"):
+            from_csv_text(
+                "who,salary,valid_start,valid_end\nA,1,0,5\n",
+                schema=EMPLOYED_SCHEMA,
+            )
+
+    def test_bad_int_value(self):
+        schema = Schema.of("n:int")
+        with pytest.raises(RelationIOError, match="not an int"):
+            from_csv_text("n,valid_start,valid_end\nabc,0,5\n", schema=schema)
+
+    def test_bad_instant(self):
+        with pytest.raises(RelationIOError, match="instant"):
+            from_csv_text("a,valid_start,valid_end\nx,soonish,5\n")
+
+    def test_inverted_interval(self):
+        with pytest.raises(RelationIOError):
+            from_csv_text("a,valid_start,valid_end\nx,9,3\n")
+
+
+class TestWriteAndRoundtrip:
+    def test_roundtrip_text(self, employed):
+        text = to_csv_text(employed)
+        back = from_csv_text(text, schema=EMPLOYED_SCHEMA)
+        assert back.rows() == employed.rows()
+
+    def test_roundtrip_file(self, tmp_path, small_random_relation):
+        path = str(tmp_path / "rel.csv")
+        write_csv(small_random_relation, path)
+        back = read_csv(path, schema=small_random_relation.schema)
+        assert back.rows() == small_random_relation.rows()
+
+    def test_forever_rendered(self, employed):
+        assert "forever" in to_csv_text(employed)
+
+    def test_header_shape(self, employed):
+        header = to_csv_text(employed).splitlines()[0]
+        assert header == "name,salary,valid_start,valid_end"
+
+    def test_write_to_open_handle(self, employed):
+        buffer = io.StringIO()
+        write_csv(employed, buffer)
+        assert buffer.getvalue().count("\n") == 5
+
+    def test_inferred_roundtrip_preserves_values(self, small_random_relation):
+        text = to_csv_text(small_random_relation)
+        back = from_csv_text(text)  # schema inferred
+        assert [
+            (r.values[0], r.values[1], r.start, r.end) for r in back
+        ] == [
+            (r.values[0], r.values[1], r.start, r.end)
+            for r in small_random_relation
+        ]

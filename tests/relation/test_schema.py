@@ -1,0 +1,107 @@
+"""Tests for schemas and attribute validation."""
+
+import pytest
+
+from repro.relation.schema import (
+    EMPLOYED_SCHEMA,
+    Attribute,
+    Schema,
+    SchemaError,
+)
+
+
+class TestAttribute:
+    def test_default_widths(self):
+        assert Attribute("name").width == 16  # str default
+        assert Attribute("n", "int").width == 4
+        assert Attribute("x", "float").width == 8
+
+    def test_explicit_width(self):
+        assert Attribute("name", "str", 6).width == 6
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(SchemaError, match="unknown type"):
+            Attribute("x", "decimal")
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("")
+        with pytest.raises(SchemaError):
+            Attribute("two words")
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("x", "str", -1)
+
+    def test_validate_str(self):
+        attribute = Attribute("name", "str")
+        assert attribute.validate("Karen") == "Karen"
+        with pytest.raises(SchemaError):
+            attribute.validate(42)
+
+    def test_validate_int(self):
+        attribute = Attribute("salary", "int")
+        assert attribute.validate(40_000) == 40_000
+        with pytest.raises(SchemaError):
+            attribute.validate("40K")
+        with pytest.raises(SchemaError):
+            attribute.validate(True)  # bools are not ints here
+
+    def test_validate_float_widens_int(self):
+        attribute = Attribute("score", "float")
+        assert attribute.validate(3) == 3.0
+        assert isinstance(attribute.validate(3), float)
+
+
+class TestSchema:
+    def test_of_compact_specs(self):
+        schema = Schema.of("name:str:6", "salary:int")
+        assert schema.names() == ("name", "salary")
+        assert schema.attribute("salary").width == 4
+
+    def test_of_rejects_bad_spec(self):
+        with pytest.raises(SchemaError):
+            Schema.of("a:b:c:d")
+
+    def test_position_lookup_case_insensitive(self):
+        schema = Schema.of("Name:str", "Salary:int")
+        assert schema.position_of("name") == 0
+        assert schema.position_of("SALARY") == 1
+
+    def test_unknown_attribute(self):
+        schema = Schema.of("name:str")
+        with pytest.raises(SchemaError, match="no attribute"):
+            schema.position_of("dept")
+        assert not schema.has_attribute("dept")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema.of("name:str", "NAME:int")
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(())
+
+    def test_negative_padding_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.of("name:str", padding=-1)
+
+    def test_validate_values(self):
+        schema = Schema.of("name:str", "salary:int")
+        assert schema.validate_values(["Karen", 45_000]) == ("Karen", 45_000)
+        with pytest.raises(SchemaError, match="expected 2 values"):
+            schema.validate_values(["Karen"])
+
+    def test_iteration_and_len(self):
+        schema = Schema.of("a:int", "b:int", "c:int")
+        assert len(schema) == 3
+        assert [attribute.name for attribute in schema] == ["a", "b", "c"]
+
+    def test_employed_schema_is_128_bytes(self):
+        """The paper's 128-byte tuple layout (Section 6)."""
+        assert EMPLOYED_SCHEMA.record_bytes == 128
+
+    def test_record_bytes_formula(self):
+        schema = Schema.of("name:str:6", "salary:int", padding=10)
+        # 6 + 4 + two 4-byte timestamps + 10 padding.
+        assert schema.record_bytes == 6 + 4 + 8 + 10

@@ -1,0 +1,61 @@
+"""Tests for TemporalTuple and the time sort key."""
+
+from repro.core.interval import FOREVER, Interval
+from repro.relation.tuples import TemporalTuple, timestamp_sort_key
+
+
+class TestTemporalTuple:
+    def test_fields(self):
+        row = TemporalTuple(("Karen", 45_000), 8, 20)
+        assert row.values == ("Karen", 45_000)
+        assert row.start == 8
+        assert row.end == 20
+
+    def test_interval_property(self):
+        row = TemporalTuple((), 8, 20)
+        assert row.interval == Interval(8, 20)
+
+    def test_duration_closed(self):
+        assert TemporalTuple((), 8, 20).duration == 13
+        assert TemporalTuple((), 5, 5).duration == 1
+
+    def test_value_accessor(self):
+        row = TemporalTuple(("Karen", 45_000), 8, 20)
+        assert row.value(0) == "Karen"
+        assert row.value(1) == 45_000
+
+    def test_overlaps_instant(self):
+        row = TemporalTuple((), 8, 20)
+        assert row.overlaps_instant(8)
+        assert row.overlaps_instant(20)
+        assert not row.overlaps_instant(7)
+        assert not row.overlaps_instant(21)
+
+    def test_long_lived_threshold(self):
+        """Paper: long-lived = at least 20% of the relation lifespan."""
+        lifespan = 1000
+        assert TemporalTuple((), 0, 199).is_long_lived(lifespan)
+        assert not TemporalTuple((), 0, 150).is_long_lived(lifespan)
+
+    def test_pretty_renders_forever(self):
+        row = TemporalTuple(("Richard",), 18, FOREVER)
+        assert "forever" in row.pretty()
+        assert "'Richard'" in row.pretty()
+
+    def test_is_a_namedtuple(self):
+        values, start, end = TemporalTuple(("x",), 1, 2)
+        assert (values, start, end) == (("x",), 1, 2)
+
+
+class TestSortKey:
+    def test_orders_by_start_then_end(self):
+        a = TemporalTuple((), 5, 100)
+        b = TemporalTuple((), 6, 7)
+        c = TemporalTuple((), 5, 50)
+        ordered = sorted([a, b, c], key=timestamp_sort_key)
+        assert ordered == [c, a, b]
+
+    def test_stable_for_equal_times(self):
+        a = TemporalTuple(("a",), 5, 10)
+        b = TemporalTuple(("b",), 5, 10)
+        assert sorted([a, b], key=timestamp_sort_key) == [a, b]

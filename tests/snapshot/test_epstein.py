@@ -1,0 +1,91 @@
+"""Tests of Epstein's snapshot aggregate computation (Section 3)."""
+
+import pytest
+
+from repro.snapshot.epstein import ResultTuple, grouped_aggregate, scalar_aggregate
+from repro.core.aggregates import MinAggregate
+
+
+class TestResultTuple:
+    def test_counter_starts_at_zero(self):
+        holder = ResultTuple(MinAggregate())
+        assert holder.count == 0
+        assert holder.is_first
+
+    def test_first_tuple_recognition(self):
+        """The paper: the counter 'may be used to recognize the first
+        tuple' for MIN/MAX."""
+        holder = ResultTuple(MinAggregate())
+        holder.absorb(42)
+        assert not holder.is_first
+        assert holder.result() == 42
+
+    def test_counter_tracks_qualifying_tuples(self):
+        holder = ResultTuple(MinAggregate())
+        for value in (3, 1, 2):
+            holder.absorb(value)
+        assert holder.count == 3
+        assert holder.result() == 1
+
+
+class TestScalarAggregate:
+    def test_count(self):
+        result, count = scalar_aggregate([10, 20, 30], "count")
+        assert result == 3
+        assert count == 3
+
+    def test_avg(self):
+        result, _ = scalar_aggregate([10, 20, 30], "avg")
+        assert result == 20.0
+
+    def test_qualification_filters(self):
+        result, count = scalar_aggregate(
+            [10, 20, 30, 40], "sum", qualification=lambda v: v > 15
+        )
+        assert result == 90
+        assert count == 3
+
+    def test_empty_value_aggregate_is_none(self):
+        result, count = scalar_aggregate([], "max")
+        assert result is None
+        assert count == 0
+
+    def test_empty_count_is_zero(self):
+        result, _ = scalar_aggregate([], "count")
+        assert result == 0
+
+
+class TestGroupedAggregate:
+    ROWS = [
+        ("Engineering", 90), ("Engineering", 98),
+        ("Research", 88), ("Sales", 70),
+    ]
+
+    def test_group_by_first_field(self):
+        averages = grouped_aggregate(
+            self.ROWS,
+            "avg",
+            group_key=lambda r: r[0],
+            value_of=lambda r: r[1],
+        )
+        assert averages == {
+            "Engineering": pytest.approx(94),
+            "Research": 88,
+            "Sales": 70,
+        }
+
+    def test_qualification_can_empty_a_group(self):
+        sums = grouped_aggregate(
+            self.ROWS,
+            "sum",
+            group_key=lambda r: r[0],
+            value_of=lambda r: r[1],
+            qualification=lambda r: r[1] > 80,
+        )
+        assert "Sales" not in sums  # no result tuple ever allocated
+        assert sums["Engineering"] == 188
+
+    def test_no_rows_no_groups(self):
+        assert grouped_aggregate(
+            [], "count", group_key=lambda r: r, value_of=lambda r: r
+        ) == {}

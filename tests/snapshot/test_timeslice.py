@@ -1,0 +1,72 @@
+"""Timeslice tests — including the defining cross-check: temporal
+aggregation at instant t equals the snapshot aggregate over the
+timeslice at t, for every algorithm."""
+
+import pytest
+
+from repro.core.engine import STRATEGIES, temporal_aggregate
+from repro.snapshot.timeslice import (
+    snapshot_aggregate,
+    snapshot_grouped_aggregate,
+    timeslice,
+)
+
+
+class TestTimeslice:
+    def test_employed_at_19(self, employed):
+        rows = timeslice(employed, 19)
+        names = sorted(row.values[0] for row in rows)
+        assert names == ["Karen", "Nathan", "Richard"]
+
+    def test_before_anyone(self, employed):
+        assert timeslice(employed, 3) == []
+
+    def test_boundaries_inclusive(self, employed):
+        assert any(r.values[0] == "Karen" for r in timeslice(employed, 8))
+        assert any(r.values[0] == "Karen" for r in timeslice(employed, 20))
+        assert not any(r.values[0] == "Karen" for r in timeslice(employed, 21))
+
+    def test_negative_instant_rejected(self, employed):
+        with pytest.raises(ValueError):
+            timeslice(employed, -1)
+
+
+class TestSnapshotAggregate:
+    def test_max_salary_at_19(self, employed):
+        assert snapshot_aggregate(employed, "max", "salary", 19) == 45_000
+
+    def test_count_at_15(self, employed):
+        assert snapshot_aggregate(employed, "count", None, 15) == 1
+
+    def test_grouped_at_19(self, employed):
+        per_name = snapshot_grouped_aggregate(employed, "max", "name", "salary", 19)
+        assert per_name == {"Richard": 40_000, "Karen": 45_000, "Nathan": 37_000}
+
+
+class TestTemporalEqualsSnapshotEverywhere:
+    """The semantic foundation of the whole paper, checked directly."""
+
+    PROBES = [0, 7, 10, 13, 17, 18, 20, 21, 22, 1000]
+
+    @pytest.mark.parametrize("aggregate,attribute", [
+        ("count", None),
+        ("sum", "salary"),
+        ("min", "salary"),
+        ("max", "salary"),
+        ("avg", "salary"),
+    ])
+    def test_employed_probes(self, employed, aggregate, attribute):
+        temporal = temporal_aggregate(employed, aggregate, attribute)
+        for instant in self.PROBES:
+            snap = snapshot_aggregate(employed, aggregate, attribute, instant)
+            assert temporal.value_at(instant) == snap
+
+    @pytest.mark.parametrize("strategy", sorted(STRATEGIES))
+    def test_every_algorithm_on_random_data(self, small_random_relation, strategy):
+        k = len(small_random_relation) if strategy == "kordered_tree" else None
+        temporal = temporal_aggregate(
+            small_random_relation, "count", strategy=strategy, k=k
+        )
+        for instant in (0, 50_000, 250_000, 600_000, 999_999):
+            snap = snapshot_aggregate(small_random_relation, "count", None, instant)
+            assert temporal.value_at(instant) == snap

@@ -1,0 +1,110 @@
+"""Tests for the LRU buffer manager."""
+
+import io
+
+import pytest
+
+from repro.storage.buffer import BufferManager
+from repro.storage.page import PAGE_SIZE, PageError
+
+
+def make_buffer(capacity=2, record_bytes=16):
+    return BufferManager(io.BytesIO(), record_bytes, capacity=capacity)
+
+
+class TestAllocationAndFetch:
+    def test_allocate_assigns_sequential_ids(self):
+        buffer = make_buffer()
+        first, _ = buffer.allocate()
+        second, _ = buffer.allocate()
+        assert (first, second) == (0, 1)
+
+    def test_get_cached_page_is_a_hit(self):
+        buffer = make_buffer()
+        page_id, page = buffer.allocate()
+        assert buffer.get(page_id) is page
+        assert buffer.stats.hits == 1
+        assert buffer.stats.page_reads == 0
+
+    def test_get_beyond_eof_rejected(self):
+        buffer = make_buffer()
+        with pytest.raises(PageError, match="beyond"):
+            buffer.get(5)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            make_buffer(capacity=0)
+
+
+class TestEvictionAndWriteBack:
+    def test_lru_eviction_writes_dirty_page(self):
+        buffer = make_buffer(capacity=2)
+        id0, page0 = buffer.allocate()
+        page0.append(b"a" * 16)
+        buffer.allocate()
+        buffer.allocate()  # evicts page 0 (least recently used)
+        assert buffer.stats.evictions == 1
+        assert buffer.stats.page_writes == 1
+        # Reading it back is a miss served from the file.
+        restored = buffer.get(id0)
+        assert restored.read(0) == b"a" * 16
+        assert buffer.stats.page_reads >= 1
+
+    def test_access_refreshes_recency(self):
+        buffer = make_buffer(capacity=2)
+        id0, _ = buffer.allocate()
+        id1, _ = buffer.allocate()
+        buffer.get(id0)  # touch 0 so 1 becomes the LRU victim
+        buffer.allocate()
+        buffer.flush()
+        # Page 0 must still be cached: fetching is a hit.
+        hits_before = buffer.stats.hits
+        buffer.get(id0)
+        assert buffer.stats.hits == hits_before + 1
+
+    def test_flush_writes_all_dirty(self):
+        buffer = make_buffer(capacity=4)
+        for _ in range(3):
+            _pid, page = buffer.allocate()
+            page.append(b"z" * 16)
+        buffer.flush()
+        assert buffer.stats.page_writes == 3
+        buffer.flush()  # now clean: no extra writes
+        assert buffer.stats.page_writes == 3
+
+    def test_drop_cache_forces_misses(self):
+        buffer = make_buffer(capacity=4)
+        page_id, page = buffer.allocate()
+        page.append(b"k" * 16)
+        buffer.drop_cache()
+        misses_before = buffer.stats.misses
+        assert buffer.get(page_id).read(0) == b"k" * 16
+        assert buffer.stats.misses == misses_before + 1
+
+
+class TestGeometry:
+    def test_page_count_tracks_file_and_cache(self):
+        buffer = make_buffer(capacity=8)
+        assert buffer.page_count() == 0
+        buffer.allocate()
+        buffer.allocate()
+        assert buffer.page_count() == 2
+        buffer.flush()
+        assert buffer.page_count() == 2
+
+    def test_stats_snapshot_keys(self):
+        stats = make_buffer().stats.snapshot()
+        assert set(stats) == {
+            "page_reads",
+            "page_writes",
+            "hits",
+            "misses",
+            "evictions",
+        }
+
+    def test_file_grows_in_page_units(self):
+        handle = io.BytesIO()
+        buffer = BufferManager(handle, 16, capacity=2)
+        buffer.allocate()
+        buffer.flush()
+        assert len(handle.getvalue()) == PAGE_SIZE

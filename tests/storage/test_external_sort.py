@@ -1,0 +1,122 @@
+"""Tests for the external merge sort."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relation.relation import TemporalRelation
+from repro.relation.schema import EMPLOYED_SCHEMA
+from repro.relation.tuples import timestamp_sort_key
+from repro.storage.external_sort import SortStatistics, external_sort
+from repro.storage.heapfile import HeapFile
+from repro.workload.generator import WorkloadParameters, generate_relation
+
+
+def heap_of(n, seed=0):
+    relation = generate_relation(WorkloadParameters(tuples=n, seed=seed))
+    return HeapFile.from_relation(relation), relation
+
+
+class TestExternalSort:
+    def test_output_is_totally_ordered(self):
+        heap, _rel = heap_of(300, seed=1)
+        ordered = external_sort(heap, run_pages=2)
+        rows = list(ordered.scan())
+        keys = [timestamp_sort_key(row) for row in rows]
+        assert keys == sorted(keys)
+
+    def test_multiset_preserved(self):
+        heap, relation = heap_of(300, seed=2)
+        ordered = external_sort(heap, run_pages=2)
+        assert sorted(map(tuple, ordered.scan())) == sorted(
+            map(tuple, relation)
+        )
+
+    def test_run_count_respects_memory_bound(self):
+        heap, _rel = heap_of(300, seed=3)  # 5 pages at 63 records/page
+        stats = SortStatistics()
+        external_sort(heap, run_pages=2, statistics=stats)
+        assert stats.runs == 3  # ceil(5 pages / 2 pages per run)
+        assert stats.tuples == 300
+
+    def test_single_run_when_memory_suffices(self):
+        heap, _rel = heap_of(50, seed=4)
+        stats = SortStatistics()
+        external_sort(heap, run_pages=16, statistics=stats)
+        assert stats.runs == 1
+
+    def test_empty_heap(self):
+        heap = HeapFile(EMPLOYED_SCHEMA)
+        ordered = external_sort(heap)
+        assert len(list(ordered.scan())) == 0
+
+    def test_already_sorted_input(self):
+        relation = generate_relation(WorkloadParameters(tuples=100, seed=5))
+        heap = HeapFile.from_relation(relation.sorted_by_time())
+        ordered = external_sort(heap, run_pages=1)
+        keys = [timestamp_sort_key(row) for row in ordered.scan()]
+        assert keys == sorted(keys)
+
+    def test_temp_files_cleaned_up(self, tmp_path):
+        heap, _rel = heap_of(300, seed=6)
+        stats = SortStatistics()
+        external_sort(
+            heap, run_pages=2, temp_dir=str(tmp_path), statistics=stats
+        )
+        assert stats.temp_paths  # runs went to disk...
+        import os
+
+        assert not any(os.path.exists(p) for p in stats.temp_paths)  # ...and away
+
+    def test_output_path(self, tmp_path):
+        heap, relation = heap_of(100, seed=7)
+        path = str(tmp_path / "sorted.heap")
+        ordered = external_sort(heap, output_path=path)
+        ordered.close()
+        with HeapFile(EMPLOYED_SCHEMA, path=path) as reopened:
+            assert len(reopened) == len(relation)
+
+    def test_io_statistics_populated(self):
+        heap, _rel = heap_of(300, seed=8)
+        stats = SortStatistics()
+        external_sort(heap, run_pages=2, statistics=stats)
+        assert stats.run_page_writes > 0
+        assert stats.output_page_writes > 0
+        assert stats.total_page_io >= stats.run_page_writes
+
+    def test_invalid_run_pages(self):
+        heap, _rel = heap_of(10, seed=9)
+        with pytest.raises(ValueError):
+            external_sort(heap, run_pages=0)
+
+    def test_sort_enables_ktree_k1(self):
+        """The paper's bottom-line strategy works end to end."""
+        from repro.core.kordered_tree import KOrderedTreeEvaluator
+        from repro.core.reference import ReferenceEvaluator
+
+        heap, relation = heap_of(200, seed=10)
+        ordered = external_sort(heap, run_pages=2)
+        result = KOrderedTreeEvaluator("count", k=1).evaluate(
+            ordered.scan_triples()
+        )
+        expected = ReferenceEvaluator("count").evaluate(
+            list(relation.scan_triples())
+        )
+        assert result.rows == expected.rows
+
+
+class TestSortProperty:
+    @given(
+        seed=st.integers(min_value=0, max_value=1000),
+        n=st.integers(min_value=0, max_value=120),
+        run_pages=st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_sorts_any_input(self, seed, n, run_pages):
+        relation = generate_relation(WorkloadParameters(tuples=n, seed=seed))
+        heap = HeapFile.from_relation(relation)
+        ordered = external_sort(heap, run_pages=run_pages)
+        rows = list(ordered.scan())
+        keys = [timestamp_sort_key(row) for row in rows]
+        assert keys == sorted(keys)
+        assert sorted(map(tuple, rows)) == sorted(map(tuple, relation))

@@ -1,0 +1,102 @@
+"""Tests for fixed-size pages."""
+
+import pytest
+
+from repro.storage.page import PAGE_HEADER_BYTES, PAGE_SIZE, Page, PageError
+
+
+class TestGeometry:
+    def test_capacity_128_byte_records(self):
+        page = Page(128)
+        assert page.capacity == (PAGE_SIZE - PAGE_HEADER_BYTES) // 128
+        assert page.capacity == 63
+
+    def test_fresh_page_is_empty_and_dirty(self):
+        page = Page(128)
+        assert page.record_count == 0
+        assert page.dirty
+        assert not page.is_full
+
+    def test_record_too_wide_rejected(self):
+        with pytest.raises(PageError):
+            Page(PAGE_SIZE)
+        with pytest.raises(PageError):
+            Page(0)
+
+
+class TestAppendAndRead:
+    def test_append_returns_slots_in_order(self):
+        page = Page(16)
+        assert page.append(b"a" * 16) == 0
+        assert page.append(b"b" * 16) == 1
+        assert page.record_count == 2
+
+    def test_read_back(self):
+        page = Page(16)
+        page.append(b"x" * 16)
+        page.append(b"y" * 16)
+        assert page.read(0) == b"x" * 16
+        assert page.read(1) == b"y" * 16
+
+    def test_records_iterates_live_slots(self):
+        page = Page(16)
+        for char in b"abc":
+            page.append(bytes([char]) * 16)
+        assert list(page.records()) == [b"a" * 16, b"b" * 16, b"c" * 16]
+
+    def test_wrong_record_size_rejected(self):
+        page = Page(16)
+        with pytest.raises(PageError):
+            page.append(b"short")
+
+    def test_out_of_range_slot_rejected(self):
+        page = Page(16)
+        page.append(b"x" * 16)
+        with pytest.raises(PageError):
+            page.read(1)
+        with pytest.raises(PageError):
+            page.read(-1)
+
+    def test_full_page_rejects_append(self):
+        page = Page(16)
+        for _ in range(page.capacity):
+            page.append(b"z" * 16)
+        assert page.is_full
+        with pytest.raises(PageError, match="full"):
+            page.append(b"z" * 16)
+
+
+class TestSerialisation:
+    def test_to_bytes_roundtrip(self):
+        page = Page(16)
+        page.append(b"q" * 16)
+        image = page.to_bytes()
+        assert len(image) == PAGE_SIZE
+        restored = Page(16, bytearray(image))
+        assert restored.record_count == 1
+        assert restored.read(0) == b"q" * 16
+        assert not restored.dirty
+
+    def test_wrong_image_size_rejected(self):
+        with pytest.raises(PageError):
+            Page(16, bytearray(100))
+
+    def test_mismatched_record_width_rejected(self):
+        image = Page(16).to_bytes()
+        with pytest.raises(PageError, match="records"):
+            Page(32, bytearray(image))
+
+    def test_corrupt_count_rejected(self):
+        import struct
+
+        image = bytearray(Page(16).to_bytes())
+        struct.pack_into(">IHH", image, 0, 9999, 16, 0)
+        with pytest.raises(PageError, match="capacity"):
+            Page(16, image)
+
+    def test_append_marks_dirty(self):
+        image = Page(16).to_bytes()
+        page = Page(16, bytearray(image))
+        assert not page.dirty
+        page.append(b"w" * 16)
+        assert page.dirty

@@ -1,0 +1,93 @@
+"""Tests of page-group randomized scanning (Section 7)."""
+
+import pytest
+
+from repro.core.aggregation_tree import AggregationTreeEvaluator
+from repro.core.ordering import k_orderedness
+from repro.relation.relation import TemporalRelation
+from repro.relation.schema import EMPLOYED_SCHEMA
+from repro.storage.heapfile import HeapFile
+from repro.storage.randomized_scan import randomized_scan, randomized_scan_triples
+from repro.workload.generator import WorkloadParameters, generate_relation
+
+
+@pytest.fixture
+def sorted_heap():
+    relation = generate_relation(WorkloadParameters(tuples=500, seed=31))
+    return HeapFile.from_relation(relation.sorted_by_time())
+
+
+class TestRandomizedScan:
+    def test_multiset_preserved(self, sorted_heap):
+        plain = sorted(map(tuple, sorted_heap.scan()))
+        shuffled = sorted(map(tuple, randomized_scan(sorted_heap, seed=1)))
+        assert plain == shuffled
+
+    def test_deterministic_given_seed(self, sorted_heap):
+        a = list(randomized_scan(sorted_heap, seed=5))
+        b = list(randomized_scan(sorted_heap, seed=5))
+        assert a == b
+
+    def test_different_seeds_differ(self, sorted_heap):
+        a = list(randomized_scan(sorted_heap, seed=1))
+        b = list(randomized_scan(sorted_heap, seed=2))
+        assert a != b
+
+    def test_reordering_bounded_by_group(self, sorted_heap):
+        """Shuffling within g pages keeps the stream k-ordered for
+        k < g * records_per_page."""
+        group_pages = 2
+        rows = list(randomized_scan(sorted_heap, group_pages=group_pages, seed=3))
+        keys = [(row.start, row.end) for row in rows]
+        bound = group_pages * sorted_heap.records_per_page
+        assert 0 < k_orderedness(keys) < bound
+
+    def test_group_pages_validation(self, sorted_heap):
+        with pytest.raises(ValueError):
+            list(randomized_scan(sorted_heap, group_pages=0))
+
+    def test_triples_with_attribute(self, sorted_heap):
+        triples = list(randomized_scan_triples(sorted_heap, "salary", seed=1))
+        assert all(isinstance(v, int) for _s, _e, v in triples)
+
+    def test_triples_without_attribute(self, sorted_heap):
+        triples = list(randomized_scan_triples(sorted_heap, seed=1))
+        assert all(v is None for _s, _e, v in triples)
+
+
+class TestEffectOnTheTree:
+    def test_same_result_less_work(self, sorted_heap):
+        plain = AggregationTreeEvaluator("count")
+        expected = plain.evaluate(sorted_heap.scan_triples())
+        randomized = AggregationTreeEvaluator("count")
+        result = randomized.evaluate(
+            randomized_scan_triples(sorted_heap, group_pages=4, seed=7)
+        )
+        assert result.rows == expected.rows
+        assert randomized.counters.total_work < plain.counters.total_work
+
+    def test_tree_depth_reduced(self, sorted_heap):
+        plain = AggregationTreeEvaluator("count")
+        plain.evaluate(sorted_heap.scan_triples())
+        randomized = AggregationTreeEvaluator("count")
+        randomized.evaluate(
+            randomized_scan_triples(sorted_heap, group_pages=4, seed=7)
+        )
+        assert randomized.depth() < plain.depth()
+
+    def test_sequential_io_unchanged(self, sorted_heap):
+        sorted_heap.buffer.drop_cache()
+        list(sorted_heap.scan_triples())
+        plain_reads = sorted_heap.buffer.stats.page_reads
+
+        sorted_heap.buffer.drop_cache()
+        before = sorted_heap.buffer.stats.page_reads
+        list(randomized_scan_triples(sorted_heap, group_pages=4))
+        assert sorted_heap.buffer.stats.page_reads - before == plain_reads
+
+    def test_single_page_heap(self):
+        relation = TemporalRelation(EMPLOYED_SCHEMA)
+        relation.insert(("A", 1), 0, 5)
+        heap = HeapFile.from_relation(relation)
+        rows = list(randomized_scan(heap))
+        assert len(rows) == 1

@@ -1,0 +1,114 @@
+"""Tests of zone maps and windowed aggregation."""
+
+import pytest
+
+from repro.core.interval import Interval
+from repro.core.reference import ReferenceEvaluator
+from repro.relation.relation import TemporalRelation
+from repro.relation.schema import EMPLOYED_SCHEMA
+from repro.storage.external_sort import external_sort
+from repro.storage.heapfile import HeapFile
+from repro.storage.zonemap import ZoneMap, windowed_aggregate
+from repro.workload.generator import WorkloadParameters, generate_relation
+
+
+@pytest.fixture(scope="module")
+def sorted_heap():
+    relation = generate_relation(WorkloadParameters(tuples=800, seed=41))
+    raw = HeapFile.from_relation(relation)
+    return external_sort(raw, run_pages=4)
+
+
+class TestZoneMapBounds:
+    def test_bounds_cover_page_contents(self, sorted_heap):
+        zone_map = ZoneMap(sorted_heap)
+        for page_id in range(sorted_heap.page_count):
+            bounds = zone_map.page_bounds(page_id)
+            page = sorted_heap.buffer.get(page_id)
+            for record in page.records():
+                start, end = sorted_heap.codec.decode_timestamps_only(record)
+                assert bounds[0] <= start
+                assert end <= bounds[1]
+
+    def test_empty_heap(self):
+        heap = HeapFile(EMPLOYED_SCHEMA)
+        zone_map = ZoneMap(heap)
+        assert zone_map.pages_overlapping(Interval(0, 10)) == []
+
+    def test_sorted_file_bounds_are_clustered(self, sorted_heap):
+        zone_map = ZoneMap(sorted_heap)
+        starts = [
+            zone_map.page_bounds(pid)[0] for pid in range(sorted_heap.page_count)
+        ]
+        assert starts == sorted(starts)
+
+
+class TestWindowedScan:
+    def test_narrow_window_skips_most_pages(self, sorted_heap):
+        zone_map = ZoneMap(sorted_heap)
+        window = Interval(500_000, 501_000)
+        rows = list(zone_map.scan_window_triples(window))
+        assert zone_map.pages_skipped > zone_map.pages_scanned
+        # Every yielded tuple genuinely overlaps the window.
+        assert all(s <= window.end and e >= window.start for s, e, _v in rows)
+
+    def test_scan_is_complete(self, sorted_heap):
+        """Skipping must lose no qualifying tuple."""
+        zone_map = ZoneMap(sorted_heap)
+        window = Interval(200_000, 300_000)
+        via_zone_map = sorted(zone_map.scan_window_triples(window))
+        via_full_scan = sorted(
+            (s, e, None)
+            for s, e, _v in sorted_heap.scan_triples()
+            if s <= window.end and e >= window.start
+        )
+        assert via_zone_map == via_full_scan
+
+    def test_whole_timeline_window_skips_nothing(self, sorted_heap):
+        zone_map = ZoneMap(sorted_heap)
+        lifespan = Interval(0, 2_000_000)
+        rows = list(zone_map.scan_window_triples(lifespan))
+        assert zone_map.pages_skipped == 0
+        assert len(rows) == len(sorted_heap)
+
+    def test_attribute_extraction(self, sorted_heap):
+        zone_map = ZoneMap(sorted_heap)
+        rows = list(
+            zone_map.scan_window_triples(Interval(0, 100_000), "salary")
+        )
+        assert rows and all(isinstance(v, int) for _s, _e, v in rows)
+
+
+class TestWindowedAggregate:
+    def test_matches_full_evaluation_restricted(self, sorted_heap):
+        window = Interval(100_000, 400_000)
+        via_zone_map = windowed_aggregate(sorted_heap, "count", window)
+        full = ReferenceEvaluator("count").evaluate(
+            list(sorted_heap.scan_triples())
+        )
+        assert via_zone_map.rows == full.restrict(window).rows
+
+    def test_value_aggregate(self, sorted_heap):
+        window = Interval(250_000, 260_000)
+        result = windowed_aggregate(sorted_heap, "max", window, "salary")
+        full = ReferenceEvaluator("max").evaluate(
+            list(sorted_heap.scan_triples("salary"))
+        )
+        assert result.rows == full.restrict(window).rows
+
+    def test_reusable_zone_map(self, sorted_heap):
+        zone_map = ZoneMap(sorted_heap)
+        for lo in (0, 300_000, 700_000):
+            window = Interval(lo, lo + 50_000)
+            result = windowed_aggregate(
+                sorted_heap, "count", window, zone_map=zone_map
+            )
+            result.verify_partition(full_cover=False)
+
+    def test_unsorted_file_still_correct(self):
+        relation = generate_relation(WorkloadParameters(tuples=300, seed=42))
+        heap = HeapFile.from_relation(relation)  # random order
+        window = Interval(400_000, 500_000)
+        result = windowed_aggregate(heap, "count", window)
+        full = ReferenceEvaluator("count").evaluate(list(heap.scan_triples()))
+        assert result.rows == full.restrict(window).rows

@@ -1,0 +1,98 @@
+"""Tests of calendar-unit SPAN grouping in TSQL2-lite."""
+
+import pytest
+
+from repro.relation.relation import TemporalRelation
+from repro.relation.schema import Schema
+from repro.tsql2.executor import Database, TSQL2SemanticError
+from repro.tsql2.parser import parse
+
+
+@pytest.fixture
+def db():
+    schema = Schema.of("sensor:str:8", "reading:int")
+    relation = TemporalRelation(schema, name="Readings")
+    # Instants are days from 1995-01-01 (the default Calendar epoch).
+    for day, value in [(5, 10), (40, 20), (70, 15), (100, 7)]:
+        relation.insert(("s1", value), day, day + 20)
+    database = Database()
+    database.register(relation)
+    return database
+
+
+class TestParsing:
+    def test_unit_span(self):
+        group_by = parse("SELECT COUNT(x) FROM R GROUP BY SPAN MONTH").group_by
+        assert group_by.kind == "span"
+        assert group_by.unit == "month"
+        assert group_by.span is None
+
+    def test_numeric_span_still_works(self):
+        group_by = parse("SELECT COUNT(x) FROM R GROUP BY SPAN 90").group_by
+        assert group_by.span == 90
+        assert group_by.unit is None
+
+    def test_unit_with_window(self):
+        group_by = parse(
+            "SELECT COUNT(x) FROM R GROUP BY SPAN YEAR [0, 729]"
+        ).group_by
+        assert group_by.unit == "year"
+        assert group_by.window == (0, 729)
+
+
+class TestExecution:
+    def test_monthly_buckets_have_civil_lengths(self, db):
+        result = db.execute(
+            "SELECT COUNT(sensor) FROM Readings GROUP BY SPAN MONTH [0, 119]"
+        )
+        # Jan 95 (31d), Feb (28d), Mar (31d), Apr (30d).
+        assert [(r[0], r[1]) for r in result] == [
+            (0, 30),
+            (31, 58),
+            (59, 89),
+            (90, 119),
+        ]
+
+    def test_monthly_counts(self, db):
+        result = db.execute(
+            "SELECT COUNT(sensor) FROM Readings GROUP BY SPAN MONTH [0, 119]"
+        )
+        # [5,25] Jan; [40,60] Feb+Mar; [70,90] Mar+Apr; [100,120] Apr.
+        assert result.column("COUNT(sensor)") == [1, 1, 2, 2]
+
+    def test_weekly_equals_fixed_seven(self, db):
+        weekly = db.execute(
+            "SELECT COUNT(sensor) FROM Readings GROUP BY SPAN WEEK [0, 27]"
+        )
+        fixed = db.execute(
+            "SELECT COUNT(sensor) FROM Readings GROUP BY SPAN 7 [0, 27]"
+        )
+        assert weekly.rows == fixed.rows
+
+    def test_having_composes(self, db):
+        result = db.execute(
+            "SELECT COUNT(sensor) FROM Readings "
+            "GROUP BY SPAN MONTH [0, 119] HAVING COUNT(sensor) > 1"
+        )
+        assert len(result) == 2  # March and April
+
+    def test_unknown_unit_is_semantic_error(self, db):
+        with pytest.raises(TSQL2SemanticError, match="fortnight"):
+            db.execute(
+                "SELECT COUNT(sensor) FROM Readings "
+                "GROUP BY SPAN FORTNIGHT [0, 27]"
+            )
+
+    def test_window_defaults_to_data_lifespan(self, db):
+        """With no explicit window the qualifying rows' (bounded)
+        lifespan is used."""
+        result = db.execute(
+            "SELECT COUNT(sensor) FROM Readings GROUP BY SPAN MONTH"
+        )
+        assert result[0][0] == 5  # first tuple's start
+        assert result[-1][1] == 120  # last tuple's end
+
+    def test_unbounded_lifespan_needs_explicit_window(self, db):
+        db.relation("Readings").insert(("s2", 1), 0, 2**62)
+        with pytest.raises(TSQL2SemanticError, match="bounded"):
+            db.execute("SELECT COUNT(sensor) FROM Readings GROUP BY SPAN MONTH")

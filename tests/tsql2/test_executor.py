@@ -1,0 +1,184 @@
+"""Tests of TSQL2-lite execution against the Employed relation."""
+
+import pytest
+
+from repro.tsql2.executor import Database, TSQL2SemanticError
+from repro.workload.employed import TABLE_1_EXPECTED, employed_relation
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.register(employed_relation())
+    return database
+
+
+class TestTable1Query:
+    def test_paper_query_reproduces_table_1(self, db):
+        result = db.execute("SELECT COUNT(Name) FROM Employed E")
+        rows = [(r[0], r[1], r[2]) for r in result]
+        assert rows == [tuple(r) for r in TABLE_1_EXPECTED]
+
+    def test_columns(self, db):
+        result = db.execute("SELECT COUNT(Name) FROM Employed")
+        assert result.columns == ("valid_start", "valid_end", "COUNT(Name)")
+
+    def test_drop_empty_presentation(self, db):
+        result = db.execute(
+            "SELECT COUNT(Name) FROM Employed", keep_empty=False
+        )
+        assert len(result) == 6
+        assert result[0][0] == 7
+
+    def test_case_insensitive_table_lookup(self, db):
+        assert len(db.execute("SELECT COUNT(Name) FROM employed")) == 7
+
+
+class TestAggregatesAndWhere:
+    def test_multiple_aggregates_share_boundaries(self, db):
+        result = db.execute("SELECT COUNT(Name), MAX(Salary) FROM Employed")
+        assert result.columns[-2:] == ("COUNT(Name)", "MAX(Salary)")
+        by_start = {row[0]: row for row in result}
+        assert by_start[18][2] == 3
+        assert by_start[18][3] == 45_000
+
+    def test_where_comparison(self, db):
+        result = db.execute(
+            "SELECT COUNT(Name) FROM Employed WHERE Salary > 36000",
+            keep_empty=False,
+        )
+        # Qualifying tuples: Richard 40K [18,∞], Karen 45K [8,20],
+        # Nathan 37K [18,21].
+        by_start = {row[0]: row[2] for row in result}
+        assert by_start[8] == 1
+        assert by_start[18] == 3
+
+    def test_where_string_equality(self, db):
+        result = db.execute(
+            "SELECT COUNT(Name) FROM Employed WHERE Name = 'Nathan'",
+            keep_empty=False,
+        )
+        assert [(r[0], r[1], r[2]) for r in result] == [
+            (7, 12, 1),
+            (18, 21, 1),
+        ]
+
+    def test_valid_overlaps_window(self, db):
+        result = db.execute(
+            "SELECT COUNT(Name) FROM Employed WHERE VALID OVERLAPS [0, 10]",
+            keep_empty=False,
+        )
+        # Karen [8,20] and Nathan [7,12] overlap the window.
+        assert max(row[2] for row in result) == 2
+
+    def test_conjunction(self, db):
+        result = db.execute(
+            "SELECT COUNT(Name) FROM Employed "
+            "WHERE Salary > 36000 AND Name <> 'Karen'",
+            keep_empty=False,
+        )
+        assert all(row[0] >= 18 for row in result)
+
+    def test_empty_qualification(self, db):
+        result = db.execute(
+            "SELECT COUNT(Name) FROM Employed WHERE Salary > 10_000_000"
+        )
+        assert len(result) == 1  # one all-zero constant interval
+        assert result[0][2] == 0
+
+
+class TestGrouping:
+    def test_group_by_attribute(self, db):
+        result = db.execute(
+            "SELECT Name, COUNT(Salary) FROM Employed GROUP BY Name",
+            keep_empty=False,
+        )
+        assert result.columns[0] == "name"
+        names = set(result.column("name"))
+        assert names == {"Richard", "Karen", "Nathan"}
+
+    def test_grouped_rows_are_per_group_timelines(self, db):
+        result = db.execute(
+            "SELECT Name, COUNT(Salary) FROM Employed GROUP BY Name",
+            keep_empty=False,
+        )
+        nathan = [row for row in result if row[0] == "Nathan"]
+        assert [(r[1], r[2]) for r in nathan] == [(7, 12), (18, 21)]
+
+    def test_span_grouping(self, db):
+        result = db.execute(
+            "SELECT COUNT(Name) FROM Employed GROUP BY SPAN 10 [0, 29]"
+        )
+        assert [(r[0], r[1]) for r in result] == [(0, 9), (10, 19), (20, 29)]
+        assert result.column("COUNT(Name)") == [2, 4, 3]
+
+    def test_span_needs_bounded_window(self, db):
+        with pytest.raises(TSQL2SemanticError, match="bounded"):
+            db.execute("SELECT COUNT(Name) FROM Employed GROUP BY SPAN 10")
+
+
+class TestHints:
+    @pytest.mark.parametrize(
+        "hint",
+        [
+            "linked_list",
+            "aggregation_tree",
+            "balanced_tree",
+            "two_pass",
+            "ktree(k=40)",
+            "tree",
+            "list",
+            "tuma",
+        ],
+    )
+    def test_all_hints_give_table_1(self, db, hint):
+        result = db.execute(
+            f"SELECT COUNT(Name) FROM Employed USING ALGORITHM {hint}"
+        )
+        assert [(r[0], r[1], r[2]) for r in result] == [
+            tuple(r) for r in TABLE_1_EXPECTED
+        ]
+
+    def test_unknown_hint_rejected(self, db):
+        with pytest.raises(TSQL2SemanticError, match="unknown algorithm"):
+            db.execute("SELECT COUNT(Name) FROM Employed USING ALGORITHM magic")
+
+
+class TestQueryResultContainer:
+    def test_column_accessor(self, db):
+        result = db.execute("SELECT COUNT(Name) FROM Employed")
+        assert result.column("COUNT(Name)") == [0, 1, 2, 1, 3, 2, 1]
+        with pytest.raises(KeyError):
+            result.column("nope")
+
+    def test_pretty_renders_forever(self, db):
+        text = db.execute("SELECT COUNT(Name) FROM Employed").pretty()
+        assert "forever" in text
+
+    def test_markdown(self, db):
+        text = db.execute("SELECT COUNT(Name) FROM Employed").to_markdown()
+        assert text.startswith("| valid_start | valid_end | COUNT(Name) |")
+
+    def test_len_iter_getitem(self, db):
+        result = db.execute("SELECT COUNT(Name) FROM Employed")
+        assert len(result) == 7
+        assert result[0][2] == 0
+        assert len(list(result)) == 7
+
+    def test_empty_result_renders(self, db):
+        result = db.execute(
+            "SELECT COUNT(Name) FROM Employed HAVING COUNT(Name) > 99"
+        )
+        assert len(result) == 0
+        text = result.pretty()
+        assert "valid_start" in text
+        assert result.to_markdown().count("\n") == 1  # header + separator
+
+    def test_pretty_truncation(self, db):
+        from repro.workload.generator import WorkloadParameters, generate_relation
+
+        db.register(
+            generate_relation(WorkloadParameters(tuples=100, seed=3)), name="Big"
+        )
+        text = db.execute("SELECT COUNT(name) FROM Big").pretty(limit=5)
+        assert "more rows" in text

@@ -1,0 +1,120 @@
+"""Tests of arithmetic expressions over aggregate calls in TSQL2-lite."""
+
+import pytest
+
+from repro.tsql2.ast import AggregateCall, BinaryOp, Literal
+from repro.tsql2.executor import Database, TSQL2SemanticError
+from repro.tsql2.lexer import TSQL2SyntaxError
+from repro.tsql2.parser import parse
+from repro.workload.employed import employed_relation
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.register(employed_relation())
+    return database
+
+
+class TestParsing:
+    def test_difference_of_aggregates(self):
+        query = parse("SELECT MAX(S) - MIN(S) FROM R")
+        item = query.select[0]
+        assert isinstance(item, BinaryOp)
+        assert item.operator == "-"
+        assert item.left == AggregateCall("max", "S")
+        assert item.right == AggregateCall("min", "S")
+
+    def test_precedence_multiplication_binds_tighter(self):
+        query = parse("SELECT COUNT(N) + AVG(S) * 2 FROM R")
+        item = query.select[0]
+        assert item.operator == "+"
+        assert isinstance(item.right, BinaryOp)
+        assert item.right.operator == "*"
+
+    def test_parentheses_override_precedence(self):
+        query = parse("SELECT (COUNT(N) + AVG(S)) * 2 FROM R")
+        item = query.select[0]
+        assert item.operator == "*"
+        assert isinstance(item.left, BinaryOp)
+
+    def test_unary_minus_literal(self):
+        query = parse("SELECT COUNT(N) + -5 FROM R")
+        item = query.select[0]
+        assert item.right == Literal(-5)
+
+    def test_unary_minus_aggregate(self):
+        query = parse("SELECT -MIN(S) FROM R")
+        item = query.select[0]
+        assert item == BinaryOp("-", Literal(0), AggregateCall("min", "S"))
+
+    def test_label_reconstruction(self):
+        query = parse("SELECT (MAX(S) - MIN(S)) / COUNT(N) FROM R")
+        assert query.select[0].label() == "(MAX(S) - MIN(S)) / COUNT(N)"
+
+    def test_aggregate_calls_deduplicated(self):
+        query = parse("SELECT MAX(S) - MAX(S), MAX(S) FROM R")
+        assert query.aggregate_calls() == (AggregateCall("max", "S"),)
+
+    def test_bare_column_in_expression_rejected(self):
+        with pytest.raises(TSQL2SyntaxError, match="bare column"):
+            parse("SELECT Salary + 1 FROM R")
+
+    def test_expression_needs_operand(self):
+        with pytest.raises(TSQL2SyntaxError):
+            parse("SELECT COUNT(N) + FROM R")
+
+
+class TestExecution:
+    def test_salary_spread_over_time(self, db):
+        result = db.execute("SELECT MAX(Salary) - MIN(Salary) FROM Employed")
+        by_start = {row[0]: row[2] for row in result}
+        assert by_start[0] is None  # empty group: NULL propagates
+        assert by_start[8] == 10_000  # 45K - 35K
+        assert by_start[18] == 8_000  # 45K - 37K
+        assert by_start[22] == 0
+
+    def test_scaling_by_literal(self, db):
+        result = db.execute("SELECT AVG(Salary) / 1000 FROM Employed")
+        assert result.column("AVG(Salary) / 1000")[2] == pytest.approx(40.0)
+
+    def test_literal_column_constant(self, db):
+        result = db.execute("SELECT COUNT(Name), 7 FROM Employed")
+        assert set(result.column("7")) == {7}
+
+    def test_division_by_zero_is_null(self, db):
+        result = db.execute("SELECT SUM(Salary) / COUNT(Name) FROM Employed")
+        by_start = {row[0]: row[2] for row in result}
+        assert by_start[0] is None  # SUM None / COUNT 0
+        assert by_start[18] == pytest.approx((40_000 + 45_000 + 37_000) / 3)
+
+    def test_expression_in_group_by(self, db):
+        result = db.execute(
+            "SELECT name, MAX(salary) - 30_000 FROM Employed GROUP BY name",
+            keep_empty=False,
+        )
+        karen = [row for row in result if row[0] == "Karen"]
+        assert karen[0][3] == 15_000
+
+    def test_expression_in_span_grouping(self, db):
+        result = db.execute(
+            "SELECT COUNT(Name) * 10 FROM Employed GROUP BY SPAN 10 [0, 29]"
+        )
+        assert result.column("COUNT(Name) * 10") == [20, 40, 30]
+
+    def test_shared_call_computed_once_consistently(self, db):
+        result = db.execute(
+            "SELECT MAX(Salary), MAX(Salary) - MAX(Salary) FROM Employed",
+            keep_empty=False,
+        )
+        assert set(result.column("MAX(Salary) - MAX(Salary)")) == {0}
+
+    def test_drop_empty_with_expressions(self, db):
+        result = db.execute(
+            "SELECT MAX(Salary) - MIN(Salary) FROM Employed", keep_empty=False
+        )
+        assert all(row[2] is not None for row in result)
+
+    def test_unknown_attribute_inside_expression(self, db):
+        with pytest.raises(TSQL2SemanticError, match="not an attribute"):
+            db.execute("SELECT MAX(Bonus) - 1 FROM Employed")

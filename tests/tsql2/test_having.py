@@ -1,0 +1,132 @@
+"""Tests of the HAVING clause."""
+
+import pytest
+
+from repro.tsql2.ast import AggregateCall, Having
+from repro.tsql2.executor import Database
+from repro.tsql2.lexer import TSQL2SyntaxError
+from repro.tsql2.parser import parse
+from repro.workload.employed import employed_relation
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.register(employed_relation())
+    return database
+
+
+class TestParsing:
+    def test_simple_having(self):
+        query = parse("SELECT COUNT(N) FROM R HAVING COUNT(N) > 2")
+        assert query.having == (Having(AggregateCall("count", "N"), ">", 2),)
+
+    def test_having_with_expression(self):
+        query = parse(
+            "SELECT COUNT(N) FROM R HAVING MAX(S) - MIN(S) >= 100"
+        )
+        condition = query.having[0]
+        assert condition.operator == ">="
+        assert condition.literal == 100
+        assert condition.item.operator == "-"
+
+    def test_conjunction(self):
+        query = parse(
+            "SELECT COUNT(N) FROM R HAVING COUNT(N) > 1 AND MAX(S) < 9"
+        )
+        assert len(query.having) == 2
+
+    def test_having_after_group_by(self):
+        query = parse(
+            "SELECT d, COUNT(N) FROM R GROUP BY d HAVING COUNT(N) = 2"
+        )
+        assert query.group_by.attributes == ("d",)
+        assert len(query.having) == 1
+
+    def test_having_calls_feed_aggregate_calls(self):
+        query = parse("SELECT COUNT(N) FROM R HAVING MAX(S) > 5")
+        assert AggregateCall("max", "S") in query.aggregate_calls()
+
+    def test_bare_column_rejected(self):
+        with pytest.raises(TSQL2SyntaxError):
+            parse("SELECT COUNT(N) FROM R HAVING Salary > 5")
+
+    def test_having_before_using(self):
+        query = parse(
+            "SELECT COUNT(N) FROM R HAVING COUNT(N) > 1 "
+            "USING ALGORITHM linked_list"
+        )
+        assert query.hint.strategy == "linked_list"
+
+
+class TestExecution:
+    def test_filters_constant_intervals(self, db):
+        result = db.execute(
+            "SELECT COUNT(Name) FROM Employed HAVING COUNT(Name) >= 2"
+        )
+        assert [(r[0], r[1], r[2]) for r in result] == [
+            (8, 12, 2),
+            (18, 20, 3),
+            (21, 21, 2),
+        ]
+
+    def test_having_on_unselected_aggregate(self, db):
+        """HAVING may reference an aggregate the select list omits."""
+        result = db.execute(
+            "SELECT COUNT(Name) FROM Employed HAVING MAX(Salary) >= 45_000"
+        )
+        # Exactly Karen's employment period qualifies.
+        assert [(r[0], r[1]) for r in result] == [(8, 12), (13, 17), (18, 20)]
+        assert result.columns == ("valid_start", "valid_end", "COUNT(Name)")
+
+    def test_null_fails_comparisons(self, db):
+        """Empty groups (MAX = NULL) never satisfy HAVING."""
+        result = db.execute(
+            "SELECT COUNT(Name) FROM Employed HAVING MAX(Salary) < 10**9"
+            .replace("10**9", "999999999")
+        )
+        assert all(row[2] > 0 for row in result)
+
+    def test_having_with_group_by(self, db):
+        result = db.execute(
+            "SELECT name, COUNT(salary) FROM Employed "
+            "GROUP BY name HAVING MAX(salary) > 36_000"
+        )
+        assert set(result.column("name")) == {"Richard", "Karen", "Nathan"}
+        # Nathan's 35K period must be gone, his 37K period kept.
+        nathan = [row for row in result if row[0] == "Nathan"]
+        assert [(r[1], r[2]) for r in nathan] == [(18, 21)]
+
+    def test_having_with_span_grouping(self, db):
+        result = db.execute(
+            "SELECT COUNT(Name) FROM Employed GROUP BY SPAN 10 [0, 29] "
+            "HAVING COUNT(Name) > 2"
+        )
+        assert [(r[0], r[1], r[2]) for r in result] == [
+            (10, 19, 4),
+            (20, 29, 3),
+        ]
+
+    def test_conjunction_execution(self, db):
+        result = db.execute(
+            "SELECT COUNT(Name) FROM Employed "
+            "HAVING COUNT(Name) >= 2 AND MIN(Salary) > 36_000"
+        )
+        # [8,12]: min 35K fails; [18,20]: min 37K passes; [21,21]: 37K.
+        assert [(r[0], r[1]) for r in result] == [(18, 20), (21, 21)]
+
+    def test_having_expression(self, db):
+        result = db.execute(
+            "SELECT MAX(Salary) - MIN(Salary) FROM Employed "
+            "HAVING MAX(Salary) - MIN(Salary) > 5_000"
+        )
+        assert [(r[0], r[1], r[2]) for r in result] == [
+            (8, 12, 10_000),
+            (18, 20, 8_000),
+        ]
+
+    def test_empty_result_when_nothing_qualifies(self, db):
+        result = db.execute(
+            "SELECT COUNT(Name) FROM Employed HAVING COUNT(Name) > 99"
+        )
+        assert len(result) == 0

@@ -1,0 +1,79 @@
+"""Tests for the TSQL2-lite tokenizer."""
+
+import pytest
+
+from repro.tsql2.lexer import Token, TSQL2SyntaxError, tokenize
+
+
+def kinds(text):
+    return [(t.kind, t.value) for t in tokenize(text)]
+
+
+class TestTokens:
+    def test_paper_query(self):
+        tokens = kinds("SELECT COUNT(Name) FROM Employed E")
+        assert tokens == [
+            ("KEYWORD", "SELECT"),
+            ("IDENT", "COUNT"),
+            ("SYMBOL", "("),
+            ("IDENT", "Name"),
+            ("SYMBOL", ")"),
+            ("KEYWORD", "FROM"),
+            ("IDENT", "Employed"),
+            ("IDENT", "E"),
+        ]
+
+    def test_keywords_case_insensitive(self):
+        assert kinds("select")[0] == ("KEYWORD", "SELECT")
+        assert kinds("GrOuP")[0] == ("KEYWORD", "GROUP")
+
+    def test_identifiers_keep_case(self):
+        assert kinds("Salary")[0] == ("IDENT", "Salary")
+
+    def test_numbers_with_underscores(self):
+        assert kinds("36_000")[0] == ("NUMBER", "36000")
+
+    def test_strings(self):
+        assert kinds("'Karen'")[0] == ("STRING", "Karen")
+
+    def test_unterminated_string(self):
+        with pytest.raises(TSQL2SyntaxError, match="unterminated"):
+            tokenize("WHERE Name = 'Karen")
+
+    def test_two_character_operators(self):
+        assert kinds("<= >= <>") == [
+            ("SYMBOL", "<="),
+            ("SYMBOL", ">="),
+            ("SYMBOL", "<>"),
+        ]
+
+    def test_single_character_operators(self):
+        assert kinds("< > = ( ) , [ ] *") == [
+            ("SYMBOL", v) for v in "< > = ( ) , [ ] *".split()
+        ]
+
+    def test_comments_skipped(self):
+        tokens = kinds("SELECT -- a comment\n COUNT")
+        assert tokens == [("KEYWORD", "SELECT"), ("IDENT", "COUNT")]
+
+    def test_unexpected_character(self):
+        with pytest.raises(TSQL2SyntaxError, match="unexpected"):
+            tokenize("SELECT @")
+
+    def test_positions_recorded(self):
+        tokens = tokenize("SELECT COUNT")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 7
+
+    def test_forever_is_a_keyword(self):
+        assert kinds("FOREVER")[0] == ("KEYWORD", "FOREVER")
+
+    def test_empty_input(self):
+        assert tokenize("   \n  ") == []
+
+    def test_token_matches_helper(self):
+        token = Token("KEYWORD", "SELECT", 0)
+        assert token.matches("KEYWORD")
+        assert token.matches("KEYWORD", "SELECT")
+        assert not token.matches("IDENT")
+        assert not token.matches("KEYWORD", "FROM")

@@ -1,0 +1,168 @@
+"""Tests for the TSQL2-lite parser."""
+
+import pytest
+
+from repro.core.interval import FOREVER
+from repro.tsql2.ast import (
+    AggregateCall,
+    AlgorithmHint,
+    ColumnRef,
+    Comparison,
+    GroupBy,
+    ValidOverlaps,
+)
+from repro.tsql2.parser import TSQL2SyntaxError, parse
+
+
+class TestSelectList:
+    def test_paper_query(self):
+        query = parse("SELECT COUNT(Name) FROM Employed E")
+        assert query.select == (AggregateCall("count", "Name"),)
+        assert query.table == "Employed"
+        assert query.alias == "E"
+
+    def test_alias_with_as(self):
+        assert parse("SELECT COUNT(Name) FROM Employed AS E").alias == "E"
+
+    def test_no_alias(self):
+        assert parse("SELECT COUNT(Name) FROM Employed").alias is None
+
+    def test_count_star(self):
+        query = parse("SELECT COUNT(*) FROM R")
+        assert query.select == (AggregateCall("count", None),)
+
+    def test_multiple_aggregates(self):
+        query = parse("SELECT COUNT(Name), AVG(Salary) FROM R")
+        assert query.aggregate_calls() == (
+            AggregateCall("count", "Name"),
+            AggregateCall("avg", "Salary"),
+        )
+
+    def test_mixed_columns_and_aggregates(self):
+        query = parse("SELECT Dept, AVG(Salary) FROM R GROUP BY Dept")
+        assert query.column_refs() == (ColumnRef("Dept"),)
+        assert query.group_by.attributes == ("Dept",)
+
+    def test_aggregate_names_case_insensitive(self):
+        assert parse("SELECT count(N) FROM R").select[0].function == "count"
+        assert parse("SELECT MAX(N) FROM R").select[0].function == "max"
+
+    def test_unknown_aggregate_rejected(self):
+        with pytest.raises(TSQL2SyntaxError, match="unknown aggregate"):
+            parse("SELECT MEDIAN(Salary) FROM R")
+
+    def test_aggregate_label(self):
+        assert AggregateCall("count", None).label() == "COUNT(*)"
+        assert AggregateCall("avg", "Salary").label() == "AVG(Salary)"
+
+
+class TestWhere:
+    def test_comparison(self):
+        query = parse("SELECT COUNT(N) FROM R WHERE Salary > 40000")
+        assert query.where == (Comparison("Salary", ">", 40000),)
+
+    def test_all_operators(self):
+        for op in ("=", "<>", "<", "<=", ">", ">="):
+            query = parse(f"SELECT COUNT(N) FROM R WHERE X {op} 5")
+            assert query.where[0].operator == op
+
+    def test_string_literal(self):
+        query = parse("SELECT COUNT(N) FROM R WHERE Name = 'Karen'")
+        assert query.where[0].literal == "Karen"
+
+    def test_conjunction(self):
+        query = parse(
+            "SELECT COUNT(N) FROM R WHERE A = 1 AND B <> 2 AND C < 3"
+        )
+        assert len(query.where) == 3
+
+    def test_valid_overlaps(self):
+        query = parse("SELECT COUNT(N) FROM R WHERE VALID OVERLAPS [5, 30]")
+        assert query.where == (ValidOverlaps(5, 30),)
+
+    def test_valid_overlaps_forever(self):
+        query = parse(
+            "SELECT COUNT(N) FROM R WHERE VALID OVERLAPS [5, FOREVER]"
+        )
+        assert query.where[0].end == FOREVER
+
+    def test_missing_operator(self):
+        with pytest.raises(TSQL2SyntaxError, match="comparison operator"):
+            parse("SELECT COUNT(N) FROM R WHERE Salary 40000")
+
+    def test_missing_literal(self):
+        with pytest.raises(TSQL2SyntaxError, match="literal"):
+            parse("SELECT COUNT(N) FROM R WHERE Salary = FROM")
+
+
+class TestGroupBy:
+    def test_default_is_instant(self):
+        query = parse("SELECT COUNT(N) FROM R")
+        assert query.group_by == GroupBy(kind="instant")
+
+    def test_explicit_instant(self):
+        query = parse("SELECT COUNT(N) FROM R GROUP BY INSTANT")
+        assert query.group_by.kind == "instant"
+
+    def test_attributes(self):
+        query = parse("SELECT COUNT(N) FROM R GROUP BY Dept, Title")
+        assert query.group_by.attributes == ("Dept", "Title")
+        assert query.group_by.kind == "instant"
+
+    def test_attributes_with_trailing_instant(self):
+        query = parse("SELECT COUNT(N) FROM R GROUP BY Dept, INSTANT")
+        assert query.group_by.attributes == ("Dept",)
+
+    def test_span(self):
+        query = parse("SELECT COUNT(N) FROM R GROUP BY SPAN 100")
+        assert query.group_by.kind == "span"
+        assert query.group_by.span == 100
+        assert query.group_by.window is None
+
+    def test_span_with_window(self):
+        query = parse("SELECT COUNT(N) FROM R GROUP BY SPAN 100 [0, 999]")
+        assert query.group_by.window == (0, 999)
+
+
+class TestHint:
+    def test_plain_hint(self):
+        query = parse("SELECT COUNT(N) FROM R USING ALGORITHM linked_list")
+        assert query.hint == AlgorithmHint("linked_list", None)
+
+    def test_hint_with_k(self):
+        query = parse("SELECT COUNT(N) FROM R USING ALGORITHM ktree(k=40)")
+        assert query.hint == AlgorithmHint("ktree", 40)
+
+    def test_hint_unknown_parameter(self):
+        with pytest.raises(TSQL2SyntaxError, match="parameter"):
+            parse("SELECT COUNT(N) FROM R USING ALGORITHM ktree(depth=3)")
+
+
+class TestErrors:
+    def test_missing_select(self):
+        with pytest.raises(TSQL2SyntaxError, match="SELECT"):
+            parse("COUNT(N) FROM R")
+
+    def test_missing_from(self):
+        with pytest.raises(TSQL2SyntaxError, match="FROM"):
+            parse("SELECT COUNT(N)")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(TSQL2SyntaxError, match="trailing"):
+            parse("SELECT COUNT(N) FROM R extra tokens here")
+
+    def test_truncated_query(self):
+        with pytest.raises(TSQL2SyntaxError, match="expected IDENT"):
+            parse("SELECT COUNT(N) FROM R WHERE")
+
+    def test_truncated_after_operator(self):
+        with pytest.raises(TSQL2SyntaxError, match="end of query"):
+            parse("SELECT COUNT(N) FROM R WHERE X =")
+
+    def test_error_carries_position(self):
+        try:
+            parse("SELECT COUNT(N) FROM R WHERE Salary 40000")
+        except TSQL2SyntaxError as error:
+            assert error.position > 20
+        else:  # pragma: no cover
+            pytest.fail("expected a syntax error")

@@ -1,0 +1,128 @@
+"""Tests of the interactive TSQL2-lite shell (scripted)."""
+
+import io
+
+import pytest
+
+from repro.relation.io import to_csv_text
+from repro.tsql2.shell import Shell, main
+from repro.workload.employed import employed_relation
+
+
+def run_shell(*lines):
+    out = io.StringIO()
+    shell = Shell(out=out)
+    shell.run(lines)
+    return out.getvalue(), shell
+
+
+class TestMetaCommands:
+    def test_seed_and_query(self):
+        out, _ = run_shell("\\seed", "SELECT COUNT(Name) FROM Employed E")
+        assert "registered 'Employed'" in out
+        assert "forever" in out
+        assert "(7 rows)" in out
+
+    def test_tables(self):
+        out, _ = run_shell("\\seed", "\\tables")
+        assert "employed  (4 tuples)" in out
+
+    def test_tables_empty(self):
+        out, _ = run_shell("\\tables")
+        assert "no relations registered" in out
+
+    def test_schema(self):
+        out, _ = run_shell("\\seed", "\\schema Employed")
+        assert "name: str" in out
+        assert "salary: int" in out
+        assert "k=3" in out
+
+    def test_plan(self):
+        out, _ = run_shell("\\seed", "\\plan SELECT COUNT(Name) FROM Employed")
+        assert "aggregation_tree" in out
+
+    def test_time(self):
+        out, _ = run_shell("\\seed", "\\time SELECT COUNT(Name) FROM Employed")
+        assert "7 rows in" in out
+
+    def test_quit_stops_processing(self):
+        out, shell = run_shell("\\seed", "\\quit", "\\tables")
+        assert shell.done
+        assert "employed" not in out.split("\\quit")[-1]
+
+    def test_help(self):
+        out, _ = run_shell("\\help")
+        assert "\\load" in out and "\\plan" in out
+
+    def test_unknown_meta(self):
+        out, _ = run_shell("\\frobnicate")
+        assert "unknown meta-command" in out
+
+    def test_usage_messages(self):
+        out, _ = run_shell("\\load", "\\save onlyname", "\\schema", "\\plan", "\\time")
+        assert out.count("usage:") == 5
+
+
+class TestLoadAndSave:
+    def test_load_csv(self, tmp_path):
+        path = tmp_path / "employed.csv"
+        path.write_text(to_csv_text(employed_relation()))
+        out, _ = run_shell(
+            f"\\load {path} Staff", "SELECT COUNT(name) FROM Staff"
+        )
+        assert "loaded 4 tuples as 'Staff'" in out
+        assert "(7 rows)" in out
+
+    def test_save_roundtrip(self, tmp_path):
+        source = tmp_path / "in.csv"
+        target = tmp_path / "out.csv"
+        source.write_text(to_csv_text(employed_relation()))
+        out, _ = run_shell(f"\\load {source} E", f"\\save E {target}")
+        assert "wrote 4 tuples" in out
+        assert target.read_text().count("\n") == 5
+
+    def test_load_missing_file(self):
+        out, _ = run_shell("\\load /nonexistent/file.csv")
+        assert "error:" in out
+
+
+class TestErrorHandling:
+    def test_syntax_error_reported(self):
+        out, _ = run_shell("\\seed", "SELECT FROM nowhere")
+        assert "error:" in out
+
+    def test_semantic_error_reported(self):
+        out, _ = run_shell("\\seed", "SELECT COUNT(Bonus) FROM Employed")
+        assert "error:" in out and "not an attribute" in out
+
+    def test_blank_and_comment_lines_ignored(self):
+        out, _ = run_shell("", "   ", "-- a comment")
+        assert out == ""
+
+
+class TestMainEntryPoint:
+    def test_command_mode(self):
+        out = io.StringIO()
+        code = main(
+            ["--seed", "-c", "SELECT MAX(Salary) FROM Employed"], stdout=out
+        )
+        assert code == 0
+        assert "45000" in out.getvalue()
+
+    def test_script_mode(self):
+        out = io.StringIO()
+        source = io.StringIO("\\seed\nSELECT COUNT(Name) FROM Employed\n")
+        source.isatty = lambda: False  # type: ignore[method-assign]
+        assert main([], stdin=source, stdout=out) == 0
+        assert "(7 rows)" in out.getvalue()
+
+    def test_load_flag(self, tmp_path):
+        path = tmp_path / "e.csv"
+        path.write_text(to_csv_text(employed_relation()))
+        out = io.StringIO()
+        code = main(
+            [f"--load", f"{path}:Crew", "-c", "SELECT COUNT(name) FROM Crew"],
+            stdout=out,
+        )
+        assert code == 0
+        assert "(7 rows)" in out.getvalue()

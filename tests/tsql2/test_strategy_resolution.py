@@ -1,0 +1,75 @@
+"""Tests of the executor's internal strategy resolution."""
+
+import pytest
+
+from repro.tsql2.executor import Database
+from repro.workload.generator import WorkloadParameters, generate_relation
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.register(
+        generate_relation(WorkloadParameters(tuples=300, seed=88)), name="W"
+    )
+    database.register(
+        generate_relation(WorkloadParameters(tuples=300, seed=88)).sorted_by_time(
+            "Sorted"
+        ),
+        name="Sorted",
+    )
+    return database
+
+
+class TestAutoResolution:
+    def test_unhinted_query_matches_all_hints(self, db):
+        """Whatever the planner picks must agree with every explicit
+        algorithm on the same query."""
+        auto = [tuple(r) for r in db.execute("SELECT COUNT(name) FROM W")]
+        for hint in ("list", "tree", "balanced", "tuma", "sort_merge", "paged"):
+            hinted = [
+                tuple(r)
+                for r in db.execute(
+                    f"SELECT COUNT(name) FROM W USING ALGORITHM {hint}"
+                )
+            ]
+            assert hinted == auto, hint
+
+    def test_sorted_relation_auto_is_correct(self, db):
+        auto = [tuple(r) for r in db.execute("SELECT COUNT(name) FROM Sorted")]
+        explicit = [
+            tuple(r)
+            for r in db.execute(
+                "SELECT COUNT(name) FROM Sorted USING ALGORITHM tuma"
+            )
+        ]
+        assert auto == explicit
+
+    def test_group_by_resolves_per_group(self, db):
+        """Each group's partition is planned separately and still
+        produces oracle-identical rows."""
+        grouped = db.execute(
+            "SELECT name, COUNT(salary) FROM W GROUP BY name",
+            keep_empty=False,
+        )
+        hinted = db.execute(
+            "SELECT name, COUNT(salary) FROM W GROUP BY name "
+            "USING ALGORITHM list",
+            keep_empty=False,
+        )
+        assert grouped.rows == hinted.rows
+
+    def test_ktree_hint_with_insufficient_k_surfaces_violation(self, db):
+        """An explicit ktree hint on unsorted data propagates the
+        k-order violation rather than silently computing garbage."""
+        from repro.core.kordered_tree import KOrderViolationError
+
+        with pytest.raises(KOrderViolationError):
+            db.execute("SELECT COUNT(name) FROM W USING ALGORITHM ktree(k=1)")
+
+    def test_ktree_hint_on_sorted_relation_works(self, db):
+        result = db.execute(
+            "SELECT COUNT(name) FROM Sorted USING ALGORITHM ktree(k=1)"
+        )
+        plain = db.execute("SELECT COUNT(name) FROM Sorted")
+        assert result.rows == plain.rows

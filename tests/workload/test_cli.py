@@ -1,0 +1,69 @@
+"""Tests of the workload-generation CLI (python -m repro.workload)."""
+
+import pytest
+
+from repro.core.ordering import k_orderedness
+from repro.relation.io import read_csv
+from repro.relation.schema import EMPLOYED_SCHEMA
+from repro.workload.__main__ import main
+
+
+class TestWorkloadCli:
+    def test_basic_generation(self, tmp_path, capsys):
+        path = str(tmp_path / "w.csv")
+        assert main([path, "--tuples", "64", "--seed", "3"]) == 0
+        relation = read_csv(path, schema=EMPLOYED_SCHEMA)
+        assert len(relation) == 64
+        assert "wrote 64 tuples" in capsys.readouterr().err
+
+    def test_deterministic(self, tmp_path):
+        a, b = str(tmp_path / "a.csv"), str(tmp_path / "b.csv")
+        main([a, "--tuples", "32", "--seed", "5"])
+        main([b, "--tuples", "32", "--seed", "5"])
+        assert open(a).read() == open(b).read()
+
+    def test_sorted_flag(self, tmp_path):
+        path = str(tmp_path / "s.csv")
+        main([path, "--tuples", "64", "--sorted"])
+        relation = read_csv(path, schema=EMPLOYED_SCHEMA)
+        assert relation.is_totally_ordered
+
+    def test_k_disorder_flag(self, tmp_path):
+        path = str(tmp_path / "k.csv")
+        main([path, "--tuples", "200", "--k", "10", "--percentage", "0.2"])
+        relation = read_csv(path, schema=EMPLOYED_SCHEMA)
+        keys = [(row.start, row.end) for row in relation]
+        assert 0 < k_orderedness(keys) <= 10
+
+    def test_long_lived_flag(self, tmp_path):
+        path = str(tmp_path / "ll.csv")
+        main([path, "--tuples", "64", "--long-lived", "100"])
+        relation = read_csv(path, schema=EMPLOYED_SCHEMA)
+        lifespan = 1_000_000
+        assert all(row.duration >= 0.2 * lifespan for row in relation)
+
+    def test_employed_flag(self, tmp_path):
+        path = str(tmp_path / "e.csv")
+        main([path, "--employed"])
+        relation = read_csv(path, schema=EMPLOYED_SCHEMA)
+        assert len(relation) == 4
+        assert relation[0].values == ("Richard", 40_000)
+
+    def test_stdout_output(self, capsys):
+        assert main(["-", "--employed"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("name,salary,valid_start,valid_end")
+
+    def test_shell_roundtrip(self, tmp_path):
+        """Generated CSV loads straight into the TSQL2 shell."""
+        import io
+
+        from repro.tsql2.shell import Shell
+
+        path = str(tmp_path / "gen.csv")
+        main([path, "--tuples", "50", "--seed", "2"])
+        out = io.StringIO()
+        shell = Shell(out=out)
+        shell.run([f"\\load {path} Gen", "SELECT COUNT(name) FROM Gen"])
+        assert "loaded 50 tuples" in out.getvalue()
+        assert "rows)" in out.getvalue()

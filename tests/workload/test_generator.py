@@ -1,0 +1,105 @@
+"""Tests of the Section 6 workload generators."""
+
+import pytest
+
+from repro.workload.generator import (
+    PAPER_LIFESPAN,
+    PAPER_SIZES,
+    WorkloadParameters,
+    generate_relation,
+    generate_triples,
+)
+
+
+class TestParameters:
+    def test_paper_grid_constants(self):
+        assert PAPER_LIFESPAN == 1_000_000
+        assert PAPER_SIZES[0] == 1024 and PAPER_SIZES[-1] == 65536
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadParameters(tuples=-1)
+        with pytest.raises(ValueError):
+            WorkloadParameters(tuples=10, long_lived_percent=150)
+        with pytest.raises(ValueError):
+            WorkloadParameters(tuples=10, lifespan=10)
+
+    def test_label(self):
+        label = WorkloadParameters(100, 40, seed=7).label()
+        assert "n=100" in label and "40%" in label and "seed=7" in label
+
+
+class TestGeneration:
+    def test_deterministic_given_seed(self):
+        params = WorkloadParameters(tuples=50, long_lived_percent=40, seed=3)
+        assert generate_triples(params) == generate_triples(params)
+
+    def test_different_seeds_differ(self):
+        a = generate_triples(WorkloadParameters(50, seed=1))
+        b = generate_triples(WorkloadParameters(50, seed=2))
+        assert a != b
+
+    def test_tuple_count(self):
+        assert len(generate_triples(WorkloadParameters(321))) == 321
+
+    def test_all_tuples_inside_lifespan(self):
+        """The paper discards tuples extending past the lifespan."""
+        triples = generate_triples(
+            WorkloadParameters(500, long_lived_percent=80, seed=5)
+        )
+        for start, end, _salary in triples:
+            assert 0 <= start <= end < PAPER_LIFESPAN
+
+    def test_short_lived_durations(self):
+        triples = generate_triples(WorkloadParameters(500, 0, seed=6))
+        assert all(1 <= e - s + 1 <= 1000 for s, e, _v in triples)
+
+    def test_long_lived_durations(self):
+        triples = generate_triples(WorkloadParameters(300, 100, seed=7))
+        lifespan = PAPER_LIFESPAN
+        assert all(
+            0.2 * lifespan <= e - s + 1 <= 0.8 * lifespan
+            for s, e, _v in triples
+        )
+
+    def test_mixed_fraction_roughly_matches(self):
+        triples = generate_triples(WorkloadParameters(2000, 40, seed=8))
+        long_lived = sum(
+            1 for s, e, _v in triples if e - s + 1 >= 0.2 * PAPER_LIFESPAN
+        )
+        assert 0.3 < long_lived / 2000 < 0.5
+
+    def test_many_unique_timestamps(self):
+        """Section 6: independent uniform starts -> many unique stamps."""
+        triples = generate_triples(WorkloadParameters(1000, 0, seed=9))
+        starts = {s for s, _e, _v in triples}
+        assert len(starts) > 950
+
+    def test_zero_tuples(self):
+        assert generate_triples(WorkloadParameters(0)) == []
+
+
+class TestGeneratedRelation:
+    def test_relation_matches_triples(self):
+        params = WorkloadParameters(tuples=100, seed=10)
+        relation = generate_relation(params)
+        triples = generate_triples(params)
+        assert [(r.start, r.end) for r in relation] == [
+            (s, e) for s, e, _v in triples
+        ]
+        assert [r.values[1] for r in relation] == [v for _s, _e, v in triples]
+
+    def test_relation_is_schema_valid(self):
+        relation = generate_relation(WorkloadParameters(tuples=50, seed=11))
+        for row in relation:
+            relation.schema.validate_values(row.values)
+
+    def test_generation_order_is_random(self):
+        relation = generate_relation(WorkloadParameters(tuples=200, seed=12))
+        assert not relation.is_totally_ordered
+
+    def test_custom_name(self):
+        relation = generate_relation(
+            WorkloadParameters(tuples=5, seed=1), name="mine"
+        )
+        assert relation.name == "mine"

@@ -1,0 +1,116 @@
+"""Tests of controlled disordering (k-disorder permutations)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ordering import k_ordered_percentage, k_orderedness
+from repro.workload.generator import WorkloadParameters, generate_relation
+from repro.workload.permute import (
+    disorder_relation,
+    k_disorder,
+    measured_percentage,
+    swap_pairs,
+)
+
+
+class TestSwapPairs:
+    def test_single_swap(self):
+        permutation = swap_pairs(10, distance=3, pairs=1, seed=1)
+        assert k_orderedness(permutation) == 3
+        assert sorted(permutation) == list(range(10))
+
+    def test_requested_pair_count(self):
+        permutation = swap_pairs(1000, distance=10, pairs=25, seed=2)
+        displaced = sum(1 for i, v in enumerate(permutation) if i != v)
+        assert displaced == 50  # two tuples per swap
+
+    def test_zero_pairs_is_identity(self):
+        assert swap_pairs(10, distance=3, pairs=0) == list(range(10))
+
+    def test_invalid_distance(self):
+        with pytest.raises(ValueError):
+            swap_pairs(10, distance=0, pairs=1)
+        with pytest.raises(ValueError):
+            swap_pairs(10, distance=10, pairs=1)
+
+    def test_impossible_density_rejected(self):
+        with pytest.raises(ValueError, match="cannot place"):
+            swap_pairs(10, distance=9, pairs=5)
+
+    def test_deterministic(self):
+        assert swap_pairs(100, 5, 10, seed=3) == swap_pairs(100, 5, 10, seed=3)
+
+
+class TestKDisorder:
+    def test_zero_percentage_is_identity(self):
+        assert k_disorder(100, 10, 0.0) == list(range(100))
+
+    def test_k_zero_is_identity(self):
+        assert k_disorder(100, 0, 0.0) == list(range(100))
+
+    def test_k_bound_respected(self):
+        for percentage in (0.02, 0.08, 0.14, 0.5):
+            permutation = k_disorder(2000, 40, percentage, seed=4)
+            assert k_orderedness(permutation) <= 40
+
+    def test_percentage_approximates_target(self):
+        for target in (0.02, 0.08, 0.14):
+            permutation = k_disorder(5000, 100, target, seed=5)
+            measured = k_ordered_percentage(permutation, 100)
+            assert measured == pytest.approx(target, rel=0.15)
+
+    def test_is_a_permutation(self):
+        permutation = k_disorder(500, 20, 0.3, seed=6)
+        assert sorted(permutation) == list(range(500))
+
+    def test_invalid_percentage(self):
+        with pytest.raises(ValueError):
+            k_disorder(100, 10, 1.5)
+        with pytest.raises(ValueError):
+            k_disorder(100, 10, -0.1)
+
+    def test_negative_k(self):
+        with pytest.raises(ValueError):
+            k_disorder(100, -1, 0.1)
+
+    @given(
+        n=st.integers(min_value=10, max_value=300),
+        k=st.integers(min_value=1, max_value=20),
+        percentage=st.floats(min_value=0.0, max_value=0.4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_always_k_ordered_permutation(self, n, k, percentage):
+        if k >= n:
+            return
+        permutation = k_disorder(n, k, percentage, seed=7)
+        assert sorted(permutation) == list(range(n))
+        assert k_orderedness(permutation) <= k
+
+
+class TestDisorderRelation:
+    def test_measured_k_matches(self):
+        relation = generate_relation(WorkloadParameters(tuples=500, seed=8))
+        shuffled = disorder_relation(relation, k=15, percentage=0.2, seed=9)
+        keys = [(row.start, row.end) for row in shuffled]
+        assert k_orderedness(keys) <= 15
+
+    def test_same_tuples_kept(self):
+        relation = generate_relation(WorkloadParameters(tuples=200, seed=10))
+        shuffled = disorder_relation(relation, k=5, percentage=0.1, seed=11)
+        assert sorted(map(tuple, shuffled)) == sorted(map(tuple, relation))
+
+    def test_measured_percentage_helper(self):
+        relation = generate_relation(WorkloadParameters(tuples=400, seed=12))
+        shuffled = disorder_relation(relation, k=10, percentage=0.08, seed=13)
+        assert measured_percentage(shuffled, 10) == pytest.approx(0.08, rel=0.25)
+
+    def test_aggregation_result_unchanged_by_disorder(self):
+        """Disorder changes evaluation cost, never the answer."""
+        from repro.core.aggregation_tree import AggregationTreeEvaluator
+
+        relation = generate_relation(WorkloadParameters(tuples=150, seed=14))
+        shuffled = disorder_relation(relation, k=20, percentage=0.3, seed=15)
+        a = AggregationTreeEvaluator("count").evaluate(relation.scan_triples())
+        b = AggregationTreeEvaluator("count").evaluate(shuffled.scan_triples())
+        assert a.rows == b.rows
