@@ -31,6 +31,7 @@ from repro.core import (
     BalancedTreeEvaluator,
     Calendar,
     ConstantInterval,
+    ColumnarSweepEvaluator,
     CountAggregate,
     Evaluator,
     GroupedResult,
@@ -42,6 +43,7 @@ from repro.core import (
     MaxAggregate,
     MinAggregate,
     PagedAggregationTreeEvaluator,
+    ParallelSweepEvaluator,
     PlannerDecision,
     ReferenceEvaluator,
     ResultIntegrityError,
@@ -127,6 +129,8 @@ __all__ = [
     "BalancedTreeEvaluator",
     "PagedAggregationTreeEvaluator",
     "SweepEvaluator",
+    "ColumnarSweepEvaluator",
+    "ParallelSweepEvaluator",
     "TwoPassEvaluator",
     "ReferenceEvaluator",
     "TemporalAggregateIndex",

@@ -13,6 +13,7 @@ Environment knobs are documented in :mod:`repro.bench.config`.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
@@ -20,6 +21,32 @@ import time
 from repro.bench.figures import DRIVERS
 
 __all__ = ["main"]
+
+
+def _write_parallel_json(reports, csv_dir) -> str:
+    """Machine-readable artifact for the ``parallel`` driver.
+
+    Written next to the CSVs (or the working directory) so CI and the
+    acceptance checks can read the numbers without scraping tables.
+    """
+    from repro.bench.config import bench_seeds, bench_sizes
+    from repro.core.parallel import POOL_MIN_TUPLES
+    from repro.core.partition import available_workers
+
+    payload = {
+        "generated_by": "python -m repro.bench parallel",
+        "cpu_count": os.cpu_count(),
+        "available_workers": available_workers(),
+        "pool_min_tuples": POOL_MIN_TUPLES,
+        "sizes": bench_sizes(),
+        "seeds": bench_seeds(),
+        "reports": [report.to_dict() for report in reports],
+    }
+    path = os.path.join(csv_dir or ".", "BENCH_parallel.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return path
 
 
 def main(argv=None) -> int:
@@ -72,6 +99,9 @@ def main(argv=None) -> int:
 
                 print(ascii_loglog(report))
             print()
+        if name == "parallel":
+            path = _write_parallel_json(reports, args.csv_dir)
+            print(f"[wrote {path}]", file=sys.stderr)
         print(f"[{name} completed in {elapsed:.1f}s]", file=sys.stderr)
     return 0
 

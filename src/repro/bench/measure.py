@@ -47,10 +47,13 @@ def measure_strategy(
     triples: Sequence[Triple],
     aggregate: str = "count",
     k: Optional[int] = None,
+    shards: Optional[int] = None,
 ) -> Measurement:
     """Time one in-memory evaluation with counters and space tracking."""
     counters = OperationCounters()
-    evaluator = make_evaluator(strategy, aggregate, k=k, counters=counters)
+    evaluator = make_evaluator(
+        strategy, aggregate, k=k, shards=shards, counters=counters
+    )
     started = time.perf_counter()
     result = evaluator.evaluate(list(triples))
     elapsed = time.perf_counter() - started

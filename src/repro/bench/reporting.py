@@ -91,6 +91,15 @@ class Report:
             out.write(",".join(str(v) for v in row) + "\n")
         return out.getvalue()
 
+    def to_dict(self) -> dict:
+        """JSON-ready form (for machine-readable bench artifacts)."""
+        return {
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [list(row) for row in self.rows],
+            "notes": list(self.notes),
+        }
+
     def column_index(self, name: str) -> int:
         return list(self.columns).index(name)
 

@@ -25,6 +25,7 @@ from repro.core.aggregation_tree import AggregationTreeEvaluator, TreeNode
 from repro.core.allen import ALLEN_RELATIONS, allen_relation, holds, inverse
 from repro.core.balanced_tree import BalancedTreeEvaluator
 from repro.core.base import Evaluator, Triple
+from repro.core.columnar_sweep import ColumnarSweepEvaluator, columnar_rows
 from repro.core.calendar import (
     Calendar,
     CalendarError,
@@ -82,8 +83,16 @@ from repro.core.paged_tree import (
 )
 from repro.core.parallel import (
     MERGEABLE_AGGREGATES,
+    ParallelSweepEvaluator,
     merge_results,
     partitioned_aggregate,
+)
+from repro.core.partition import (
+    available_workers,
+    clip_triples,
+    partition_triples,
+    shard_bounds,
+    stitch_rows,
 )
 from repro.core.ordering import (
     displacement_histogram,
@@ -153,6 +162,9 @@ __all__ = [
     "PagedAggregationTreeEvaluator",
     "SpillMetrics",
     "SweepEvaluator",
+    "ColumnarSweepEvaluator",
+    "ParallelSweepEvaluator",
+    "columnar_rows",
     "TwoPassEvaluator",
     "ReferenceEvaluator",
     "constant_interval_boundaries",
@@ -195,6 +207,11 @@ __all__ = [
     "MERGEABLE_AGGREGATES",
     "merge_results",
     "partitioned_aggregate",
+    "available_workers",
+    "shard_bounds",
+    "clip_triples",
+    "partition_triples",
+    "stitch_rows",
     "time_weighted_mean",
     "time_weighted_total",
     "duration_where",

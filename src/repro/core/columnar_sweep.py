@@ -1,0 +1,258 @@
+"""The endpoint sweep over flat columns — no per-event objects.
+
+Same algorithm as :class:`~repro.core.sweep.SweepEvaluator`, different
+data layout.  Instead of a list of ``(time, kind, value)`` event tuples
+this evaluator decomposes the input into parallel columns (starts,
+ends, values), sorts the two endpoint columns independently (plain
+ints sort at C speed; value-carrying aggregates sort *indices* keyed by
+the time column, so values are never compared), and merges the two
+sorted streams with a pair of cursors.  Result rows are accumulated as
+plain 3-tuples and batch-converted to
+:class:`~repro.core.result.ConstantInterval` at the end — per-row
+NamedTuple construction is the single largest cost of the object sweep
+at scale.
+
+The walk functions are module-level and windowed (``lo``/``hi``) so
+:mod:`repro.core.parallel` can run them per time shard; rows outside
+the window are never produced.
+
+Semantics match the object sweep exactly: all events at one instant are
+applied together before the next row is cut, invertible aggregates run
+absorb/retract with an identity reset when the live count hits zero,
+and MIN/MAX (or any non-invertible aggregate) fall back to the lazy-
+deletion heap.
+"""
+
+from __future__ import annotations
+
+from itertools import repeat
+from operator import le
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.aggregates import Aggregate
+from repro.core.base import Evaluator, Triple
+from repro.core.interval import FOREVER, ORIGIN
+from repro.core.result import ConstantInterval, TemporalAggregateResult
+from repro.core.sweep import _LazyHeap
+
+__all__ = ["ColumnarSweepEvaluator", "columnar_rows", "validate_columns"]
+
+#: Sentinel beyond every legal event time (events are <= FOREVER).
+_AFTER_FOREVER = FOREVER + 2
+
+
+def validate_columns(starts: Sequence[int], ends: Sequence[int]) -> None:
+    """Bulk interval validation over whole columns.
+
+    The happy path is three C-speed column checks; only on failure does
+    the per-tuple loop rerun to raise the usual per-interval error.
+    """
+    if min(starts) >= 0 and max(ends) <= FOREVER and all(map(le, starts, ends)):
+        return
+    for start, end in zip(starts, ends):
+        Evaluator._check_triple(start, end)
+
+
+def _walk_count(
+    ss: List[int], bb: List[int], lo: int, hi: int, count: int
+) -> List[tuple]:
+    """COUNT fast path: two sorted int columns, one running integer."""
+    out: List[tuple] = []
+    append = out.append
+    i = j = 0
+    ni = len(ss)
+    nj = len(bb)
+    cursor = lo
+    while True:
+        t = ss[i] if i < ni else _AFTER_FOREVER
+        tb = bb[j] if j < nj else _AFTER_FOREVER
+        if tb < t:
+            t = tb
+        if t > hi:
+            break
+        if t > cursor:
+            append((cursor, t - 1, count))
+            cursor = t
+        while i < ni and ss[i] == t:
+            count += 1
+            i += 1
+        while j < nj and bb[j] == t:
+            count -= 1
+            j += 1
+    append((cursor, hi, count))
+    return out
+
+
+def _walk_invertible(
+    s_times: List[int],
+    s_values: List[Any],
+    b_times: List[int],
+    b_values: List[Any],
+    aggregate: Aggregate,
+    lo: int,
+    hi: int,
+    state: Any,
+    live: int,
+) -> List[tuple]:
+    """Generic absorb/retract walk for invertible value aggregates."""
+    absorb = aggregate.absorb
+    retract = aggregate.retract
+    finalize = aggregate.finalize
+    identity = aggregate.identity
+    empty_value = finalize(identity())
+    out: List[tuple] = []
+    append = out.append
+    i = j = 0
+    ni = len(s_times)
+    nj = len(b_times)
+    cursor = lo
+    while True:
+        t = s_times[i] if i < ni else _AFTER_FOREVER
+        tb = b_times[j] if j < nj else _AFTER_FOREVER
+        if tb < t:
+            t = tb
+        if t > hi:
+            break
+        if t > cursor:
+            append((cursor, t - 1, empty_value if live == 0 else finalize(state)))
+            cursor = t
+        while i < ni and s_times[i] == t:
+            state = absorb(state, s_values[i])
+            live += 1
+            i += 1
+        while j < nj and b_times[j] == t:
+            live -= 1
+            state = identity() if live == 0 else retract(state, b_values[j])
+            j += 1
+    append((cursor, hi, empty_value if live == 0 else finalize(state)))
+    return out
+
+
+def _walk_extremal(
+    s_times: List[int],
+    s_values: List[Any],
+    b_times: List[int],
+    b_values: List[Any],
+    largest: bool,
+    lo: int,
+    hi: int,
+    initial: Sequence[Any] = (),
+) -> List[tuple]:
+    """Lazy-deletion-heap walk for MIN/MAX (non-invertible aggregates)."""
+    heap = _LazyHeap(largest_first=largest)
+    for value in initial:
+        heap.push(value)
+    top = heap.top
+    push = heap.push
+    discard = heap.discard
+    out: List[tuple] = []
+    append = out.append
+    i = j = 0
+    ni = len(s_times)
+    nj = len(b_times)
+    cursor = lo
+    while True:
+        t = s_times[i] if i < ni else _AFTER_FOREVER
+        tb = b_times[j] if j < nj else _AFTER_FOREVER
+        if tb < t:
+            t = tb
+        if t > hi:
+            break
+        if t > cursor:
+            append((cursor, t - 1, top()))
+            cursor = t
+        while i < ni and s_times[i] == t:
+            push(s_values[i])
+            i += 1
+        while j < nj and b_times[j] == t:
+            discard(b_values[j])
+            j += 1
+    append((cursor, hi, top()))
+    return out
+
+
+def _sorted_events(
+    starts: Sequence[int], ends: Sequence[int], values: Sequence[Any]
+) -> Tuple[List[int], List[Any], List[int], List[Any]]:
+    """Time-sorted start and retraction event columns.
+
+    Sorting goes through index lists keyed by the time column so tuple
+    values are never compared (they may not be mutually orderable).
+    """
+    s_order = sorted(range(len(starts)), key=starts.__getitem__)
+    s_times = [starts[i] for i in s_order]
+    s_values = [values[i] for i in s_order]
+    finite = [i for i in range(len(ends)) if ends[i] < FOREVER]
+    finite.sort(key=ends.__getitem__)
+    b_times = [ends[i] + 1 for i in finite]
+    b_values = [values[i] for i in finite]
+    return s_times, s_values, b_times, b_values
+
+
+def columnar_rows(
+    starts: Sequence[int],
+    ends: Sequence[int],
+    values: Sequence[Any],
+    aggregate: Aggregate,
+    lo: int = ORIGIN,
+    hi: int = FOREVER,
+) -> List[tuple]:
+    """Plain ``(start, end, value)`` rows partitioning ``[lo, hi]``.
+
+    The shard-level workhorse.  Events before the window fold into the
+    running state before the first row is cut; events past it are never
+    reached — though shards clip first (see
+    :mod:`repro.core.partition`) so workers don't walk shared prefixes.
+    """
+    if not starts:
+        return [(lo, hi, aggregate.finalize(aggregate.identity()))]
+    if not aggregate.needs_value and aggregate.name == "count":
+        ss = sorted(starts)
+        bb = sorted([e + 1 for e in ends if e < FOREVER])
+        return _walk_count(ss, bb, lo, hi, 0)
+    s_times, s_values, b_times, b_values = _sorted_events(starts, ends, values)
+    if aggregate.invertible:
+        return _walk_invertible(
+            s_times, s_values, b_times, b_values, aggregate,
+            lo, hi, aggregate.identity(), 0,
+        )
+    return _walk_extremal(
+        s_times, s_values, b_times, b_values,
+        aggregate.name == "max", lo, hi,
+    )
+
+
+def event_count(starts: Sequence[int], ends: Sequence[int]) -> int:
+    """Events a sweep over these columns processes (starts + finite ends)."""
+    return len(starts) + sum(1 for e in ends if e < FOREVER)
+
+
+class ColumnarSweepEvaluator(Evaluator):
+    """Endpoint sweep over flat columns; same output as ``sweep``."""
+
+    name = "columnar_sweep"
+
+    def evaluate(self, triples: Iterable[Triple]) -> TemporalAggregateResult:
+        data = triples if isinstance(triples, list) else list(triples)
+        counters = self.counters
+        aggregate = self.aggregate
+        if not data:
+            counters.emitted += 1
+            value = aggregate.finalize(aggregate.identity())
+            return TemporalAggregateResult(
+                [ConstantInterval(ORIGIN, FOREVER, value)], check=False
+            )
+        starts, ends, values = zip(*data)
+        validate_columns(starts, ends)
+        raw = columnar_rows(starts, ends, values, aggregate)
+        # Bulk accounting mirroring the object sweep's totals: one visit
+        # and one state update per event, one allocation per event.
+        events = event_count(starts, ends)
+        counters.tuples += len(data)
+        counters.node_visits += events
+        counters.aggregate_updates += events
+        counters.emitted += len(raw)
+        self.space.allocate(events)
+        self.space.free(events)
+        rows = list(map(tuple.__new__, repeat(ConstantInterval), raw))
+        return TemporalAggregateResult(rows, check=False)

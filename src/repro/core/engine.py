@@ -18,9 +18,11 @@ from typing import Dict, Iterable, Optional, Type
 from repro.core.aggregation_tree import AggregationTreeEvaluator
 from repro.core.balanced_tree import BalancedTreeEvaluator
 from repro.core.base import Evaluator, Triple, coerce_aggregate
+from repro.core.columnar_sweep import ColumnarSweepEvaluator
 from repro.core.kordered_tree import KOrderedTreeEvaluator
 from repro.core.linked_list import LinkedListEvaluator
 from repro.core.paged_tree import PagedAggregationTreeEvaluator
+from repro.core.parallel import ParallelSweepEvaluator
 from repro.core.planner import PlannerDecision, choose_strategy
 from repro.core.reference import ReferenceEvaluator
 from repro.core.result import TemporalAggregateResult
@@ -50,6 +52,8 @@ STRATEGIES: Dict[str, Type[Evaluator]] = {
     BalancedTreeEvaluator.name: BalancedTreeEvaluator,
     PagedAggregationTreeEvaluator.name: PagedAggregationTreeEvaluator,
     SweepEvaluator.name: SweepEvaluator,
+    ColumnarSweepEvaluator.name: ColumnarSweepEvaluator,
+    ParallelSweepEvaluator.name: ParallelSweepEvaluator,
     TwoPassEvaluator.name: TwoPassEvaluator,
     ReferenceEvaluator.name: ReferenceEvaluator,
 }
@@ -60,13 +64,16 @@ def make_evaluator(
     aggregate: "Aggregate | str",
     *,
     k: Optional[int] = None,
+    shards: Optional[int] = None,
     counters: Optional[OperationCounters] = None,
     space: Optional[SpaceTracker] = None,
 ) -> Evaluator:
     """Instantiate the evaluator registered under ``strategy``.
 
     ``k`` is only meaningful for (and only accepted by) the k-ordered
-    tree; it defaults to 1, the paper's recommended setting.
+    tree; it defaults to 1, the paper's recommended setting.  ``shards``
+    is likewise exclusive to the parallel sweep; it defaults to one
+    shard per available core.
     """
     try:
         factory = STRATEGIES[strategy]
@@ -76,11 +83,23 @@ def make_evaluator(
             f"unknown strategy {strategy!r}; known strategies: {known}"
         ) from None
     if factory is KOrderedTreeEvaluator:
+        if shards is not None:
+            raise ValueError(
+                f"strategy {strategy!r} does not take a shards parameter"
+            )
         return KOrderedTreeEvaluator(
             aggregate, k if k is not None else 1, counters=counters, space=space
         )
     if k is not None:
         raise ValueError(f"strategy {strategy!r} does not take a k parameter")
+    if factory is ParallelSweepEvaluator:
+        return ParallelSweepEvaluator(
+            aggregate, shards=shards, counters=counters, space=space
+        )
+    if shards is not None:
+        raise ValueError(
+            f"strategy {strategy!r} does not take a shards parameter"
+        )
     return factory(aggregate, counters=counters, space=space)
 
 
@@ -90,11 +109,14 @@ def evaluate_triples(
     strategy: str = "aggregation_tree",
     *,
     k: Optional[int] = None,
+    shards: Optional[int] = None,
     counters: Optional[OperationCounters] = None,
     space: Optional[SpaceTracker] = None,
 ) -> TemporalAggregateResult:
     """Evaluate directly over ``(start, end, value)`` triples."""
-    evaluator = make_evaluator(strategy, aggregate, k=k, counters=counters, space=space)
+    evaluator = make_evaluator(
+        strategy, aggregate, k=k, shards=shards, counters=counters, space=space
+    )
     return evaluator.evaluate(triples)
 
 
@@ -105,6 +127,7 @@ def temporal_aggregate(
     *,
     strategy: str = "auto",
     k: Optional[int] = None,
+    shards: Optional[int] = None,
     memory_budget_bytes: Optional[int] = None,
     counters: Optional[OperationCounters] = None,
     space: Optional[SpaceTracker] = None,
@@ -126,6 +149,9 @@ def temporal_aggregate(
         An evaluator name, ``"auto"`` to let the Section 6.3 rule-based
         planner choose from the relation's statistics, or
         ``"auto_cost"`` for the cost-model-based variant.
+    shards:
+        Time-domain shard count for ``strategy="parallel_sweep"``
+        (default: one per available core).
     explain:
         When true, also return the :class:`PlannerDecision` (a
         synthesised one when ``strategy`` was given explicitly).
@@ -156,6 +182,7 @@ def temporal_aggregate(
         decision = PlannerDecision(
             strategy=strategy,
             k=k,
+            shards=shards,
             reason="strategy requested explicitly",
         )
 
@@ -164,6 +191,7 @@ def temporal_aggregate(
         decision.strategy,
         aggregate,
         k=decision.k,
+        shards=decision.shards,
         counters=counters,
         space=space,
     )

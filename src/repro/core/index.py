@@ -33,6 +33,8 @@ __all__ = ["TemporalAggregateIndex"]
 class TemporalAggregateIndex:
     """An incrementally maintained instant-grouped aggregate."""
 
+    __slots__ = ("aggregate", "_evaluator", "tuple_count")
+
     def __init__(self, aggregate) -> None:
         self.aggregate = coerce_aggregate(aggregate)
         self._evaluator = AggregationTreeEvaluator(self.aggregate)

@@ -50,7 +50,7 @@ MIN_NODE_BUDGET = 16
 _PENDING_CHUNK = 256
 
 
-@dataclass
+@dataclass(slots=True)
 class SpillMetrics:
     """Disk activity of one paged evaluation (all replay levels)."""
 
@@ -65,6 +65,8 @@ class SpillMetrics:
 
 class _SpillFile:
     """Append-only blob store on an anonymous temporary file."""
+
+    __slots__ = ("_handle", "_offset")
 
     def __init__(self) -> None:
         self._handle = tempfile.TemporaryFile(prefix="repro_spill_")

@@ -1,43 +1,69 @@
-"""Partitioned evaluation and result merging.
+"""Partitioned evaluation: time-sharded processes and tuple-set merging.
 
-The paper's bibliography leans on Bitton et al.'s *Parallel Algorithms
-for the Execution of Relational Database Operations* for how snapshot
-aggregates parallelise: partition the input, aggregate each partition
-independently, merge the partial results.  Temporal aggregates admit
-the same plan because constant-interval results over *disjoint tuple
-sets* merge cleanly: align the two partitions' boundaries (the union of
-both boundary sets) and combine the aligned values with the
-aggregate's merge operation.
+Two parallel plans live here, one per partitioning axis:
 
-Two public pieces:
+* **Time-domain sharding** (:class:`ParallelSweepEvaluator`, strategy
+  ``"parallel_sweep"``) — split ``[ORIGIN, FOREVER]`` into windows,
+  clip tuples into the windows they overlap
+  (:mod:`repro.core.partition`), run the columnar sweep kernel
+  (:mod:`repro.core.columnar_sweep`) per window on a
+  ``ProcessPoolExecutor``, and stitch the per-window rows back
+  together.  Exact for *every* decomposable aggregate (clipping
+  preserves the per-instant valid multiset), including AVG and the
+  non-invertible MIN/MAX.  Falls back to the same in-process shard
+  functions for small inputs, a single shard, unregistered custom
+  aggregates, or platforms without ``fork``, so results are identical
+  either way.
 
-* :func:`merge_results` — combine two
-  :class:`~repro.core.result.TemporalAggregateResult` objects computed
-  over disjoint tuple subsets;
-* :func:`partitioned_aggregate` — split a triple stream round-robin
-  into ``partitions`` chunks, evaluate each independently (optionally
-  on a thread pool — the evaluators are pure Python so the GIL caps
-  real speedup, but the code path is the parallel plan), and fold the
-  partial results together.
+* **Tuple-set partitioning** (:func:`partitioned_aggregate`) — the
+  historical plan after Bitton et al.'s *Parallel Algorithms for the
+  Execution of Relational Database Operations* (in the paper's
+  bibliography): split the tuples round-robin, evaluate each chunk
+  independently, merge the finalized values with
+  :func:`merge_results`.  Merging needs the finalized value domain to
+  itself be mergeable, which holds for COUNT, SUM, MIN and MAX but not
+  AVG (a finalized mean loses its weight) — exactly the limitation the
+  time-domain plan removes.
 
-Merging needs the finalized value domain to itself be mergeable, which
-holds for COUNT, SUM, MIN and MAX (their finalized values are their
-states, with 0/None as identities) but not AVG (a finalized mean loses
-its weight).  AVG is therefore rejected with a pointed error; compute
-SUM and COUNT partitions and divide instead — exactly what
-``SELECT SUM(x) / COUNT(x)`` does in the TSQL2-lite front end.
+The process pool is created per evaluation with the ``fork`` start
+method *after* the parent publishes the input columns in module
+globals, so workers inherit the data copy-on-write and nothing but the
+tiny window descriptors and the flat result rows crosses the pipe.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Callable, Iterable, List, Optional, Sequence
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from itertools import repeat
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
-from repro.core.base import Triple, coerce_aggregate
-from repro.core.engine import make_evaluator
+from repro.core.aggregates import AGGREGATES, Aggregate, get_aggregate
+from repro.core.base import Evaluator, Triple, coerce_aggregate
+from repro.core.columnar_sweep import (
+    ColumnarSweepEvaluator,
+    columnar_rows,
+    event_count,
+    validate_columns,
+)
+from repro.core.partition import (
+    available_workers,
+    clip_triples,
+    shard_bounds,
+    stitch_rows,
+)
 from repro.core.result import ConstantInterval, TemporalAggregateResult
 
-__all__ = ["MERGEABLE_AGGREGATES", "merge_results", "partitioned_aggregate"]
+__all__ = [
+    "MERGEABLE_AGGREGATES",
+    "ParallelSweepEvaluator",
+    "merge_results",
+    "partitioned_aggregate",
+]
+
+#: Below this many tuples the fork + pickle overhead of a process pool
+#: dwarfs the sweep itself; shards run in-process instead.
+POOL_MIN_TUPLES = 32_768
 
 #: Aggregates whose finalized values merge like states.
 MERGEABLE_AGGREGATES = {"count", "sum", "min", "max"}
@@ -95,6 +121,144 @@ def merge_results(
     return TemporalAggregateResult(rows, check=False)
 
 
+# ---------------------------------------------------------------------------
+# Time-domain sharding
+# ---------------------------------------------------------------------------
+
+#: Input columns published by the parent just before forking so pool
+#: workers inherit them copy-on-write; holds the aggregate *name* when
+#: crossing processes (the instance for in-process shards).
+_SHARD_STATE: dict = {}
+
+
+def _resolve_shard_aggregate() -> Aggregate:
+    spec = _SHARD_STATE["aggregate"]
+    return get_aggregate(spec) if isinstance(spec, str) else spec
+
+
+def _shard_worker(window: Tuple[int, int]) -> Tuple[List[tuple], int]:
+    """Evaluate one time window against the inherited columns.
+
+    Returns the window's plain-tuple rows plus the number of events the
+    shard processed (for the parent's counter aggregation).
+    """
+    lo, hi = window
+    state = _SHARD_STATE
+    aggregate = _resolve_shard_aggregate()
+    starts = state["starts"]
+    ends = state["ends"]
+    values = state["values"]
+    clipped = clip_triples(zip(starts, ends, values), lo, hi)
+    if not clipped:
+        empty = aggregate.finalize(aggregate.identity())
+        return [(lo, hi, empty)], 0
+    cs, ce, cv = zip(*clipped)
+    return columnar_rows(cs, ce, cv, aggregate, lo, hi), event_count(cs, ce)
+
+
+def _registered_instance(aggregate: Aggregate) -> bool:
+    """Can this aggregate be rebuilt in a worker from its name alone?"""
+    factory = AGGREGATES.get(aggregate.name)
+    return factory is not None and type(factory()) is type(aggregate)
+
+
+class ParallelSweepEvaluator(Evaluator):
+    """Time-sharded columnar sweep, fanned out over processes.
+
+    ``shards=None`` uses one shard per available core (capped — see
+    :func:`repro.core.partition.available_workers`).  ``use_processes``
+    forces (True) or forbids (False) the process pool; the default
+    ``None`` uses it only when it can pay for itself: ``shards > 1``,
+    at least :data:`POOL_MIN_TUPLES` tuples, a ``fork`` start method,
+    and an aggregate reconstructible by registry name in the workers.
+    Shard evaluation itself is identical in or out of the pool.
+    """
+
+    name = "parallel_sweep"
+
+    def __init__(
+        self,
+        aggregate: "Aggregate | str",
+        *,
+        shards: Optional[int] = None,
+        use_processes: Optional[bool] = None,
+        counters=None,
+        space=None,
+    ) -> None:
+        super().__init__(aggregate, counters=counters, space=space)
+        if shards is not None and shards < 1:
+            raise ValueError("need at least one shard")
+        self.shards = shards
+        self.use_processes = use_processes
+
+    def _pool_usable(self, tuple_count: int, windows: int) -> bool:
+        if windows <= 1 or not _registered_instance(self.aggregate):
+            return False
+        if self.use_processes is not None:
+            return self.use_processes
+        return (
+            tuple_count >= POOL_MIN_TUPLES
+            and "fork" in multiprocessing.get_all_start_methods()
+        )
+
+    def evaluate(self, triples: Iterable[Triple]) -> TemporalAggregateResult:
+        data = triples if isinstance(triples, list) else list(triples)
+        shards = self.shards if self.shards is not None else available_workers()
+        if not data or shards <= 1:
+            return ColumnarSweepEvaluator(
+                self.aggregate, counters=self.counters, space=self.space
+            ).evaluate(data)
+
+        starts, ends, values = zip(*data)
+        validate_columns(starts, ends)
+        windows = shard_bounds(starts, ends, shards)
+        if len(windows) == 1:
+            return ColumnarSweepEvaluator(
+                self.aggregate, counters=self.counters, space=self.space
+            ).evaluate(data)
+
+        _SHARD_STATE.update(
+            starts=starts,
+            ends=ends,
+            values=values,
+            aggregate=(
+                self.aggregate.name
+                if _registered_instance(self.aggregate)
+                else self.aggregate
+            ),
+        )
+        try:
+            if self._pool_usable(len(data), len(windows)):
+                context = multiprocessing.get_context("fork")
+                with ProcessPoolExecutor(
+                    max_workers=len(windows), mp_context=context
+                ) as pool:
+                    shard_results = list(pool.map(_shard_worker, windows))
+            else:
+                shard_results = [_shard_worker(window) for window in windows]
+        finally:
+            _SHARD_STATE.clear()
+
+        raw = stitch_rows(
+            [rows for rows, _events in shard_results], set(starts), set(ends)
+        )
+        counters = self.counters
+        counters.tuples += len(data)
+        for _rows, events in shard_results:
+            counters.node_visits += events
+            counters.aggregate_updates += events
+        counters.emitted += len(raw)
+        self.space.absorb_concurrent(
+            [events for _rows, events in shard_results]
+        )
+        rows = list(map(tuple.__new__, repeat(ConstantInterval), raw))
+        return TemporalAggregateResult(rows, check=False)
+
+
+# ---------------------------------------------------------------------------
+# Tuple-set partitioning (the historical value-merge plan)
+# ---------------------------------------------------------------------------
+
 def partitioned_aggregate(
     triples: Iterable[Triple],
     aggregate,
@@ -110,6 +274,8 @@ def partitioned_aggregate(
     pool (the parallel plan's shape; CPU-bound pure Python won't scale
     past the GIL, but the plan and merge logic are what's modeled).
     """
+    from repro.core.engine import make_evaluator  # deferred: import cycle
+
     aggregate = coerce_aggregate(aggregate)
     _value_merger(aggregate.name)  # validate up front
     if partitions < 1:

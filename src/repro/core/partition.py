@@ -1,0 +1,145 @@
+"""Time-domain partitioning for parallel evaluation.
+
+The constant-interval result is a partition of the timeline, so the
+*time domain* — not the tuple set — is the natural axis to parallelise
+along: split ``[ORIGIN, FOREVER]`` into ``P`` consecutive windows, clip
+every tuple into the windows it overlaps, evaluate each window
+independently, and concatenate.  Clipping preserves the multiset of
+tuples valid at every instant inside a window, so *any* aggregate —
+COUNT, SUM, MIN, MAX, AVG, and every other decomposable aggregate —
+stays exact, unlike tuple-set partitioning (see
+:func:`repro.core.parallel.partitioned_aggregate`), whose value-level
+merge cannot reconstruct AVG.
+
+The one artefact clipping introduces is the shard seam itself: a cut
+instant ``c`` forces a row boundary at ``c`` even when no tuple starts
+at ``c`` or ends at ``c - 1``.  :func:`stitch_rows` removes exactly
+those *artificial* seams (the aggregate value is provably identical on
+both sides, because the valid tuple multiset is), restoring the same
+row boundaries a single-shard evaluation emits.
+
+Everything here is pure and deterministic, which is what the property
+tests lean on; the process fan-out lives in :mod:`repro.core.parallel`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Iterable, List, Sequence, Set, Tuple
+
+from repro.core.interval import FOREVER, ORIGIN
+
+__all__ = [
+    "available_workers",
+    "shard_bounds",
+    "clip_triples",
+    "partition_triples",
+    "is_real_boundary",
+    "stitch_rows",
+]
+
+#: Hard cap on the shard fan-out; beyond this the per-shard clip and
+#: stitch overhead outgrows any realistic core count.
+MAX_SHARDS = 8
+
+
+def available_workers(cap: int = MAX_SHARDS) -> int:
+    """Usable parallel workers on this machine (at least 1)."""
+    return max(1, min(cap, os.cpu_count() or 1))
+
+
+def shard_bounds(
+    starts: Sequence[int], ends: Sequence[int], shards: int
+) -> List[Tuple[int, int]]:
+    """Split the timeline into ``shards`` closed windows.
+
+    The windows are consecutive, disjoint, and cover ``[ORIGIN,
+    FOREVER]`` exactly.  Cuts are spread uniformly over the populated
+    span (from the earliest start to one past the latest finite
+    endpoint) so each window sees a comparable share of the events; a
+    degenerate span yields fewer (possibly one) windows.
+    """
+    if shards <= 1 or not starts:
+        return [(ORIGIN, FOREVER)]
+    lo = min(starts)
+    hi = max(max(starts), max((e + 1 for e in ends if e < FOREVER), default=0))
+    span = hi - lo
+    cuts = sorted(
+        {lo + (span * i) // shards for i in range(1, shards)} - {lo}
+    )
+    cuts = [c for c in cuts if ORIGIN < c <= FOREVER]
+    bounds: List[Tuple[int, int]] = []
+    window_start = ORIGIN
+    for cut in cuts:
+        bounds.append((window_start, cut - 1))
+        window_start = cut
+    bounds.append((window_start, FOREVER))
+    return bounds
+
+
+def clip_triples(
+    triples: Iterable[Tuple[int, int, Any]], lo: int, hi: int
+) -> List[Tuple[int, int, Any]]:
+    """Tuples overlapping ``[lo, hi]``, clipped to the window.
+
+    Clipping keeps the per-instant valid multiset inside the window
+    identical to the unclipped relation's, which is the exactness
+    argument for every decomposable aggregate.
+    """
+    return [
+        (start if start > lo else lo, end if end < hi else hi, value)
+        for start, end, value in triples
+        if start <= hi and end >= lo
+    ]
+
+
+def partition_triples(
+    triples: Sequence[Tuple[int, int, Any]], shards: int
+) -> List[Tuple[int, int, List[Tuple[int, int, Any]]]]:
+    """Split ``triples`` into ``(lo, hi, clipped_triples)`` windows."""
+    starts = [t[0] for t in triples]
+    ends = [t[1] for t in triples]
+    return [
+        (lo, hi, clip_triples(triples, lo, hi))
+        for lo, hi in shard_bounds(starts, ends, shards)
+    ]
+
+
+def is_real_boundary(cut: int, start_instants: Set[int], end_instants: Set[int]) -> bool:
+    """Would a single-shard evaluation emit a row boundary at ``cut``?
+
+    Yes iff some tuple starts at ``cut`` or ends at ``cut - 1`` — the
+    aggregate value can only change there.  Any other cut is an
+    artificial shard seam.
+    """
+    return cut in start_instants or (cut - 1) in end_instants
+
+
+def stitch_rows(
+    parts: Sequence[Sequence[Tuple[int, int, Any]]],
+    start_instants: Set[int],
+    end_instants: Set[int],
+) -> List[Tuple[int, int, Any]]:
+    """Concatenate per-window row lists, healing artificial seams.
+
+    ``parts`` hold ``(start, end, value)`` rows of consecutive windows.
+    At each seam, the last row of the left window and the first row of
+    the right are merged when the seam is artificial and the values
+    agree — exactly the rows a single evaluation would never have split.
+    Real boundaries are left alone even when values coincide, matching
+    the reference evaluator's (and every core evaluator's) output.
+    """
+    out: List[Tuple[int, int, Any]] = []
+    for rows in parts:
+        if not rows:
+            continue
+        if out:
+            first = rows[0]
+            cut = first[0]
+            if not is_real_boundary(cut, start_instants, end_instants):
+                last = out[-1]
+                if last[2] == first[2]:
+                    out[-1] = (last[0], first[1], last[2])
+                    rows = rows[1:]
+        out.extend(rows)
+    return out

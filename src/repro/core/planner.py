@@ -8,6 +8,9 @@ module encodes as an inspectable decision procedure:
   the declared ``k``), no sort needed;
 * **nearly sorted** (small measured k) → the k-ordered tree with the
   measured ``k``;
+* **unsorted and large, invertible aggregate** → the columnar event
+  sweep, time-sharded across cores when the machine has them (a
+  post-paper extension; see :mod:`repro.core.parallel`);
 * **unsorted, memory cheaper than the disk I/O a sort would cost** →
   the plain aggregation tree;
 * **unsorted, memory tight** → the paper's "simplest strategy": sort,
@@ -25,6 +28,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.aggregates import Aggregate, CountAggregate
+from repro.core.partition import available_workers
 from repro.metrics.space import NODE_OVERHEAD_BYTES
 
 __all__ = [
@@ -45,6 +49,14 @@ FEW_INTERVALS_FRACTION = 0.01
 #: sorted" — the window would retain most of the relation anyway.
 NEARLY_SORTED_FRACTION = 0.05
 
+#: Unsorted relations at least this large are worth the columnar /
+#: sharded sweep; below it the per-node evaluators win on constants.
+PARALLEL_MIN_TUPLES = 32_768
+
+#: Modeled bytes per sweep event (one flat int column entry); the
+#: sweep's working set is its two event columns, not tree nodes.
+EVENT_BYTES = 8
+
 
 @dataclass(frozen=True)
 class PlannerDecision:
@@ -55,11 +67,14 @@ class PlannerDecision:
     sort_first: bool = False  # sort the relation before evaluating
     reason: str = ""
     estimated_bytes: int = 0
+    shards: Optional[int] = None  # fan-out for the parallel sweep
 
     def describe(self) -> str:
         plan = self.strategy
         if self.k is not None:
             plan += f"(k={self.k})"
+        if self.shards is not None:
+            plan += f"(shards={self.shards})"
         if self.sort_first:
             plan = "sort + " + plan
         return f"{plan} — {self.reason}"
@@ -162,6 +177,31 @@ def choose_strategy(
             estimated_bytes=estimate_ktree_bytes(
                 k, statistics.long_lived_fraction, n, aggregate
             ),
+        )
+
+    # Unsorted and genuinely large: the columnar event sweep beats the
+    # per-node structures on constants, and its time-domain shards
+    # spread across cores when the machine has them.  Needs an
+    # invertible aggregate (MIN/MAX would drag a lazy heap through
+    # every shard; the tree strategies handle them as well per event).
+    invertible = aggregate.invertible if aggregate is not None else True
+    event_bytes = 2 * n * EVENT_BYTES
+    sweep_fits = memory_budget_bytes is None or event_bytes <= memory_budget_bytes
+    if n >= PARALLEL_MIN_TUPLES and invertible and sweep_fits:
+        workers = available_workers()
+        if workers > 1:
+            return PlannerDecision(
+                strategy="parallel_sweep",
+                shards=workers,
+                reason=f"large unordered input and {workers} cores: "
+                "time-domain shards over the columnar sweep",
+                estimated_bytes=event_bytes,
+            )
+        return PlannerDecision(
+            strategy="columnar_sweep",
+            reason="large unordered input on one core: the columnar "
+            "event sweep has the smallest constants",
+            estimated_bytes=event_bytes,
         )
 
     within_budget = memory_budget_bytes is None or tree_bytes <= memory_budget_bytes

@@ -60,6 +60,18 @@ class SpaceTracker:
             )
         self.live_nodes -= count
 
+    def absorb_concurrent(self, peaks: "list[int]") -> None:
+        """Record structures held concurrently by parallel workers.
+
+        Time-sharded evaluation keeps every shard's structure live at
+        once, so the modeled peak is the *sum* of the per-shard peaks
+        (a tuple clipped into several shards is charged once per shard,
+        exactly as it is materialised).  Leaves no live nodes behind.
+        """
+        total = sum(peaks)
+        self.allocate(total)
+        self.free(total)
+
     @property
     def peak_bytes(self) -> int:
         """Peak modeled memory: what Figure 9 reports."""

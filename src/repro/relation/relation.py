@@ -62,6 +62,7 @@ class TemporalRelation:
         self.name = name
         self._rows: List[TemporalTuple] = list(rows) if rows is not None else []
         self.scan_count = 0
+        self._statistics_cache: Optional[RelationStatistics] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -93,11 +94,13 @@ class TemporalRelation:
             )
         row = TemporalTuple(self.schema.validate_values(values), start, end)
         self._rows.append(row)
+        self._statistics_cache = None
         return row
 
     def extend(self, rows: Iterable[TemporalTuple]) -> None:
         """Append already-validated rows (e.g. from another relation)."""
         self._rows.extend(rows)
+        self._statistics_cache = None
 
     # ------------------------------------------------------------------
     # Access
@@ -178,6 +181,7 @@ class TemporalRelation:
     def sort_in_place(self) -> None:
         """Sort this relation's rows by (start, end)."""
         self._rows.sort(key=timestamp_sort_key)
+        self._statistics_cache = None
 
     def reordered(
         self, permutation: Sequence[int], name: Optional[str] = None
@@ -229,7 +233,14 @@ class TemporalRelation:
         return len(boundaries) + 1
 
     def statistics(self) -> RelationStatistics:
-        """Summary statistics used by the query planner (Section 6.3)."""
+        """Summary statistics used by the query planner (Section 6.3).
+
+        Computing these double-scans the relation, and every
+        ``strategy="auto"`` evaluation asks for them, so the (frozen)
+        result is cached until the next mutation.
+        """
+        if self._statistics_cache is not None:
+            return self._statistics_cache
         span = self.lifespan
         span_length = span.duration if span is not None else 0
         long_lived = sum(
@@ -237,7 +248,7 @@ class TemporalRelation:
         )
         starts = [timestamp_sort_key(row) for row in self._rows]
         k = k_orderedness(starts)
-        return RelationStatistics(
+        self._statistics_cache = RelationStatistics(
             tuple_count=len(self._rows),
             unique_timestamps=self.unique_timestamps(),
             long_lived_count=long_lived,
@@ -246,6 +257,7 @@ class TemporalRelation:
             k=k,
             k_ordered_percentage=k_ordered_percentage(starts, k) if k else 0.0,
         )
+        return self._statistics_cache
 
     # ------------------------------------------------------------------
     # Presentation

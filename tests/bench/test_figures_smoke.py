@@ -64,6 +64,7 @@ class TestFigureDrivers:
             "table2",
             "table3",
             "ablations",
+            "parallel",
         }
 
     def test_ablations_driver(self):
@@ -87,6 +88,19 @@ class TestFigureDrivers:
         reports = DRIVERS[name](sizes=[64], seeds=[1])
         assert reports[0].rows
 
+    def test_parallel_driver_shape(self):
+        from repro.bench.figures import parallel
+
+        time_report, work_report, speed_report = parallel(**TINY)
+        assert "columnar_sweep" in time_report.columns
+        assert "parallel P=4" in time_report.columns
+        # Same algorithm, same abstract work: sweep == columnar per row.
+        sweep_index = work_report.column_index("sweep")
+        columnar_index = work_report.column_index("columnar_sweep")
+        for row in work_report.rows:
+            assert row[sweep_index] == row[columnar_index]
+        assert len(speed_report.rows) == 2
+
 
 class TestCli:
     def test_main_runs_tables(self, capsys):
@@ -108,6 +122,19 @@ class TestCli:
 
         with pytest.raises(SystemExit):
             main(["fig99"])
+
+    def test_parallel_driver_writes_json(self, tmp_path, capsys, monkeypatch):
+        import json
+
+        from repro.bench.__main__ import main
+
+        monkeypatch.setenv("REPRO_BENCH_MAX_TUPLES", "1024")
+        assert main(["parallel", "--csv-dir", str(tmp_path)]) == 0
+        payload = json.loads((tmp_path / "BENCH_parallel.json").read_text())
+        assert payload["cpu_count"] >= 1
+        assert payload["pool_min_tuples"] > 0
+        titles = [report["title"] for report in payload["reports"]]
+        assert any("speedup" in title for title in titles)
 
     def test_plot_flag_renders_ascii(self, capsys, monkeypatch):
         from repro.bench.__main__ import main

@@ -24,9 +24,19 @@ class TestRegistry:
             "balanced_tree",
             "paged_tree",
             "sweep",
+            "columnar_sweep",
+            "parallel_sweep",
             "two_pass",
             "reference",
         }
+
+    def test_shards_rejected_for_other_strategies(self):
+        with pytest.raises(ValueError, match="does not take"):
+            make_evaluator("sweep", "count", shards=2)
+
+    def test_shards_accepted_by_parallel_sweep(self):
+        evaluator = make_evaluator("parallel_sweep", "count", shards=3)
+        assert evaluator.shards == 3
 
     def test_make_evaluator_by_name(self):
         evaluator = make_evaluator("linked_list", "count")

@@ -1,0 +1,109 @@
+"""Tests of the time-domain partitioning primitives."""
+
+import pytest
+
+from repro.core.interval import FOREVER, ORIGIN
+from repro.core.partition import (
+    available_workers,
+    clip_triples,
+    is_real_boundary,
+    partition_triples,
+    shard_bounds,
+    stitch_rows,
+)
+
+
+class TestShardBounds:
+    def test_single_shard_is_whole_timeline(self):
+        assert shard_bounds([3], [9], 1) == [(ORIGIN, FOREVER)]
+
+    def test_empty_input_is_whole_timeline(self):
+        assert shard_bounds([], [], 4) == [(ORIGIN, FOREVER)]
+
+    def test_windows_partition_the_timeline(self):
+        starts = [10, 200, 450, 900]
+        ends = [120, 300, 800, 1000]
+        bounds = shard_bounds(starts, ends, 4)
+        assert bounds[0][0] == ORIGIN
+        assert bounds[-1][1] == FOREVER
+        for (_, left_hi), (right_lo, _) in zip(bounds, bounds[1:]):
+            assert right_lo == left_hi + 1
+
+    def test_degenerate_span_collapses_shards(self):
+        # All tuples at one instant: no usable interior cuts.
+        bounds = shard_bounds([5, 5, 5], [5, 5, 5], 4)
+        assert bounds[0][0] == ORIGIN
+        assert bounds[-1][1] == FOREVER
+
+    def test_forever_tuples_do_not_break_cut_placement(self):
+        bounds = shard_bounds([0, 50], [FOREVER, 100], 2)
+        assert len(bounds) == 2
+
+
+class TestClipping:
+    def test_spanning_tuple_lands_in_both_windows(self):
+        triples = [(0, 100, "a")]
+        left = clip_triples(triples, 0, 49)
+        right = clip_triples(triples, 50, 100)
+        assert left == [(0, 49, "a")]
+        assert right == [(50, 100, "a")]
+
+    def test_disjoint_tuple_is_dropped(self):
+        assert clip_triples([(0, 10, None)], 20, 30) == []
+
+    def test_clip_preserves_per_instant_multiset(self):
+        triples = [(0, 10, 1), (5, 20, 2), (15, 30, 3)]
+        parts = partition_triples(triples, 3)
+        for instant in range(0, 31):
+            original = sorted(
+                v for s, e, v in triples if s <= instant <= e
+            )
+            window = next(
+                (lo, hi, clipped)
+                for lo, hi, clipped in parts
+                if lo <= instant <= hi
+            )
+            clipped_values = sorted(
+                v for s, e, v in window[2] if s <= instant <= e
+            )
+            assert clipped_values == original, instant
+
+
+class TestStitching:
+    START_SET = {0, 10}
+    END_SET = {9, 30}
+
+    def test_real_boundary_detection(self):
+        assert is_real_boundary(10, self.START_SET, self.END_SET)
+        assert is_real_boundary(10, set(), {9})  # ends at cut-1
+        assert not is_real_boundary(15, self.START_SET, self.END_SET)
+
+    def test_artificial_seam_with_equal_values_merges(self):
+        parts = [[(0, 14, 2)], [(15, 30, 2)]]
+        assert stitch_rows(parts, self.START_SET, self.END_SET) == [(0, 30, 2)]
+
+    def test_real_seam_stays_split_even_when_values_agree(self):
+        parts = [[(0, 9, 2)], [(10, 30, 2)]]
+        assert stitch_rows(parts, self.START_SET, self.END_SET) == [
+            (0, 9, 2),
+            (10, 30, 2),
+        ]
+
+    def test_artificial_seam_with_unequal_values_stays_split(self):
+        parts = [[(0, 14, 2)], [(15, 30, 3)]]
+        assert stitch_rows(parts, self.START_SET, self.END_SET) == [
+            (0, 14, 2),
+            (15, 30, 3),
+        ]
+
+    def test_empty_parts_are_skipped(self):
+        parts = [[(0, 14, 1)], [], [(15, 30, 1)]]
+        assert stitch_rows(parts, self.START_SET, self.END_SET) == [(0, 30, 1)]
+
+
+class TestWorkers:
+    def test_at_least_one(self):
+        assert available_workers() >= 1
+
+    def test_cap_respected(self):
+        assert available_workers(cap=2) <= 2

@@ -116,6 +116,70 @@ class TestDecisions:
             assert decision.estimated_bytes > 0
 
 
+class TestParallelRule:
+    """The post-paper rule: large + unsorted + invertible → sweep."""
+
+    def big_stats(self):
+        # k is half of n: nowhere near "nearly sorted".
+        return stats(n=100_000, unique=150_000, k=50_000)
+
+    def test_multicore_gets_parallel_sweep(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.core.planner.available_workers", lambda: 4
+        )
+        decision = choose_strategy(self.big_stats(), aggregate=CountAggregate())
+        assert decision.strategy == "parallel_sweep"
+        assert decision.shards == 4
+        assert "shards=4" in decision.describe()
+
+    def test_single_core_gets_columnar_sweep(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.core.planner.available_workers", lambda: 1
+        )
+        decision = choose_strategy(self.big_stats(), aggregate=CountAggregate())
+        assert decision.strategy == "columnar_sweep"
+        assert decision.shards is None
+
+    def test_non_invertible_falls_through_to_tree(self, monkeypatch):
+        from repro.core.aggregates import MaxAggregate
+
+        monkeypatch.setattr(
+            "repro.core.planner.available_workers", lambda: 4
+        )
+        decision = choose_strategy(self.big_stats(), aggregate=MaxAggregate())
+        assert decision.strategy == "aggregation_tree"
+
+    def test_small_input_falls_through_to_tree(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.core.planner.available_workers", lambda: 4
+        )
+        decision = choose_strategy(stats(), aggregate=CountAggregate())
+        assert decision.strategy == "aggregation_tree"
+
+    def test_tight_budget_falls_through_to_sort_plan(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.core.planner.available_workers", lambda: 4
+        )
+        decision = choose_strategy(
+            self.big_stats(),
+            aggregate=CountAggregate(),
+            memory_budget_bytes=64,
+        )
+        assert decision.strategy == "kordered_tree"
+        assert decision.sort_first
+
+    def test_sorted_input_never_takes_parallel_path(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.core.planner.available_workers", lambda: 4
+        )
+        decision = choose_strategy(
+            stats(n=100_000, unique=150_000, ordered=True),
+            aggregate=CountAggregate(),
+        )
+        assert decision.strategy == "kordered_tree"
+        assert decision.k == 1
+
+
 class TestCostBasedPlanner:
     def test_sorted_relation_priced_to_ktree(self):
         from repro.core.planner import choose_strategy_cost_based
