@@ -69,6 +69,23 @@ from repro.core import (
     span_aggregate,
     temporal_aggregate,
 )
+from repro.exec import (
+    BudgetExhausted,
+    Deadline,
+    DeadlineExceeded,
+    FaultPlan,
+    InvalidInput,
+    MemoryGuard,
+    RetryPolicy,
+    ShardFailure,
+    ShardFault,
+    SupervisionReport,
+    TemporalAggregateError,
+    clear_fault_plan,
+    current_fault_plan,
+    fault_plan,
+    install_fault_plan,
+)
 from repro.metrics import NODE_OVERHEAD_BYTES, OperationCounters, SpaceTracker
 from repro.relation import (
     EMPLOYED_SCHEMA,
@@ -153,6 +170,22 @@ __all__ = [
     "k_orderedness",
     "is_k_ordered",
     "k_ordered_percentage",
+    # resilient execution
+    "TemporalAggregateError",
+    "ShardFailure",
+    "DeadlineExceeded",
+    "BudgetExhausted",
+    "InvalidInput",
+    "Deadline",
+    "MemoryGuard",
+    "RetryPolicy",
+    "SupervisionReport",
+    "FaultPlan",
+    "ShardFault",
+    "install_fault_plan",
+    "clear_fault_plan",
+    "current_fault_plan",
+    "fault_plan",
     # instrumentation
     "OperationCounters",
     "SpaceTracker",

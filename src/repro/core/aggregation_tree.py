@@ -41,7 +41,7 @@ from __future__ import annotations
 
 from typing import Any, Iterable, List, Optional
 
-from repro.core.base import Evaluator, Triple
+from repro.core.base import CHECKPOINT_INTERVAL, Evaluator, Triple
 from repro.core.interval import FOREVER, ORIGIN
 from repro.core.result import ConstantInterval, TemporalAggregateResult
 
@@ -139,11 +139,23 @@ class AggregationTreeEvaluator(Evaluator):
                 stack.append(left)
 
     def build(self, triples: Iterable[Triple]) -> None:
-        """Insert a whole stream of tuples."""
+        """Insert a whole stream of tuples.
+
+        When a deadline or memory guard is attached, the loop pauses at
+        a resilience checkpoint every :data:`CHECKPOINT_INTERVAL`
+        tuples; a tripped guard raises
+        :class:`~repro.exec.errors.BudgetExhausted` with the consumed
+        count so degradation can resume mid-stream.
+        """
+        guarded = self.deadline is not None or self.guard is not None
+        consumed = 0
         for start, end, value in triples:
             self._check_triple(start, end)
             self.counters.tuples += 1
             self.insert(start, end, value)
+            consumed += 1
+            if guarded and consumed % CHECKPOINT_INTERVAL == 0:
+                self._checkpoint(consumed)
 
     # ------------------------------------------------------------------
     # Result extraction

@@ -30,10 +30,15 @@ from repro.metrics.space import SpaceTracker
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.relation.relation import TemporalRelation
 
-__all__ = ["Evaluator", "Triple", "coerce_aggregate"]
+__all__ = ["CHECKPOINT_INTERVAL", "Evaluator", "Triple", "coerce_aggregate"]
 
 #: One input tuple as the evaluators see it.
 Triple = Tuple[int, int, Any]
+
+#: Tuples between resilience checkpoints during structure construction.
+#: Coarse enough to keep the modulo off the hot path's profile, fine
+#: enough that deadlines and memory budgets bind within milliseconds.
+CHECKPOINT_INTERVAL = 64
 
 
 def coerce_aggregate(aggregate: "Aggregate | str") -> Aggregate:
@@ -62,6 +67,12 @@ class Evaluator:
         self.aggregate = coerce_aggregate(aggregate)
         self.counters = counters if counters is not None else OperationCounters()
         self.space = space if space is not None else SpaceTracker(self.aggregate)
+        #: Optional wall-clock :class:`~repro.exec.deadline.Deadline`;
+        #: honored at checkpoints when set (the engine threads it here).
+        self.deadline = None
+        #: Optional :class:`~repro.exec.budget.MemoryGuard` sampled at
+        #: checkpoints during structure construction.
+        self.guard = None
 
     # ------------------------------------------------------------------
     # The algorithm-specific part
@@ -84,6 +95,19 @@ class Evaluator:
     # ------------------------------------------------------------------
     # Shared helpers
     # ------------------------------------------------------------------
+
+    def _checkpoint(self, consumed: int) -> None:
+        """One resilience safepoint: deadline first, then the budget.
+
+        Called from build loops every :data:`CHECKPOINT_INTERVAL`
+        tuples (and at shard boundaries in the parallel plan).  Both
+        attributes default to None, so unconfigured evaluations pay
+        only the two attribute loads.
+        """
+        if self.deadline is not None:
+            self.deadline.check(tuples_consumed=consumed)
+        if self.guard is not None:
+            self.guard.check(consumed)
 
     @staticmethod
     def _check_triple(start: int, end: int) -> None:

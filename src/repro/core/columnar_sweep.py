@@ -234,6 +234,10 @@ class ColumnarSweepEvaluator(Evaluator):
 
     def evaluate(self, triples: Iterable[Triple]) -> TemporalAggregateResult:
         data = triples if isinstance(triples, list) else list(triples)
+        if self.deadline is not None:
+            # The sweep is monolithic; check once before the heavy work
+            # (shard-level granularity comes from the parallel plan).
+            self.deadline.check(tuples_consumed=0)
         counters = self.counters
         aggregate = self.aggregate
         if not data:

@@ -13,6 +13,7 @@ benchmarks that need precise control and raw triple streams.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Dict, Iterable, Optional, Type
 
 from repro.core.aggregation_tree import AggregationTreeEvaluator
@@ -28,6 +29,9 @@ from repro.core.reference import ReferenceEvaluator
 from repro.core.result import TemporalAggregateResult
 from repro.core.sweep import SweepEvaluator
 from repro.core.two_pass import TwoPassEvaluator
+from repro.exec.budget import MemoryGuard, evaluate_with_degradation
+from repro.exec.deadline import Deadline
+from repro.exec.validation import validate_shards, validated_triples
 from repro.metrics.counters import OperationCounters
 from repro.metrics.space import SpaceTracker
 
@@ -67,13 +71,16 @@ def make_evaluator(
     shards: Optional[int] = None,
     counters: Optional[OperationCounters] = None,
     space: Optional[SpaceTracker] = None,
+    deadline: Optional[Deadline] = None,
 ) -> Evaluator:
     """Instantiate the evaluator registered under ``strategy``.
 
     ``k`` is only meaningful for (and only accepted by) the k-ordered
     tree; it defaults to 1, the paper's recommended setting.  ``shards``
     is likewise exclusive to the parallel sweep; it defaults to one
-    shard per available core.
+    shard per available core.  ``deadline`` (an already-started
+    :class:`~repro.exec.deadline.Deadline`) attaches to the evaluator
+    and is honored at its resilience checkpoints.
     """
     try:
         factory = STRATEGIES[strategy]
@@ -82,25 +89,29 @@ def make_evaluator(
         raise UnknownStrategyError(
             f"unknown strategy {strategy!r}; known strategies: {known}"
         ) from None
+    shards = validate_shards(shards)
     if factory is KOrderedTreeEvaluator:
         if shards is not None:
             raise ValueError(
                 f"strategy {strategy!r} does not take a shards parameter"
             )
-        return KOrderedTreeEvaluator(
+        evaluator = KOrderedTreeEvaluator(
             aggregate, k if k is not None else 1, counters=counters, space=space
         )
-    if k is not None:
+    elif k is not None:
         raise ValueError(f"strategy {strategy!r} does not take a k parameter")
-    if factory is ParallelSweepEvaluator:
-        return ParallelSweepEvaluator(
+    elif factory is ParallelSweepEvaluator:
+        evaluator = ParallelSweepEvaluator(
             aggregate, shards=shards, counters=counters, space=space
         )
-    if shards is not None:
+    elif shards is not None:
         raise ValueError(
             f"strategy {strategy!r} does not take a shards parameter"
         )
-    return factory(aggregate, counters=counters, space=space)
+    else:
+        evaluator = factory(aggregate, counters=counters, space=space)
+    evaluator.deadline = deadline
+    return evaluator
 
 
 def evaluate_triples(
@@ -112,11 +123,30 @@ def evaluate_triples(
     shards: Optional[int] = None,
     counters: Optional[OperationCounters] = None,
     space: Optional[SpaceTracker] = None,
+    deadline_ms: Optional[float] = None,
+    validate: bool = True,
 ) -> TemporalAggregateResult:
-    """Evaluate directly over ``(start, end, value)`` triples."""
+    """Evaluate directly over ``(start, end, value)`` triples.
+
+    This is an engine boundary: by default every triple is validated
+    (integer endpoints, ordered closed intervals, no NaN values) and
+    malformed input raises :class:`~repro.exec.errors.InvalidInput`
+    instead of silently corrupting sweep ordering.  ``validate=False``
+    skips the per-tuple checks for callers that already guarantee
+    shape (benchmark inner loops).  ``deadline_ms`` bounds the
+    evaluation's wall-clock time.
+    """
     evaluator = make_evaluator(
-        strategy, aggregate, k=k, shards=shards, counters=counters, space=space
+        strategy,
+        aggregate,
+        k=k,
+        shards=shards,
+        counters=counters,
+        space=space,
+        deadline=Deadline.after_ms(deadline_ms),
     )
+    if validate:
+        triples = validated_triples(triples)
     return evaluator.evaluate(triples)
 
 
@@ -129,6 +159,7 @@ def temporal_aggregate(
     k: Optional[int] = None,
     shards: Optional[int] = None,
     memory_budget_bytes: Optional[int] = None,
+    deadline_ms: Optional[float] = None,
     counters: Optional[OperationCounters] = None,
     space: Optional[SpaceTracker] = None,
     explain: bool = False,
@@ -152,12 +183,23 @@ def temporal_aggregate(
     shards:
         Time-domain shard count for ``strategy="parallel_sweep"``
         (default: one per available core).
+    memory_budget_bytes:
+        Consulted by the planner *and* enforced at run time: an
+        aggregation-tree build that crosses the budget degrades
+        mid-flight to the spilling paged tree
+        (:func:`repro.exec.budget.evaluate_with_degradation`) instead
+        of exhausting memory.
+    deadline_ms:
+        Wall-clock bound for the whole call; when it passes,
+        :class:`~repro.exec.errors.DeadlineExceeded` is raised from
+        the next checkpoint, carrying partial-progress metrics.
     explain:
         When true, also return the :class:`PlannerDecision` (a
         synthesised one when ``strategy`` was given explicitly).
 
     Returns the result, or ``(result, decision)`` with ``explain``.
     """
+    deadline = Deadline.after_ms(deadline_ms)
     aggregate = coerce_aggregate(aggregate)
     if aggregate.needs_value and attribute is None:
         raise ValueError(
@@ -194,8 +236,30 @@ def temporal_aggregate(
         shards=decision.shards,
         counters=counters,
         space=space,
+        deadline=deadline,
     )
-    result = evaluator.evaluate_relation(target, attribute)
+    # Runtime budget enforcement: the plain aggregation tree is the one
+    # in-memory structure with a spilling sibling, so it runs under a
+    # MemoryGuard and degrades mid-flight rather than OOMing when the
+    # planner's estimate proves optimistic.
+    if memory_budget_bytes is not None and type(evaluator) is AggregationTreeEvaluator:
+        guard = MemoryGuard(memory_budget_bytes, evaluator.space)
+        result, trip = evaluate_with_degradation(
+            evaluator,
+            target.scan_triples(attribute),
+            guard,
+            deadline=deadline,
+        )
+        if trip is not None:
+            decision = replace(
+                decision,
+                reason=decision.reason
+                + f"; degraded to paged_tree mid-flight (tracked bytes hit "
+                f"{trip.observed_bytes} against the {trip.budget_bytes}-byte "
+                "budget)",
+            )
+    else:
+        result = evaluator.evaluate_relation(target, attribute)
     if explain:
         return result, decision
     return result

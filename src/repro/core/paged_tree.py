@@ -191,6 +191,40 @@ class PagedAggregationTreeEvaluator(AggregationTreeEvaluator):
         self._depth = _depth
         self._spill: Optional[_SpillFile] = None
 
+    @classmethod
+    def from_partial_tree(
+        cls,
+        donor: AggregationTreeEvaluator,
+        node_budget: int,
+    ) -> "PagedAggregationTreeEvaluator":
+        """Adopt a partially built plain tree for mid-flight degradation.
+
+        Runtime budget enforcement (:mod:`repro.exec.budget`) trips
+        while an in-memory tree is mid-build; rather than restart on
+        the spill path, the paged evaluator takes over the donor's
+        root, counters, and space tracker in place — every insert
+        already done is kept — and immediately evicts down toward the
+        node budget.  The donor is left empty (its tree now belongs to
+        the paged evaluator).
+        """
+        paged = cls(
+            donor.aggregate,
+            max(MIN_NODE_BUDGET, node_budget),
+            counters=donor.counters,
+            space=donor.space,
+        )
+        paged.root = donor.root
+        donor.root = None
+        # Evict until under budget or no stub-free subtree remains;
+        # each pass spills the root's larger child, so progress is
+        # monotone in live nodes.
+        while paged.space.live_nodes > paged.node_budget:
+            before = paged.space.live_nodes
+            paged._evict()
+            if paged.space.live_nodes == before:
+                break
+        return paged
+
     # ------------------------------------------------------------------
     # Insertion under the budget
     # ------------------------------------------------------------------

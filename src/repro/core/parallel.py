@@ -34,7 +34,7 @@ tiny window descriptors and the flat result rows crosses the pipe.
 from __future__ import annotations
 
 import multiprocessing
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import ThreadPoolExecutor
 from itertools import repeat
 from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
@@ -53,6 +53,10 @@ from repro.core.partition import (
     stitch_rows,
 )
 from repro.core.result import ConstantInterval, TemporalAggregateResult
+from repro.exec.errors import InvalidInput
+from repro.exec.faults import current_fault_plan
+from repro.exec.supervision import RetryPolicy, ShardSupervisor, SupervisionReport
+from repro.exec.validation import validate_shards
 
 __all__ = [
     "MERGEABLE_AGGREGATES",
@@ -79,12 +83,13 @@ _VALUE_MERGERS: dict = {
 def _value_merger(aggregate_name: str) -> Callable[[Any, Any], Any]:
     try:
         return _VALUE_MERGERS[aggregate_name]
-    except KeyError:
-        raise ValueError(
-            f"aggregate {aggregate_name!r} does not merge on finalized "
-            f"values (mergeable: {sorted(MERGEABLE_AGGREGATES)}); for AVG "
-            "merge SUM and COUNT partitions and divide"
-        ) from None
+    except KeyError as exc:
+        raise InvalidInput(
+            f"no finalized-value merger registered under key "
+            f"{aggregate_name!r}: the aggregate does not merge on "
+            f"finalized values (mergeable: {sorted(MERGEABLE_AGGREGATES)}); "
+            "for AVG merge SUM and COUNT partitions and divide"
+        ) from exc
 
 
 def merge_results(
@@ -156,6 +161,25 @@ def _shard_worker(window: Tuple[int, int]) -> Tuple[List[tuple], int]:
     return columnar_rows(cs, ce, cv, aggregate, lo, hi), event_count(cs, ce)
 
 
+def _shard_task(args: Tuple[Tuple[int, int], int, int, bool]) -> Tuple[List[tuple], int]:
+    """Supervised entry point: one shard attempt, in or out of the pool.
+
+    ``args`` is ``(window, shard_index, attempt, in_pool)``.  Injected
+    faults (:mod:`repro.exec.faults`) fire only when ``in_pool`` is
+    true — pool workers inherit the active plan through ``fork`` — so
+    the supervisor's in-process fallback is exempt by construction and
+    always computes the exact shard answer.
+    """
+    window, shard_index, attempt, in_pool = args
+    if in_pool:
+        plan = current_fault_plan()
+        if plan is not None:
+            poison = plan.execute_in_worker(shard_index, attempt)
+            if poison is not None:
+                return poison  # unpicklable: fails on the way back
+    return _shard_worker(window)
+
+
 def _registered_instance(aggregate: Aggregate) -> bool:
     """Can this aggregate be rebuilt in a worker from its name alone?"""
     factory = AGGREGATES.get(aggregate.name)
@@ -172,6 +196,15 @@ class ParallelSweepEvaluator(Evaluator):
     at least :data:`POOL_MIN_TUPLES` tuples, a ``fork`` start method,
     and an aggregate reconstructible by registry name in the workers.
     Shard evaluation itself is identical in or out of the pool.
+
+    Pooled shards run under a :class:`~repro.exec.supervision.
+    ShardSupervisor`: each shard gets bounded retries with jittered
+    backoff (``retry``), an optional per-shard ``shard_timeout`` in
+    seconds, and — after exhausting its attempts or losing the pool —
+    an exact in-process fallback, so the evaluator returns the same
+    rows no matter how many workers die.  ``last_supervision`` holds
+    the most recent run's :class:`~repro.exec.supervision.
+    SupervisionReport`.
     """
 
     name = "parallel_sweep"
@@ -182,14 +215,19 @@ class ParallelSweepEvaluator(Evaluator):
         *,
         shards: Optional[int] = None,
         use_processes: Optional[bool] = None,
+        retry: Optional[RetryPolicy] = None,
+        shard_timeout: Optional[float] = None,
+        max_pool_rebuilds: int = 2,
         counters=None,
         space=None,
     ) -> None:
         super().__init__(aggregate, counters=counters, space=space)
-        if shards is not None and shards < 1:
-            raise ValueError("need at least one shard")
-        self.shards = shards
+        self.shards = validate_shards(shards)
         self.use_processes = use_processes
+        self.retry = retry
+        self.shard_timeout = shard_timeout
+        self.max_pool_rebuilds = max_pool_rebuilds
+        self.last_supervision: Optional[SupervisionReport] = None
 
     def _pool_usable(self, tuple_count: int, windows: int) -> bool:
         if windows <= 1 or not _registered_instance(self.aggregate):
@@ -201,21 +239,24 @@ class ParallelSweepEvaluator(Evaluator):
             and "fork" in multiprocessing.get_all_start_methods()
         )
 
+    def _delegate_columnar(self, data: List[Triple]) -> TemporalAggregateResult:
+        delegate = ColumnarSweepEvaluator(
+            self.aggregate, counters=self.counters, space=self.space
+        )
+        delegate.deadline = self.deadline
+        return delegate.evaluate(data)
+
     def evaluate(self, triples: Iterable[Triple]) -> TemporalAggregateResult:
         data = triples if isinstance(triples, list) else list(triples)
         shards = self.shards if self.shards is not None else available_workers()
         if not data or shards <= 1:
-            return ColumnarSweepEvaluator(
-                self.aggregate, counters=self.counters, space=self.space
-            ).evaluate(data)
+            return self._delegate_columnar(data)
 
         starts, ends, values = zip(*data)
         validate_columns(starts, ends)
         windows = shard_bounds(starts, ends, shards)
         if len(windows) == 1:
-            return ColumnarSweepEvaluator(
-                self.aggregate, counters=self.counters, space=self.space
-            ).evaluate(data)
+            return self._delegate_columnar(data)
 
         _SHARD_STATE.update(
             starts=starts,
@@ -227,15 +268,32 @@ class ParallelSweepEvaluator(Evaluator):
                 else self.aggregate
             ),
         )
+        self.last_supervision = None
         try:
             if self._pool_usable(len(data), len(windows)):
-                context = multiprocessing.get_context("fork")
-                with ProcessPoolExecutor(
-                    max_workers=len(windows), mp_context=context
-                ) as pool:
-                    shard_results = list(pool.map(_shard_worker, windows))
+                # Publish the columns, *then* fork: workers inherit the
+                # data (and any active fault plan) copy-on-write.
+                supervisor = ShardSupervisor(
+                    _shard_task,
+                    windows,
+                    mp_context=multiprocessing.get_context("fork"),
+                    retry=self.retry,
+                    shard_timeout=self.shard_timeout,
+                    deadline=self.deadline,
+                    max_pool_rebuilds=self.max_pool_rebuilds,
+                )
+                shard_results = supervisor.run()
+                self.last_supervision = supervisor.report
             else:
-                shard_results = [_shard_worker(window) for window in windows]
+                shard_results = []
+                for index, window in enumerate(windows):
+                    if self.deadline is not None:
+                        self.deadline.check(
+                            completed_shards=index, total_shards=len(windows)
+                        )
+                    shard_results.append(
+                        _shard_task((window, index, 1, False))
+                    )
         finally:
             _SHARD_STATE.clear()
 
@@ -278,8 +336,7 @@ def partitioned_aggregate(
 
     aggregate = coerce_aggregate(aggregate)
     _value_merger(aggregate.name)  # validate up front
-    if partitions < 1:
-        raise ValueError("need at least one partition")
+    validate_shards(partitions, what="partitions")
 
     chunks: List[List[Triple]] = [[] for _ in range(partitions)]
     for index, triple in enumerate(triples):

@@ -29,6 +29,7 @@ from typing import Optional
 
 from repro.core.aggregates import Aggregate, CountAggregate
 from repro.core.partition import available_workers
+from repro.exec.faults import current_fault_plan
 from repro.metrics.space import NODE_OVERHEAD_BYTES
 
 __all__ = [
@@ -83,6 +84,17 @@ class PlannerDecision:
 def _node_bytes(aggregate: Optional[Aggregate]) -> int:
     state = aggregate.state_bytes if aggregate is not None else CountAggregate.state_bytes
     return NODE_OVERHEAD_BYTES + state
+
+
+def _budget_inflation() -> float:
+    """Byte-inflation factor from the fault-injection hook (1.0 normally).
+
+    The planner consults the active :class:`~repro.exec.faults.FaultPlan`
+    so tests can deterministically force budget-constrained plans (and
+    runtime degradation) on small relations.
+    """
+    plan = current_fault_plan()
+    return plan.inflate_bytes if plan is not None else 1.0
 
 
 def estimate_tree_bytes(
@@ -185,8 +197,12 @@ def choose_strategy(
     # invertible aggregate (MIN/MAX would drag a lazy heap through
     # every shard; the tree strategies handle them as well per event).
     invertible = aggregate.invertible if aggregate is not None else True
+    inflation = _budget_inflation()
     event_bytes = 2 * n * EVENT_BYTES
-    sweep_fits = memory_budget_bytes is None or event_bytes <= memory_budget_bytes
+    sweep_fits = (
+        memory_budget_bytes is None
+        or event_bytes * inflation <= memory_budget_bytes
+    )
     if n >= PARALLEL_MIN_TUPLES and invertible and sweep_fits:
         workers = available_workers()
         if workers > 1:
@@ -204,7 +220,10 @@ def choose_strategy(
             estimated_bytes=event_bytes,
         )
 
-    within_budget = memory_budget_bytes is None or tree_bytes <= memory_budget_bytes
+    within_budget = (
+        memory_budget_bytes is None
+        or tree_bytes * inflation <= memory_budget_bytes
+    )
     if memory_cheaper_than_io and within_budget:
         return PlannerDecision(
             strategy="aggregation_tree",
@@ -244,6 +263,7 @@ def choose_strategy_cost_based(
     from repro.core.cost_model import estimate_peak_nodes, estimate_work
 
     node_bytes = _node_bytes(aggregate)
+    inflation = _budget_inflation()
     k = max(1, statistics.k)
     priced = []
     for strategy in candidates:
@@ -251,7 +271,10 @@ def choose_strategy_cost_based(
         structure_bytes = int(
             estimate_peak_nodes(strategy, statistics, k=k) * node_bytes
         )
-        if memory_budget_bytes is not None and structure_bytes > memory_budget_bytes:
+        if (
+            memory_budget_bytes is not None
+            and structure_bytes * inflation > memory_budget_bytes
+        ):
             continue
         priced.append((work, strategy, structure_bytes))
     if not priced:

@@ -1,0 +1,82 @@
+"""Resilient execution layer: typed errors, deadlines, budgets, faults.
+
+The core evaluators (:mod:`repro.core`) compute exact answers under the
+assumption that every worker process survives, memory is unbounded, and
+callers wait forever.  This package removes those assumptions without
+touching the algorithms' semantics:
+
+* :mod:`repro.exec.errors` — the structured error taxonomy
+  (:class:`TemporalAggregateError` and its subclasses) replacing bare
+  ``ValueError``/``KeyError`` escapes;
+* :mod:`repro.exec.validation` — engine-boundary input validation
+  (interval sanity, integer endpoints, NaN values, shard counts);
+* :mod:`repro.exec.deadline` — wall-clock deadlines threaded through
+  the engine and checked at shard boundaries and tree-build
+  checkpoints;
+* :mod:`repro.exec.budget` — runtime memory-budget enforcement with
+  mid-flight degradation to the spilling paged tree;
+* :mod:`repro.exec.supervision` — per-shard retries with jittered
+  backoff, shard timeouts, pool rebuilds, and an in-process fallback
+  that keeps :class:`~repro.core.parallel.ParallelSweepEvaluator`
+  exact even when the whole pool dies;
+* :mod:`repro.exec.faults` — a deterministic fault-injection harness
+  (:class:`FaultPlan`) the workers, planner, and budget guard consult
+  through an injectable hook, so every recovery path is testable.
+"""
+
+from repro.exec.budget import MemoryGuard, evaluate_with_degradation
+from repro.exec.deadline import Deadline
+from repro.exec.errors import (
+    BudgetExhausted,
+    DeadlineExceeded,
+    InvalidInput,
+    ShardFailure,
+    TemporalAggregateError,
+)
+from repro.exec.faults import (
+    FaultPlan,
+    ShardFault,
+    clear_fault_plan,
+    current_fault_plan,
+    fault_plan,
+    install_fault_plan,
+)
+from repro.exec.supervision import (
+    RetryPolicy,
+    ShardSupervisor,
+    SupervisionReport,
+)
+from repro.exec.validation import (
+    check_triple,
+    validate_shards,
+    validated_triples,
+)
+
+__all__ = [
+    # errors
+    "TemporalAggregateError",
+    "ShardFailure",
+    "DeadlineExceeded",
+    "BudgetExhausted",
+    "InvalidInput",
+    # deadlines
+    "Deadline",
+    # budgets
+    "MemoryGuard",
+    "evaluate_with_degradation",
+    # supervision
+    "RetryPolicy",
+    "ShardSupervisor",
+    "SupervisionReport",
+    # faults
+    "FaultPlan",
+    "ShardFault",
+    "install_fault_plan",
+    "clear_fault_plan",
+    "current_fault_plan",
+    "fault_plan",
+    # validation
+    "check_triple",
+    "validated_triples",
+    "validate_shards",
+]

@@ -1,0 +1,113 @@
+"""Runtime memory-budget enforcement with mid-flight degradation.
+
+The Section 6.2 memory budget used to be consulted only at *plan* time
+(:func:`repro.core.planner.choose_strategy` compares estimates to the
+budget).  Estimates are estimates: a relation whose unique-timestamp
+count was underestimated builds a bigger tree than planned and, before
+this module, simply OOMed.  A :class:`MemoryGuard` closes the loop at
+*run* time: it samples the evaluator's
+:class:`~repro.metrics.space.SpaceTracker` at tree-build checkpoints
+and raises :class:`~repro.exec.errors.BudgetExhausted` — carrying how
+many input tuples were already folded in — the moment tracked bytes
+cross the budget.
+
+:func:`evaluate_with_degradation` is the engine-side recovery: it
+catches the trip, hands the partially built tree to the spilling
+:class:`~repro.core.paged_tree.PagedAggregationTreeEvaluator` (no
+restart — the adopted tree keeps every insert already done), sizes the
+paged tree's node budget from the byte budget, and finishes the scan
+on the spill path.  The answer is exactly the plain tree's; only the
+peak residency changes.
+
+The guard consults the fault-injection hook
+(:func:`repro.exec.faults.current_fault_plan`): a plan's
+``inflate_bytes`` factor scales the sampled bytes, so budget
+degradation is testable on relations of any size.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Tuple
+
+from repro.exec.deadline import Deadline
+from repro.exec.errors import BudgetExhausted
+from repro.exec.faults import current_fault_plan
+
+__all__ = ["MemoryGuard", "evaluate_with_degradation"]
+
+
+class MemoryGuard:
+    """Samples tracked bytes against a hard budget during construction."""
+
+    __slots__ = ("budget_bytes", "space", "trips")
+
+    def __init__(self, budget_bytes: int, space) -> None:
+        if budget_bytes <= 0:
+            raise ValueError("memory budget must be positive")
+        self.budget_bytes = int(budget_bytes)
+        self.space = space
+        self.trips = 0
+        plan = current_fault_plan()
+        if plan is not None and plan.inflate_bytes != 1.0:
+            # The injectable hook: tests inflate reported bytes to trip
+            # the budget deterministically on small relations.
+            space.inflation = plan.inflate_bytes
+
+    def check(self, consumed: int = 0) -> None:
+        """Raise :class:`BudgetExhausted` when tracked bytes exceed the
+        budget; ``consumed`` tells the handler where to resume."""
+        observed = self.space.reported_bytes
+        if observed <= self.budget_bytes:
+            return
+        self.trips += 1
+        raise BudgetExhausted(
+            f"tracked structure reached {observed} bytes against a "
+            f"{self.budget_bytes}-byte budget after {consumed} tuples",
+            budget_bytes=self.budget_bytes,
+            observed_bytes=observed,
+            consumed=consumed,
+        )
+
+    def node_budget(self) -> int:
+        """The paged tree's node budget equivalent to this byte budget."""
+        from repro.core.paged_tree import MIN_NODE_BUDGET
+
+        return max(MIN_NODE_BUDGET, self.budget_bytes // self.space.node_bytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MemoryGuard({self.budget_bytes} B, trips={self.trips})"
+
+
+def evaluate_with_degradation(
+    evaluator,
+    triples: Iterable[Tuple[int, int, Any]],
+    guard: MemoryGuard,
+    *,
+    deadline: Optional[Deadline] = None,
+):
+    """Evaluate under ``guard``; degrade to the paged tree on a trip.
+
+    ``evaluator`` must be a plain
+    :class:`~repro.core.aggregation_tree.AggregationTreeEvaluator`
+    (the one in-memory structure with a spilling sibling).  Returns
+    ``(result, trip)`` where ``trip`` is ``None`` on the happy path or
+    the :class:`BudgetExhausted` that forced the spill path.
+    """
+    from repro.core.paged_tree import PagedAggregationTreeEvaluator
+
+    data: List[Tuple[int, int, Any]] = (
+        triples if isinstance(triples, list) else list(triples)
+    )
+    evaluator.deadline = deadline
+    evaluator.guard = guard
+    try:
+        return evaluator.evaluate(data), None
+    except BudgetExhausted as trip:
+        paged = PagedAggregationTreeEvaluator.from_partial_tree(
+            evaluator, guard.node_budget()
+        )
+        paged.deadline = deadline  # keep honoring the deadline, not the guard
+        paged.build(data[trip.consumed:])
+        return paged.traverse(), trip
+    finally:
+        evaluator.guard = None

@@ -1,0 +1,78 @@
+"""Wall-clock deadlines for evaluation.
+
+A :class:`Deadline` is created once at the engine boundary
+(``temporal_aggregate(..., deadline_ms=...)``) and threaded down to the
+evaluators, which call :meth:`Deadline.check` at natural safepoints:
+shard boundaries in the parallel plan and every
+:data:`~repro.core.base.CHECKPOINT_INTERVAL` tuples during tree
+construction.  A tripped check raises
+:class:`~repro.exec.errors.DeadlineExceeded` carrying the progress
+metrics supplied by the checkpoint, so callers know how far the query
+got before it was cut off.
+
+Checks are cheap (one ``time.monotonic`` call) and deliberately
+coarse-grained — the point is bounding tail latency under load, not
+microsecond-accurate preemption.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Optional
+
+from repro.exec.errors import DeadlineExceeded
+
+__all__ = ["Deadline"]
+
+
+class Deadline:
+    """One evaluation's wall-clock budget, measured on the monotonic clock."""
+
+    __slots__ = ("deadline_ms", "started_at", "expires_at")
+
+    def __init__(self, deadline_ms: float, *, _now: Optional[float] = None) -> None:
+        if deadline_ms <= 0:
+            raise ValueError("deadline_ms must be positive")
+        now = time.monotonic() if _now is None else _now
+        self.deadline_ms = deadline_ms
+        self.started_at = now
+        self.expires_at = now + deadline_ms / 1000.0
+
+    @classmethod
+    def after_ms(cls, deadline_ms: Optional[float]) -> "Optional[Deadline]":
+        """A deadline starting now, or None when no limit was requested."""
+        return None if deadline_ms is None else cls(deadline_ms)
+
+    def elapsed_ms(self) -> float:
+        return (time.monotonic() - self.started_at) * 1000.0
+
+    def remaining_seconds(self) -> float:
+        """Seconds left before expiry; never negative (0 when expired)."""
+        return max(0.0, self.expires_at - time.monotonic())
+
+    def expired(self) -> bool:
+        return time.monotonic() >= self.expires_at
+
+    def check(self, **progress: Any) -> None:
+        """Raise :class:`DeadlineExceeded` if the deadline has passed.
+
+        Keyword arguments become the exception's partial-progress
+        metrics (e.g. ``tuples_consumed=4096`` or
+        ``completed_shards=3, total_shards=8``).
+        """
+        if time.monotonic() < self.expires_at:
+            return
+        elapsed = self.elapsed_ms()
+        raise DeadlineExceeded(
+            f"evaluation exceeded its {self.deadline_ms:g} ms deadline "
+            f"({elapsed:.1f} ms elapsed)",
+            deadline_ms=self.deadline_ms,
+            elapsed_ms=elapsed,
+            progress=progress,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Deadline({self.deadline_ms:g} ms, "
+            f"{self.remaining_seconds() * 1000.0:.1f} ms remaining)"
+        )

@@ -1,0 +1,119 @@
+"""Structured error taxonomy for the execution layer.
+
+Every failure the engine can surface derives from
+:class:`TemporalAggregateError`, so callers serving traffic can catch
+one type and branch on the subclass instead of fishing bare
+``ValueError``/``KeyError`` escapes out of the evaluators:
+
+* :class:`InvalidInput` — the request itself is malformed (bad
+  interval, non-integer endpoint, NaN value, bogus shard count).  Also
+  subclasses :class:`~repro.core.interval.InvalidIntervalError` (and
+  therefore ``ValueError``) so existing callers keep working.
+* :class:`ShardFailure` — a parallel shard exhausted its retries.  The
+  supervisor normally *recovers* from these (in-process fallback) and
+  only records them; one escapes only if recovery itself is
+  impossible.
+* :class:`DeadlineExceeded` — the wall-clock deadline passed; carries
+  partial-progress metrics so callers can log how far the query got.
+* :class:`BudgetExhausted` — the memory budget tripped mid-build;
+  normally caught by the engine, which degrades to the spilling paged
+  tree (:func:`repro.exec.budget.evaluate_with_degradation`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.interval import InvalidIntervalError
+
+__all__ = [
+    "TemporalAggregateError",
+    "ShardFailure",
+    "DeadlineExceeded",
+    "BudgetExhausted",
+    "InvalidInput",
+]
+
+
+class TemporalAggregateError(Exception):
+    """Base class for every failure the execution layer raises."""
+
+
+class InvalidInput(TemporalAggregateError, InvalidIntervalError):
+    """The query input is malformed (rejected at the engine boundary).
+
+    Subclasses ``InvalidIntervalError`` (itself a ``ValueError``) so
+    code written against the pre-taxonomy exceptions keeps passing.
+    """
+
+
+class ShardFailure(TemporalAggregateError):
+    """One time shard failed in the process pool past its retry budget.
+
+    Usually *recorded*, not raised: the supervisor falls back to an
+    in-process evaluation of the shard, so the query still succeeds.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        shard: int,
+        window: Tuple[int, int],
+        attempts: int,
+        cause: Optional[BaseException] = None,
+    ) -> None:
+        super().__init__(message)
+        self.shard = shard
+        self.window = window
+        self.attempts = attempts
+        self.cause = cause
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardFailure(shard={self.shard}, window={self.window}, "
+            f"attempts={self.attempts}, cause={self.cause!r})"
+        )
+
+
+class DeadlineExceeded(TemporalAggregateError):
+    """The evaluation's wall-clock deadline passed before completion.
+
+    ``progress`` holds whatever partial-progress metrics the raising
+    checkpoint had (e.g. ``tuples_consumed``, ``completed_shards``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        deadline_ms: float,
+        elapsed_ms: float,
+        progress: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        super().__init__(message)
+        self.deadline_ms = deadline_ms
+        self.elapsed_ms = elapsed_ms
+        self.progress: Dict[str, Any] = dict(progress or {})
+
+
+class BudgetExhausted(TemporalAggregateError):
+    """Tracked memory crossed the budget during structure construction.
+
+    ``consumed`` is the number of input tuples already folded into the
+    structure when the guard tripped — the degradation path continues
+    from exactly that point instead of restarting.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        budget_bytes: int,
+        observed_bytes: int,
+        consumed: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.budget_bytes = budget_bytes
+        self.observed_bytes = observed_bytes
+        self.consumed = consumed

@@ -1,0 +1,175 @@
+"""Deterministic fault injection for the execution layer.
+
+Resilience code that cannot be exercised is resilience code that does
+not work, so every recovery path in this package is driven by a
+:class:`FaultPlan` — a declarative description of which shard should
+fail, how, and on which attempts.  The plan is installed through a
+process-global hook (:func:`install_fault_plan` or the
+:func:`fault_plan` context manager); the shard workers, the planner,
+and the memory guard consult it through :func:`current_fault_plan`.
+
+Because the parallel plan forks its workers *after* the plan is
+installed, pool workers inherit the active plan copy-on-write — no
+pipes, no environment variables, no racing.  Faults fire **only inside
+pool workers** (the worker task carries an ``in_pool`` flag): the
+in-process fallback path is exempt by construction, which is exactly
+what makes "kill every worker, still get the exact answer" a provable
+property rather than a hope.
+
+Supported fault kinds:
+
+``kill``
+    The worker process exits hard (``os._exit``), breaking the pool —
+    the parent sees ``BrokenProcessPool`` and must rebuild.
+``raise``
+    The worker raises :class:`InjectedFault` — an ordinary remote
+    exception, retryable without a pool rebuild.
+``delay``
+    The worker sleeps ``delay_seconds`` before computing, driving the
+    shard past its timeout.
+``poison``
+    The worker returns an unpicklable object, so the failure happens
+    in result serialization rather than in user code.
+
+``inflate_bytes`` multiplies the byte figure
+:attr:`~repro.metrics.space.SpaceTracker.reported_bytes` feeds the
+memory guard and the planner's budget comparisons, letting tests trip
+budget degradation on relations of any size.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional, Tuple
+
+__all__ = [
+    "ShardFault",
+    "FaultPlan",
+    "InjectedFault",
+    "install_fault_plan",
+    "clear_fault_plan",
+    "current_fault_plan",
+    "fault_plan",
+]
+
+#: Fault kinds a ShardFault may carry.
+FAULT_KINDS = ("kill", "raise", "delay", "poison")
+
+
+class InjectedFault(RuntimeError):
+    """The exception a ``raise``-kind fault throws inside a worker."""
+
+
+class _Unpicklable:
+    """An object whose serialization always fails (``poison`` faults)."""
+
+    def __reduce__(self):
+        raise pickle.PicklingError("poisoned shard result (injected fault)")
+
+
+@dataclass(frozen=True)
+class ShardFault:
+    """One injected failure: shard ``shard`` misbehaves while
+    ``attempt <= attempts`` (attempts are 1-based), in manner ``kind``."""
+
+    shard: int
+    kind: str = "raise"
+    attempts: int = 1
+    delay_seconds: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; known kinds: "
+                f"{', '.join(FAULT_KINDS)}"
+            )
+        if self.shard < 0:
+            raise ValueError("fault shard index must be >= 0")
+        if self.attempts < 1:
+            raise ValueError("fault must fire on at least one attempt")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic script of failures for one evaluation.
+
+    Plans are immutable and contain no clocks or randomness: the same
+    plan against the same input exercises the same recovery path every
+    run, which is what lets CI assert on recovery behavior.
+    """
+
+    shard_faults: Tuple[ShardFault, ...] = field(default_factory=tuple)
+    inflate_bytes: float = 1.0
+    name: str = "fault-plan"
+
+    def __post_init__(self) -> None:
+        if self.inflate_bytes <= 0:
+            raise ValueError("inflate_bytes must be positive")
+        object.__setattr__(self, "shard_faults", tuple(self.shard_faults))
+
+    def fault_for(self, shard: int, attempt: int) -> Optional[ShardFault]:
+        """The fault due for this (shard, attempt), if any."""
+        for fault in self.shard_faults:
+            if fault.shard == shard and attempt <= fault.attempts:
+                return fault
+        return None
+
+    def execute_in_worker(self, shard: int, attempt: int) -> Optional[Any]:
+        """Perform the scheduled fault inside a pool worker.
+
+        Returns ``None`` to proceed normally (possibly after a delay),
+        or a poison payload the worker must return as its result.
+        ``kill`` never returns; ``raise`` raises.
+        """
+        fault = self.fault_for(shard, attempt)
+        if fault is None:
+            return None
+        if fault.kind == "kill":
+            # Hard exit, skipping atexit/finalizers: indistinguishable
+            # from the OOM-killer or a segfault from the parent's side.
+            os._exit(1)
+        if fault.kind == "raise":
+            raise InjectedFault(
+                f"injected failure in shard {shard} (attempt {attempt})"
+            )
+        if fault.kind == "delay":
+            time.sleep(fault.delay_seconds)
+            return None
+        return _Unpicklable()  # kind == "poison"
+
+
+#: The process-global hook every consulting site reads.
+_ACTIVE_PLAN: Optional[FaultPlan] = None
+
+
+def install_fault_plan(plan: FaultPlan) -> None:
+    """Activate ``plan`` for subsequent evaluations (until cleared)."""
+    global _ACTIVE_PLAN
+    _ACTIVE_PLAN = plan
+
+
+def clear_fault_plan() -> None:
+    """Deactivate any active fault plan."""
+    global _ACTIVE_PLAN
+    _ACTIVE_PLAN = None
+
+
+def current_fault_plan() -> Optional[FaultPlan]:
+    """The active plan, or None outside fault-injection runs."""
+    return _ACTIVE_PLAN
+
+
+@contextmanager
+def fault_plan(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Scoped activation: install ``plan``, restore the prior one after."""
+    global _ACTIVE_PLAN
+    previous = _ACTIVE_PLAN
+    _ACTIVE_PLAN = plan
+    try:
+        yield plan
+    finally:
+        _ACTIVE_PLAN = previous

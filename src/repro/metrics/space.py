@@ -33,11 +33,18 @@ class SpaceTracker:
     model for that aggregate.
     """
 
-    __slots__ = ("node_bytes", "live_nodes", "peak_nodes", "allocated_total")
+    __slots__ = (
+        "node_bytes",
+        "live_nodes",
+        "peak_nodes",
+        "allocated_total",
+        "inflation",
+    )
 
     def __init__(self, aggregate: Optional[Aggregate] = None) -> None:
         state_bytes = aggregate.state_bytes if aggregate is not None else 4
         self.node_bytes = NODE_OVERHEAD_BYTES + state_bytes
+        self.inflation = 1.0
         self.reset()
 
     def reset(self) -> None:
@@ -80,6 +87,17 @@ class SpaceTracker:
     @property
     def live_bytes(self) -> int:
         return self.live_nodes * self.node_bytes
+
+    @property
+    def reported_bytes(self) -> int:
+        """Live bytes as seen by runtime budget enforcement.
+
+        ``inflation`` (default 1.0) scales the figure; the
+        fault-injection harness (:mod:`repro.exec.faults`) sets it to
+        exercise :class:`~repro.exec.budget.MemoryGuard` degradation
+        deterministically on small inputs.
+        """
+        return int(self.live_nodes * self.node_bytes * self.inflation)
 
     def snapshot(self) -> Dict[str, int]:
         return {

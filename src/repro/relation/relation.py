@@ -24,6 +24,7 @@ from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, 
 
 from repro.core.interval import FOREVER, Interval, InvalidIntervalError
 from repro.core.ordering import k_ordered_percentage, k_orderedness
+from repro.exec.errors import InvalidInput
 from repro.relation.schema import Schema
 from repro.relation.tuples import TemporalTuple, timestamp_sort_key
 
@@ -83,7 +84,19 @@ class TemporalRelation:
         return relation
 
     def insert(self, values: Sequence[Any], start: int, end: int) -> TemporalTuple:
-        """Validate and append one tuple; returns the stored row."""
+        """Validate and append one tuple; returns the stored row.
+
+        Endpoints must be plain integers (a float or bool endpoint
+        silently corrupts sweep ordering downstream) and NaN attribute
+        values are rejected — both raise
+        :class:`~repro.exec.errors.InvalidInput`, which remains an
+        ``InvalidIntervalError``/``ValueError`` for older callers.
+        """
+        if type(start) is not int or type(end) is not int:
+            raise InvalidInput(
+                f"valid-time endpoints must be plain integers, got "
+                f"({start!r}, {end!r})"
+            )
         if start < 0 or end < start:
             raise InvalidIntervalError(
                 f"invalid valid-time bounds [{start}, {end}]"
@@ -92,6 +105,12 @@ class TemporalRelation:
             raise InvalidIntervalError(
                 f"valid-time end {end} exceeds FOREVER"
             )
+        for value in values:
+            if isinstance(value, float) and value != value:
+                raise InvalidInput(
+                    f"NaN attribute value in tuple valid at [{start}, {end}]; "
+                    "NaN does not order and would corrupt aggregate results"
+                )
         row = TemporalTuple(self.schema.validate_values(values), start, end)
         self._rows.append(row)
         self._statistics_cache = None

@@ -1,0 +1,127 @@
+"""Runtime memory-budget enforcement and mid-flight degradation."""
+
+import pytest
+
+from repro.core.aggregation_tree import AggregationTreeEvaluator
+from repro.core.engine import temporal_aggregate
+from repro.core.paged_tree import MIN_NODE_BUDGET, PagedAggregationTreeEvaluator
+from repro.core.reference import ReferenceEvaluator
+from repro.exec.budget import MemoryGuard, evaluate_with_degradation
+from repro.exec.errors import BudgetExhausted
+from repro.workload.generator import WorkloadParameters, generate_relation
+from tests.conftest import random_triples
+
+
+def medium_relation(seed=5, tuples=2_000):
+    return generate_relation(
+        WorkloadParameters(tuples=tuples, long_lived_percent=30, seed=seed)
+    )
+
+
+class TestMemoryGuard:
+    def test_under_budget_never_trips(self):
+        evaluator = AggregationTreeEvaluator("count")
+        guard = MemoryGuard(10**9, evaluator.space)
+        evaluator.evaluate(random_triples(1, 500))
+        guard.check(consumed=500)
+        assert guard.trips == 0
+
+    def test_trip_reports_observed_and_resume_point(self):
+        evaluator = AggregationTreeEvaluator("count")
+        evaluator.space.allocate(1000)
+        guard = MemoryGuard(100, evaluator.space)
+        with pytest.raises(BudgetExhausted) as info:
+            guard.check(consumed=77)
+        exc = info.value
+        assert exc.observed_bytes > exc.budget_bytes
+        assert exc.consumed == 77
+        assert guard.trips == 1
+
+    def test_non_positive_budget_rejected(self):
+        evaluator = AggregationTreeEvaluator("count")
+        with pytest.raises(ValueError):
+            MemoryGuard(0, evaluator.space)
+
+    def test_node_budget_floor(self):
+        evaluator = AggregationTreeEvaluator("count")
+        guard = MemoryGuard(1, evaluator.space)
+        assert guard.node_budget() == MIN_NODE_BUDGET
+
+
+class TestMidFlightDegradation:
+    @pytest.mark.parametrize("aggregate", ["count", "sum", "min", "max", "avg"])
+    def test_degraded_result_is_exact(self, aggregate):
+        data = random_triples(11, 2_000, max_instant=2_000)
+        reference = ReferenceEvaluator(aggregate).evaluate(data)
+
+        evaluator = AggregationTreeEvaluator(aggregate)
+        guard = MemoryGuard(20_000, evaluator.space)
+        result, trip = evaluate_with_degradation(evaluator, data, guard)
+        assert trip is not None, "budget was meant to trip"
+        assert result.rows == reference.rows
+
+    def test_happy_path_returns_no_trip(self):
+        data = random_triples(12, 300)
+        evaluator = AggregationTreeEvaluator("count")
+        guard = MemoryGuard(10**9, evaluator.space)
+        result, trip = evaluate_with_degradation(evaluator, data, guard)
+        assert trip is None
+        assert result.rows == ReferenceEvaluator("count").evaluate(data).rows
+
+    def test_degradation_continues_not_restarts(self):
+        """The paged tree adopts the partial tree: the donor loses its
+        root and total tuple accounting covers the input exactly once."""
+        data = random_triples(13, 2_000, max_instant=2_000)
+        evaluator = AggregationTreeEvaluator("count")
+        guard = MemoryGuard(20_000, evaluator.space)
+        _, trip = evaluate_with_degradation(evaluator, data, guard)
+        assert trip is not None
+        assert evaluator.root is None  # adopted, not copied
+        assert evaluator.counters.tuples == len(data)  # each tuple once
+
+    def test_adopted_tree_respects_node_budget(self):
+        data = random_triples(14, 2_000, max_instant=2_000)
+        evaluator = AggregationTreeEvaluator("count")
+        guard = MemoryGuard(20_000, evaluator.space)
+        evaluate_with_degradation(evaluator, data, guard)
+        # After traversal the consuming paged tree frees everything.
+        assert evaluator.space.live_nodes == 0
+
+
+class TestEngineIntegration:
+    def test_temporal_aggregate_degrades_instead_of_growing(self):
+        relation = medium_relation()
+        reference = ReferenceEvaluator("sum").evaluate(
+            list(relation.scan_triples("salary"))
+        )
+        result, decision = temporal_aggregate(
+            relation,
+            "sum",
+            "salary",
+            strategy="aggregation_tree",
+            memory_budget_bytes=20_000,
+            explain=True,
+        )
+        assert result.rows == reference.rows
+        assert "paged_tree" in decision.reason
+
+    def test_budget_not_mentioned_when_it_does_not_trip(self):
+        relation = medium_relation(tuples=200)
+        _, decision = temporal_aggregate(
+            relation,
+            "count",
+            strategy="aggregation_tree",
+            memory_budget_bytes=10**9,
+            explain=True,
+        )
+        assert "degraded" not in decision.reason
+
+    def test_from_partial_tree_adopts_in_place(self):
+        donor = AggregationTreeEvaluator("count")
+        donor.evaluate(random_triples(15, 400, max_instant=500))
+        donor.build(random_triples(16, 100, max_instant=500))
+        live_before = donor.space.live_nodes
+        paged = PagedAggregationTreeEvaluator.from_partial_tree(donor, 64)
+        assert donor.root is None
+        assert paged.space is donor.space
+        assert paged.space.live_nodes <= live_before
