@@ -2,13 +2,26 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench figures figures-full examples lint clean
+.PHONY: install test test-invariants bench figures figures-full examples lint clean
 
 install:
 	$(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+test-invariants:
+	REPRO_CHECK_INVARIANTS=1 PYTHONPATH=src $(PYTHON) -m pytest tests/
+
+# Static analysis: the repo-specific AST lint pass (always), then mypy
+# strict over the gated packages when mypy is installed.
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro.analysis.lint src/ tests/
+	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
+		PYTHONPATH=src $(PYTHON) -m mypy src/repro/core src/repro/exec src/repro/analysis; \
+	else \
+		echo "mypy not installed; skipped (the TA008 annotation gate still ran)"; \
+	fi
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

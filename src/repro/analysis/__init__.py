@@ -1,0 +1,54 @@
+"""Static analysis and runtime verification for the repro engine.
+
+Three layers keep the engine honest as it grows:
+
+* :mod:`repro.analysis.lint` — a custom AST lint pass (stdlib ``ast``
+  only) enforcing repo-specific rules: the evaluator/relation protocol,
+  ``__slots__`` on hot-path node classes, no swallowed exceptions in
+  ``core``/``exec``, monotonic clocks only in deadline-sensitive code,
+  no mutable default arguments, engine-boundary validation routing, no
+  nondeterministic ``set`` iteration in merge/stitch paths, and full
+  annotations on the public API (the stdlib-enforced half of the
+  strict typing gate).  Run it with::
+
+      python -m repro.analysis.lint src/ tests/
+
+* :mod:`repro.analysis.invariants` — a runtime invariant verifier,
+  activated by ``REPRO_CHECK_INVARIANTS=1``, that re-checks the
+  properties the algorithms silently rely on: constant intervals
+  partition the queried span, aggregation-tree partials re-sum to the
+  brute-force per-leaf value, the k-ordered gc-threshold never frees a
+  node whose interval can still change, and structure accounting
+  matches :class:`~repro.metrics.space.SpaceTracker`.
+
+* the strict typing gate — ``[tool.mypy]`` in ``pyproject.toml`` scoped
+  to ``core``/``exec``/``analysis``; ``make lint`` runs both passes.
+
+See DESIGN.md §8 for the rule catalogue and how to add a rule.
+"""
+
+from typing import Any
+
+__all__ = [
+    "LintRunner",
+    "Violation",
+    "lint_paths",
+    "InvariantViolation",
+    "invariants_enabled",
+]
+
+_LINT_NAMES = {"LintRunner", "Violation", "lint_paths"}
+
+
+def __getattr__(name: str) -> Any:
+    """Lazy re-exports: keeps ``python -m repro.analysis.lint`` from
+    importing the lint module twice (once here, once as ``__main__``)."""
+    if name in _LINT_NAMES:
+        from repro.analysis import lint
+
+        return getattr(lint, name)
+    if name in {"InvariantViolation", "invariants_enabled"}:
+        from repro.analysis import invariants
+
+        return getattr(invariants, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,6 @@
+"""``python -m repro.analysis`` — alias for the lint CLI."""
+
+from repro.analysis.lint import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

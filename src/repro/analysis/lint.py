@@ -1,0 +1,408 @@
+"""Custom AST lint pass for the temporal-aggregates engine.
+
+Pure stdlib (``ast`` + ``tokenize``-free line scanning): no third-party
+linter can know that *this* repo's evaluators must be registered with a
+protocol, that its merge paths must never iterate a ``set``, or that
+its deadline code must stay on the monotonic clock — so those rules
+live here.  The pass runs in two phases:
+
+1. every file is parsed once and indexed into a :class:`ProjectIndex`
+   (class hierarchy by bare name, methods, class attributes,
+   ``__slots__`` declarations), so rules can resolve inheritance across
+   files without imports;
+2. each rule visits each file it applies to and yields
+   :class:`Violation` records, which are then filtered against
+   ``# ta: ignore[TAxxx]`` line suppressions.
+
+Run as a CLI with ``python -m repro.analysis.lint PATH...`` (see
+:mod:`repro.analysis.__main__` for the argument surface); the process
+exits 0 when no violations survive suppression and 1 otherwise.
+Directories named ``fixtures`` are skipped by default — the lint test
+fixtures under ``tests/analysis/fixtures/`` contain deliberate
+violations — and can be re-included with ``include_fixtures=True``.
+
+Rule scoping works on path segments: the segments *after* a ``repro``
+(package source) or ``fixtures`` (test fixture) directory form the
+file's scope, so ``src/repro/core/engine.py`` and
+``tests/analysis/fixtures/core/engine.py`` are both "core" files to
+every rule.  Files outside both trees (plain test files, examples)
+only see the universally safe rules (mutable defaults, bare
+``except``).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "Violation",
+    "ClassInfo",
+    "SourceFile",
+    "ProjectIndex",
+    "Rule",
+    "LintRunner",
+    "collect_files",
+    "lint_paths",
+    "suppressed_codes",
+]
+
+#: ``# ta: ignore[TA003]`` / ``# ta: ignore[TA003, TA005]`` on the
+#: reported line suppresses exactly the named codes, nothing else.
+_SUPPRESS_RE = re.compile(r"#\s*ta:\s*ignore\[([A-Za-z0-9_,\s]+)\]")
+
+#: Directory names whose contents are deliberate-violation fixtures.
+FIXTURE_DIR_NAMES = frozenset({"fixtures"})
+
+#: Path segments that anchor a file's rule scope.
+_SCOPE_ANCHORS = ("repro", "fixtures")
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One rule violation at a source location."""
+
+    code: str
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        """The text-reporter line: ``path:line:col: CODE message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "code": self.code,
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass(slots=True)
+class ClassInfo:
+    """What the index remembers about one class definition."""
+
+    name: str
+    bases: Tuple[str, ...]
+    methods: FrozenSet[str]
+    class_attrs: FrozenSet[str]
+    has_slots: bool
+    path: str
+    line: int
+    col: int
+
+
+def _base_name(expr: ast.expr) -> Optional[str]:
+    """Bare name of a base-class expression (``Foo`` or ``mod.Foo``)."""
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    return None
+
+
+def _index_class(node: ast.ClassDef, path: str) -> ClassInfo:
+    methods: Set[str] = set()
+    attrs: Set[str] = set()
+    has_slots = False
+    for statement in node.body:
+        if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            methods.add(statement.name)
+        elif isinstance(statement, ast.Assign):
+            for target in statement.targets:
+                if isinstance(target, ast.Name):
+                    attrs.add(target.id)
+                    if target.id == "__slots__":
+                        has_slots = True
+        elif isinstance(statement, ast.AnnAssign):
+            if isinstance(statement.target, ast.Name):
+                attrs.add(statement.target.id)
+                if statement.target.id == "__slots__":
+                    has_slots = True
+    bases = tuple(
+        name for name in (_base_name(base) for base in node.bases) if name
+    )
+    return ClassInfo(
+        name=node.name,
+        bases=bases,
+        methods=frozenset(methods),
+        class_attrs=frozenset(attrs),
+        has_slots=has_slots,
+        path=path,
+        line=node.lineno,
+        col=node.col_offset,
+    )
+
+
+def scope_parts(path: Path) -> FrozenSet[str]:
+    """Path segments after the ``repro``/``fixtures`` anchor (if any).
+
+    An empty result means the file is outside both trees and only
+    universal rules apply.
+    """
+    parts = path.parts
+    for anchor in _SCOPE_ANCHORS:
+        if anchor in parts:
+            index = parts.index(anchor)
+            return frozenset(parts[index + 1 :])
+    return frozenset()
+
+
+@dataclass(slots=True)
+class SourceFile:
+    """One parsed file plus everything rules need to scope themselves."""
+
+    path: Path
+    display_path: str
+    tree: ast.Module
+    lines: List[str]
+    scope: FrozenSet[str] = field(default_factory=frozenset)
+
+    @classmethod
+    def parse(cls, path: Path, *, display_path: Optional[str] = None) -> "SourceFile":
+        text = path.read_text(encoding="utf-8")
+        return cls(
+            path=path,
+            display_path=display_path if display_path is not None else str(path),
+            tree=ast.parse(text, filename=str(path)),
+            lines=text.splitlines(),
+            scope=scope_parts(path),
+        )
+
+    @property
+    def basename(self) -> str:
+        return self.path.name
+
+    def in_scope(self, *segments: str) -> bool:
+        """Is the file under any of the named package directories?"""
+        return any(segment in self.scope for segment in segments)
+
+    def suppressions(self, line: int) -> FrozenSet[str]:
+        """Codes suppressed on ``line`` via ``# ta: ignore[...]``."""
+        if 1 <= line <= len(self.lines):
+            return suppressed_codes(self.lines[line - 1])
+        return frozenset()
+
+
+def suppressed_codes(line: str) -> FrozenSet[str]:
+    """Parse one source line's ``# ta: ignore[...]`` comment (if any)."""
+    match = _SUPPRESS_RE.search(line)
+    if match is None:
+        return frozenset()
+    return frozenset(
+        code.strip().upper() for code in match.group(1).split(",") if code.strip()
+    )
+
+
+class ProjectIndex:
+    """Cross-file class hierarchy, resolved by bare class name.
+
+    Name-based resolution is deliberate: the lint pass never imports
+    the code it checks, and the repo does not reuse class names across
+    modules.  Ambiguity (several classes sharing a name) resolves to
+    "any of them", which can only make rules *more* lenient.
+    """
+
+    def __init__(self) -> None:
+        self.classes: Dict[str, List[ClassInfo]] = {}
+
+    def add_file(self, source: SourceFile) -> None:
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef):
+                info = _index_class(node, source.display_path)
+                self.classes.setdefault(info.name, []).append(info)
+
+    def ancestors(self, info: ClassInfo) -> Iterator[ClassInfo]:
+        """Transitive project-local ancestors, breadth-first, cycle-safe."""
+        seen: Set[str] = {info.name}
+        frontier = list(info.bases)
+        while frontier:
+            base = frontier.pop(0)
+            if base in seen:
+                continue
+            seen.add(base)
+            for candidate in self.classes.get(base, []):
+                yield candidate
+                frontier.extend(candidate.bases)
+
+    def inherits_from(self, info: ClassInfo, root: str) -> bool:
+        """Does ``info`` transitively subclass a class named ``root``?"""
+        if root in info.bases:
+            return True
+        return any(ancestor.name == root or root in ancestor.bases
+                   for ancestor in self.ancestors(info))
+
+    def defines_method(self, info: ClassInfo, method: str, *, skip_roots: FrozenSet[str] = frozenset()) -> bool:
+        """Does the class or an ancestor (excluding ``skip_roots``) define it?"""
+        if method in info.methods:
+            return True
+        return any(
+            method in ancestor.methods
+            for ancestor in self.ancestors(info)
+            if ancestor.name not in skip_roots
+        )
+
+
+class Rule:
+    """One lint rule: a code, a scope filter, and an AST check."""
+
+    #: Stable identifier reported to users (``TA001``...).
+    code: str = "TA000"
+    #: Short kebab-case rule name for the JSON reporter.
+    name: str = "abstract"
+    #: One-line description shown by ``--list-rules``.
+    description: str = ""
+
+    def applies_to(self, source: SourceFile) -> bool:
+        """Scope filter; the default applies everywhere."""
+        return True
+
+    def check(self, source: SourceFile, index: ProjectIndex) -> Iterator[Violation]:
+        """Yield every violation of this rule in ``source``."""
+        raise NotImplementedError
+
+    def violation(
+        self, source: SourceFile, node: ast.AST, message: str
+    ) -> Violation:
+        return Violation(
+            code=self.code,
+            rule=self.name,
+            path=source.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+class LintRunner:
+    """Parse once, index, run every rule, apply suppressions."""
+
+    def __init__(self, rules: Optional[Sequence[Rule]] = None) -> None:
+        if rules is None:
+            from repro.analysis.rules import default_rules
+
+            rules = default_rules()
+        self.rules: List[Rule] = list(rules)
+
+    def run(self, files: Sequence[SourceFile]) -> List[Violation]:
+        index = ProjectIndex()
+        for source in files:
+            index.add_file(source)
+        violations: List[Violation] = []
+        for source in files:
+            for rule in self.rules:
+                if not rule.applies_to(source):
+                    continue
+                for violation in rule.check(source, index):
+                    if violation.code in source.suppressions(violation.line):
+                        continue
+                    violations.append(violation)
+        violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+        return violations
+
+
+def collect_files(
+    paths: Sequence[Path], *, include_fixtures: bool = False
+) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py list."""
+    collected: Set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not include_fixtures and any(
+                    part in FIXTURE_DIR_NAMES for part in candidate.parts
+                ):
+                    continue
+                collected.add(candidate)
+        elif path.suffix == ".py":
+            collected.add(path)
+    return sorted(collected)
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    *,
+    rules: Optional[Sequence[Rule]] = None,
+    include_fixtures: bool = False,
+) -> Tuple[List[Violation], int]:
+    """Lint files/directories; returns (violations, files_checked)."""
+    files = [
+        SourceFile.parse(path)
+        for path in collect_files(paths, include_fixtures=include_fixtures)
+    ]
+    return LintRunner(rules).run(files), len(files)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI: ``python -m repro.analysis.lint src/ tests/``.
+
+    Exit status 0 when no violations survive suppression, 1 when at
+    least one does, 2 on usage errors (argparse's convention).
+    """
+    import argparse
+
+    from repro.analysis.report import render_json, render_text
+    from repro.analysis.rules import default_rules
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="Repo-specific AST lint pass (rules TA001...TA008).",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"], help="files or directories to lint"
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="reporter (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        default=None,
+        help="comma-separated TA codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--include-fixtures",
+        action="store_true",
+        help="also lint directories named 'fixtures' (deliberate violations)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    options = parser.parse_args(argv)
+
+    rules: List[Rule] = list(default_rules())
+    if options.list_rules:
+        for rule in rules:
+            print(f"{rule.code}  {rule.name}: {rule.description}")
+        return 0
+    if options.select is not None:
+        wanted = {code.strip().upper() for code in options.select.split(",")}
+        unknown = wanted - {rule.code for rule in rules}
+        if unknown:
+            parser.error(f"unknown rule codes: {', '.join(sorted(unknown))}")
+        rules = [rule for rule in rules if rule.code in wanted]
+
+    violations, files_checked = lint_paths(
+        [Path(path) for path in options.paths],
+        rules=rules,
+        include_fixtures=options.include_fixtures,
+    )
+    renderer = render_json if options.format == "json" else render_text
+    print(renderer(violations, files_checked))
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

@@ -1,0 +1,49 @@
+"""Reporters for lint results: human text and machine JSON.
+
+The text form is the familiar ``path:line:col: CODE message`` stream
+with a one-line summary; the JSON form is a stable document
+(``{"files_checked", "violation_count", "violations": [...]}``) for CI
+annotation tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.analysis.lint import Violation
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(violations: Sequence[Violation], files_checked: int) -> str:
+    """The text reporter: one line per violation plus a summary."""
+    lines: List[str] = [violation.render() for violation in violations]
+    if violations:
+        by_code: Dict[str, int] = {}
+        for violation in violations:
+            by_code[violation.code] = by_code.get(violation.code, 0) + 1
+        breakdown = ", ".join(
+            f"{code} x{count}" for code, count in sorted(by_code.items())
+        )
+        lines.append(
+            f"{len(violations)} violation"
+            f"{'s' if len(violations) != 1 else ''} in {files_checked} files "
+            f"({breakdown})"
+        )
+    else:
+        lines.append(f"0 violations in {files_checked} files")
+    return "\n".join(lines)
+
+
+def render_json(violations: Sequence[Violation], files_checked: int) -> str:
+    """The JSON reporter: a stable document for CI tooling."""
+    return json.dumps(
+        {
+            "files_checked": files_checked,
+            "violation_count": len(violations),
+            "violations": [violation.to_json() for violation in violations],
+        },
+        indent=2,
+        sort_keys=True,
+    )

@@ -39,11 +39,16 @@ deep.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, List, Optional
+from typing import TYPE_CHECKING, Any, Iterable, List, Optional, Tuple
 
 from repro.core.base import CHECKPOINT_INTERVAL, Evaluator, Triple
 from repro.core.interval import FOREVER, ORIGIN
 from repro.core.result import ConstantInterval, TemporalAggregateResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.aggregates import Aggregate
+    from repro.metrics.counters import OperationCounters
+    from repro.metrics.space import SpaceTracker
 
 __all__ = ["AggregationTreeEvaluator", "TreeNode"]
 
@@ -80,7 +85,13 @@ class AggregationTreeEvaluator(Evaluator):
 
     name = "aggregation_tree"
 
-    def __init__(self, aggregate, *, counters=None, space=None) -> None:
+    def __init__(
+        self,
+        aggregate: "Aggregate | str",
+        *,
+        counters: "Optional[OperationCounters]" = None,
+        space: "Optional[SpaceTracker]" = None,
+    ) -> None:
         super().__init__(aggregate, counters=counters, space=space)
         self.root: Optional[TreeNode] = None
 
@@ -221,9 +232,9 @@ class AggregationTreeEvaluator(Evaluator):
                 stack.append((node.right, level + 1))
         return deepest
 
-    def leaf_intervals(self) -> List[tuple]:
+    def leaf_intervals(self) -> List[Tuple[int, int]]:
         """The current constant intervals, in time order (for tests)."""
-        rows = []
+        rows: List[Tuple[int, int]] = []
         stack = [self.root] if self.root is not None else []
         while stack:
             node = stack.pop()

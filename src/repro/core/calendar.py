@@ -27,12 +27,15 @@ work for any realistic range.
 from __future__ import annotations
 
 from datetime import date, timedelta
-from typing import Any, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Iterable, List, Optional, Tuple
 
 from repro.core.base import Triple, coerce_aggregate
 from repro.core.interval import FOREVER, Interval, InvalidIntervalError
 from repro.core.result import ConstantInterval, TemporalAggregateResult
 from repro.metrics.counters import OperationCounters
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.aggregates import Aggregate
 
 __all__ = [
     "Calendar",
@@ -66,7 +69,9 @@ class Calendar:
     (midnight at that date for sub-day granularities).
     """
 
-    def __init__(self, granularity: str = "day", epoch: date = date(1995, 1, 1)):
+    def __init__(
+        self, granularity: str = "day", epoch: date = date(1995, 1, 1)
+    ) -> None:
         if granularity not in GRANULARITY_SECONDS:
             known = ", ".join(sorted(GRANULARITY_SECONDS))
             raise CalendarError(
@@ -163,7 +168,7 @@ class Calendar:
 
 def calendar_span_aggregate(
     triples: Iterable[Triple],
-    aggregate,
+    aggregate: "Aggregate | str",
     window: Interval,
     unit: str,
     calendar: Optional[Calendar] = None,

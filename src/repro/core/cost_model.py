@@ -35,7 +35,10 @@ test of a cost model: not absolute accuracy, but choosing right.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.relation.relation import RelationStatistics
 
 __all__ = [
     "estimate_constant_intervals",
@@ -61,12 +64,12 @@ COSTED_STRATEGIES = (
 _TOUCH = 2.0
 
 
-def estimate_constant_intervals(statistics) -> float:
+def estimate_constant_intervals(statistics: "RelationStatistics") -> float:
     """m ≈ unique finite timestamps + 1 (Figure 2's counting)."""
     return max(1.0, statistics.unique_timestamps + 1.0)
 
 
-def estimate_coverage(statistics) -> float:
+def estimate_coverage(statistics: "RelationStatistics") -> float:
     """Average constant intervals one tuple overlaps.
 
     Long-lived tuples (Table 3: 20–80 % of the lifespan, mean 50 %)
@@ -78,7 +81,7 @@ def estimate_coverage(statistics) -> float:
     return f * (m / 2.0) + (1.0 - f) * short_coverage
 
 
-def _tree_depth(statistics) -> float:
+def _tree_depth(statistics: "RelationStatistics") -> float:
     """Effective aggregation-tree depth: log-ish for random input,
     linear-ish for (nearly) sorted input, interpolated by how far the
     measured k-orderedness is from fully shuffled."""
@@ -92,7 +95,9 @@ def _tree_depth(statistics) -> float:
     return degenerate_depth + (balanced_depth - degenerate_depth) * disorder
 
 
-def estimate_work(strategy: str, statistics, k: Optional[int] = None) -> float:
+def estimate_work(
+    strategy: str, statistics: "RelationStatistics", k: Optional[int] = None
+) -> float:
     """Predicted abstract work (the OperationCounters.total_work scale)."""
     n = max(1, statistics.tuple_count)
     m = estimate_constant_intervals(statistics)
@@ -124,7 +129,9 @@ def estimate_work(strategy: str, statistics, k: Optional[int] = None) -> float:
     raise ValueError(f"no cost formula for strategy {strategy!r}")
 
 
-def estimate_peak_nodes(strategy: str, statistics, k: Optional[int] = None) -> float:
+def estimate_peak_nodes(
+    strategy: str, statistics: "RelationStatistics", k: Optional[int] = None
+) -> float:
     """Predicted peak structure size in nodes (the Figure 9 scale)."""
     n = max(1, statistics.tuple_count)
     m = estimate_constant_intervals(statistics)
@@ -143,7 +150,7 @@ def estimate_peak_nodes(strategy: str, statistics, k: Optional[int] = None) -> f
 
 
 def rank_strategies(
-    statistics,
+    statistics: "RelationStatistics",
     k: Optional[int] = None,
     strategies: Tuple[str, ...] = COSTED_STRATEGIES,
 ) -> List[Tuple[str, float]]:
@@ -156,7 +163,9 @@ def rank_strategies(
     return priced
 
 
-def estimates_table(statistics, k: Optional[int] = None) -> Dict[str, Dict[str, float]]:
+def estimates_table(
+    statistics: "RelationStatistics", k: Optional[int] = None
+) -> Dict[str, Dict[str, float]]:
     """Work and space estimates for every costed strategy (for EXPLAIN
     style displays and debugging the model)."""
     return {

@@ -23,7 +23,10 @@ strategy composes naturally (the output of either is totally ordered).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import TYPE_CHECKING, Iterable, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.aggregates import Aggregate
 
 from repro.core.base import Triple
 from repro.core.engine import evaluate_triples
@@ -78,7 +81,7 @@ def value_coalesced_triples(triples: Iterable[Triple]) -> List[Triple]:
 
 def distinct_temporal_aggregate(
     triples: Iterable[Triple],
-    aggregate,
+    aggregate: "Aggregate | str",
     *,
     mode: str = "exact",
     strategy: str = "kordered_tree",

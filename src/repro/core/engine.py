@@ -14,8 +14,9 @@ benchmarks that need precise control and raw triple streams.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, Iterable, Optional, Type
+from typing import TYPE_CHECKING, Dict, Iterable, Optional, Type
 
+from repro.analysis import invariants as _invariants
 from repro.core.aggregation_tree import AggregationTreeEvaluator
 from repro.core.balanced_tree import BalancedTreeEvaluator
 from repro.core.base import Evaluator, Triple, coerce_aggregate
@@ -35,6 +36,10 @@ from repro.exec.validation import validate_shards, validated_triples
 from repro.metrics.counters import OperationCounters
 from repro.metrics.space import SpaceTracker
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.aggregates import Aggregate
+    from repro.relation.relation import TemporalRelation
+
 __all__ = [
     "STRATEGIES",
     "UnknownStrategyError",
@@ -46,6 +51,13 @@ __all__ = [
 
 class UnknownStrategyError(KeyError):
     """Raised for a strategy name not in the registry."""
+
+
+def _recording_stream(triples: Iterable[Triple], seen: list) -> Iterable[Triple]:
+    """Yield from ``triples``, appending each pulled item to ``seen``."""
+    for triple in triples:
+        seen.append(triple)
+        yield triple
 
 
 #: All evaluation strategies, keyed by their registry names.
@@ -145,13 +157,29 @@ def evaluate_triples(
         space=space,
         deadline=Deadline.after_ms(deadline_ms),
     )
+    checking = _invariants.invariants_enabled()
+    if checking and not isinstance(triples, list):
+        # The verifier needs to re-read the input, but materialising a
+        # generator up front would hide partial consumption (deadline
+        # and budget paths stop pulling mid-stream), so record lazily.
+        triples = _recording_stream(triples, seen := [])
+    else:
+        seen = None
     if validate:
-        triples = validated_triples(triples)
-    return evaluator.evaluate(triples)
+        stream: Iterable[Triple] = validated_triples(triples)
+    else:
+        stream = triples
+    result = evaluator.evaluate(stream)
+    if checking:
+        consumed = seen if seen is not None else list(triples)
+        _invariants.verify_evaluation(
+            evaluator, result, consumed, evaluator.aggregate
+        )
+    return result
 
 
 def temporal_aggregate(
-    relation,
+    relation: "TemporalRelation",
     aggregate: "Aggregate | str",
     attribute: Optional[str] = None,
     *,
@@ -260,6 +288,12 @@ def temporal_aggregate(
             )
     else:
         result = evaluator.evaluate_relation(target, attribute)
+    if _invariants.invariants_enabled():
+        # Relations re-scan deterministically, so the verifier gets an
+        # independent copy of exactly the triples the evaluator saw.
+        _invariants.verify_evaluation(
+            evaluator, result, list(target.scan_triples(attribute)), aggregate
+        )
     if explain:
         return result, decision
     return result

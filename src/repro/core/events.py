@@ -16,7 +16,10 @@ embedding plus the aggregations that are natural for events:
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.aggregates import Aggregate
 
 from repro.core.base import Triple
 from repro.core.engine import evaluate_triples
@@ -45,7 +48,7 @@ def event_triples(events: Iterable[Event]) -> Iterator[Triple]:
 
 def event_instant_aggregate(
     events: Iterable[Event],
-    aggregate,
+    aggregate: "Aggregate | str",
     strategy: str = "aggregation_tree",
     *,
     k: Optional[int] = None,
@@ -64,7 +67,7 @@ def event_instant_aggregate(
 
 def event_span_aggregate(
     events: Iterable[Event],
-    aggregate,
+    aggregate: "Aggregate | str",
     window: Interval,
     span: int,
 ) -> TemporalAggregateResult:
@@ -74,7 +77,7 @@ def event_span_aggregate(
 
 def event_window_aggregate(
     events: Iterable[Event],
-    aggregate,
+    aggregate: "Aggregate | str",
     window: int,
     strategy: str = "aggregation_tree",
 ) -> TemporalAggregateResult:

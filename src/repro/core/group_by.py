@@ -11,7 +11,11 @@ partition is evaluated with any of the core algorithms, yielding one
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.aggregates import Aggregate
+    from repro.relation.relation import TemporalRelation
 
 from repro.core.base import coerce_aggregate
 from repro.core.engine import make_evaluator
@@ -61,8 +65,8 @@ class GroupedResult:
 
 
 def grouped_temporal_aggregate(
-    relation,
-    aggregate,
+    relation: "TemporalRelation",
+    aggregate: "Aggregate | str",
     group_attribute: str,
     value_attribute: Optional[str] = None,
     *,

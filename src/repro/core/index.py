@@ -20,7 +20,11 @@ same aggregate repeatedly as the relation grows).
 
 from __future__ import annotations
 
-from typing import Any, Iterable, List
+from typing import TYPE_CHECKING, Any, Iterable, List
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.aggregates import Aggregate
+    from repro.metrics.space import SpaceTracker
 
 from repro.core.aggregation_tree import AggregationTreeEvaluator
 from repro.core.base import Triple, coerce_aggregate
@@ -35,7 +39,7 @@ class TemporalAggregateIndex:
 
     __slots__ = ("aggregate", "_evaluator", "tuple_count")
 
-    def __init__(self, aggregate) -> None:
+    def __init__(self, aggregate: "Aggregate | str") -> None:
         self.aggregate = coerce_aggregate(aggregate)
         self._evaluator = AggregationTreeEvaluator(self.aggregate)
         self.tuple_count = 0
@@ -169,7 +173,7 @@ class TemporalAggregateIndex:
         return self._evaluator.depth()
 
     @property
-    def space(self):
+    def space(self) -> "SpaceTracker":
         return self._evaluator.space
 
     def __repr__(self) -> str:

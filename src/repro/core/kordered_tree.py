@@ -36,12 +36,18 @@ A strict frontier check turns that silent wrongness into a
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Iterable, List
+from typing import TYPE_CHECKING, Any, Deque, Iterable, List, Optional
 
 from repro.core.aggregation_tree import AggregationTreeEvaluator
 from repro.core.base import Triple
 from repro.core.interval import ORIGIN
 from repro.core.result import ConstantInterval, TemporalAggregateResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.invariants import GCShadow
+    from repro.core.aggregates import Aggregate
+    from repro.metrics.counters import OperationCounters
+    from repro.metrics.space import SpaceTracker
 
 __all__ = ["KOrderedTreeEvaluator", "KOrderViolationError"]
 
@@ -60,7 +66,14 @@ class KOrderedTreeEvaluator(AggregationTreeEvaluator):
 
     name = "kordered_tree"
 
-    def __init__(self, aggregate, k: int = 1, *, counters=None, space=None) -> None:
+    def __init__(
+        self,
+        aggregate: "Aggregate | str",
+        k: int = 1,
+        *,
+        counters: "Optional[OperationCounters]" = None,
+        space: "Optional[SpaceTracker]" = None,
+    ) -> None:
         if k < 0:
             raise ValueError("k must be non-negative")
         super().__init__(aggregate, counters=counters, space=space)
@@ -69,6 +82,9 @@ class KOrderedTreeEvaluator(AggregationTreeEvaluator):
         self._threshold = ORIGIN  # running max of expired window starts
         self._frontier = ORIGIN  # first instant not yet emitted
         self._emitted: List[ConstantInterval] = []
+        #: Shadow gc-threshold recomputation, attached only while the
+        #: runtime invariant verifier is enabled.
+        self._gc_shadow: "Optional[GCShadow]" = None
 
     # ------------------------------------------------------------------
     # Garbage collection
@@ -98,6 +114,11 @@ class KOrderedTreeEvaluator(AggregationTreeEvaluator):
             if node.end >= threshold:
                 break
             collected_any = True
+            if self._gc_shadow is not None:
+                # Invariant verifier: the shadow recomputes the safe
+                # threshold independently, so a corrupted _threshold is
+                # caught here instead of trusted.
+                self._gc_shadow.check_free(node)
             value = aggregate.finalize(aggregate.merge(inherited, node.state))
             self._emitted.append(ConstantInterval(node.start, node.end, value))
             counters.emitted += 1
@@ -130,8 +151,14 @@ class KOrderedTreeEvaluator(AggregationTreeEvaluator):
         self._threshold = ORIGIN
         self._frontier = ORIGIN
         self._emitted = []
+        self._gc_shadow = None
+        from repro.analysis import invariants  # deferred: avoid import cycle
+
+        if invariants.invariants_enabled():
+            self._gc_shadow = invariants.GCShadow(self.window_capacity)
 
         window = self._window
+        shadow = self._gc_shadow
         window_capacity = 2 * self.k + 1
         for start, end, value in triples:
             self._check_triple(start, end)
@@ -143,6 +170,8 @@ class KOrderedTreeEvaluator(AggregationTreeEvaluator):
                     f"is not {self.k}-ordered"
                 )
             self.insert(start, end, value)
+            if shadow is not None:
+                shadow.observe(start)
             window.append(start)
             if len(window) > window_capacity:
                 expired = window.popleft()

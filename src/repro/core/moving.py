@@ -17,7 +17,10 @@ unchanged.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Optional
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.aggregates import Aggregate
 
 from repro.core.base import Triple
 from repro.core.engine import evaluate_triples
@@ -44,7 +47,7 @@ def extend_for_window(triples: Iterable[Triple], window: int) -> Iterator[Triple
 
 def moving_window_aggregate(
     triples: Iterable[Triple],
-    aggregate,
+    aggregate: "Aggregate | str",
     window: int,
     strategy: str = "aggregation_tree",
     *,

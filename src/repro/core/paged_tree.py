@@ -35,11 +35,16 @@ from __future__ import annotations
 import pickle
 import tempfile
 from dataclasses import dataclass
-from typing import Any, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Iterable, List, Optional, Tuple
 
 from repro.core.aggregation_tree import AggregationTreeEvaluator, TreeNode
 from repro.core.base import Triple
 from repro.core.result import ConstantInterval, TemporalAggregateResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.aggregates import Aggregate
+    from repro.metrics.counters import OperationCounters
+    from repro.metrics.space import SpaceTracker
 
 __all__ = ["PagedAggregationTreeEvaluator", "SpillMetrics", "MIN_NODE_BUDGET"]
 
@@ -175,11 +180,11 @@ class PagedAggregationTreeEvaluator(AggregationTreeEvaluator):
 
     def __init__(
         self,
-        aggregate,
+        aggregate: "Aggregate | str",
         node_budget: int = 4096,
         *,
-        counters=None,
-        space=None,
+        counters: "Optional[OperationCounters]" = None,
+        space: "Optional[SpaceTracker]" = None,
         metrics: Optional[SpillMetrics] = None,
         _depth: int = 0,
     ) -> None:
@@ -310,6 +315,15 @@ class PagedAggregationTreeEvaluator(AggregationTreeEvaluator):
         self.metrics.evictions += 1
         self.metrics.spilled_subtree_nodes += size
         self.metrics.spilled_bytes += ref[1]
+        from repro.analysis import invariants  # deferred: avoid import cycle
+
+        if invariants.invariants_enabled() and self._depth == 0:
+            # Page accounting must match the tracker after every
+            # eviction, or budget enforcement is built on sand.  Only
+            # the top-level evaluator owns the tracker exclusively:
+            # replayers share it while the outer traversal still holds
+            # live nodes, so their structure is a strict subset.
+            invariants.verify_space_accounting(self, when="eviction")
 
     # ------------------------------------------------------------------
     # Traversal with iterative rematerialisation

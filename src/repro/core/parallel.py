@@ -36,7 +36,7 @@ from __future__ import annotations
 import multiprocessing
 from concurrent.futures import ThreadPoolExecutor
 from itertools import repeat
-from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.aggregates import AGGREGATES, Aggregate, get_aggregate
 from repro.core.base import Evaluator, Triple, coerce_aggregate
@@ -54,6 +54,10 @@ from repro.core.partition import (
 )
 from repro.core.result import ConstantInterval, TemporalAggregateResult
 from repro.exec.errors import InvalidInput
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.metrics.counters import OperationCounters
+    from repro.metrics.space import SpaceTracker
 from repro.exec.faults import current_fault_plan
 from repro.exec.supervision import RetryPolicy, ShardSupervisor, SupervisionReport
 from repro.exec.validation import validate_shards
@@ -95,7 +99,7 @@ def _value_merger(aggregate_name: str) -> Callable[[Any, Any], Any]:
 def merge_results(
     left: TemporalAggregateResult,
     right: TemporalAggregateResult,
-    aggregate,
+    aggregate: "Aggregate | str",
 ) -> TemporalAggregateResult:
     """Combine results computed over disjoint tuple subsets.
 
@@ -218,8 +222,8 @@ class ParallelSweepEvaluator(Evaluator):
         retry: Optional[RetryPolicy] = None,
         shard_timeout: Optional[float] = None,
         max_pool_rebuilds: int = 2,
-        counters=None,
-        space=None,
+        counters: "Optional[OperationCounters]" = None,
+        space: "Optional[SpaceTracker]" = None,
     ) -> None:
         super().__init__(aggregate, counters=counters, space=space)
         self.shards = validate_shards(shards)
@@ -319,7 +323,7 @@ class ParallelSweepEvaluator(Evaluator):
 
 def partitioned_aggregate(
     triples: Iterable[Triple],
-    aggregate,
+    aggregate: "Aggregate | str",
     partitions: int = 4,
     strategy: str = "aggregation_tree",
     *,

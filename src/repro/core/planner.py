@@ -25,7 +25,10 @@ budget in bytes can be compared against the structures directly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.relation.relation import RelationStatistics
 
 from repro.core.aggregates import Aggregate, CountAggregate
 from repro.core.partition import available_workers
@@ -128,7 +131,7 @@ def estimate_ktree_bytes(
 
 
 def choose_strategy(
-    statistics,
+    statistics: "RelationStatistics",
     *,
     aggregate: Optional[Aggregate] = None,
     memory_budget_bytes: Optional[int] = None,
@@ -245,7 +248,7 @@ def choose_strategy(
 
 
 def choose_strategy_cost_based(
-    statistics,
+    statistics: "RelationStatistics",
     *,
     aggregate: Optional[Aggregate] = None,
     memory_budget_bytes: Optional[int] = None,

@@ -17,7 +17,10 @@ tuple boundary plus one state update per overlapped bucket.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, List, Optional
+from typing import TYPE_CHECKING, Any, Iterable, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.aggregates import Aggregate
 
 from repro.core.base import Triple, coerce_aggregate
 from repro.core.interval import FOREVER, Interval, InvalidIntervalError
@@ -43,7 +46,7 @@ def span_boundaries(window: Interval, span: int) -> List[int]:
 
 def span_aggregate(
     triples: Iterable[Triple],
-    aggregate,
+    aggregate: "Aggregate | str",
     window: Interval,
     span: int,
     *,

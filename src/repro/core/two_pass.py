@@ -25,12 +25,15 @@ tests assert on.
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import Any, Iterable, List, Optional
+from typing import TYPE_CHECKING, Any, Iterable, List, Optional
 
 from repro.core.base import Evaluator, Triple
 from repro.core.interval import FOREVER
 from repro.core.reference import constant_interval_boundaries
 from repro.core.result import ConstantInterval, TemporalAggregateResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.relation.relation import TemporalRelation
 
 __all__ = ["TwoPassEvaluator"]
 
@@ -51,7 +54,9 @@ class TwoPassEvaluator(Evaluator):
         rows = triples if isinstance(triples, list) else list(triples)
         return self._evaluate_two_scans(rows, rows)
 
-    def evaluate_relation(self, relation, attribute: Optional[str] = None):
+    def evaluate_relation(
+        self, relation: "TemporalRelation", attribute: Optional[str] = None
+    ) -> TemporalAggregateResult:
         """Two counted scans of ``relation`` — Tuma's distinguishing cost."""
         return self._evaluate_two_scans(
             relation.scan_triples(attribute),

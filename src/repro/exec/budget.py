@@ -27,11 +27,16 @@ degradation is testable on relations of any size.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Iterable, List, Optional, Tuple
 
 from repro.exec.deadline import Deadline
 from repro.exec.errors import BudgetExhausted
 from repro.exec.faults import current_fault_plan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.aggregation_tree import AggregationTreeEvaluator
+    from repro.core.result import TemporalAggregateResult
+    from repro.metrics.space import SpaceTracker
 
 __all__ = ["MemoryGuard", "evaluate_with_degradation"]
 
@@ -41,7 +46,7 @@ class MemoryGuard:
 
     __slots__ = ("budget_bytes", "space", "trips")
 
-    def __init__(self, budget_bytes: int, space) -> None:
+    def __init__(self, budget_bytes: int, space: "SpaceTracker") -> None:
         if budget_bytes <= 0:
             raise ValueError("memory budget must be positive")
         self.budget_bytes = int(budget_bytes)
@@ -79,12 +84,12 @@ class MemoryGuard:
 
 
 def evaluate_with_degradation(
-    evaluator,
+    evaluator: "AggregationTreeEvaluator",
     triples: Iterable[Tuple[int, int, Any]],
     guard: MemoryGuard,
     *,
     deadline: Optional[Deadline] = None,
-):
+) -> "Tuple[TemporalAggregateResult, Optional[BudgetExhausted]]":
     """Evaluate under ``guard``; degrade to the paged tree on a trip.
 
     ``evaluator`` must be a plain

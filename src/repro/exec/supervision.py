@@ -100,7 +100,7 @@ class ShardSupervisor:
         task: Callable[[Tuple[Any, int, int, bool]], Any],
         windows: Sequence[Any],
         *,
-        mp_context=None,
+        mp_context: Optional[Any] = None,
         use_pool: bool = True,
         retry: Optional[RetryPolicy] = None,
         shard_timeout: Optional[float] = None,
@@ -146,7 +146,10 @@ class ShardSupervisor:
             return
         try:
             pool.shutdown(wait=False, cancel_futures=True)
-        except Exception:  # a broken pool may refuse even shutdown
+        except (OSError, RuntimeError):
+            # A broken pool (BrokenProcessPool is a RuntimeError) or a
+            # dead pipe may refuse even shutdown; the workers are gone
+            # either way, so there is nothing left to release.
             pass
 
     def _run_in_process(self, index: int, attempt: int) -> Any:

@@ -17,7 +17,9 @@ import io
 import os
 from typing import Any, BinaryIO, Iterator, Optional, Tuple
 
-from repro.relation.relation import TemporalRelation
+from repro.core.interval import FOREVER, Interval
+from repro.core.ordering import k_ordered_percentage, k_orderedness
+from repro.relation.relation import RelationStatistics, TemporalRelation
 from repro.relation.schema import Schema
 from repro.relation.tuples import TemporalTuple
 from repro.storage.buffer import BufferManager
@@ -54,6 +56,7 @@ class HeapFile:
         self._tuple_count = self._count_existing()
         pages = self.buffer.page_count()
         self._tail_page_id: Optional[int] = pages - 1 if pages else None
+        self._statistics_cache: Optional[Tuple[int, RelationStatistics]] = None
 
     def _count_existing(self) -> int:
         pages = self.buffer.page_count()
@@ -133,6 +136,53 @@ class HeapFile:
         position = self.schema.position_of(attribute)
         for row in self.scan():
             yield (row.start, row.end, row.values[position])
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    def statistics(self) -> RelationStatistics:
+        """Planner statistics from one timestamps-only scan.
+
+        Matches :meth:`TemporalRelation.statistics` field for field, so
+        a heap file can feed ``strategy="auto"`` directly.  Cached by
+        tuple count — appends invalidate, rescans do not.
+        """
+        if (
+            self._statistics_cache is not None
+            and self._statistics_cache[0] == self._tuple_count
+        ):
+            return self._statistics_cache[1]
+        starts = []
+        stamps = set()
+        lo = FOREVER
+        hi = 0
+        for start, end, _ in self.scan_triples():
+            starts.append((start, end))
+            stamps.add(start)
+            stamps.add(end)
+            lo = min(lo, start)
+            hi = max(hi, end)
+        stamps.discard(FOREVER)
+        span = Interval(lo, hi) if starts else None
+        span_length = span.duration if span is not None else 0
+        long_lived = sum(
+            1
+            for start, end in starts
+            if span_length and (end - start + 1) >= 0.2 * span_length
+        )
+        k = k_orderedness(starts)
+        stats = RelationStatistics(
+            tuple_count=len(starts),
+            unique_timestamps=len(stamps),
+            long_lived_count=long_lived,
+            lifespan=span,
+            is_totally_ordered=(k == 0),
+            k=k,
+            k_ordered_percentage=k_ordered_percentage(starts, k) if k else 0.0,
+        )
+        self._statistics_cache = (self._tuple_count, stats)
+        return stats
 
     # ------------------------------------------------------------------
     # Conversions

@@ -1,0 +1,19 @@
+"""Deliberate TA006 violation (lint fixture; parsed, never imported)."""
+
+from repro.exec.validation import validated_triples
+
+
+def checked_entry(triples):
+    return list(validated_triples(triples))
+
+
+def delegating_entry(triples):
+    return checked_entry(triples)
+
+
+def unchecked_entry(triples):
+    return list(triples)
+
+
+def _private_helper(triples):
+    return triples

@@ -1,0 +1,16 @@
+"""Deliberate TA007 violations (lint fixture; parsed, never imported)."""
+
+
+def stitch(bounds):
+    out = []
+    for bound in {bound for bound in bounds}:
+        out.append(bound)
+    return out
+
+
+def merge(left, right):
+    return [item for item in set(left) | set(right)]
+
+
+def deterministic(bounds):
+    return [bound for bound in sorted(set(bounds))]

@@ -1,0 +1,20 @@
+"""Suppression-semantics fixture (parsed, never imported).
+
+``# ta: ignore[TAxxx]`` on the reported line suppresses exactly the
+named codes: the wrong code leaves the violation standing, and one
+comment can name several codes.
+"""
+
+from typing import List
+
+
+def suppressed(into: List[int] = []) -> List[int]:  # ta: ignore[TA005]
+    return into
+
+
+def wrong_code(into: List[int] = []) -> List[int]:  # ta: ignore[TA003]
+    return into
+
+
+def both(into=[]):  # ta: ignore[TA005, TA008]
+    return into

@@ -1,0 +1,23 @@
+"""Deliberate TA001 violations (lint fixture; parsed, never imported)."""
+
+
+class BrokenEvaluator(Evaluator):  # noqa: F821 - parsed only
+    """Registered strategy (has ``name``) with no concrete evaluate()."""
+
+    name = "broken"
+
+
+class HeaplessRelation:
+    """Offers scan_triples() but no statistics() for the planner."""
+
+    def scan_triples(self, attribute=None):
+        return iter(())
+
+
+class FineEvaluator(Evaluator):  # noqa: F821 - parsed only
+    """Defines evaluate() itself: clean."""
+
+    name = "fine"
+
+    def evaluate(self, triples):
+        return None

@@ -1,0 +1,28 @@
+"""Deliberate TA002 violations (lint fixture; parsed, never imported)."""
+
+from dataclasses import dataclass
+
+
+class FatNode:
+    """Node-named class without __slots__: each instance gets a __dict__."""
+
+    pass
+
+
+class SlottedNode:
+    __slots__ = ("start", "end")
+
+
+class LeakyCell(SlottedNode):
+    """Subclass of a slotted node that forgets to re-declare __slots__."""
+
+    pass
+
+
+class TrimCell(SlottedNode):
+    __slots__ = ("value",)
+
+
+@dataclass(slots=True)
+class DataNode:
+    start: int

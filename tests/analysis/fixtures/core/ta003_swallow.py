@@ -1,0 +1,30 @@
+"""Deliberate TA003 violations (lint fixture; parsed, never imported)."""
+
+
+def swallow_everything(risky):
+    try:
+        risky()
+    except:
+        pass
+
+
+def swallow_broad(risky):
+    try:
+        risky()
+    except Exception:
+        pass
+
+
+def handled_broad(risky, log):
+    try:
+        risky()
+    except Exception as error:
+        log(error)
+        raise
+
+
+def narrow_pass(risky):
+    try:
+        risky()
+    except ValueError:
+        pass

@@ -1,0 +1,22 @@
+"""Deliberate TA005 violations (lint fixture; parsed, never imported)."""
+
+
+def accumulate(row, into=[]):
+    into.append(row)
+    return into
+
+
+def tally(counts={}):
+    return counts
+
+
+def collect(*, seen=set()):
+    return seen
+
+
+def construct(buffer=list()):
+    return buffer
+
+
+def safe(items=None, flag=False):
+    return items if items is not None else []

@@ -1,0 +1,24 @@
+"""Deliberate TA008 violations (lint fixture; parsed, never imported)."""
+
+
+def missing_return(count: int):
+    return count
+
+
+def missing_param(count) -> int:
+    return count
+
+
+class Widget:
+    def __init__(self, size):
+        self.size = size
+
+    def resize(self, size: int) -> None:
+        self.size = size
+
+    def _internal(self, anything):
+        return anything
+
+
+def fully_annotated(count: int, *extras: int, **options: int) -> int:
+    return count

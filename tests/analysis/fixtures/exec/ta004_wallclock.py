@@ -1,0 +1,13 @@
+"""Deliberate TA004 violations (lint fixture; parsed, never imported)."""
+
+import time
+
+from time import time as now
+
+
+def wall_clock_deadline(budget_seconds):
+    return time.time() + budget_seconds
+
+
+def monotonic_deadline(budget_seconds):
+    return time.monotonic() + budget_seconds

@@ -1,0 +1,99 @@
+"""The lint CLI surface: exit codes, reporters, selection."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis.lint import main
+from repro.analysis.report import render_json, render_text
+from repro.analysis.rules import default_rules
+
+HERE = Path(__file__).parent
+FIXTURES = HERE / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def run_cli(*args: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis.lint", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, capsys):
+        assert main([str(REPO_ROOT / "src" / "repro" / "analysis")]) == 0
+        assert "0 violations" in capsys.readouterr().out
+
+    def test_fixture_dirs_are_skipped_without_the_flag(self, capsys):
+        assert main([str(FIXTURES)]) == 0
+        assert "0 violations in 0 files" in capsys.readouterr().out
+
+    def test_violations_exit_one(self, capsys):
+        assert main([str(FIXTURES), "--include-fixtures"]) == 1
+        out = capsys.readouterr().out
+        for code in ("TA001", "TA002", "TA003", "TA004",
+                     "TA005", "TA006", "TA007", "TA008"):
+            assert code in out
+
+    def test_unknown_select_code_exits_two(self):
+        result = run_cli("--select", "TA999", str(FIXTURES))
+        assert result.returncode == 2
+        assert "unknown rule codes: TA999" in result.stderr
+
+    def test_subprocess_entry_point(self):
+        result = run_cli("src/repro/analysis")
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "0 violations" in result.stdout
+
+
+class TestSelection:
+    def test_select_runs_only_named_rules(self, capsys):
+        assert main(
+            ["--select", "TA005", "--include-fixtures", str(FIXTURES)]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "TA005" in out
+        assert "TA008" not in out
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in default_rules():
+            assert rule.code in out
+            assert rule.name in out
+
+
+class TestJsonReporter:
+    def test_json_shape(self, capsys):
+        assert main(
+            ["--format", "json", "--include-fixtures",
+             str(FIXTURES / "core" / "ta005_defaults.py")]
+        ) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["files_checked"] == 1
+        assert payload["violation_count"] == len(payload["violations"]) > 0
+        first = payload["violations"][0]
+        assert set(first) == {"code", "rule", "path", "line", "col", "message"}
+
+    def test_renderers_agree_on_counts(self):
+        from repro.analysis.lint import lint_paths
+
+        violations, files_checked = lint_paths(
+            [FIXTURES], include_fixtures=True
+        )
+        text = render_text(violations, files_checked)
+        payload = json.loads(render_json(violations, files_checked))
+        assert f"{len(violations)} violations" in text
+        assert payload["violation_count"] == len(violations)
+        # The text summary breaks the total down per code.
+        assert "TA005 x" in text

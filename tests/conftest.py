@@ -6,10 +6,27 @@ import random
 
 import pytest
 
+from repro.analysis import invariants
 from repro.relation.relation import TemporalRelation
 from repro.relation.schema import EMPLOYED_SCHEMA
 from repro.workload.employed import employed_relation
 from repro.workload.generator import WorkloadParameters, generate_relation
+
+
+@pytest.fixture
+def invariant_checks():
+    """Force-enable the runtime invariant verifier for one test.
+
+    Every engine evaluation inside the test runs the
+    :mod:`repro.analysis.invariants` checks regardless of the
+    ``REPRO_CHECK_INVARIANTS`` environment; afterwards the flag
+    returns to whatever the environment says.
+    """
+    invariants.enable()
+    try:
+        yield
+    finally:
+        invariants.reset_to_env()
 
 
 @pytest.fixture
