@@ -52,6 +52,7 @@ __all__ = [
     "verify_snapshot_agreement",
     "verify_tree_partials",
     "verify_space_accounting",
+    "verify_cached_shards",
     "verify_evaluation",
 ]
 
@@ -265,6 +266,53 @@ def verify_space_accounting(evaluator: Any, *, when: str = "evaluation") -> None
             f"space accounting diverged after {when}: {actual} live nodes "
             f"in the structure but SpaceTracker records {space.live_nodes}"
         )
+
+
+def verify_cached_shards(
+    relation: Any,
+    attribute: Optional[str],
+    aggregate: Any,
+    windows: Sequence[Tuple[int, int]],
+    shard_rows: Sequence[Sequence[Tuple[int, int, Any]]],
+) -> None:
+    """One sampled cached shard re-sweeps to the same rows from scratch.
+
+    The shard-result cache's pure-hit path returns rows computed in the
+    past; this check recomputes one window — sampled deterministically
+    from the relation's version so repeated hits rotate through the
+    shards — against the *live* relation and compares row for row.  A
+    cache serving stale or corrupted partials surfaces here instead of
+    in downstream answers.
+    """
+    if not windows:
+        return
+    # Lazy import: the engine imports this module, and the kernel sits
+    # below the engine — importing it at call time keeps imports acyclic.
+    from repro.core.columnar_sweep import window_rows
+
+    index = getattr(relation, "version", 0) % len(windows)
+    lo, hi = windows[index]
+    triples = list(relation.scan_triples(attribute))
+    if not triples:
+        return
+    starts, ends, values = zip(*triples)
+    expected, _events = window_rows(starts, ends, values, aggregate, lo, hi)
+    cached = list(shard_rows[index])
+    if len(cached) != len(expected):
+        raise InvariantViolation(
+            f"cached shard {index} over [{lo}, {hi}] holds {len(cached)} "
+            f"rows but a fresh sweep produces {len(expected)}"
+        )
+    for have, want in zip(cached, expected):
+        if (
+            have[0] != want[0]
+            or have[1] != want[1]
+            or not _values_agree(have[2], want[2])
+        ):
+            raise InvariantViolation(
+                f"cached shard {index} over [{lo}, {hi}] diverged: cached "
+                f"row {tuple(have)!r} but a fresh sweep gives {tuple(want)!r}"
+            )
 
 
 class GCShadow:

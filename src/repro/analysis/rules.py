@@ -37,8 +37,9 @@ _ORDER_SENSITIVE_BASENAMES = frozenset({"partition.py", "parallel.py"})
 
 #: Modules that are engine boundaries: every public function must
 #: route (possibly via another public function here) through
-#: ``repro.exec.validation``.
-_BOUNDARY_BASENAMES = frozenset({"engine.py"})
+#: ``repro.exec.validation``.  ``evaluator.py`` is the shard-result
+#: cache's entry point (``repro.cache.evaluator``).
+_BOUNDARY_BASENAMES = frozenset({"engine.py", "evaluator.py"})
 
 
 class EvaluatorProtocolRule(Rule):
@@ -319,7 +320,8 @@ class BoundaryValidationRule(Rule):
     code = "TA006"
     name = "boundary-validation"
     description = (
-        "public functions in engine.py must (transitively) call into "
+        "public functions in engine-boundary modules (engine.py, the "
+        "cache's evaluator.py) must (transitively) call into "
         "repro.exec.validation"
     )
 

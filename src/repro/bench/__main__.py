@@ -49,6 +49,35 @@ def _write_parallel_json(reports, csv_dir) -> str:
     return path
 
 
+def _write_cache_json(reports, csv_dir) -> str:
+    """Machine-readable artifact for the ``cache`` driver.
+
+    Cold/warm latencies, the warm-speedup ratio, and the dirty-shard
+    fractions land here so the acceptance checks can assert the ≥10x
+    warm criterion and the delta-only re-sweep without scraping tables.
+    """
+    from repro.bench.config import bench_seeds, bench_sizes
+    from repro.cache.store import DEFAULT_BUDGET_BYTES, ENV_BUDGET
+    from repro.core.partition import available_workers
+
+    payload = {
+        "generated_by": "python -m repro.bench cache",
+        "cpu_count": os.cpu_count(),
+        "available_workers": available_workers(),
+        "cache_budget_bytes": int(
+            os.environ.get(ENV_BUDGET) or DEFAULT_BUDGET_BYTES
+        ),
+        "sizes": bench_sizes(),
+        "seeds": bench_seeds(),
+        "reports": [report.to_dict() for report in reports],
+    }
+    path = os.path.join(csv_dir or ".", "BENCH_cache.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return path
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
@@ -101,6 +130,9 @@ def main(argv=None) -> int:
             print()
         if name == "parallel":
             path = _write_parallel_json(reports, args.csv_dir)
+            print(f"[wrote {path}]", file=sys.stderr)
+        elif name == "cache":
+            path = _write_cache_json(reports, args.csv_dir)
             print(f"[wrote {path}]", file=sys.stderr)
         print(f"[{name} completed in {elapsed:.1f}s]", file=sys.stderr)
     return 0

@@ -1,0 +1,284 @@
+"""The mergeable shard-result cache: versioned entries, LRU, byte budget.
+
+A :class:`ShardResultCache` remembers, per ``(relation uid, aggregate,
+attribute, shard count)``, the per-time-shard partial rows *and* the
+stitched final rows of one ``temporal_aggregate`` evaluation, stamped
+with the relation's version and content fingerprint at compute time.
+The evaluation logic that decides hit / append-delta / miss lives in
+:mod:`repro.cache.evaluator`; this module is pure storage policy:
+
+* **Validity stamps** — an entry records ``version`` and
+  ``fingerprint``; the relation side of the handshake lives on
+  :class:`~repro.relation.relation.TemporalRelation` (version counter,
+  append watermark, chained fingerprint).
+* **Byte budget** — entries are charged to a
+  :class:`~repro.metrics.space.SpaceTracker` under the paper's node
+  model (one node per cached row, partial and stitched rows both —
+  they are both materialised).  Inserting past the budget evicts
+  least-recently-used entries first; an entry larger than the whole
+  budget is simply not admitted.
+* **Shedding** — :func:`shed_default_cache` empties the process-default
+  cache and reports the modeled bytes released; the memory-budget
+  guard (:mod:`repro.exec.budget`) calls it before degrading an
+  evaluation, making cached results the first memory to go.
+* **Repeat detection** — :meth:`note_query` keeps a bounded set of
+  recent query signatures so the planner can auto-select the cached
+  strategy only for relations that are actually queried repeatedly.
+
+The default budget is :data:`DEFAULT_BUDGET_BYTES`, overridable with
+the ``REPRO_CACHE_BUDGET_BYTES`` environment variable (read when the
+cache is constructed, so tests can swap it per-process).
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from typing import Any, List, NamedTuple, Optional, Tuple
+
+from repro.metrics.counters import OperationCounters
+from repro.metrics.space import SpaceTracker
+
+__all__ = [
+    "ENV_BUDGET",
+    "DEFAULT_BUDGET_BYTES",
+    "CacheKey",
+    "CachedEntry",
+    "ShardResultCache",
+    "cacheable_relation",
+    "default_cache",
+    "set_default_cache",
+    "shed_default_cache",
+]
+
+
+def cacheable_relation(relation: Any) -> bool:
+    """Does ``relation`` carry the result-cache protocol?
+
+    True exactly for containers declaring ``supports_result_cache``
+    (and thereby uid / version / append watermark / fingerprint /
+    ``triples_since`` / ``verify_append_chain``).  Raw triple streams
+    and storage containers without the protocol evaluate uncached.
+    """
+    return bool(getattr(relation, "supports_result_cache", False))
+
+#: Environment variable naming the default cache's byte budget.
+ENV_BUDGET = "REPRO_CACHE_BUDGET_BYTES"
+
+#: Default byte budget under the node model — roughly 1.6M cached rows
+#: at 20 modeled bytes per row, far above any test workload and far
+#: below a workstation's memory.
+DEFAULT_BUDGET_BYTES = 32 * 1024 * 1024
+
+#: Recent query signatures remembered for repeat detection.
+RECENT_QUERY_LIMIT = 256
+
+
+class CacheKey(NamedTuple):
+    """Identity of one cacheable evaluation."""
+
+    relation_uid: int
+    aggregate: str
+    attribute: Optional[str]
+    shards: int
+
+
+class CachedEntry:
+    """One evaluation's shard partials + stitched rows, version-stamped."""
+
+    __slots__ = (
+        "version",
+        "fingerprint",
+        "row_count",
+        "windows",
+        "shard_rows",
+        "rows",
+    )
+
+    def __init__(
+        self,
+        version: int,
+        fingerprint: int,
+        row_count: int,
+        windows: List[Tuple[int, int]],
+        shard_rows: List[List[tuple]],
+        rows: List[Any],
+    ) -> None:
+        self.version = version
+        self.fingerprint = fingerprint
+        #: Relation row count at compute time; rows past this index are
+        #: the append delta the refresh path folds in.
+        self.row_count = row_count
+        self.windows = windows
+        #: Plain-tuple rows per window, pre-stitch — what the delta
+        #: path recomputes shard by shard.
+        self.shard_rows = shard_rows
+        #: The stitched, finished ConstantInterval rows — what a pure
+        #: hit returns (copied) without touching the kernel at all.
+        self.rows = rows
+
+    def node_count(self) -> int:
+        """Modeled nodes this entry occupies (one per materialised row)."""
+        return sum(len(part) for part in self.shard_rows) + len(self.rows)
+
+
+class ShardResultCache:
+    """Memory-bounded LRU store of versioned shard-result entries."""
+
+    def __init__(
+        self,
+        budget_bytes: Optional[int] = None,
+        *,
+        counters: Optional[OperationCounters] = None,
+        space: Optional[SpaceTracker] = None,
+    ) -> None:
+        if budget_bytes is None:
+            env = os.environ.get(ENV_BUDGET, "").strip()
+            budget_bytes = int(env) if env else DEFAULT_BUDGET_BYTES
+        if budget_bytes <= 0:
+            raise ValueError("cache budget must be positive")
+        self.budget_bytes = int(budget_bytes)
+        self.counters = counters if counters is not None else OperationCounters()
+        self.space = space if space is not None else SpaceTracker()
+        self._entries: "OrderedDict[CacheKey, CachedEntry]" = OrderedDict()
+        self._recent: "OrderedDict[Tuple[int, str, Optional[str]], bool]" = (
+            OrderedDict()
+        )
+
+    # ------------------------------------------------------------------
+    # Entry lifecycle
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._entries
+
+    @property
+    def live_bytes(self) -> int:
+        """Modeled bytes currently held by cached entries."""
+        return self.space.live_bytes
+
+    def lookup(self, key: CacheKey) -> Optional[CachedEntry]:
+        """The entry under ``key`` (refreshing its recency), or None.
+
+        Validity against the relation's current version/fingerprint is
+        the *evaluator's* decision — the store only remembers.
+        """
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+        return entry
+
+    def store(self, key: CacheKey, entry: CachedEntry) -> bool:
+        """Insert (or replace) ``entry``, evicting LRU peers past the
+        budget.  Returns False when the entry alone outweighs the whole
+        budget and was not admitted."""
+        self.discard(key)
+        nodes = entry.node_count()
+        if nodes * self.space.node_bytes > self.budget_bytes:
+            return False
+        self._entries[key] = entry
+        self.space.allocate(nodes)
+        self._evict_over_budget(keep=key)
+        return True
+
+    def discard(self, key: CacheKey) -> None:
+        """Drop one entry (no-op when absent)."""
+        entry = self._entries.pop(key, None)
+        if entry is not None:
+            self.space.free(entry.node_count())
+
+    def _evict_over_budget(self, keep: CacheKey) -> None:
+        """Evict least-recently-used entries until under budget.
+
+        ``keep`` (the entry just inserted at the MRU end) survives even
+        when it alone is what crossed the line — admission already
+        rejected entries bigger than the whole budget.
+        """
+        while self.space.live_bytes > self.budget_bytes and len(self._entries) > 1:
+            victim_key = next(iter(self._entries))
+            if victim_key == keep:  # pragma: no cover - keep is MRU
+                break
+            victim = self._entries.pop(victim_key)
+            self.space.free(victim.node_count())
+            self.counters.cache_evictions += 1
+
+    def shed(self) -> int:
+        """Evict everything; returns the modeled bytes released.
+
+        This is the memory-pressure hook: under a tripped memory
+        budget, cached results are the first allocation to go — they
+        are always recomputable.
+        """
+        released = self.space.live_bytes
+        evicted = len(self._entries)
+        for entry in self._entries.values():
+            self.space.free(entry.node_count())
+        self._entries.clear()
+        self.counters.cache_evictions += evicted
+        return released
+
+    def reset(self) -> None:
+        """Drop entries, recency, and counters (test isolation)."""
+        self.shed()
+        self._recent.clear()
+        self.counters.reset()
+        self.space.reset()
+
+    # ------------------------------------------------------------------
+    # Repeat detection
+    # ------------------------------------------------------------------
+
+    def note_query(
+        self, relation_uid: int, aggregate: str, attribute: Optional[str]
+    ) -> bool:
+        """Record one query signature; True when it was seen before.
+
+        The planner treats "seen before" as the repeated-workload
+        signal that justifies paying the cache's first-miss overhead.
+        The signature set is bounded (LRU, :data:`RECENT_QUERY_LIMIT`)
+        so a scan over thousands of distinct relations cannot grow it.
+        """
+        signature = (relation_uid, aggregate, attribute)
+        seen = signature in self._recent
+        if seen:
+            self._recent.move_to_end(signature)
+        else:
+            self._recent[signature] = True
+            while len(self._recent) > RECENT_QUERY_LIMIT:
+                self._recent.popitem(last=False)
+        return seen
+
+
+# ---------------------------------------------------------------------------
+# The process-default cache
+# ---------------------------------------------------------------------------
+
+_default: Optional[ShardResultCache] = None
+
+
+def default_cache() -> ShardResultCache:
+    """The process-wide cache ``temporal_aggregate`` uses by default."""
+    global _default
+    if _default is None:
+        _default = ShardResultCache()
+    return _default
+
+
+def set_default_cache(cache: Optional[ShardResultCache]) -> None:
+    """Replace the process-default cache (None resets to lazy-new)."""
+    global _default
+    _default = cache
+
+
+def shed_default_cache() -> int:
+    """Empty the default cache if one exists; returns bytes released.
+
+    Deliberately does *not* construct a cache: a process that never
+    cached anything sheds zero bytes at zero cost.
+    """
+    if _default is None:
+        return 0
+    return _default.shed()

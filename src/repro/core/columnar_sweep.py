@@ -32,10 +32,16 @@ from typing import Any, Iterable, List, Optional, Sequence, Tuple
 from repro.core.aggregates import Aggregate
 from repro.core.base import Evaluator, Triple
 from repro.core.interval import FOREVER, ORIGIN
+from repro.core.partition import clip_triples
 from repro.core.result import ConstantInterval, TemporalAggregateResult
 from repro.core.sweep import _LazyHeap
 
-__all__ = ["ColumnarSweepEvaluator", "columnar_rows", "validate_columns"]
+__all__ = [
+    "ColumnarSweepEvaluator",
+    "columnar_rows",
+    "validate_columns",
+    "window_rows",
+]
 
 #: Sentinel beyond every legal event time (events are <= FOREVER).
 _AFTER_FOREVER = FOREVER + 2
@@ -225,6 +231,29 @@ def columnar_rows(
 def event_count(starts: Sequence[int], ends: Sequence[int]) -> int:
     """Events a sweep over these columns processes (starts + finite ends)."""
     return len(starts) + sum(1 for e in ends if e < FOREVER)
+
+
+def window_rows(
+    starts: Sequence[int],
+    ends: Sequence[int],
+    values: Sequence[Any],
+    aggregate: Aggregate,
+    lo: int,
+    hi: int,
+) -> Tuple[List[tuple], int]:
+    """One time window's rows from whole-relation columns.
+
+    The per-shard unit of work shared by the parallel sweep and the
+    shard-result cache: clip the columns to ``[lo, hi]``, sweep the
+    clipped tuples, and fall back to a single identity row for an
+    empty window.  Returns ``(rows, events_processed)``.
+    """
+    clipped = clip_triples(zip(starts, ends, values), lo, hi)
+    if not clipped:
+        empty = aggregate.finalize(aggregate.identity())
+        return [(lo, hi, empty)], 0
+    cs, ce, cv = zip(*clipped)
+    return columnar_rows(cs, ce, cv, aggregate, lo, hi), event_count(cs, ce)
 
 
 class ColumnarSweepEvaluator(Evaluator):

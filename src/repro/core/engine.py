@@ -17,6 +17,8 @@ from dataclasses import replace
 from typing import TYPE_CHECKING, Dict, Iterable, Optional, Type
 
 from repro.analysis import invariants as _invariants
+from repro.cache.evaluator import CachedSweepEvaluator
+from repro.cache.store import cacheable_relation, default_cache
 from repro.core.aggregation_tree import AggregationTreeEvaluator
 from repro.core.balanced_tree import BalancedTreeEvaluator
 from repro.core.base import Evaluator, Triple, coerce_aggregate
@@ -24,7 +26,7 @@ from repro.core.columnar_sweep import ColumnarSweepEvaluator
 from repro.core.kordered_tree import KOrderedTreeEvaluator
 from repro.core.linked_list import LinkedListEvaluator
 from repro.core.paged_tree import PagedAggregationTreeEvaluator
-from repro.core.parallel import ParallelSweepEvaluator
+from repro.core.parallel import ParallelSweepEvaluator, registered_instance
 from repro.core.planner import PlannerDecision, choose_strategy
 from repro.core.reference import ReferenceEvaluator
 from repro.core.result import TemporalAggregateResult
@@ -70,6 +72,7 @@ STRATEGIES: Dict[str, Type[Evaluator]] = {
     SweepEvaluator.name: SweepEvaluator,
     ColumnarSweepEvaluator.name: ColumnarSweepEvaluator,
     ParallelSweepEvaluator.name: ParallelSweepEvaluator,
+    CachedSweepEvaluator.name: CachedSweepEvaluator,
     TwoPassEvaluator.name: TwoPassEvaluator,
     ReferenceEvaluator.name: ReferenceEvaluator,
 }
@@ -89,8 +92,9 @@ def make_evaluator(
 
     ``k`` is only meaningful for (and only accepted by) the k-ordered
     tree; it defaults to 1, the paper's recommended setting.  ``shards``
-    is likewise exclusive to the parallel sweep; it defaults to one
-    shard per available core.  ``deadline`` (an already-started
+    is likewise exclusive to the time-sharded strategies (the parallel
+    sweep and the cached sweep); it defaults to one shard per available
+    core.  ``deadline`` (an already-started
     :class:`~repro.exec.deadline.Deadline`) attaches to the evaluator
     and is honored at its resilience checkpoints.
     """
@@ -114,6 +118,10 @@ def make_evaluator(
         raise ValueError(f"strategy {strategy!r} does not take a k parameter")
     elif factory is ParallelSweepEvaluator:
         evaluator = ParallelSweepEvaluator(
+            aggregate, shards=shards, counters=counters, space=space
+        )
+    elif factory is CachedSweepEvaluator:
+        evaluator = CachedSweepEvaluator(
             aggregate, shards=shards, counters=counters, space=space
         )
     elif shards is not None:
@@ -235,10 +243,21 @@ def temporal_aggregate(
         )
 
     if strategy == "auto":
+        # Repeat detection: the default cache remembers recent query
+        # signatures; a signature seen before marks a repeated workload
+        # and licenses the planner's cached_sweep rule.  Only relations
+        # carrying the cache protocol (and registry aggregates, which
+        # are what cache entries key on) participate.
+        repeat_observed = False
+        if cacheable_relation(relation) and registered_instance(aggregate):
+            repeat_observed = default_cache().note_query(
+                relation.uid, aggregate.name, attribute
+            )
         decision = choose_strategy(
             relation.statistics(),
             aggregate=aggregate,
             memory_budget_bytes=memory_budget_bytes,
+            repeat_observed=repeat_observed,
         )
     elif strategy == "auto_cost":
         from repro.core.planner import choose_strategy_cost_based

@@ -42,13 +42,11 @@ from repro.core.aggregates import AGGREGATES, Aggregate, get_aggregate
 from repro.core.base import Evaluator, Triple, coerce_aggregate
 from repro.core.columnar_sweep import (
     ColumnarSweepEvaluator,
-    columnar_rows,
-    event_count,
     validate_columns,
+    window_rows,
 )
 from repro.core.partition import (
     available_workers,
-    clip_triples,
     shard_bounds,
     stitch_rows,
 )
@@ -67,6 +65,7 @@ __all__ = [
     "ParallelSweepEvaluator",
     "merge_results",
     "partitioned_aggregate",
+    "registered_instance",
 ]
 
 #: Below this many tuples the fork + pickle overhead of a process pool
@@ -154,15 +153,9 @@ def _shard_worker(window: Tuple[int, int]) -> Tuple[List[tuple], int]:
     lo, hi = window
     state = _SHARD_STATE
     aggregate = _resolve_shard_aggregate()
-    starts = state["starts"]
-    ends = state["ends"]
-    values = state["values"]
-    clipped = clip_triples(zip(starts, ends, values), lo, hi)
-    if not clipped:
-        empty = aggregate.finalize(aggregate.identity())
-        return [(lo, hi, empty)], 0
-    cs, ce, cv = zip(*clipped)
-    return columnar_rows(cs, ce, cv, aggregate, lo, hi), event_count(cs, ce)
+    return window_rows(
+        state["starts"], state["ends"], state["values"], aggregate, lo, hi
+    )
 
 
 def _shard_task(args: Tuple[Tuple[int, int], int, int, bool]) -> Tuple[List[tuple], int]:
@@ -184,8 +177,15 @@ def _shard_task(args: Tuple[Tuple[int, int], int, int, bool]) -> Tuple[List[tupl
     return _shard_worker(window)
 
 
-def _registered_instance(aggregate: Aggregate) -> bool:
-    """Can this aggregate be rebuilt in a worker from its name alone?"""
+def registered_instance(aggregate: Aggregate) -> bool:
+    """Can this aggregate be rebuilt elsewhere from its name alone?
+
+    True for the stock registry aggregates; False for custom instances
+    (even ones registered under a stock name but of a different type).
+    Both the process-pool fan-out and the shard-result cache require
+    it: the pool to reconstruct the aggregate in a worker, the cache
+    because entries are keyed by aggregate *name*.
+    """
     factory = AGGREGATES.get(aggregate.name)
     return factory is not None and type(factory()) is type(aggregate)
 
@@ -234,7 +234,7 @@ class ParallelSweepEvaluator(Evaluator):
         self.last_supervision: Optional[SupervisionReport] = None
 
     def _pool_usable(self, tuple_count: int, windows: int) -> bool:
-        if windows <= 1 or not _registered_instance(self.aggregate):
+        if windows <= 1 or not registered_instance(self.aggregate):
             return False
         if self.use_processes is not None:
             return self.use_processes
@@ -268,7 +268,7 @@ class ParallelSweepEvaluator(Evaluator):
             values=values,
             aggregate=(
                 self.aggregate.name
-                if _registered_instance(self.aggregate)
+                if registered_instance(self.aggregate)
                 else self.aggregate
             ),
         )

@@ -57,6 +57,11 @@ NEARLY_SORTED_FRACTION = 0.05
 #: sharded sweep; below it the per-node evaluators win on constants.
 PARALLEL_MIN_TUPLES = 32_768
 
+#: Repeatedly queried relations at least this large are worth routing
+#: through the shard-result cache: below it even a full sweep is cheap
+#: enough that caching only adds bookkeeping.
+CACHE_MIN_TUPLES = 4_096
+
 #: Modeled bytes per sweep event (one flat int column entry); the
 #: sweep's working set is its two event columns, not tree nodes.
 EVENT_BYTES = 8
@@ -137,6 +142,7 @@ def choose_strategy(
     memory_budget_bytes: Optional[int] = None,
     memory_cheaper_than_io: bool = True,
     declared_k: Optional[int] = None,
+    repeat_observed: bool = False,
 ) -> PlannerDecision:
     """Pick an evaluation plan from relation statistics.
 
@@ -144,7 +150,10 @@ def choose_strategy(
     :class:`~repro.relation.relation.RelationStatistics`;
     ``declared_k`` models the DBA declaring the relation retroactively
     bounded (Section 6.3), which licenses the k-ordered tree without
-    measuring anything.
+    measuring anything.  ``repeat_observed`` marks a query signature the
+    engine has seen before (same relation, aggregate and attribute) — a
+    repeated workload, which licenses the shard-result cache
+    (:mod:`repro.cache`, a post-paper extension) on large relations.
     """
     n = statistics.tuple_count
     unique = statistics.unique_timestamps
@@ -161,6 +170,16 @@ def choose_strategy(
             estimated_bytes=estimate_ktree_bytes(
                 k, statistics.long_lived_fraction, n, aggregate
             ),
+        )
+
+    if repeat_observed and n >= CACHE_MIN_TUPLES:
+        return PlannerDecision(
+            strategy="cached_sweep",
+            shards=available_workers(),
+            reason="repeated query signature over a large relation: the "
+            "shard-result cache serves unchanged relations from stitched "
+            "rows and appends by re-sweeping only dirty shards",
+            estimated_bytes=2 * n * EVENT_BYTES,
         )
 
     if n and unique <= max(2, FEW_INTERVALS_FRACTION * n):

@@ -9,7 +9,9 @@ this module, simply OOMed.  A :class:`MemoryGuard` closes the loop at
 :class:`~repro.metrics.space.SpaceTracker` at tree-build checkpoints
 and raises :class:`~repro.exec.errors.BudgetExhausted` — carrying how
 many input tuples were already folded in — the moment tracked bytes
-cross the budget.
+cross the budget.  On a guard's first trip it also sheds the
+process-default shard-result cache (:mod:`repro.cache`): cached rows
+are always recomputable, so they are the first memory to go.
 
 :func:`evaluate_with_degradation` is the engine-side recovery: it
 catches the trip, hands the partially built tree to the spilling
@@ -44,7 +46,7 @@ __all__ = ["MemoryGuard", "evaluate_with_degradation"]
 class MemoryGuard:
     """Samples tracked bytes against a hard budget during construction."""
 
-    __slots__ = ("budget_bytes", "space", "trips")
+    __slots__ = ("budget_bytes", "space", "trips", "cache_shed_bytes")
 
     def __init__(self, budget_bytes: int, space: "SpaceTracker") -> None:
         if budget_bytes <= 0:
@@ -52,6 +54,7 @@ class MemoryGuard:
         self.budget_bytes = int(budget_bytes)
         self.space = space
         self.trips = 0
+        self.cache_shed_bytes = 0
         plan = current_fault_plan()
         if plan is not None and plan.inflate_bytes != 1.0:
             # The injectable hook: tests inflate reported bytes to trip
@@ -64,6 +67,14 @@ class MemoryGuard:
         observed = self.space.reported_bytes
         if observed <= self.budget_bytes:
             return
+        if self.trips == 0:
+            # First trip: cached results are the process's most shedable
+            # memory — always recomputable — so empty the shard-result
+            # cache before degrading the evaluation itself.  Lazy import
+            # keeps exec below the cache package in the import order.
+            from repro.cache.store import shed_default_cache
+
+            self.cache_shed_bytes = shed_default_cache()
         self.trips += 1
         raise BudgetExhausted(
             f"tracked structure reached {observed} bytes against a "

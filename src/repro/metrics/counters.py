@@ -14,7 +14,11 @@ operations that dominate its running time:
 * ``aggregate_updates`` — partial-state absorptions,
 * ``gc_passes`` / ``nodes_collected`` — garbage-collection activity of
   the k-ordered tree,
-* ``emitted`` — result rows produced.
+* ``emitted`` — result rows produced,
+* ``cache_hits`` / ``cache_misses`` / ``cache_evictions`` /
+  ``cache_dirty_shards`` — shard-result-cache activity
+  (:mod:`repro.cache`): served-from-cache calls, full recomputes,
+  LRU/budget evictions, and shards re-swept on the append delta path.
 
 Counters are plain ints on a slotted object, cheap enough to leave on
 even in benchmarks that measure wall-clock.
@@ -38,6 +42,10 @@ class OperationCounters:
         "gc_passes",
         "nodes_collected",
         "emitted",
+        "cache_hits",
+        "cache_misses",
+        "cache_evictions",
+        "cache_dirty_shards",
     )
 
     def __init__(self) -> None:
@@ -51,6 +59,10 @@ class OperationCounters:
         self.gc_passes = 0
         self.nodes_collected = 0
         self.emitted = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_evictions = 0
+        self.cache_dirty_shards = 0
 
     def snapshot(self) -> Dict[str, int]:
         """An immutable dict view for reports and assertions."""

@@ -19,6 +19,7 @@ Two design points mirror the paper:
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
@@ -28,7 +29,42 @@ from repro.exec.errors import InvalidInput
 from repro.relation.schema import Schema
 from repro.relation.tuples import TemporalTuple, timestamp_sort_key
 
-__all__ = ["TemporalRelation", "RelationStatistics"]
+__all__ = [
+    "TemporalRelation",
+    "RelationStatistics",
+    "next_relation_uid",
+    "fold_fingerprint",
+]
+
+#: Process-wide uid source shared by every cacheable relation container
+#: (in-memory relations and heap files draw from the same sequence, so
+#: a cache keyed by uid can never confuse the two).
+_UID_COUNTER = itertools.count(1)
+
+#: Mask keeping the chained fingerprint in one unsigned machine word.
+_FINGERPRINT_MASK = (1 << 64) - 1
+
+
+def next_relation_uid() -> int:
+    """The next process-unique relation identifier."""
+    return next(_UID_COUNTER)
+
+
+def fold_fingerprint(fingerprint: int, row: TemporalTuple) -> int:
+    """Fold one appended row into a chained content fingerprint.
+
+    The chain is order-sensitive (hash mixing, not XOR), so the same
+    rows appended in a different order fingerprint differently —
+    exactly the property an append-only cache validity check needs.
+    Unhashable attribute values degrade to a time-only contribution;
+    the fingerprint is a cheap guard on top of (uid, version), not a
+    cryptographic identity.
+    """
+    try:
+        contribution = hash((row.start, row.end, row.values))
+    except TypeError:
+        contribution = hash((row.start, row.end))
+    return ((fingerprint * 1_000_003) ^ contribution) & _FINGERPRINT_MASK
 
 
 @dataclass(frozen=True)
@@ -53,6 +89,10 @@ class RelationStatistics:
 class TemporalRelation:
     """An ordered, in-memory bag of temporal tuples over one schema."""
 
+    #: Relations carry the version/fingerprint protocol the shard-result
+    #: cache (:mod:`repro.cache`) keys its entries by.
+    supports_result_cache = True
+
     def __init__(
         self,
         schema: Schema,
@@ -63,7 +103,16 @@ class TemporalRelation:
         self.name = name
         self._rows: List[TemporalTuple] = list(rows) if rows is not None else []
         self.scan_count = 0
-        self._statistics_cache: Optional[RelationStatistics] = None
+        self.uid = next_relation_uid()
+        #: Monotonically increasing mutation counter; every insert,
+        #: extend, and in-place reorder bumps it, so anything derived
+        #: from the rows (statistics, cached results) can key on it.
+        self.version = 0
+        self._reorder_version = 0
+        self._fingerprint = 0
+        for row in self._rows:
+            self._fingerprint = fold_fingerprint(self._fingerprint, row)
+        self._statistics_cache: Optional[Tuple[int, RelationStatistics]] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -113,12 +162,24 @@ class TemporalRelation:
                 )
         row = TemporalTuple(self.schema.validate_values(values), start, end)
         self._rows.append(row)
-        self._statistics_cache = None
+        self._note_appended([row])
         return row
 
     def extend(self, rows: Iterable[TemporalTuple]) -> None:
         """Append already-validated rows (e.g. from another relation)."""
-        self._rows.extend(rows)
+        added = list(rows)
+        if not added:
+            return
+        self._rows.extend(added)
+        self._note_appended(added)
+
+    def _note_appended(self, rows: Sequence[TemporalTuple]) -> None:
+        """Account one append batch: version bump + fingerprint fold."""
+        fingerprint = self._fingerprint
+        for row in rows:
+            fingerprint = fold_fingerprint(fingerprint, row)
+        self._fingerprint = fingerprint
+        self.version += 1
         self._statistics_cache = None
 
     # ------------------------------------------------------------------
@@ -198,9 +259,68 @@ class TemporalRelation:
         )
 
     def sort_in_place(self) -> None:
-        """Sort this relation's rows by (start, end)."""
+        """Sort this relation's rows by (start, end).
+
+        An in-place reorder is *not* an append: the fingerprint is
+        rebuilt from scratch and the append watermark advances, so
+        cached results computed against the old row order can neither
+        pure-hit nor delta-refresh — they must recompute.
+        """
         self._rows.sort(key=timestamp_sort_key)
+        fingerprint = 0
+        for row in self._rows:
+            fingerprint = fold_fingerprint(fingerprint, row)
+        self._fingerprint = fingerprint
+        self.version += 1
+        self._reorder_version = self.version
         self._statistics_cache = None
+
+    # ------------------------------------------------------------------
+    # Result-cache protocol
+    # ------------------------------------------------------------------
+
+    @property
+    def fingerprint(self) -> int:
+        """Chained content fingerprint over the rows, in row order."""
+        return self._fingerprint
+
+    @property
+    def append_watermark(self) -> int:
+        """Version of the last non-append mutation (in-place reorder).
+
+        A cached result whose version is at least this watermark saw
+        every row it covers in the current order; anything between its
+        version and :attr:`version` is purely appended rows, which the
+        cache can fold in incrementally.
+        """
+        return self._reorder_version
+
+    def triples_since(
+        self, index: int, attribute: Optional[str] = None
+    ) -> List[Tuple[int, int, Any]]:
+        """``(start, end, value)`` triples of rows appended after
+        position ``index`` (uncounted: this is delta maintenance, not
+        one of the paper's relation scans)."""
+        extractor = self.value_extractor(attribute)
+        return [
+            (row.start, row.end, extractor(row)) for row in self._rows[index:]
+        ]
+
+    def verify_append_chain(self, row_count: int, fingerprint: int) -> bool:
+        """Is the current content ``fingerprint`` reachable by appending
+        rows ``row_count:`` onto a prefix fingerprinting ``fingerprint``?
+
+        The cache's delta path trusts (uid, version, watermark) for the
+        fast decision and calls this as the content-level guard: a
+        relation whose prefix was edited in place behind the version
+        counter's back fails the chain and falls back to a full
+        recompute instead of serving stale rows.
+        """
+        if row_count > len(self._rows):
+            return False
+        for row in self._rows[row_count:]:
+            fingerprint = fold_fingerprint(fingerprint, row)
+        return fingerprint == self._fingerprint
 
     def reordered(
         self, permutation: Sequence[int], name: Optional[str] = None
@@ -256,10 +376,16 @@ class TemporalRelation:
 
         Computing these double-scans the relation, and every
         ``strategy="auto"`` evaluation asks for them, so the (frozen)
-        result is cached until the next mutation.
+        result is cached keyed by :attr:`version` — any mutation
+        (insert, extend, or in-place reorder) moves the version and
+        invalidates, even if a future mutation path forgets to clear
+        the cache explicitly.
         """
-        if self._statistics_cache is not None:
-            return self._statistics_cache
+        if (
+            self._statistics_cache is not None
+            and self._statistics_cache[0] == self.version
+        ):
+            return self._statistics_cache[1]
         span = self.lifespan
         span_length = span.duration if span is not None else 0
         long_lived = sum(
@@ -267,7 +393,7 @@ class TemporalRelation:
         )
         starts = [timestamp_sort_key(row) for row in self._rows]
         k = k_orderedness(starts)
-        self._statistics_cache = RelationStatistics(
+        statistics = RelationStatistics(
             tuple_count=len(self._rows),
             unique_timestamps=self.unique_timestamps(),
             long_lived_count=long_lived,
@@ -276,7 +402,8 @@ class TemporalRelation:
             k=k,
             k_ordered_percentage=k_ordered_percentage(starts, k) if k else 0.0,
         )
-        return self._statistics_cache
+        self._statistics_cache = (self.version, statistics)
+        return statistics
 
     # ------------------------------------------------------------------
     # Presentation

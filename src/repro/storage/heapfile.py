@@ -19,7 +19,11 @@ from typing import Any, BinaryIO, Iterator, Optional, Tuple
 
 from repro.core.interval import FOREVER, Interval
 from repro.core.ordering import k_ordered_percentage, k_orderedness
-from repro.relation.relation import RelationStatistics, TemporalRelation
+from repro.relation.relation import (
+    RelationStatistics,
+    TemporalRelation,
+    next_relation_uid,
+)
 from repro.relation.schema import Schema
 from repro.relation.tuples import TemporalTuple
 from repro.storage.buffer import BufferManager
@@ -56,6 +60,12 @@ class HeapFile:
         self._tuple_count = self._count_existing()
         pages = self.buffer.page_count()
         self._tail_page_id: Optional[int] = pages - 1 if pages else None
+        self.uid = next_relation_uid()
+        #: Mutation counter mirroring :class:`TemporalRelation.version`:
+        #: appends bump it, and code that rewrites pages in place must
+        #: call :meth:`mark_mutated`.  Statistics cache by version, not
+        #: tuple count, so an equal-cardinality rewrite still invalidates.
+        self.version = 0
         self._statistics_cache: Optional[Tuple[int, RelationStatistics]] = None
 
     def _count_existing(self) -> int:
@@ -94,15 +104,28 @@ class HeapFile:
             if not page.is_full:
                 page.append(record)
                 self._tuple_count += 1
+                self.version += 1
                 return
         page_id, page = self.buffer.allocate()
         page.append(record)
         self._tail_page_id = page_id
         self._tuple_count += 1
+        self.version += 1
 
     def append_all(self, rows) -> None:
         for row in rows:
             self.append(row)
+
+    def mark_mutated(self) -> None:
+        """Declare an in-place page rewrite (e.g. a reorder).
+
+        Appends track themselves; anything that mutates existing pages
+        through the buffer must call this so version-keyed derivations
+        — cached :meth:`statistics`, planner decisions built on them —
+        recompute instead of serving the pre-rewrite order facts.
+        """
+        self.version += 1
+        self._statistics_cache = None
 
     # ------------------------------------------------------------------
     # Scanning
@@ -146,11 +169,14 @@ class HeapFile:
 
         Matches :meth:`TemporalRelation.statistics` field for field, so
         a heap file can feed ``strategy="auto"`` directly.  Cached by
-        tuple count — appends invalidate, rescans do not.
+        :attr:`version` — appends and declared in-place rewrites
+        (:meth:`mark_mutated`) invalidate, rescans do not.  (The old
+        tuple-count key went stale on equal-cardinality reorders, and a
+        stale ``is_totally_ordered`` mis-plans every later query.)
         """
         if (
             self._statistics_cache is not None
-            and self._statistics_cache[0] == self._tuple_count
+            and self._statistics_cache[0] == self.version
         ):
             return self._statistics_cache[1]
         starts = []
@@ -181,7 +207,7 @@ class HeapFile:
             k=k,
             k_ordered_percentage=k_ordered_percentage(starts, k) if k else 0.0,
         )
-        self._statistics_cache = (self._tuple_count, stats)
+        self._statistics_cache = (self.version, stats)
         return stats
 
     # ------------------------------------------------------------------

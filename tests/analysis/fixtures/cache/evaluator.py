@@ -1,0 +1,19 @@
+"""Deliberate TA006 violation (cache-boundary lint fixture; never imported)."""
+
+from repro.exec.validation import validate_shards
+
+
+def cached_entry(relation, shards=None):
+    return validate_shards(shards)
+
+
+def delegating_entry(relation):
+    return cached_entry(relation)
+
+
+def unchecked_lookup(relation):
+    return relation.version
+
+
+def _private_helper(relation):
+    return relation

@@ -92,6 +92,15 @@ class TestRuleFirings:
         # checked_entry (direct), delegating_entry (via sibling) and
         # _private_helper (private) are all absent.
 
+    def test_ta006_covers_cache_boundary(self):
+        # The shard-result cache's evaluator.py is an engine boundary
+        # too: its public entry points must validate like engine.py's.
+        found = run_rules([BoundaryValidationRule()], "cache/evaluator.py")
+        assert locations(found) == [("TA006", 14)]
+        assert "unchecked_lookup" in found[0].message
+        # cached_entry (direct), delegating_entry (via sibling) and
+        # _private_helper (private) are all absent.
+
     def test_ta007_set_iteration(self):
         found = run_rules([SetIterationRule()], "core/partition.py")
         assert locations(found) == [("TA007", 6), ("TA007", 12)]

@@ -65,6 +65,7 @@ class TestFigureDrivers:
             "table3",
             "ablations",
             "parallel",
+            "cache",
         }
 
     def test_ablations_driver(self):

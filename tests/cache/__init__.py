@@ -1,0 +1,1 @@
+"""Tests for the mergeable shard-result cache (:mod:`repro.cache`)."""

@@ -1,0 +1,23 @@
+"""Cache-test isolation: every test gets a fresh process-default cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.store import ShardResultCache, set_default_cache
+
+
+@pytest.fixture(autouse=True)
+def fresh_default_cache():
+    """Swap in an empty default cache, restore lazy-new afterwards.
+
+    The default cache is process-wide state (entries *and* the
+    repeat-detection signature set); leaking it across tests would make
+    planner auto-selection order-dependent.
+    """
+    cache = ShardResultCache()
+    set_default_cache(cache)
+    try:
+        yield cache
+    finally:
+        set_default_cache(None)

@@ -30,6 +30,21 @@ def invariant_checks():
 
 
 @pytest.fixture
+def no_invariant_checks():
+    """Force-disable the runtime invariant verifier for one test.
+
+    For tests that document what running *without* the checks looks
+    like, so they stay meaningful when the whole suite runs under
+    ``REPRO_CHECK_INVARIANTS=1`` (the CI invariant jobs do).
+    """
+    invariants.disable()
+    try:
+        yield
+    finally:
+        invariants.reset_to_env()
+
+
+@pytest.fixture
 def employed() -> TemporalRelation:
     """A fresh copy of the paper's Employed relation."""
     return employed_relation()

@@ -26,6 +26,7 @@ class TestRegistry:
             "sweep",
             "columnar_sweep",
             "parallel_sweep",
+            "cached_sweep",
             "two_pass",
             "reference",
         }

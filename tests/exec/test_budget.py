@@ -125,3 +125,57 @@ class TestEngineIntegration:
         assert donor.root is None
         assert paged.space is donor.space
         assert paged.space.live_nodes <= live_before
+
+
+class TestCacheShedding:
+    """A tripped budget sheds the shard-result cache before degrading —
+    cached rows are always recomputable, so they are the first to go."""
+
+    @pytest.fixture(autouse=True)
+    def isolated_default_cache(self):
+        from repro.cache.store import ShardResultCache, set_default_cache
+
+        cache = ShardResultCache()
+        set_default_cache(cache)
+        try:
+            yield cache
+        finally:
+            set_default_cache(None)
+
+    def warm(self, cache):
+        from repro.cache.evaluator import evaluate_cached
+
+        evaluate_cached(medium_relation(), "count", shards=4, cache=cache)
+        assert cache.live_bytes > 0
+
+    def test_first_trip_sheds_the_default_cache(self, isolated_default_cache):
+        self.warm(isolated_default_cache)
+        evaluator = AggregationTreeEvaluator("count")
+        evaluator.space.allocate(1000)
+        guard = MemoryGuard(100, evaluator.space)
+        with pytest.raises(BudgetExhausted):
+            guard.check(consumed=1)
+        assert isolated_default_cache.live_bytes == 0
+        assert guard.cache_shed_bytes > 0
+
+    def test_later_trips_do_not_shed_again(self, isolated_default_cache):
+        evaluator = AggregationTreeEvaluator("count")
+        evaluator.space.allocate(1000)
+        guard = MemoryGuard(100, evaluator.space)
+        with pytest.raises(BudgetExhausted):
+            guard.check(consumed=1)
+        shed_once = guard.cache_shed_bytes
+        self.warm(isolated_default_cache)
+        with pytest.raises(BudgetExhausted):
+            guard.check(consumed=2)
+        assert guard.trips == 2
+        assert guard.cache_shed_bytes == shed_once
+        assert isolated_default_cache.live_bytes > 0  # survived trip two
+
+    def test_untripped_guard_never_touches_the_cache(self, isolated_default_cache):
+        self.warm(isolated_default_cache)
+        evaluator = AggregationTreeEvaluator("count")
+        guard = MemoryGuard(10**9, evaluator.space)
+        guard.check(consumed=10)
+        assert isolated_default_cache.live_bytes > 0
+        assert guard.cache_shed_bytes == 0

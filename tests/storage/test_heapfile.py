@@ -108,3 +108,32 @@ class TestScanEvaluatorIntegration:
         heap = HeapFile.from_relation(employed)
         with pytest.raises(SchemaError):
             list(heap.scan_triples("bonus"))
+
+
+class TestVersionKeyedStatistics:
+    """Statistics were cached keyed on the tuple count, so an in-place
+    page rewrite at equal cardinality served stale order facts; the
+    cache is now keyed on the version counter."""
+
+    def test_unchanged_heap_reuses_the_cached_object(self, employed):
+        heap = HeapFile.from_relation(employed)
+        assert heap.statistics() is heap.statistics()
+
+    def test_append_bumps_version_and_invalidates(self, employed):
+        heap = HeapFile.from_relation(employed)
+        stale = heap.statistics()
+        version = heap.version
+        heap.append(next(heap.scan()))
+        assert heap.version == version + 1
+        fresh = heap.statistics()
+        assert fresh is not stale
+        assert fresh.tuple_count == stale.tuple_count + 1
+
+    def test_mark_mutated_invalidates_at_equal_cardinality(self, employed):
+        heap = HeapFile.from_relation(employed)
+        stale = heap.statistics()
+        count = len(heap)
+        heap.mark_mutated()
+        fresh = heap.statistics()
+        assert len(heap) == count  # no append happened...
+        assert fresh is not stale  # ...yet the snapshot was recomputed

@@ -112,3 +112,99 @@ class TestWindowedAggregate:
         result = windowed_aggregate(heap, "count", window)
         full = ReferenceEvaluator("count").evaluate(list(heap.scan_triples()))
         assert result.rows == full.restrict(window).rows
+
+
+# ---------------------------------------------------------------------------
+# Property tests: windowed_aggregate == full reference evaluation restricted
+# ---------------------------------------------------------------------------
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.core.interval import FOREVER  # noqa: E402
+
+PROPERTY_AGGREGATES = ["count", "sum", "min", "max", "avg"]
+
+
+@pytest.fixture(scope="module")
+def full_reference(sorted_heap):
+    """One whole-timeline reference evaluation per aggregate, computed
+    once — every window result must equal its restriction."""
+    results = {}
+    for name in PROPERTY_AGGREGATES:
+        attribute = None if name == "count" else "salary"
+        results[name] = ReferenceEvaluator(name).evaluate(
+            list(sorted_heap.scan_triples(attribute))
+        )
+    return results
+
+
+@pytest.fixture(scope="module")
+def shared_zone_map(sorted_heap):
+    return ZoneMap(sorted_heap)
+
+
+def assert_window_matches(heap, zone_map, full, name, window):
+    attribute = None if name == "count" else "salary"
+    result = windowed_aggregate(heap, name, window, attribute, zone_map=zone_map)
+    assert result.rows == full[name].restrict(window).rows
+
+
+class TestWindowedAggregateProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        lo=st.integers(min_value=0, max_value=1_000_000),
+        length=st.integers(min_value=0, max_value=300_000),
+        name=st.sampled_from(PROPERTY_AGGREGATES),
+    )
+    def test_random_windows_match_reference(
+        self, sorted_heap, shared_zone_map, full_reference, lo, length, name
+    ):
+        window = Interval(lo, min(lo + length, FOREVER))
+        assert_window_matches(
+            sorted_heap, shared_zone_map, full_reference, name, window
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        page_offset=st.integers(min_value=0, max_value=10_000),
+        name=st.sampled_from(PROPERTY_AGGREGATES),
+        data=st.data(),
+    )
+    def test_page_boundary_windows_match_reference(
+        self,
+        sorted_heap,
+        shared_zone_map,
+        full_reference,
+        page_offset,
+        name,
+        data,
+    ):
+        """Windows cut exactly at zone-map page bounds — the edges where
+        an off-by-one page admission drops or duplicates tuples."""
+        page_id = data.draw(
+            st.integers(min_value=0, max_value=sorted_heap.page_count - 1)
+        )
+        lo, hi = shared_zone_map.page_bounds(page_id)
+        window = Interval(lo, min(max(lo, hi + page_offset), FOREVER))
+        assert_window_matches(
+            sorted_heap, shared_zone_map, full_reference, name, window
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        offset=st.integers(min_value=1, max_value=100_000),
+        name=st.sampled_from(PROPERTY_AGGREGATES),
+    )
+    def test_empty_windows_past_the_data_match_reference(
+        self, sorted_heap, shared_zone_map, full_reference, offset, name
+    ):
+        """Windows beyond every tuple: the zone map scans nothing and the
+        result must still be the identity row the reference restricts to."""
+        max_end = max(e for _s, e, _v in sorted_heap.scan_triples())
+        window = Interval(
+            min(max_end + offset, FOREVER), min(max_end + 2 * offset, FOREVER)
+        )
+        assert_window_matches(
+            sorted_heap, shared_zone_map, full_reference, name, window
+        )
