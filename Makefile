@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-invariants bench figures figures-full examples lint clean
+.PHONY: install test test-invariants bench figures figures-full examples lint scrub clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -40,3 +40,7 @@ examples:
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null; true
 	rm -rf .pytest_cache .hypothesis src/repro.egg-info
+
+# Read-only fsck of heap files + their journals: make scrub FILES="a.dat b.dat"
+scrub:
+	PYTHONPATH=src $(PYTHON) -m repro.storage scrub $(FILES)

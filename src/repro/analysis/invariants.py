@@ -53,6 +53,7 @@ __all__ = [
     "verify_tree_partials",
     "verify_space_accounting",
     "verify_cached_shards",
+    "verify_recovered_relation",
     "verify_evaluation",
 ]
 
@@ -313,6 +314,42 @@ def verify_cached_shards(
                 f"cached shard {index} over [{lo}, {hi}] diverged: cached "
                 f"row {tuple(have)!r} but a fresh sweep gives {tuple(want)!r}"
             )
+
+
+def verify_recovered_relation(recovered: Any, reference: Any) -> None:
+    """A recovered relation must be row-for-row the acknowledged prefix.
+
+    ``recovered`` and ``reference`` are anything iterable over
+    :class:`~repro.relation.tuples.TemporalTuple` (heap files,
+    relations, plain lists); ``reference`` holds every acknowledged row
+    in append order.  Row counts, per-row content at sampled positions,
+    and the full chained fingerprint must all agree — the fingerprint
+    catches reorderings and substitutions sampling would miss.
+    """
+    # Lazy import, same reason as above: relation sits below analysis.
+    from repro.relation.relation import fingerprint_rows
+
+    recovered_rows = list(recovered)
+    reference_rows = list(reference)
+    if len(recovered_rows) != len(reference_rows):
+        raise InvariantViolation(
+            f"recovery returned {len(recovered_rows)} rows but "
+            f"{len(reference_rows)} were acknowledged"
+        )
+    for index in _sample_indices(len(recovered_rows), LEAF_SAMPLES):
+        if recovered_rows[index] != reference_rows[index]:
+            raise InvariantViolation(
+                f"recovered row {index} is {recovered_rows[index]!r}, "
+                f"acknowledged row was {reference_rows[index]!r}"
+            )
+    have = fingerprint_rows(recovered_rows)
+    want = fingerprint_rows(reference_rows)
+    if have != want:
+        raise InvariantViolation(
+            f"recovered relation fingerprint {have:#x} differs from the "
+            f"acknowledged fingerprint {want:#x} despite equal cardinality "
+            "— rows were reordered or substituted"
+        )
 
 
 class GCShadow:

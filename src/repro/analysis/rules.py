@@ -1,4 +1,4 @@
-"""The repo-specific lint rules (``TA001``...``TA008``).
+"""The repo-specific lint rules (``TA001``...``TA009``).
 
 Each rule is small, syntactic, and tied to a property the engine
 actually relies on; DESIGN.md §8 documents the rationale behind every
@@ -25,6 +25,7 @@ __all__ = [
     "BoundaryValidationRule",
     "SetIterationRule",
     "AnnotationGateRule",
+    "JournalBypassRule",
     "default_rules",
 ]
 
@@ -535,6 +536,100 @@ class AnnotationGateRule(Rule):
                 )
 
 
+class JournalBypassRule(Rule):
+    """TA009 — storage code routes writes through the journal API.
+
+    The durability contract (DESIGN.md §10) holds only if every
+    write-capable file open and every unlink in ``storage/`` goes
+    through :mod:`repro.storage.journal`'s sanctioned helpers
+    (``data_open``/``scratch_open``/``scratch_unlink``): those apply
+    fault injection and keep the write-ahead ordering observable.  A
+    direct ``open(path, "wb")`` or ``os.remove`` bypasses both — it can
+    clobber acknowledged data without a journal record and is invisible
+    to the crash matrix.  The helpers themselves carry
+    ``# ta: ignore[TA009]`` on their sanctioned calls.
+    """
+
+    code = "TA009"
+    name = "journal-bypass-write"
+    description = (
+        "storage/ must not call open() with a write mode or os.remove/"
+        "os.unlink directly; use the repro.storage.journal helpers"
+    )
+
+    _UNLINK_NAMES = frozenset({"remove", "unlink"})
+
+    def applies_to(self, source: SourceFile) -> bool:
+        return source.in_scope("storage")
+
+    @staticmethod
+    def _write_mode(call: ast.Call) -> Optional[str]:
+        """The mode string if it is a write-capable constant, else None."""
+        mode: Optional[ast.expr] = None
+        if len(call.args) >= 2:
+            mode = call.args[1]
+        for keyword in call.keywords:
+            if keyword.arg == "mode":
+                mode = keyword.value
+        if not isinstance(mode, ast.Constant) or not isinstance(mode.value, str):
+            return None
+        if any(flag in mode.value for flag in ("w", "a", "x", "+")):
+            return mode.value
+        return None
+
+    @staticmethod
+    def _os_unlink_aliases(tree: ast.Module) -> Set[str]:
+        """Bare names bound to ``os.remove``/``os.unlink`` via import."""
+        aliases: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "os":
+                for alias in node.names:
+                    if alias.name in JournalBypassRule._UNLINK_NAMES:
+                        aliases.add(alias.asname or alias.name)
+        return aliases
+
+    def check(self, source: SourceFile, index: ProjectIndex) -> Iterator[Violation]:
+        unlink_aliases = self._os_unlink_aliases(source.tree)
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            function = node.func
+            if isinstance(function, ast.Name) and function.id == "open":
+                mode = self._write_mode(node)
+                if mode is not None:
+                    yield self.violation(
+                        source,
+                        node,
+                        f"direct open(..., {mode!r}) in storage/ bypasses "
+                        "the journal API; use data_open/scratch_open from "
+                        "repro.storage.journal",
+                    )
+            elif (
+                isinstance(function, ast.Attribute)
+                and function.attr in self._UNLINK_NAMES
+                and isinstance(function.value, ast.Name)
+                and function.value.id == "os"
+            ):
+                yield self.violation(
+                    source,
+                    node,
+                    f"os.{function.attr}() in storage/ deletes files behind "
+                    "the journal's back; use scratch_unlink from "
+                    "repro.storage.journal",
+                )
+            elif (
+                isinstance(function, ast.Name)
+                and function.id in unlink_aliases
+            ):
+                yield self.violation(
+                    source,
+                    node,
+                    f"{function.id}() (imported from os) in storage/ deletes "
+                    "files behind the journal's back; use scratch_unlink "
+                    "from repro.storage.journal",
+                )
+
+
 def default_rules() -> List[Rule]:
     """Every rule, in code order (the registry the CLI and tests use)."""
     return [
@@ -546,4 +641,5 @@ def default_rules() -> List[Rule]:
         BoundaryValidationRule(),
         SetIterationRule(),
         AnnotationGateRule(),
+        JournalBypassRule(),
     ]

@@ -78,6 +78,37 @@ def _write_cache_json(reports, csv_dir) -> str:
     return path
 
 
+def _write_durability_json(reports, csv_dir) -> str:
+    """Machine-readable artifact for the ``durability`` driver.
+
+    Append-throughput overhead factors and recovery times land here so
+    the acceptance check (journaled within 2x of plain at the largest
+    size) reads numbers, not rendered tables.
+    """
+    from repro.bench.config import bench_seeds, bench_sizes
+    from repro.storage.journal import (
+        _DEFAULT_SEGMENT_BYTES,
+        _fsync_policy_from_env,
+        _segment_bytes_from_env,
+    )
+
+    payload = {
+        "generated_by": "python -m repro.bench durability",
+        "cpu_count": os.cpu_count(),
+        "fsync_policy": _fsync_policy_from_env(),
+        "segment_bytes": _segment_bytes_from_env(),
+        "default_segment_bytes": _DEFAULT_SEGMENT_BYTES,
+        "sizes": bench_sizes(),
+        "seeds": bench_seeds(),
+        "reports": [report.to_dict() for report in reports],
+    }
+    path = os.path.join(csv_dir or ".", "BENCH_durability.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return path
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
@@ -133,6 +164,9 @@ def main(argv=None) -> int:
             print(f"[wrote {path}]", file=sys.stderr)
         elif name == "cache":
             path = _write_cache_json(reports, args.csv_dir)
+            print(f"[wrote {path}]", file=sys.stderr)
+        elif name == "durability":
+            path = _write_durability_json(reports, args.csv_dir)
             print(f"[wrote {path}]", file=sys.stderr)
         print(f"[{name} completed in {elapsed:.1f}s]", file=sys.stderr)
     return 0

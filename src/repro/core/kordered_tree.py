@@ -82,6 +82,7 @@ class KOrderedTreeEvaluator(AggregationTreeEvaluator):
         self._threshold = ORIGIN  # running max of expired window starts
         self._frontier = ORIGIN  # first instant not yet emitted
         self._emitted: List[ConstantInterval] = []
+        self._consumed = 0  # triples folded in since begin()
         #: Shadow gc-threshold recomputation, attached only while the
         #: runtime invariant verifier is enabled.
         self._gc_shadow: "Optional[GCShadow]" = None
@@ -141,48 +142,118 @@ class KOrderedTreeEvaluator(AggregationTreeEvaluator):
             counters.gc_passes += 1
 
     # ------------------------------------------------------------------
-    # Evaluation
+    # Evaluation — split into begin/step/finish so a checkpointing
+    # driver (:mod:`repro.storage.checkpoint`) can interleave state
+    # capture with consumption; plain evaluate() composes the three.
     # ------------------------------------------------------------------
 
-    def evaluate(self, triples: Iterable[Triple]) -> TemporalAggregateResult:
+    def begin(self) -> None:
+        """Reset all streaming state ahead of a fresh evaluation."""
         self.root = None
         self.space.reset()
         self._window.clear()
         self._threshold = ORIGIN
         self._frontier = ORIGIN
         self._emitted = []
+        self._consumed = 0
         self._gc_shadow = None
         from repro.analysis import invariants  # deferred: avoid import cycle
 
         if invariants.invariants_enabled():
             self._gc_shadow = invariants.GCShadow(self.window_capacity)
 
+    def step(self, start: int, end: int, value: Any) -> None:
+        """Consume one ``(start, end, value)`` triple."""
+        self._check_triple(start, end)
+        self.counters.tuples += 1
+        self._consumed += 1
+        if start < self._frontier:
+            raise KOrderViolationError(
+                f"tuple starting at {start} arrived after instants up to "
+                f"{self._frontier - 1} were already emitted; the input "
+                f"is not {self.k}-ordered"
+            )
+        self.insert(start, end, value)
+        if self._gc_shadow is not None:
+            self._gc_shadow.observe(start)
         window = self._window
-        shadow = self._gc_shadow
-        window_capacity = 2 * self.k + 1
-        for start, end, value in triples:
-            self._check_triple(start, end)
-            self.counters.tuples += 1
-            if start < self._frontier:
-                raise KOrderViolationError(
-                    f"tuple starting at {start} arrived after instants up to "
-                    f"{self._frontier - 1} were already emitted; the input "
-                    f"is not {self.k}-ordered"
-                )
-            self.insert(start, end, value)
-            if shadow is not None:
-                shadow.observe(start)
-            window.append(start)
-            if len(window) > window_capacity:
-                expired = window.popleft()
-                if expired > self._threshold:
-                    self._threshold = expired
-                self._collect()
+        window.append(start)
+        if len(window) > self.window_capacity:
+            expired = window.popleft()
+            if expired > self._threshold:
+                self._threshold = expired
+            self._collect()
 
+    def finish(self) -> TemporalAggregateResult:
+        """Flush the remaining tree and assemble the full result."""
         trailing = self.traverse()
         rows = self._emitted + trailing.rows
         self._emitted = []
         return TemporalAggregateResult(rows, check=False)
+
+    def evaluate(self, triples: Iterable[Triple]) -> TemporalAggregateResult:
+        self.begin()
+        for start, end, value in triples:
+            self.step(start, end, value)
+        return self.finish()
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def capture_state(self) -> dict:
+        """A picklable snapshot of the mid-stream evaluator state.
+
+        Everything :meth:`restore_state` needs to resume consumption at
+        triple ``consumed``: the live tree (preorder-encoded, the same
+        codec the paged tree spills with), the k-window, the
+        gc-threshold, the emission frontier, and the rows already
+        emitted by garbage collection.
+        """
+        from repro.core.paged_tree import encode_subtree
+
+        return {
+            "evaluator": self.name,
+            "k": self.k,
+            "consumed": self._consumed,
+            "window": list(self._window),
+            "threshold": self._threshold,
+            "frontier": self._frontier,
+            "emitted": [(r.start, r.end, r.value) for r in self._emitted],
+            "tree": encode_subtree(self.root) if self.root is not None else None,
+        }
+
+    def restore_state(self, state: dict) -> int:
+        """Rebuild mid-stream state from :meth:`capture_state` output.
+
+        Returns the number of triples already consumed — the caller
+        must skip exactly that many before feeding :meth:`step` again.
+        """
+        from repro.core.paged_tree import decode_subtree, subtree_size
+
+        if state.get("k") != self.k:
+            raise ValueError(
+                f"checkpoint was taken with k={state.get('k')}, "
+                f"this evaluator has k={self.k}"
+            )
+        self.begin()
+        if state["tree"] is not None:
+            self.root = decode_subtree(state["tree"])
+            self.space.allocate(subtree_size(self.root))
+        self._window = deque(state["window"])
+        self._threshold = state["threshold"]
+        self._frontier = state["frontier"]
+        self._emitted = [
+            ConstantInterval(start, end, value)
+            for start, end, value in state["emitted"]
+        ]
+        self._consumed = int(state["consumed"])
+        if self._gc_shadow is not None:
+            # The shadow re-derives future thresholds independently from
+            # the restored window; seed it with the same history.
+            self._gc_shadow.window = deque(self._window)
+            self._gc_shadow.threshold = self._threshold
+        return self._consumed
 
     # ------------------------------------------------------------------
     # Introspection

@@ -46,7 +46,14 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.metrics.counters import OperationCounters
     from repro.metrics.space import SpaceTracker
 
-__all__ = ["PagedAggregationTreeEvaluator", "SpillMetrics", "MIN_NODE_BUDGET"]
+__all__ = [
+    "PagedAggregationTreeEvaluator",
+    "SpillMetrics",
+    "MIN_NODE_BUDGET",
+    "encode_subtree",
+    "decode_subtree",
+    "subtree_size",
+]
 
 #: Below this the tree cannot do useful work between evictions.
 MIN_NODE_BUDGET = 16
@@ -159,6 +166,14 @@ def _subtree_size(node: Optional[TreeNode]) -> int:
             stack.append(current.left)
             stack.append(current.right)
     return count
+
+
+#: Public aliases: the checkpoint layer (:mod:`repro.storage.checkpoint`)
+#: serialises evaluator trees with exactly the spill codec, so a
+#: journaled checkpoint and a spilled subtree share one wire format.
+encode_subtree = _encode_subtree
+decode_subtree = _decode_subtree
+subtree_size = _subtree_size
 
 
 def _contains_stub(node: TreeNode) -> bool:

@@ -30,16 +30,24 @@ from repro.exec.errors import (
     BudgetExhausted,
     DeadlineExceeded,
     InvalidInput,
+    RecoveryError,
     ShardFailure,
+    StorageCorruption,
+    StorageError,
     TemporalAggregateError,
 )
 from repro.exec.faults import (
     FaultPlan,
+    FaultyFile,
+    IOFault,
     ShardFault,
+    SimulatedCrash,
     clear_fault_plan,
     current_fault_plan,
     fault_plan,
+    fsync_handle,
     install_fault_plan,
+    wrap_handle,
 )
 from repro.exec.supervision import (
     RetryPolicy,
@@ -59,6 +67,9 @@ __all__ = [
     "DeadlineExceeded",
     "BudgetExhausted",
     "InvalidInput",
+    "StorageError",
+    "StorageCorruption",
+    "RecoveryError",
     # deadlines
     "Deadline",
     # budgets
@@ -71,10 +82,15 @@ __all__ = [
     # faults
     "FaultPlan",
     "ShardFault",
+    "IOFault",
+    "FaultyFile",
+    "SimulatedCrash",
     "install_fault_plan",
     "clear_fault_plan",
     "current_fault_plan",
     "fault_plan",
+    "wrap_handle",
+    "fsync_handle",
     # validation
     "check_triple",
     "validated_triples",

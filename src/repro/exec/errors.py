@@ -18,6 +18,13 @@ one type and branch on the subclass instead of fishing bare
 * :class:`BudgetExhausted` — the memory budget tripped mid-build;
   normally caught by the engine, which degrades to the spilling paged
   tree (:func:`repro.exec.budget.evaluate_with_degradation`).
+* :class:`StorageError` — the durable-storage layer failed.  Its two
+  subclasses split the failures a caller can act on differently:
+  :class:`StorageCorruption` (a checksum, torn write, or malformed
+  on-disk structure was *detected* — the data needs scrubbing or
+  recovery) and :class:`RecoveryError` (the recovery procedure itself
+  could not restore a consistent state — acknowledged data is missing
+  or the fingerprint chain broke).
 """
 
 from __future__ import annotations
@@ -32,6 +39,9 @@ __all__ = [
     "DeadlineExceeded",
     "BudgetExhausted",
     "InvalidInput",
+    "StorageError",
+    "StorageCorruption",
+    "RecoveryError",
 ]
 
 
@@ -95,6 +105,52 @@ class DeadlineExceeded(TemporalAggregateError):
         self.deadline_ms = deadline_ms
         self.elapsed_ms = elapsed_ms
         self.progress: Dict[str, Any] = dict(progress or {})
+
+
+class StorageError(TemporalAggregateError):
+    """The durable-storage layer failed (I/O error, corruption, or an
+    unrecoverable journal/data state).
+
+    Catch this to branch on "the storage substrate is unhealthy" as a
+    whole; the subclasses distinguish detected corruption from a failed
+    recovery attempt.
+    """
+
+
+class StorageCorruption(StorageError):
+    """On-disk corruption was detected and refused.
+
+    Raised when a page checksum mismatches (bit rot, torn write), a
+    journal record fails its CRC outside the legitimate torn tail, or
+    an on-disk structure is malformed.  The data file needs scrubbing
+    (``python -m repro.storage scrub``) or recovery — the reader never
+    silently serves corrupt rows.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: Optional[str] = None,
+        page_id: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.path = path
+        self.page_id = page_id
+
+
+class RecoveryError(StorageError):
+    """Crash recovery could not restore a consistent relation.
+
+    Raised when acknowledged (committed) appends are missing from both
+    the data file and the retained journal, or when the post-recovery
+    fingerprint chain does not match the last committed fingerprint.
+    ``report`` carries whatever partial recovery evidence was gathered.
+    """
+
+    def __init__(self, message: str, *, report: Optional[Any] = None) -> None:
+        super().__init__(message)
+        self.report = report
 
 
 class BudgetExhausted(TemporalAggregateError):

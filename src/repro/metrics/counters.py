@@ -18,7 +18,14 @@ operations that dominate its running time:
 * ``cache_hits`` / ``cache_misses`` / ``cache_evictions`` /
   ``cache_dirty_shards`` — shard-result-cache activity
   (:mod:`repro.cache`): served-from-cache calls, full recomputes,
-  LRU/budget evictions, and shards re-swept on the append delta path.
+  LRU/budget evictions, and shards re-swept on the append delta path,
+* ``journal_records`` / ``journal_syncs`` — write-ahead journal
+  activity (:mod:`repro.storage.journal`): records written and
+  durability barriers issued,
+* ``checkpoints_written`` — evaluator state snapshots journaled by
+  :mod:`repro.storage.checkpoint`,
+* ``records_replayed`` — journal records parsed during crash recovery
+  (:mod:`repro.storage.recovery`).
 
 Counters are plain ints on a slotted object, cheap enough to leave on
 even in benchmarks that measure wall-clock.
@@ -46,6 +53,10 @@ class OperationCounters:
         "cache_misses",
         "cache_evictions",
         "cache_dirty_shards",
+        "journal_records",
+        "journal_syncs",
+        "checkpoints_written",
+        "records_replayed",
     )
 
     def __init__(self) -> None:
@@ -63,6 +74,10 @@ class OperationCounters:
         self.cache_misses = 0
         self.cache_evictions = 0
         self.cache_dirty_shards = 0
+        self.journal_records = 0
+        self.journal_syncs = 0
+        self.checkpoints_written = 0
+        self.records_replayed = 0
 
     def snapshot(self) -> Dict[str, int]:
         """An immutable dict view for reports and assertions."""

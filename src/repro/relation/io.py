@@ -14,13 +14,22 @@ bounds; ``forever`` spells the open end):
 :class:`~repro.relation.schema.Schema` (values are validated) or infer
 one from the data: a column whose every value parses as int becomes
 ``int``, else ``float``, else ``str``.
+
+Malformed *rows* need not abort the load: with
+``on_error="quarantine"`` each bad row is set aside in a
+:class:`QuarantineReport` — with its file/line context and the reason
+it was refused — and the well-formed rows still load.  The report's
+bounded capacity keeps a systematically broken file from being silently
+swallowed: past the cap the load aborts after all.  Header problems
+always abort; without a valid header there is no schema to quarantine
+against.
 """
 
 from __future__ import annotations
 
 import csv
 import io
-from typing import List, Optional, TextIO, Union
+from typing import Any, List, Optional, TextIO, Tuple, Union
 
 from repro.core.interval import format_instant, parse_instant
 from repro.relation.relation import TemporalRelation
@@ -32,13 +41,71 @@ __all__ = [
     "to_csv_text",
     "from_csv_text",
     "RelationIOError",
+    "QuarantinedRow",
+    "QuarantineReport",
 ]
 
 _TIME_COLUMNS = ("valid_start", "valid_end")
 
+#: Quarantined rows kept before the load aborts anyway.
+DEFAULT_QUARANTINE_CAP = 100
+
 
 class RelationIOError(ValueError):
     """Raised for malformed temporal CSV files."""
+
+
+class QuarantinedRow:
+    """One refused CSV row with enough context to fix it at the source."""
+
+    __slots__ = ("source", "line", "fields", "reason")
+
+    def __init__(
+        self, source: str, line: int, fields: List[str], reason: str
+    ) -> None:
+        self.source = source
+        self.line = line
+        self.fields = fields
+        self.reason = reason
+
+    def __repr__(self) -> str:
+        return f"{self.source}:{self.line}: {self.reason}"
+
+
+class QuarantineReport:
+    """Where ``read_csv(on_error="quarantine")`` records refused rows."""
+
+    __slots__ = ("cap", "rows", "loaded", "capped")
+
+    def __init__(self, cap: int = DEFAULT_QUARANTINE_CAP) -> None:
+        if cap < 1:
+            raise ValueError("quarantine cap must be at least 1")
+        self.cap = cap
+        self.rows: List[QuarantinedRow] = []
+        #: Well-formed rows that made it into the relation.
+        self.loaded = 0
+        #: Set when the cap was hit (the load then aborts).
+        self.capped = False
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def add(self, row: QuarantinedRow) -> bool:
+        """Record one refusal; returns False once the cap is exceeded."""
+        if len(self.rows) >= self.cap:
+            self.capped = True
+            return False
+        self.rows.append(row)
+        return True
+
+    def summary(self) -> str:
+        """One line per refusal plus a totals line, for logs and shells."""
+        lines = [repr(row) for row in self.rows]
+        lines.append(
+            f"{self.loaded} row(s) loaded, {len(self.rows)} quarantined"
+            + (" (cap reached)" if self.capped else "")
+        )
+        return "\n".join(lines)
 
 
 def _open_for_read(source: Union[str, TextIO]) -> "tuple[TextIO, bool]":
@@ -94,10 +161,41 @@ def _infer_schema(names: List[str], columns: List[List[str]]) -> Schema:
     return Schema(tuple(attributes))
 
 
+def _parse_row(schema: Schema, record: List[str]) -> Tuple[List[Any], int, int]:
+    """One raw CSV record -> (values, start, end); raises on bad cells."""
+    values: List[Any] = []
+    for attribute, cell in zip(schema.attributes, record):
+        cell = cell.strip()
+        if attribute.type == "int":
+            try:
+                values.append(int(cell))
+            except ValueError:
+                raise RelationIOError(
+                    f"value {cell!r} is not an int for attribute "
+                    f"{attribute.name!r}"
+                ) from None
+        elif attribute.type == "float":
+            try:
+                values.append(float(cell))
+            except ValueError:
+                raise RelationIOError(
+                    f"value {cell!r} is not a float for attribute "
+                    f"{attribute.name!r}"
+                ) from None
+        else:
+            values.append(cell)
+    start = parse_instant(record[-2])
+    end = parse_instant(record[-1])
+    return values, start, end
+
+
 def read_csv(
     source: Union[str, TextIO],
     schema: Optional[Schema] = None,
     name: str = "from_csv",
+    *,
+    on_error: str = "raise",
+    report: Optional[QuarantineReport] = None,
 ) -> TemporalRelation:
     """Read a temporal CSV into a relation.
 
@@ -105,7 +203,24 @@ def read_csv(
     With ``schema=None`` the explicit-attribute types are inferred from
     the data; otherwise the header must match the schema's attribute
     names (case-insensitively) and every value is validated.
+
+    ``on_error`` selects the malformed-*row* policy: ``"raise"`` (the
+    default) aborts on the first bad row; ``"quarantine"`` records each
+    bad row — wrong field count, unparseable value, bad interval — in
+    ``report`` (one is created if not given; read it back via the
+    relation's ``quarantine`` attribute) and keeps loading.  When the
+    report's cap is exceeded the load aborts with
+    :class:`RelationIOError` after all: a file that is mostly garbage
+    should fail loudly, not load quietly.  Header errors always abort.
     """
+    if on_error not in ("raise", "quarantine"):
+        raise ValueError(
+            f"on_error must be 'raise' or 'quarantine', got {on_error!r}"
+        )
+    quarantine = on_error == "quarantine"
+    if quarantine and report is None:
+        report = QuarantineReport()
+    source_name = source if isinstance(source, str) else "<stream>"
     handle, owned = _open_for_read(source)
     try:
         reader = csv.reader(handle)
@@ -124,20 +239,30 @@ def read_csv(
             )
         attribute_names = [h.strip() for h in header[:-2]]
 
-        raw_rows: List[List[str]] = []
+        raw_rows: List[Tuple[int, List[str]]] = []
         for line_number, record in enumerate(reader, start=2):
             if not record or all(not cell.strip() for cell in record):
                 continue
             if len(record) != len(header):
-                raise RelationIOError(
-                    f"line {line_number}: expected {len(header)} fields, "
-                    f"got {len(record)}"
+                reason = (
+                    f"expected {len(header)} fields, got {len(record)}"
                 )
-            raw_rows.append(record)
+                if not quarantine:
+                    raise RelationIOError(f"line {line_number}: {reason}")
+                assert report is not None
+                if not report.add(
+                    QuarantinedRow(source_name, line_number, record, reason)
+                ):
+                    raise RelationIOError(
+                        f"more than {report.cap} malformed rows in "
+                        f"{source_name}; aborting the load"
+                    )
+                continue
+            raw_rows.append((line_number, record))
 
         if schema is None:
             columns = [
-                [record[i] for record in raw_rows]
+                [record[i] for _line, record in raw_rows]
                 for i in range(len(attribute_names))
             ]
             schema = _infer_schema(attribute_names, columns)
@@ -151,36 +276,28 @@ def read_csv(
                 )
 
         relation = TemporalRelation(schema, name=name)
-        for line_offset, record in enumerate(raw_rows):
-            values = []
-            for attribute, cell in zip(schema.attributes, record):
-                cell = cell.strip()
-                if attribute.type == "int":
-                    try:
-                        values.append(int(cell))
-                    except ValueError:
-                        raise RelationIOError(
-                            f"value {cell!r} is not an int for attribute "
-                            f"{attribute.name!r}"
-                        ) from None
-                elif attribute.type == "float":
-                    try:
-                        values.append(float(cell))
-                    except ValueError:
-                        raise RelationIOError(
-                            f"value {cell!r} is not a float for attribute "
-                            f"{attribute.name!r}"
-                        ) from None
-                else:
-                    values.append(cell)
+        for line_number, record in raw_rows:
             try:
-                start = parse_instant(record[-2])
-                end = parse_instant(record[-1])
+                values, start, end = _parse_row(schema, record)
                 relation.insert(values, start, end)
             except (ValueError, SchemaError) as exc:
-                raise RelationIOError(
-                    f"row {line_offset + 2}: {exc}"
-                ) from exc
+                if not quarantine:
+                    raise RelationIOError(
+                        f"row {line_number}: {exc}"
+                    ) from exc
+                assert report is not None
+                if not report.add(
+                    QuarantinedRow(source_name, line_number, record, str(exc))
+                ):
+                    raise RelationIOError(
+                        f"more than {report.cap} malformed rows in "
+                        f"{source_name}; aborting the load"
+                    ) from exc
+                continue
+            if report is not None:
+                report.loaded += 1
+        if report is not None:
+            relation.quarantine = report
         return relation
     finally:
         if owned:
@@ -195,7 +312,18 @@ def to_csv_text(relation: TemporalRelation) -> str:
 
 
 def from_csv_text(
-    text: str, schema: Optional[Schema] = None, name: str = "from_csv"
+    text: str,
+    schema: Optional[Schema] = None,
+    name: str = "from_csv",
+    *,
+    on_error: str = "raise",
+    report: Optional[QuarantineReport] = None,
 ) -> TemporalRelation:
     """Parse a CSV string (convenience counterpart of :func:`to_csv_text`)."""
-    return read_csv(io.StringIO(text), schema=schema, name=name)
+    return read_csv(
+        io.StringIO(text),
+        schema=schema,
+        name=name,
+        on_error=on_error,
+        report=report,
+    )

@@ -34,6 +34,7 @@ __all__ = [
     "RelationStatistics",
     "next_relation_uid",
     "fold_fingerprint",
+    "fingerprint_rows",
 ]
 
 #: Process-wide uid source shared by every cacheable relation container
@@ -65,6 +66,21 @@ def fold_fingerprint(fingerprint: int, row: TemporalTuple) -> int:
     except TypeError:
         contribution = hash((row.start, row.end))
     return ((fingerprint * 1_000_003) ^ contribution) & _FINGERPRINT_MASK
+
+
+def fingerprint_rows(rows: Iterable[TemporalTuple]) -> int:
+    """The chained fingerprint of an entire row sequence from scratch.
+
+    Crash recovery's end-to-end check: the journal's COMMIT records
+    carry the writer's incremental chain, and
+    :func:`repro.storage.recovery.recover` recomputes it with this over
+    a full scan of the restored file — the two agree only if the exact
+    acknowledged rows were restored in the exact acknowledged order.
+    """
+    fingerprint = 0
+    for row in rows:
+        fingerprint = fold_fingerprint(fingerprint, row)
+    return fingerprint
 
 
 @dataclass(frozen=True)
@@ -113,6 +129,9 @@ class TemporalRelation:
         for row in self._rows:
             self._fingerprint = fold_fingerprint(self._fingerprint, row)
         self._statistics_cache: Optional[Tuple[int, RelationStatistics]] = None
+        #: Set by ``read_csv(on_error="quarantine")`` to the load's
+        #: :class:`~repro.relation.io.QuarantineReport`; None otherwise.
+        self.quarantine: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Construction

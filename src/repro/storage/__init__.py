@@ -1,23 +1,47 @@
 """Paged storage substrate: codec, pages, buffer manager, heap files,
-external sort.
+external sort — now crash-safe.
 
 The paper evaluates over on-disk relations of 128-byte tuples scanned
 sequentially (Section 6); this package provides that substrate so the
 algorithms and benchmarks can run storage-backed, with physical I/O
 counted by the buffer manager.
+
+Durability (GUIDE.md §12): pages carry CRC-32 footers
+(:mod:`repro.storage.page`), appends are write-ahead journaled
+(:mod:`repro.storage.journal`), crashes recover via
+:mod:`repro.storage.recovery` (reached through
+:meth:`HeapFile.durable`), long aggregations checkpoint through
+:mod:`repro.storage.checkpoint`, and ``python -m repro.storage scrub``
+is the read-only fsck.
 """
 
 from repro.storage.buffer import BufferManager, IOStatistics
+from repro.storage.checkpoint import checkpointed_evaluate, resume_evaluation
 from repro.storage.codec import (
     CodecError,
     FixedWidthCodec,
     TIMESTAMP_BYTES,
     TIMESTAMP_FOREVER,
+    content_checksum,
 )
 from repro.storage.external_sort import SortStatistics, external_sort
 from repro.storage.heapfile import HeapFile
-from repro.storage.page import PAGE_HEADER_BYTES, PAGE_SIZE, Page, PageError
+from repro.storage.journal import Journal, JournalState, JournalStats
+from repro.storage.page import (
+    PAGE_FOOTER_BYTES,
+    PAGE_HEADER_BYTES,
+    PAGE_SIZE,
+    Page,
+    PageCorruption,
+    PageError,
+)
 from repro.storage.randomized_scan import randomized_scan, randomized_scan_triples
+from repro.storage.recovery import (
+    RecoveryReport,
+    ScrubReport,
+    recover,
+    scrub,
+)
 from repro.storage.zonemap import ZoneMap, windowed_aggregate
 
 __all__ = [
@@ -25,13 +49,25 @@ __all__ = [
     "FixedWidthCodec",
     "TIMESTAMP_BYTES",
     "TIMESTAMP_FOREVER",
+    "content_checksum",
     "Page",
     "PageError",
+    "PageCorruption",
     "PAGE_SIZE",
     "PAGE_HEADER_BYTES",
+    "PAGE_FOOTER_BYTES",
     "BufferManager",
     "IOStatistics",
     "HeapFile",
+    "Journal",
+    "JournalState",
+    "JournalStats",
+    "RecoveryReport",
+    "ScrubReport",
+    "recover",
+    "scrub",
+    "checkpointed_evaluate",
+    "resume_evaluation",
     "SortStatistics",
     "external_sort",
     "randomized_scan",

@@ -19,7 +19,8 @@ import os
 from collections import OrderedDict
 from typing import BinaryIO, Dict
 
-from repro.storage.page import PAGE_SIZE, Page, PageError
+from repro.exec.faults import fsync_handle
+from repro.storage.page import PAGE_SIZE, Page, PageCorruption, PageError
 
 __all__ = ["BufferManager", "IOStatistics"]
 
@@ -83,7 +84,12 @@ class BufferManager:
         if len(raw) != PAGE_SIZE:
             raise PageError(f"page {page_id} is beyond the end of the file")
         self.stats.page_reads += 1
-        page = Page(self._record_bytes, bytearray(raw))
+        try:
+            page = Page(self._record_bytes, bytearray(raw))
+        except PageCorruption as exc:
+            if exc.page_id is None:
+                exc.page_id = page_id
+            raise
         page.dirty = False
         self._admit(page_id, page)
         return page
@@ -124,6 +130,17 @@ class BufferManager:
             if page.dirty:
                 self._write(page_id, page)
         self._handle.flush()
+
+    def sync(self) -> None:
+        """Flush every dirty page, then fsync the underlying file.
+
+        This is the data-file half of the commit protocol: the journal
+        guarantees nothing about pages the kernel is still holding in
+        its own cache, so durable checkpoints call :meth:`sync` before
+        the journal marks its records reclaimable.
+        """
+        self.flush()
+        fsync_handle(self._handle)
 
     def drop_cache(self) -> None:
         """Flush, then empty the cache (used by tests to force misses)."""

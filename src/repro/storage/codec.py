@@ -17,24 +17,48 @@ layout for any :class:`~repro.relation.schema.Schema`:
 Records are constant-size (``schema.record_bytes``), which keeps page
 arithmetic trivial and matches the 128 KB–8 MB relation sizes quoted in
 Table 3.
+
+The module also owns the byte-level integrity primitive the durable
+storage format builds on: :func:`content_checksum`, a CRC-32 over an
+arbitrary byte region.  Pages seal themselves with it
+(:mod:`repro.storage.page`) and the write-ahead journal CRCs every
+record payload (:mod:`repro.storage.journal`), so a torn or bit-flipped
+write is *detected* instead of silently decoded into wrong tuples.
 """
 
 from __future__ import annotations
 
 import struct
+import zlib
 from typing import Any, List, Tuple
 
 from repro.core.interval import FOREVER
 from repro.relation.schema import Schema
 from repro.relation.tuples import TemporalTuple
 
-__all__ = ["CodecError", "FixedWidthCodec", "TIMESTAMP_BYTES", "TIMESTAMP_FOREVER"]
+__all__ = [
+    "CodecError",
+    "FixedWidthCodec",
+    "TIMESTAMP_BYTES",
+    "TIMESTAMP_FOREVER",
+    "content_checksum",
+]
 
 #: On-disk bytes per timestamp (paper Section 6).
 TIMESTAMP_BYTES = 4
 
 #: The saturated on-disk encoding of FOREVER.
 TIMESTAMP_FOREVER = 0xFFFF_FFFF
+
+
+def content_checksum(data: "bytes | bytearray | memoryview") -> int:
+    """CRC-32 of ``data`` as an unsigned 32-bit integer.
+
+    The storage layer's single integrity primitive: page footers and
+    journal-record headers both store this, so scrub and recovery share
+    one notion of "these bytes survived the disk".
+    """
+    return zlib.crc32(bytes(data)) & 0xFFFF_FFFF
 
 
 class CodecError(ValueError):

@@ -15,6 +15,12 @@ two-phase external merge sort over :class:`~repro.storage.heapfile.HeapFile`:
 Every page touched goes through the buffer managers, so the I/O cost
 the Section 6.3 optimizer weighs against tree memory is measured, not
 guessed (see :class:`SortStatistics`).
+
+Failure behavior: the sort either returns a complete sorted output or
+raises :class:`~repro.exec.errors.StorageError` — a disk error mid-run
+or mid-merge never yields a partially sorted file, and the scratch run
+files are removed on every exit path (the fault-injection tests drive
+EIO into arbitrary scratch writes to hold this to account).
 """
 
 from __future__ import annotations
@@ -25,8 +31,10 @@ import tempfile
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional
 
+from repro.exec.errors import StorageError
 from repro.relation.tuples import TemporalTuple, timestamp_sort_key
 from repro.storage.heapfile import HeapFile
+from repro.storage.journal import scratch_unlink
 
 __all__ = ["SortStatistics", "external_sort"]
 
@@ -77,47 +85,64 @@ def external_sort(
     stats = statistics if statistics is not None else SortStatistics()
     tuples_per_run = max(1, run_pages * heap.records_per_page)
 
-    # Phase 1: sorted runs.
     runs: List[HeapFile] = []
-    for chunk in _chunks(heap, tuples_per_run):
-        chunk.sort(key=timestamp_sort_key)
-        if temp_dir is not None:
-            fd, path = tempfile.mkstemp(suffix=".run", dir=temp_dir)
-            os.close(fd)
-            stats.temp_paths.append(path)
-        else:
-            path = None
-        run = HeapFile(heap.schema, path=path, buffer_pages=2)
-        run.append_all(chunk)
-        run.flush()
-        stats.runs += 1
-        stats.tuples += len(chunk)
-        stats.run_page_writes += run.buffer.stats.page_writes
-        runs.append(run)
+    output: Optional[HeapFile] = None
+    try:
+        # Phase 1: sorted runs.
+        for chunk in _chunks(heap, tuples_per_run):
+            chunk.sort(key=timestamp_sort_key)
+            if temp_dir is not None:
+                fd, path = tempfile.mkstemp(suffix=".run", dir=temp_dir)
+                os.close(fd)
+                stats.temp_paths.append(path)
+            else:
+                path = None
+            run = HeapFile(heap.schema, path=path, buffer_pages=2, io_tag="scratch")
+            runs.append(run)
+            run.append_all(chunk)
+            run.flush()
+            stats.runs += 1
+            stats.tuples += len(chunk)
+            stats.run_page_writes += run.buffer.stats.page_writes
 
-    # Phase 2: k-way merge.
-    output = HeapFile(heap.schema, path=output_path, buffer_pages=2)
-    merge_heap: List[tuple] = []
-    scanners = [run.scan() for run in runs]
-    for index, scanner in enumerate(scanners):
-        first = next(scanner, None)
-        if first is not None:
-            heapq.heappush(merge_heap, (timestamp_sort_key(first), index, first))
-    while merge_heap:
-        _key, index, row = heapq.heappop(merge_heap)
-        output.append(row)
-        following = next(scanners[index], None)
-        if following is not None:
-            heapq.heappush(
-                merge_heap, (timestamp_sort_key(following), index, following)
-            )
-    output.flush()
+        # Phase 2: k-way merge.
+        output = HeapFile(heap.schema, path=output_path, buffer_pages=2)
+        merge_heap: List[tuple] = []
+        scanners = [run.scan() for run in runs]
+        for index, scanner in enumerate(scanners):
+            first = next(scanner, None)
+            if first is not None:
+                heapq.heappush(merge_heap, (timestamp_sort_key(first), index, first))
+        while merge_heap:
+            _key, index, row = heapq.heappop(merge_heap)
+            output.append(row)
+            following = next(scanners[index], None)
+            if following is not None:
+                heapq.heappush(
+                    merge_heap, (timestamp_sort_key(following), index, following)
+                )
+        output.flush()
+    except OSError as exc:
+        # Never hand back a partially sorted file: drop the output too,
+        # then surface the failure as the typed storage error.
+        if output is not None and output_path is not None:
+            try:
+                output.close()
+            except OSError:
+                pass  # the disk is already failing; removal below still runs
+            scratch_unlink(output_path)
+        raise StorageError(
+            f"external sort failed after {stats.runs} run(s): {exc}"
+        ) from exc
+    finally:
+        for run in runs:
+            stats.run_page_reads += run.buffer.stats.page_reads
+            try:
+                run.close()
+            except OSError:
+                pass  # a failing scratch disk must not block cleanup
+        for path in stats.temp_paths:
+            scratch_unlink(path)
 
-    for run in runs:
-        stats.run_page_reads += run.buffer.stats.page_reads
-        run.close()
-    for path in stats.temp_paths:
-        if os.path.exists(path):
-            os.unlink(path)
     stats.output_page_writes = output.buffer.stats.page_writes
     return output

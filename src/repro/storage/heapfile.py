@@ -15,19 +15,21 @@ from __future__ import annotations
 
 import io
 import os
-from typing import Any, BinaryIO, Iterator, Optional, Tuple
+from typing import Any, BinaryIO, Iterator, List, Optional, Tuple
 
 from repro.core.interval import FOREVER, Interval
 from repro.core.ordering import k_ordered_percentage, k_orderedness
 from repro.relation.relation import (
     RelationStatistics,
     TemporalRelation,
+    fold_fingerprint,
     next_relation_uid,
 )
 from repro.relation.schema import Schema
 from repro.relation.tuples import TemporalTuple
 from repro.storage.buffer import BufferManager
 from repro.storage.codec import FixedWidthCodec
+from repro.storage.journal import Journal, data_open, scratch_open
 
 __all__ = ["HeapFile"]
 
@@ -40,11 +42,22 @@ class HeapFile:
         schema: Schema,
         path: Optional[str] = None,
         buffer_pages: int = 64,
+        journal: Optional[Journal] = None,
+        io_tag: str = "data",
     ) -> None:
         """Open (creating if needed) a heap file.
 
         ``path=None`` keeps the file in memory (a ``BytesIO``), which
         tests and small examples use; benchmarks pass real paths.
+        ``io_tag`` labels the handle for fault injection — ``"data"``
+        for relations, ``"scratch"`` for sort runs and spills.
+
+        With a ``journal`` attached, every append is write-ahead logged
+        before its page is touched and :meth:`commit`/:meth:`flush`
+        provide the acknowledgement points crash recovery honors.  Use
+        :meth:`durable` rather than wiring a journal by hand — it runs
+        recovery first, which a journal with surviving segments
+        requires.
         """
         self.schema = schema
         self.codec = FixedWidthCodec(schema)
@@ -53,7 +66,9 @@ class HeapFile:
             self._handle: BinaryIO = io.BytesIO()
         else:
             mode = "r+b" if os.path.exists(path) else "w+b"
-            self._handle = open(path, mode)
+            opener = scratch_open if io_tag == "scratch" else data_open
+            self._handle = opener(path, mode)
+        self.journal = journal
         self.buffer = BufferManager(
             self._handle, self.codec.record_bytes, capacity=buffer_pages
         )
@@ -67,6 +82,15 @@ class HeapFile:
         #: tuple count, so an equal-cardinality rewrite still invalidates.
         self.version = 0
         self._statistics_cache: Optional[Tuple[int, RelationStatistics]] = None
+        #: Chained order-sensitive fingerprint over every stored row,
+        #: maintained per append when journaled (COMMIT records carry
+        #: it; recovery re-derives and compares it end to end).
+        self._fingerprint = 0
+        if journal is not None and self._tuple_count:
+            for row in self.scan():
+                self._fingerprint = fold_fingerprint(self._fingerprint, row)
+        #: Set by :func:`repro.storage.recovery.recover` on durable opens.
+        self.last_recovery: Optional[Any] = None
 
     def _count_existing(self) -> int:
         pages = self.buffer.page_count()
@@ -88,17 +112,32 @@ class HeapFile:
 
     @property
     def records_per_page(self) -> int:
-        from repro.storage.page import PAGE_HEADER_BYTES, PAGE_SIZE
+        from repro.storage.page import PAGE_FOOTER_BYTES, PAGE_HEADER_BYTES, PAGE_SIZE
 
-        return (PAGE_SIZE - PAGE_HEADER_BYTES) // self.codec.record_bytes
+        return (
+            PAGE_SIZE - PAGE_HEADER_BYTES - PAGE_FOOTER_BYTES
+        ) // self.codec.record_bytes
+
+    @property
+    def fingerprint(self) -> int:
+        """Chained fingerprint over every stored row (journaled mode)."""
+        return self._fingerprint
 
     # ------------------------------------------------------------------
     # Writing
     # ------------------------------------------------------------------
 
     def append(self, row: TemporalTuple) -> None:
-        """Encode and store one tuple at the end of the file."""
+        """Encode and store one tuple at the end of the file.
+
+        Journaled files observe strict write-ahead order: the record
+        reaches the journal before any data page is touched, so a crash
+        at any instant leaves the journal a superset of the pages.
+        """
         record = self.codec.encode(row)
+        if self.journal is not None:
+            self.journal.log_append(record)
+        self._fingerprint = fold_fingerprint(self._fingerprint, row)
         if self._tail_page_id is not None:
             page = self.buffer.get(self._tail_page_id)
             if not page.is_full:
@@ -232,15 +271,88 @@ class HeapFile:
         return TemporalRelation(self.schema, self.scan(), name=name)
 
     # ------------------------------------------------------------------
-    # Lifecycle
+    # Durability lifecycle
     # ------------------------------------------------------------------
 
+    def commit(self) -> None:
+        """Acknowledge every append so far (journaled files only).
+
+        Writes a COMMIT record carrying the current count and chained
+        fingerprint; under the default fsync policy, the acknowledged
+        appends now survive any crash even though their data pages may
+        still be dirty in the buffer pool.
+        """
+        if self.journal is not None:
+            self.journal.commit(self._tuple_count, self._fingerprint)
+
+    def _committed_tail_records(self) -> List[bytes]:
+        """The committed records on the partial tail page (for rotation)."""
+        rpp = self.records_per_page
+        base = (self._tuple_count // rpp) * rpp
+        if base == self._tuple_count:
+            return []
+        page = self.buffer.get(base // rpp)
+        return [page.read(slot) for slot in range(self._tuple_count - base)]
+
     def flush(self) -> None:
-        self.buffer.flush()
+        """Make every append durable in the *data file*.
+
+        Journaled files run the full commit protocol: journal COMMIT
+        (acknowledge), write-back + fsync the data pages, then rotate
+        the journal — old segments are deleted, and the committed
+        records still on the rewritable partial tail page are re-logged
+        so no later torn page write can lose them.
+        """
+        if self.journal is None:
+            self.buffer.flush()
+            return
+        self.commit()
+        self.buffer.sync()
+        self.journal.mark_durable(
+            self._tuple_count,
+            self._fingerprint,
+            self.records_per_page,
+            self._committed_tail_records(),
+        )
 
     def close(self) -> None:
-        self.buffer.flush()
+        self.flush()
         self._handle.close()
+        if self.journal is not None:
+            self.journal.close()
+
+    def abandon(self) -> None:
+        """Drop the OS handles without flushing — a process-death stand-in.
+
+        Dirty buffer pages are discarded and the journal is left
+        unrotated, exactly as a crash would leave them; tests and the
+        durability bench reopen with :meth:`durable` to exercise
+        recovery.
+        """
+        self._handle.close()
+        if self.journal is not None:
+            self.journal.close()
+
+    @classmethod
+    def durable(
+        cls,
+        schema: Schema,
+        path: str,
+        buffer_pages: int = 64,
+        fsync_policy: Optional[str] = None,
+    ) -> "HeapFile":
+        """Open a crash-safe heap file at ``path`` with its journal.
+
+        Routes through :func:`repro.storage.recovery.recover`: if
+        journal segments survive from a previous (possibly crashed)
+        process, they are replayed and reconciled against the data file
+        before the first new append is accepted.
+        """
+        from repro.storage.recovery import recover
+
+        return recover(
+            schema, path, buffer_pages=buffer_pages, fsync_policy=fsync_policy
+        )
 
     def __enter__(self) -> "HeapFile":
         return self

@@ -12,7 +12,8 @@ spirit of a database console::
 Meta-commands (backslash-prefixed):
 
 ========================  ===================================================
-``\\load PATH [NAME]``     load a temporal CSV as relation NAME
+``\\load PATH [NAME]``     load a temporal CSV as relation NAME; malformed
+                          rows are quarantined and summarised, not fatal
 ``\\save NAME PATH``       write a relation back out as temporal CSV
 ``\\tables``               list registered relations
 ``\\schema NAME``          show a relation's attributes and statistics
@@ -20,6 +21,7 @@ Meta-commands (backslash-prefixed):
 ``\\plan QUERY``           show the Section 6.3 planner decision for QUERY's
                           underlying relation (without running it)
 ``\\time QUERY``           run QUERY and report the elapsed time
+``\\scrub PATH``           fsck-style check of a heap file and its journal
 ``\\help``                 this text
 ``\\quit``                 exit
 ========================  ===================================================
@@ -27,6 +29,11 @@ Meta-commands (backslash-prefixed):
 Everything else is parsed as a TSQL2-lite query.  The shell is fully
 scriptable: ``main`` reads from any iterable of lines and writes to any
 file object, which is how the test suite drives it.
+
+Engine failures surface as one-line diagnostics instead of tracebacks:
+``error[StorageCorruption]: ... (hint: run `python -m repro.storage
+scrub PATH`...)`` — every :class:`~repro.exec.TemporalAggregateError`
+subclass maps to a recovery hint.
 """
 
 from __future__ import annotations
@@ -36,14 +43,72 @@ import time
 from typing import Iterable, Optional, TextIO
 
 from repro.core.planner import choose_strategy
-from repro.relation.io import RelationIOError, read_csv, write_csv
+from repro.exec.errors import (
+    BudgetExhausted,
+    DeadlineExceeded,
+    InvalidInput,
+    RecoveryError,
+    ShardFailure,
+    StorageCorruption,
+    StorageError,
+    TemporalAggregateError,
+)
+from repro.relation.io import QuarantineReport, RelationIOError, read_csv, write_csv
 from repro.tsql2.executor import Database, TSQL2SemanticError
 from repro.tsql2.lexer import TSQL2SyntaxError
 from repro.tsql2.parser import parse
 
 __all__ = ["Shell", "main"]
 
-_HELP = __doc__.split("Meta-commands", 1)[1]
+_HELP = __doc__.split("Meta-commands", 1)[1].split("Engine failures", 1)[0]
+
+#: Recovery hints keyed by taxonomy class, most-derived first: the
+#: first ``isinstance`` match wins, so subclasses shadow their bases.
+_ERROR_HINTS = (
+    (
+        StorageCorruption,
+        "run `python -m repro.storage scrub PATH` (or \\scrub PATH) to "
+        "locate the damage, then reopen with HeapFile.durable() to recover",
+    ),
+    (
+        RecoveryError,
+        "acknowledged data could not be restored; keep the journal "
+        "segments and re-run recovery against a copy",
+    ),
+    (
+        StorageError,
+        "check disk space and permissions, then retry the operation",
+    ),
+    (
+        BudgetExhausted,
+        "raise the memory budget or let the engine degrade to the "
+        "spilling paged tree",
+    ),
+    (
+        DeadlineExceeded,
+        "raise the deadline or narrow the query window",
+    ),
+    (
+        ShardFailure,
+        "the parallel pool is unhealthy; retry with shards=1",
+    ),
+    (
+        InvalidInput,
+        "check the query's interval bounds and aggregate arguments",
+    ),
+    (
+        TemporalAggregateError,
+        "see \\help for usage",
+    ),
+)
+
+
+def diagnose(error: TemporalAggregateError) -> str:
+    """One-line diagnostic with a recovery hint for a taxonomy error."""
+    for kind, hint in _ERROR_HINTS:
+        if isinstance(error, kind):
+            return f"error[{type(error).__name__}]: {error} (hint: {hint})"
+    raise AssertionError("unreachable: base class terminates the table")
 
 
 class Shell:
@@ -73,6 +138,8 @@ class Shell:
                 self._meta(line)
             else:
                 self._query(line)
+        except TemporalAggregateError as error:
+            self._print(diagnose(error))
         except (TSQL2SyntaxError, TSQL2SemanticError, RelationIOError) as error:
             self._print(f"error: {error}")
         except FileNotFoundError as error:
@@ -103,12 +170,20 @@ class Shell:
                 return
             path = arguments[0]
             name = arguments[1] if len(arguments) > 1 else None
-            relation = read_csv(path, name=name or "loaded")
+            report = QuarantineReport()
+            relation = read_csv(
+                path,
+                name=name or "loaded",
+                on_error="quarantine",
+                report=report,
+            )
             self.database.register(relation, name=name or relation.name)
             self._print(
                 f"loaded {len(relation)} tuples as "
                 f"{(name or relation.name)!r}"
             )
+            if report.rows:
+                self._print(report.summary())
         elif command == "save":
             if len(arguments) != 2:
                 self._print("usage: \\save NAME PATH")
@@ -150,6 +225,15 @@ class Shell:
             elapsed = time.perf_counter() - started
             self._print(result.pretty())
             self._print(f"({len(result)} rows in {elapsed:.4f}s)")
+        elif command == "scrub":
+            if len(arguments) != 1:
+                self._print("usage: \\scrub PATH")
+                return
+            from repro.storage.recovery import scrub
+
+            report = scrub(arguments[0])
+            for text in report.lines():
+                self._print(text)
         else:
             self._print(f"unknown meta-command \\{command}; try \\help")
 

@@ -1,0 +1,33 @@
+"""Deliberate TA009 violations (lint fixture; parsed, never imported)."""
+
+import os
+from os import remove
+
+
+def clobber(path):
+    handle = open(path, "wb")
+    handle.close()
+
+
+def clobber_keyword(path):
+    with open(path, mode="r+b") as handle:
+        handle.read()
+
+
+def delete_directly(path):
+    os.remove(path)
+    os.unlink(path)
+
+
+def delete_via_import(path):
+    remove(path)
+
+
+def read_is_fine(path):
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+def sanctioned(path):
+    handle = open(path, "wb")  # ta: ignore[TA009]
+    handle.close()

@@ -21,6 +21,7 @@ from repro.analysis.rules import (
     AnnotationGateRule,
     BoundaryValidationRule,
     EvaluatorProtocolRule,
+    JournalBypassRule,
     MutableDefaultRule,
     SetIterationRule,
     SlotsOnNodeClassesRule,
@@ -117,6 +118,32 @@ class TestRuleFirings:
         assert "size" in found[2].message
         # resize (annotated), _internal (private) stay clean; the
         # *extras/**options variadics on fully_annotated are accepted.
+
+    def test_ta009_journal_bypass(self):
+        found = run_rules([JournalBypassRule()], "storage/ta009_bypass.py")
+        assert locations(found) == [
+            ("TA009", 8),   # open(path, "wb")
+            ("TA009", 13),  # open(path, mode="r+b")
+            ("TA009", 18),  # os.remove
+            ("TA009", 19),  # os.unlink
+            ("TA009", 23),  # bare imported remove()
+        ]
+        assert "data_open" in found[0].message
+        assert "scratch_unlink" in found[2].message
+
+    def test_ta009_only_applies_to_storage_scope(self):
+        rule = JournalBypassRule()
+        storage = SourceFile.parse(FIXTURES / "storage" / "ta009_bypass.py")
+        elsewhere = SourceFile.parse(FIXTURES / "core" / "ta003_swallow.py")
+        assert rule.applies_to(storage)
+        assert not rule.applies_to(elsewhere)
+
+    def test_ta009_real_storage_tree_is_clean(self):
+        files = [
+            SourceFile.parse(path)
+            for path in collect_files([REPO_ROOT / "src" / "repro" / "storage"])
+        ]
+        assert LintRunner([JournalBypassRule()]).run(files) == []
 
 
 class TestSuppressions:

@@ -66,6 +66,7 @@ class TestFigureDrivers:
             "ablations",
             "parallel",
             "cache",
+            "durability",
         }
 
     def test_ablations_driver(self):

@@ -78,5 +78,7 @@ class TestDocumentedCommands:
                 or name in ("count", "sum", "min", "max", "avg")
                 # The §10 failure-mode table names exec exceptions.
                 or isinstance(getattr(repro.exec, name, None), type)
+                # The §12 durability table names environment knobs.
+                or name.startswith("REPRO_")
             )
             assert documented, name

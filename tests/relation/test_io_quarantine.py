@@ -1,0 +1,117 @@
+"""Quarantine policy for malformed CSV rows."""
+
+import pytest
+
+from repro.relation.io import (
+    DEFAULT_QUARANTINE_CAP,
+    QuarantineReport,
+    QuarantinedRow,
+    RelationIOError,
+    from_csv_text,
+)
+from repro.relation.schema import Attribute, Schema
+
+SCHEMA = Schema((Attribute("name", "str", 16), Attribute("salary", "int")))
+
+#: Lines 3 (short row), 4 (bad int), 5 (bad interval) are malformed.
+MIXED = (
+    "name,salary,valid_start,valid_end\n"
+    "Richard,40000,18,forever\n"
+    "Karen,45000,8\n"
+    "Franziska,notanint,10,12\n"
+    "Tom,38000,what,12\n"
+    "Juan,42000,5,9\n"
+)
+
+
+class TestQuarantineMode:
+    def test_good_rows_load_bad_rows_quarantine(self):
+        relation = from_csv_text(MIXED, SCHEMA, on_error="quarantine")
+        assert len(relation) == 2
+        report = relation.quarantine
+        assert report is not None
+        assert report.loaded == 2
+        assert [row.line for row in report.rows] == [3, 4, 5]
+        assert not report.capped
+
+    def test_reasons_carry_source_context(self):
+        report = QuarantineReport()
+        from_csv_text(MIXED, SCHEMA, on_error="quarantine", report=report)
+        short, bad_int, bad_time = report.rows
+        assert short.source == "<stream>"
+        assert "expected 4 fields, got 3" in short.reason
+        assert "'notanint' is not an int" in bad_int.reason
+        assert bad_int.fields[0] == "Franziska"
+        assert repr(bad_time).startswith("<stream>:5: ")
+
+    def test_summary_totals_line(self):
+        relation = from_csv_text(MIXED, SCHEMA, on_error="quarantine")
+        summary = relation.quarantine.summary()
+        assert summary.splitlines()[-1] == "2 row(s) loaded, 3 quarantined"
+        assert "<stream>:3:" in summary
+
+    def test_cap_overflow_aborts_the_load(self):
+        report = QuarantineReport(cap=2)
+        with pytest.raises(RelationIOError, match="more than 2 malformed"):
+            from_csv_text(MIXED, SCHEMA, on_error="quarantine", report=report)
+        assert report.capped
+        assert len(report) == 2  # the first two refusals were kept
+
+    def test_clean_file_attaches_empty_report(self):
+        relation = from_csv_text(
+            "name,salary,valid_start,valid_end\nRichard,40000,18,forever\n",
+            SCHEMA,
+            on_error="quarantine",
+        )
+        assert len(relation.quarantine) == 0
+        assert relation.quarantine.loaded == 1
+
+    def test_inferred_schema_quarantines_field_count_only(self):
+        """Without a declared schema, inference adapts column types to
+        the data — only structural (field count) errors remain."""
+        relation = from_csv_text(MIXED, on_error="quarantine")
+        report = relation.quarantine
+        assert [row.line for row in report.rows] == [3, 5]
+        assert len(relation) == 3  # 'notanint' loaded as a str column
+
+
+class TestRaiseMode:
+    def test_default_aborts_on_first_bad_row(self):
+        with pytest.raises(RelationIOError, match="line 3"):
+            from_csv_text(MIXED, SCHEMA)
+
+    def test_value_error_names_the_row(self):
+        text = (
+            "name,salary,valid_start,valid_end\n"
+            "Richard,oops,18,forever\n"
+        )
+        with pytest.raises(RelationIOError, match="row 2.*not an int"):
+            from_csv_text(text, SCHEMA)
+
+    def test_no_report_attached(self):
+        relation = from_csv_text(
+            "name,salary,valid_start,valid_end\nRichard,40000,18,forever\n",
+            SCHEMA,
+        )
+        assert relation.quarantine is None
+
+
+class TestPolicyValidation:
+    def test_invalid_on_error_rejected(self):
+        with pytest.raises(ValueError, match="on_error"):
+            from_csv_text(MIXED, SCHEMA, on_error="ignore")
+
+    def test_cap_must_be_positive(self):
+        with pytest.raises(ValueError, match="cap"):
+            QuarantineReport(cap=0)
+
+    def test_default_cap(self):
+        assert QuarantineReport().cap == DEFAULT_QUARANTINE_CAP
+
+    def test_header_errors_always_abort(self):
+        with pytest.raises(RelationIOError, match="last two columns"):
+            from_csv_text("a,b,c\n1,2,3\n", on_error="quarantine")
+
+    def test_quarantined_row_repr(self):
+        row = QuarantinedRow("people.csv", 7, ["x"], "bad value")
+        assert repr(row) == "people.csv:7: bad value"

@@ -1,0 +1,95 @@
+"""Fault-injected external sort: typed errors, no scrap left behind."""
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exec import faults
+from repro.exec.errors import StorageError
+from repro.exec.faults import FaultPlan, IOFault
+from repro.storage.external_sort import SortStatistics, external_sort
+from repro.storage.heapfile import HeapFile
+from repro.workload.generator import WorkloadParameters, generate_relation
+
+pytestmark = pytest.mark.faults
+
+
+def build_heap(n, seed):
+    relation = generate_relation(WorkloadParameters(tuples=n, seed=seed))
+    return HeapFile.from_relation(relation)
+
+
+class TestEIOMidSort:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        at_call=st.integers(min_value=1, max_value=12),
+        seed=st.integers(min_value=0, max_value=5),
+    )
+    def test_eio_raises_typed_error_and_cleans_temp_segments(
+        self, tmp_path_factory, at_call, seed
+    ):
+        """Property: EIO at *any* scratch write either leaves the sort
+        unaffected (the fault index was never reached) or surfaces as
+        StorageError — never a partial output — and the temp run files
+        are gone on every exit path."""
+        tmp_path = tmp_path_factory.mktemp("sortfaults")
+        heap = build_heap(260, seed)  # several runs at run_pages=1
+        stats = SortStatistics()
+        plan = FaultPlan(
+            io_faults=(
+                IOFault(tag="scratch", operation="write", at_call=at_call),
+            ),
+            name=f"eio@scratch/{at_call}",
+        )
+        faults.install_fault_plan(plan)
+        try:
+            output = external_sort(
+                heap, run_pages=1, temp_dir=str(tmp_path), statistics=stats
+            )
+        except StorageError as error:
+            assert "external sort failed" in str(error)
+            assert isinstance(error.__cause__, OSError)
+        else:
+            rows = list(output.scan())
+            assert len(rows) == 260
+        finally:
+            faults.clear_fault_plan()
+        leftovers = [
+            entry for entry in os.listdir(tmp_path) if entry.endswith(".run")
+        ]
+        assert leftovers == []
+
+    def test_eio_mid_merge_drops_partial_output_file(self, tmp_path):
+        """An output-file failure mid-merge must not leave a partial
+        sorted file for a later open to mistake for a complete one."""
+        heap = build_heap(260, seed=1)
+        output_path = str(tmp_path / "sorted.dat")
+        plan = FaultPlan(
+            io_faults=(
+                # The output heap file is opened with the "data" tag;
+                # its first page write happens during the merge phase.
+                IOFault(tag="data", operation="write", at_call=1),
+            ),
+            name="eio@output",
+        )
+        faults.install_fault_plan(plan)
+        try:
+            with pytest.raises(StorageError):
+                external_sort(
+                    heap,
+                    run_pages=1,
+                    output_path=output_path,
+                    temp_dir=str(tmp_path),
+                )
+        finally:
+            faults.clear_fault_plan()
+        assert not os.path.exists(output_path)
+        assert [e for e in os.listdir(tmp_path) if e.endswith(".run")] == []
+
+    def test_no_faults_no_wrapping_overhead(self, tmp_path):
+        """Without an installed plan the sort runs on bare handles."""
+        heap = build_heap(100, seed=2)
+        output = external_sort(heap, run_pages=1, temp_dir=str(tmp_path))
+        assert len(list(output.scan())) == 100

@@ -1,17 +1,20 @@
 """Fault injection: corrupted storage must fail loudly, not wrongly.
 
 The buffer manager and page code should turn on-disk corruption into
-explicit errors (or, for payload-only damage, into locally wrong values
-that never crash the scanner) — never into silent index corruption.
+explicit errors — never into silently wrong rows and never into index
+corruption.  Since the checksummed page format, *any* byte damage to a
+sealed page (header, payload, or padding) trips the CRC footer; only
+legacy version-0 images are exempt, because they carry no footer.
 """
 
 import struct
 
 import pytest
 
+from repro.exec.errors import StorageCorruption
 from repro.storage.buffer import BufferManager
 from repro.storage.heapfile import HeapFile
-from repro.storage.page import PAGE_SIZE, Page, PageError
+from repro.storage.page import PAGE_HEADER_BYTES, PAGE_SIZE, Page, PageCorruption, PageError
 from repro.workload.employed import employed_relation
 
 
@@ -51,22 +54,43 @@ class TestHeaderCorruption:
 
 
 class TestPayloadCorruption:
-    def test_timestamp_corruption_changes_data_not_crashes(self, heap):
-        """Flipping timestamp bytes yields different (decodable)
-        instants; the scanner keeps working."""
+    def test_timestamp_corruption_detected_by_checksum(self, heap):
+        """Flipped timestamp bytes no longer decode into wrong instants:
+        the page CRC refuses the whole page."""
         # Record 0 starts at byte 8; timestamps at offset 8 + 12.
         corrupt(heap._handle, 8 + 12, b"\x00\x00\x00\x01")
         heap.buffer.drop_cache()
-        rows = list(heap.scan())
-        assert len(rows) == 4  # structure intact
-        assert rows[0].start == 1  # value visibly changed
+        with pytest.raises(PageCorruption, match="checksum"):
+            list(heap.scan())
 
-    def test_string_padding_corruption_is_contained(self, heap):
-        # Stomp on the padding area of record 0 (beyond the 20 live bytes).
+    def test_padding_corruption_detected_by_checksum(self, heap):
+        """Even damage to dead padding bytes is refused — the CRC covers
+        every byte, so 'harmless' rot cannot mask real rot."""
         corrupt(heap._handle, 8 + 30, b"\xff" * 16)
         heap.buffer.drop_cache()
-        rows = list(heap.scan())
-        assert rows[0].values == ("Richard", 40_000)  # live bytes untouched
+        with pytest.raises(PageCorruption, match="checksum"):
+            list(heap.scan())
+
+    def test_page_corruption_is_storage_corruption(self, heap):
+        """Callers branching on the execution-layer taxonomy see page
+        damage as StorageCorruption, with the page id attached."""
+        corrupt(heap._handle, 8 + 12, b"\x00\x00\x00\x01")
+        heap.buffer.drop_cache()
+        with pytest.raises(StorageCorruption) as excinfo:
+            list(heap.scan())
+        assert excinfo.value.page_id == 0
+
+    def test_legacy_version0_pages_skip_verification(self, heap):
+        """Version-0 images predate the footer; payload damage there is
+        still served (the historical behavior the format upgrade fixed)."""
+        heap.buffer.drop_cache()
+        heap._handle.seek(0)
+        raw = bytearray(heap._handle.read(PAGE_SIZE))
+        count = struct.unpack_from(">IHH", raw, 0)[0]
+        struct.pack_into(">IHH", raw, 0, count, 128, 0)  # rewrite as v0
+        raw[8 + 12 : 8 + 16] = b"\x00\x00\x00\x01"  # corrupt a timestamp
+        rows = list(Page(128, raw).records())
+        assert len(rows) == count  # structure intact, damage undetected
 
 
 class TestBufferManagerInvariants:

@@ -1,0 +1,236 @@
+"""Write-ahead journal: records, replay, torn tails, rotation."""
+
+import os
+import struct
+
+import pytest
+
+from repro.exec.errors import StorageCorruption
+from repro.storage.journal import (
+    APPEND,
+    CHECKPOINT,
+    COMMIT,
+    JOURNAL_MAGIC,
+    SEGMENT_HEADER,
+    Journal,
+    encode_record,
+    journal_segments,
+)
+
+WIDTH = 16
+
+
+def record(value):
+    return bytes([value % 256]) * WIDTH
+
+
+def open_journal(tmp_path, **kwargs):
+    kwargs.setdefault("record_bytes", WIDTH)
+    kwargs.setdefault("fsync_policy", "never")
+    return Journal(str(tmp_path / "rel.dat.journal"), **kwargs)
+
+
+class TestRecordFormat:
+    def test_encode_leads_with_magic(self):
+        blob = encode_record(APPEND, b"payload")
+        magic, kind, _flags, length, _crc = struct.unpack_from(">HBBII", blob)
+        assert (magic, kind, length) == (JOURNAL_MAGIC, APPEND, 7)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            encode_record(99, b"")
+
+    def test_wrong_width_append_rejected(self, tmp_path):
+        with open_journal(tmp_path) as journal:
+            with pytest.raises(ValueError, match="16-byte"):
+                journal.log_append(b"short")
+
+    def test_overcommit_rejected(self, tmp_path):
+        with open_journal(tmp_path) as journal:
+            journal.log_append(record(0))
+            with pytest.raises(ValueError, match="cannot commit"):
+                journal.commit(2, 0)
+
+
+class TestReplay:
+    def test_appends_and_commit_round_trip(self, tmp_path):
+        with open_journal(tmp_path) as journal:
+            for index in range(5):
+                assert journal.log_append(record(index)) == index
+            journal.commit(3, 0xBEEF)
+            journal.log_checkpoint(b"ckpt")
+        state = Journal.replay(str(tmp_path / "rel.dat.journal"))
+        assert state.base == 0
+        assert [blob[0] for blob in state.appends] == [0, 1, 2, 3, 4]
+        assert state.committed_count == 3
+        assert state.committed_fingerprint == 0xBEEF
+        assert state.checkpoint == b"ckpt"
+        assert not state.torn_tail
+
+    def test_empty_journal(self, tmp_path):
+        state = Journal.replay(str(tmp_path / "rel.dat.journal"))
+        assert state.segments == []
+        assert state.logged_count == 0
+        assert state.committed_count is None
+
+    def test_torn_tail_is_truncated_not_fatal(self, tmp_path):
+        with open_journal(tmp_path) as journal:
+            for index in range(4):
+                journal.log_append(record(index))
+            journal.commit(4, 7)
+        path = str(tmp_path / "rel.dat.journal")
+        segment = journal_segments(path)[-1]
+        size = os.path.getsize(segment)
+        with open(segment, "r+b") as handle:
+            handle.truncate(size - 5)  # tear inside the COMMIT record
+        state = Journal.replay(path)
+        assert state.torn_tail
+        assert len(state.appends) == 4
+        assert state.committed_count is None  # the COMMIT never made it
+
+    def test_mid_log_corruption_is_refused(self, tmp_path):
+        with open_journal(tmp_path) as journal:
+            for index in range(4):
+                journal.log_append(record(index))
+            journal.commit(4, 7)
+        path = str(tmp_path / "rel.dat.journal")
+        segment = journal_segments(path)[-1]
+        with open(segment, "r+b") as handle:
+            blob = bytearray(handle.read())
+            blob[len(blob) // 3] ^= 0xFF  # valid records still follow
+            handle.seek(0)
+            handle.write(bytes(blob))
+        with pytest.raises(StorageCorruption, match="corrupt, not torn"):
+            Journal.replay(path)
+
+    def test_missing_segment_is_refused(self, tmp_path):
+        path = str(tmp_path / "rel.dat.journal")
+        with open_journal(tmp_path, segment_bytes=1) as journal:
+            for index in range(3):
+                journal.log_append(record(index))
+                journal.commit(index + 1, index)
+                # Tiny segment target: force a rotation per flush cycle.
+                journal.mark_durable(index + 1, index, 511, [record(v) for v in range(index + 1)])
+        segments = journal_segments(path)
+        assert len(segments) == 1  # rotation deleted the old ones
+        # Fabricate a gap: a segment claiming to start past the history.
+        bogus = path + ".999999"
+        with open(bogus, "wb") as handle:
+            handle.write(
+                encode_record(SEGMENT_HEADER, struct.pack(">QH6x", 50, WIDTH))
+            )
+        with pytest.raises(StorageCorruption, match="missing"):
+            Journal.replay(path)
+
+
+class TestRotation:
+    def test_mark_durable_retains_page_aligned_tail(self, tmp_path):
+        path = str(tmp_path / "rel.dat.journal")
+        records_per_page = 4
+        with open_journal(tmp_path) as journal:
+            rows = [record(index) for index in range(10)]
+            for row in rows:
+                journal.log_append(row)
+            journal.commit(10, 123)
+            journal.mark_durable(10, 123, records_per_page, rows[8:])
+            assert journal.base == 8
+            assert journal.stats.rotations == 1
+        assert len(journal_segments(path)) == 1
+        state = Journal.replay(path)
+        assert state.base == 8
+        assert [blob[0] for blob in state.appends] == [8, 9]
+        assert state.committed_count == 10
+
+    def test_appends_continue_after_rotation(self, tmp_path):
+        path = str(tmp_path / "rel.dat.journal")
+        with open_journal(tmp_path) as journal:
+            rows = [record(index) for index in range(10)]
+            for row in rows:
+                journal.log_append(row)
+            journal.commit(10, 1)
+            journal.mark_durable(10, 1, 4, rows[8:])
+            assert journal.log_append(record(10)) == 10
+            journal.commit(11, 2)
+        state = Journal.replay(path)
+        assert state.logged_count == 11
+        assert state.committed_count == 11
+
+    def test_unsealed_rotation_segment_is_ignored(self, tmp_path):
+        path = str(tmp_path / "rel.dat.journal")
+        with open_journal(tmp_path) as journal:
+            for index in range(6):
+                journal.log_append(record(index))
+            journal.commit(6, 42)
+        # A rotation the crash interrupted: header + re-logged records
+        # but no sealing COMMIT.  The original segment must stay
+        # authoritative.
+        torn_rotation = path + ".000002"
+        with open(torn_rotation, "wb") as handle:
+            handle.write(
+                encode_record(SEGMENT_HEADER, struct.pack(">QH6x", 4, WIDTH))
+            )
+            handle.write(encode_record(APPEND, b"\xff" * WIDTH))
+        state = Journal.replay(path)
+        assert state.base == 0
+        assert len(state.appends) == 6
+        assert state.committed_count == 6
+        assert not any(blob == b"\xff" * WIDTH for blob in state.appends)
+
+    def test_rotation_leaves_no_window_without_coverage(self, tmp_path):
+        """A crash right after the rotation sync still replays cleanly."""
+        path = str(tmp_path / "rel.dat.journal")
+        with open_journal(tmp_path) as journal:
+            rows = [record(index) for index in range(10)]
+            for row in rows:
+                journal.log_append(row)
+            journal.commit(10, 9)
+            journal.mark_durable(10, 9, 4, rows[8:])
+        # Both old-deleted and new-sealed: replay adopts the rotation.
+        state = Journal.replay(path)
+        assert state.base == 8
+        assert state.committed_count == 10
+
+
+class TestResume:
+    def test_resume_continues_indexes(self, tmp_path):
+        path = str(tmp_path / "rel.dat.journal")
+        with open_journal(tmp_path) as journal:
+            for index in range(5):
+                journal.log_append(record(index))
+            journal.commit(5, 55)
+        state = Journal.replay(path)
+        journal = Journal.resume(
+            path, state, record_bytes=WIDTH, fsync_policy="never"
+        )
+        with journal:
+            assert journal.record_count == 5
+            assert journal.committed_count == 5
+            assert journal.log_append(record(5)) == 5
+        replayed = Journal.replay(path)
+        assert replayed.logged_count == 6
+
+
+class TestFsyncPolicy:
+    def test_always_syncs_every_record(self, tmp_path):
+        with open_journal(tmp_path, fsync_policy="always") as journal:
+            journal.log_append(record(0))
+            journal.log_append(record(1))
+            # header + 2 appends, one sync each
+            assert journal.stats.syncs == 3
+
+    def test_commit_syncs_at_commit_only(self, tmp_path):
+        with open_journal(tmp_path, fsync_policy="commit") as journal:
+            journal.log_append(record(0))
+            assert journal.stats.syncs == 0
+            journal.commit(1, 0)
+            assert journal.stats.syncs == 1
+
+    def test_never_does_not_sync(self, tmp_path):
+        with open_journal(tmp_path, fsync_policy="never") as journal:
+            journal.log_append(record(0))
+            journal.commit(1, 0)
+            assert journal.stats.syncs == 0
+
+    def test_unknown_policy_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="fsync policy"):
+            Journal(str(tmp_path / "j"), record_bytes=WIDTH, fsync_policy="maybe")

@@ -1,0 +1,118 @@
+"""Checksummed page format: sealing, verification, legacy acceptance."""
+
+import struct
+
+import pytest
+
+from repro.exec.errors import StorageCorruption
+from repro.storage.page import (
+    PAGE_FOOTER_BYTES,
+    PAGE_HEADER_BYTES,
+    PAGE_MAGIC,
+    PAGE_SIZE,
+    PAGE_VERSION,
+    Page,
+    PageCorruption,
+)
+
+
+def sealed_page(record_bytes=16, records=5):
+    page = Page(record_bytes)
+    for index in range(records):
+        page.append(bytes([index]) * record_bytes)
+    return page.to_bytes()
+
+
+class TestSealing:
+    def test_round_trip(self):
+        raw = sealed_page()
+        page = Page(16, raw)
+        assert page.record_count == 5
+        assert page.version == PAGE_VERSION
+        assert page.read(3) == bytes([3]) * 16
+
+    def test_footer_carries_magic(self):
+        raw = sealed_page()
+        magic, _crc = struct.unpack_from(">II", raw, PAGE_SIZE - PAGE_FOOTER_BYTES)
+        assert magic == PAGE_MAGIC
+
+    def test_reseal_is_deterministic(self):
+        page = Page(16, sealed_page())
+        assert page.to_bytes() == sealed_page()
+
+    def test_capacity_accounts_for_footer(self):
+        usable = PAGE_SIZE - PAGE_HEADER_BYTES - PAGE_FOOTER_BYTES
+        assert Page(128).capacity == usable // 128 == 63
+        assert Page(16).capacity == usable // 16 == 511
+
+
+class TestVerification:
+    @pytest.mark.parametrize(
+        "offset",
+        [
+            PAGE_HEADER_BYTES,  # first record byte
+            PAGE_HEADER_BYTES + 40,  # mid-payload
+            PAGE_SIZE // 2,  # untouched padding
+            PAGE_SIZE - PAGE_FOOTER_BYTES - 1,  # last padding byte
+        ],
+    )
+    def test_any_flipped_byte_is_detected(self, offset):
+        raw = bytearray(sealed_page())
+        raw[offset] ^= 0x01
+        with pytest.raises(PageCorruption, match="checksum"):
+            Page(16, bytes(raw))
+
+    def test_torn_write_is_detected(self):
+        raw = sealed_page()
+        torn = raw[: PAGE_SIZE // 2] + b"\x00" * (PAGE_SIZE - PAGE_SIZE // 2)
+        with pytest.raises(PageCorruption):
+            Page(16, torn)
+
+    def test_corrupt_footer_magic_is_detected(self):
+        raw = bytearray(sealed_page())
+        struct.pack_into(">I", raw, PAGE_SIZE - PAGE_FOOTER_BYTES, 0xDEADBEEF)
+        with pytest.raises(PageCorruption, match="magic"):
+            Page(16, bytes(raw))
+
+    def test_page_corruption_is_typed(self):
+        raw = bytearray(sealed_page())
+        raw[PAGE_HEADER_BYTES] ^= 0xFF
+        with pytest.raises(StorageCorruption):
+            Page(16, bytes(raw))
+        with pytest.raises(ValueError):  # PageError lineage kept
+            Page(16, bytes(raw))
+
+    def test_verify_false_skips_the_checksum(self):
+        raw = bytearray(sealed_page())
+        raw[PAGE_SIZE // 2] ^= 0x01
+        page = Page(16, bytes(raw), verify=False)
+        assert page.record_count == 5
+
+
+class TestLegacyVersionZero:
+    def as_version0(self, raw):
+        image = bytearray(raw)
+        count, width, _version = struct.unpack_from(">IHH", image, 0)
+        struct.pack_into(">IHH", image, 0, count, width, 0)
+        image[PAGE_SIZE - PAGE_FOOTER_BYTES :] = b"\x00" * PAGE_FOOTER_BYTES
+        return bytes(image)
+
+    def test_version0_loads_without_verification(self):
+        image = bytearray(self.as_version0(sealed_page()))
+        image[PAGE_HEADER_BYTES] ^= 0xFF  # would fail a v1 checksum
+        page = Page(16, bytes(image))
+        assert page.version == 0
+        assert page.record_count == 5
+
+    def test_version0_serialises_verbatim(self):
+        image = self.as_version0(sealed_page())
+        assert Page(16, image).to_bytes() == image
+
+    def test_append_upgrades_version0(self):
+        page = Page(16, self.as_version0(sealed_page()))
+        page.append(b"\x09" * 16)
+        assert page.version == PAGE_VERSION
+        resealed = page.to_bytes()
+        magic, _ = struct.unpack_from(">II", resealed, PAGE_SIZE - PAGE_FOOTER_BYTES)
+        assert magic == PAGE_MAGIC
+        assert Page(16, resealed).record_count == 6

@@ -1,0 +1,80 @@
+"""The ``python -m repro.storage scrub`` command-line interface."""
+
+import pytest
+
+from repro.relation.schema import Attribute, Schema
+from repro.relation.tuples import TemporalTuple
+from repro.storage.__main__ import main
+from repro.storage.heapfile import HeapFile
+
+SCHEMA = Schema((Attribute("salary", "int"),))
+
+
+def durable_file(tmp_path, name="rel.dat"):
+    path = str(tmp_path / name)
+    heap = HeapFile.durable(SCHEMA, path)
+    heap.append_all(
+        TemporalTuple((index,), index, index + 3) for index in range(40)
+    )
+    heap.flush()
+    heap.close()
+    return path
+
+
+def flip_byte(path, offset=100):
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        byte = handle.read(1)
+        handle.seek(offset)
+        handle.write(bytes([byte[0] ^ 0x20]))
+
+
+class TestScrubCLI:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        path = durable_file(tmp_path)
+        assert main(["scrub", path]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+        assert "40 records" in out
+        assert "journal:" in out
+
+    def test_corrupt_file_exits_one(self, tmp_path, capsys):
+        path = durable_file(tmp_path)
+        flip_byte(path)
+        assert main(["scrub", path]) == 1
+        out = capsys.readouterr().out
+        assert "CORRUPT" in out
+        assert "page 0" in out
+
+    def test_mixed_paths_report_corruption(self, tmp_path, capsys):
+        clean = durable_file(tmp_path, "clean.dat")
+        dirty = durable_file(tmp_path, "dirty.dat")
+        flip_byte(dirty)
+        assert main(["scrub", clean, dirty]) == 1
+        out = capsys.readouterr().out
+        assert "clean" in out
+        assert "CORRUPT" in out
+
+    def test_missing_file_is_an_error(self, tmp_path, capsys):
+        assert main(["scrub", str(tmp_path / "nope.dat")]) == 1
+        assert "does not exist" in capsys.readouterr().out
+
+    def test_record_bytes_override(self, tmp_path, capsys):
+        path = durable_file(tmp_path)
+        width = HeapFile(SCHEMA).codec.record_bytes
+        assert main(["scrub", path, "--record-bytes", str(width)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_nonpositive_record_bytes_is_usage_error(self, tmp_path, capsys):
+        path = durable_file(tmp_path)
+        assert main(["scrub", path, "--record-bytes", "0"]) == 2
+        assert "must be positive" in capsys.readouterr().err
+
+    def test_no_command_is_usage_error(self, capsys):
+        assert main([]) == 2
+        assert "scrub" in capsys.readouterr().err
+
+    def test_missing_path_operand_is_usage_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["scrub"])
+        assert excinfo.value.code == 2

@@ -126,3 +126,109 @@ class TestMainEntryPoint:
         )
         assert code == 0
         assert "(7 rows)" in out.getvalue()
+
+
+class TestDiagnostics:
+    """Taxonomy errors surface as one-line diagnostics with hints."""
+
+    def test_storage_corruption_hint_names_the_scrubber(self):
+        from repro.exec.errors import StorageCorruption
+        from repro.tsql2.shell import diagnose
+
+        text = diagnose(StorageCorruption("page 3: checksum mismatch"))
+        assert text.startswith(
+            "error[StorageCorruption]: page 3: checksum mismatch (hint: "
+        )
+        assert "python -m repro.storage scrub" in text
+
+    def test_most_derived_hint_wins(self):
+        from repro.exec.errors import RecoveryError, StorageError
+        from repro.tsql2.shell import diagnose
+
+        assert "journal" in diagnose(RecoveryError("gone"))
+        assert "disk space" in diagnose(StorageError("full"))
+
+    def test_base_class_falls_back_to_help(self):
+        from repro.exec.errors import TemporalAggregateError
+        from repro.tsql2.shell import diagnose
+
+        assert "\\help" in diagnose(TemporalAggregateError("odd"))
+
+    def test_query_failure_prints_diagnostic_not_traceback(self):
+        from repro.exec.errors import BudgetExhausted
+
+        out = io.StringIO()
+        shell = Shell(out=out)
+
+        def explode(_query):
+            raise BudgetExhausted(
+                "tree wants 64 nodes, budget is 16",
+                budget_bytes=16,
+                observed_bytes=64,
+            )
+
+        shell.database.execute = explode  # type: ignore[method-assign]
+        shell.handle("SELECT COUNT(Name) FROM Employed")
+        text = out.getvalue()
+        assert "error[BudgetExhausted]:" in text
+        assert "(hint: " in text
+        assert "Traceback" not in text
+
+
+class TestScrubMetaCommand:
+    def scrubbable_file(self, tmp_path):
+        from repro.relation.schema import Attribute, Schema
+        from repro.relation.tuples import TemporalTuple
+        from repro.storage.heapfile import HeapFile
+
+        path = str(tmp_path / "rel.dat")
+        heap = HeapFile.durable(Schema((Attribute("salary", "int"),)), path)
+        heap.append_all(
+            TemporalTuple((index,), index, index + 2) for index in range(30)
+        )
+        heap.flush()
+        heap.close()
+        return path
+
+    def test_scrub_clean_file(self, tmp_path):
+        path = self.scrubbable_file(tmp_path)
+        out, _ = run_shell(f"\\scrub {path}")
+        assert "clean" in out
+        assert "30 records" in out
+
+    def test_scrub_corrupt_file(self, tmp_path):
+        path = self.scrubbable_file(tmp_path)
+        with open(path, "r+b") as handle:
+            handle.seek(64)
+            byte = handle.read(1)
+            handle.seek(64)
+            handle.write(bytes([byte[0] ^ 0x10]))
+        out, _ = run_shell(f"\\scrub {path}")
+        assert "CORRUPT" in out
+
+    def test_scrub_usage(self):
+        out, _ = run_shell("\\scrub")
+        assert "usage: \\scrub PATH" in out
+
+
+class TestLoadQuarantine:
+    def test_malformed_rows_summarised_not_fatal(self, tmp_path):
+        path = tmp_path / "mixed.csv"
+        path.write_text(
+            "name,salary,valid_start,valid_end\n"
+            "Richard,40000,18,forever\n"
+            "Karen,45000,8\n"  # short row
+            "Juan,42000,5,9\n"
+        )
+        out, _ = run_shell(
+            f"\\load {path} Staff", "SELECT COUNT(name) FROM Staff"
+        )
+        assert "loaded 2 tuples as 'Staff'" in out
+        assert "2 row(s) loaded, 1 quarantined" in out
+        assert f"{path}:3: expected 4 fields, got 3" in out
+
+    def test_clean_load_prints_no_summary(self, tmp_path):
+        path = tmp_path / "clean.csv"
+        path.write_text(to_csv_text(employed_relation()))
+        out, _ = run_shell(f"\\load {path} Staff")
+        assert "quarantined" not in out
