@@ -355,7 +355,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.lint",
-        description="Repo-specific AST lint pass (rules TA001...TA008).",
+        description="Repo-specific AST lint pass (rules TA001...TA010).",
     )
     parser.add_argument(
         "paths", nargs="*", default=["src"], help="files or directories to lint"

@@ -1,4 +1,4 @@
-"""The repo-specific lint rules (``TA001``...``TA009``).
+"""The repo-specific lint rules (``TA001``...``TA010``).
 
 Each rule is small, syntactic, and tied to a property the engine
 actually relies on; DESIGN.md §8 documents the rationale behind every
@@ -26,6 +26,7 @@ __all__ = [
     "SetIterationRule",
     "AnnotationGateRule",
     "JournalBypassRule",
+    "HotLoopRule",
     "default_rules",
 ]
 
@@ -630,6 +631,92 @@ class JournalBypassRule(Rule):
                 )
 
 
+class HotLoopRule(Rule):
+    """TA010 — marked hot loops stay free of tuple builds and unbound
+    attribute lookups.
+
+    The columnar pipeline's speed claim rests on its inner loops doing
+    no per-event allocation or dynamic dispatch.  Loops annotated
+    ``# ta: hot`` in the hot-path modules (``columnar_sweep.py``,
+    ``sweep.py``, ``partition.py``, ``codec.py``) are that claim made
+    checkable: inside them the rule forbids
+
+    * constructing a project NamedTuple (``ConstantInterval``,
+      ``TemporalTuple``, ...) — per-event object churn; batch-convert
+      outside the loop instead, and
+    * calling through an attribute lookup (``obj.method(...)``) — an
+      interpreted dict probe per iteration; hoist the bound method to a
+      local before the loop.
+
+    Unmarked loops are exempt — the marker is the author's statement
+    that the loop is performance-bearing.
+    """
+
+    code = "TA010"
+    name = "hot-loop-allocation"
+    description = (
+        "loops marked '# ta: hot' in hot-path modules must not build "
+        "NamedTuples or call through attribute lookups; hoist and batch"
+    )
+
+    _HOT_BASENAMES = frozenset(
+        {"columnar_sweep.py", "sweep.py", "partition.py", "codec.py"}
+    )
+    _MARKER = "ta: hot"
+
+    def applies_to(self, source: SourceFile) -> bool:
+        return source.basename in self._HOT_BASENAMES and source.in_scope(
+            "core", "storage"
+        )
+
+    def _is_marked(self, source: SourceFile, node: ast.stmt) -> bool:
+        """Marker on the loop header line or the line directly above."""
+        for lineno in (node.lineno, node.lineno - 1):
+            if 1 <= lineno <= len(source.lines):
+                line = source.lines[lineno - 1]
+                if "#" in line and self._MARKER in line.split("#", 1)[1]:
+                    return True
+        return False
+
+    @staticmethod
+    def _is_namedtuple_name(name: str, index: ProjectIndex) -> bool:
+        for info in index.classes.get(name, []):
+            if "NamedTuple" in info.bases or index.inherits_from(
+                info, "NamedTuple"
+            ):
+                return True
+        return False
+
+    def check(self, source: SourceFile, index: ProjectIndex) -> Iterator[Violation]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, (ast.For, ast.While)):
+                continue
+            if not self._is_marked(source, node):
+                continue
+            for inner in ast.walk(node):
+                if not isinstance(inner, ast.Call):
+                    continue
+                function = inner.func
+                if isinstance(function, ast.Attribute):
+                    yield self.violation(
+                        source,
+                        inner,
+                        f"attribute-lookup call .{function.attr}(...) inside "
+                        "a '# ta: hot' loop; hoist the bound method to a "
+                        "local before the loop",
+                    )
+                elif isinstance(
+                    function, ast.Name
+                ) and self._is_namedtuple_name(function.id, index):
+                    yield self.violation(
+                        source,
+                        inner,
+                        f"NamedTuple {function.id}(...) constructed inside a "
+                        "'# ta: hot' loop; accumulate plain tuples and "
+                        "batch-convert after the loop",
+                    )
+
+
 def default_rules() -> List[Rule]:
     """Every rule, in code order (the registry the CLI and tests use)."""
     return [
@@ -642,4 +729,5 @@ def default_rules() -> List[Rule]:
         SetIterationRule(),
         AnnotationGateRule(),
         JournalBypassRule(),
+        HotLoopRule(),
     ]

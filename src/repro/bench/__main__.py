@@ -109,6 +109,37 @@ def _write_durability_json(reports, csv_dir) -> str:
     return path
 
 
+def _write_columnar_json(reports, csv_dir) -> str:
+    """Machine-readable artifact for the ``columnar`` driver.
+
+    Per-(aggregate, size) cells carry the end-to-end seconds, the
+    speedup over the object path, and the counter proof (zero columnar
+    tuple materializations, positive page-batch counts), so the ≥2x
+    acceptance check reads numbers, not rendered tables.
+    """
+    from repro.bench.config import bench_seeds, bench_sizes
+    from repro.bench.figures import COLUMNAR_DETAIL
+    from repro.core.columnar_sweep import COLUMN_BACKEND_ENV
+    from repro.core.partition import available_workers
+
+    payload = {
+        "generated_by": "python -m repro.bench columnar",
+        "cpu_count": os.cpu_count(),
+        "available_workers": available_workers(),
+        "column_backend": os.environ.get(COLUMN_BACKEND_ENV, "python"),
+        "sizes": bench_sizes(),
+        "seeds": bench_seeds(),
+        "cells": COLUMNAR_DETAIL.get("cells", []),
+        "note": COLUMNAR_DETAIL.get("note", ""),
+        "reports": [report.to_dict() for report in reports],
+    }
+    path = os.path.join(csv_dir or ".", "BENCH_columnar.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return path
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
@@ -130,6 +161,12 @@ def main(argv=None) -> int:
         action="store_true",
         help="also render each figure report as an ASCII log-log plot",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run each driver under cProfile and print the top 20 "
+        "functions by cumulative time",
+    )
     args = parser.parse_args(argv)
 
     names = sorted(DRIVERS) if "all" in args.drivers else args.drivers
@@ -142,7 +179,17 @@ def main(argv=None) -> int:
 
     for name in names:
         started = time.perf_counter()
-        reports = DRIVERS[name]()
+        if args.profile:
+            import cProfile
+            import pstats
+
+            profiler = cProfile.Profile()
+            reports = profiler.runcall(DRIVERS[name])
+            stats = pstats.Stats(profiler, stream=sys.stderr)
+            print(f"[profile: {name}, top 20 by cumulative time]", file=sys.stderr)
+            stats.sort_stats("cumulative").print_stats(20)
+        else:
+            reports = DRIVERS[name]()
         elapsed = time.perf_counter() - started
         for index, report in enumerate(reports):
             if args.markdown:
@@ -164,6 +211,9 @@ def main(argv=None) -> int:
             print(f"[wrote {path}]", file=sys.stderr)
         elif name == "cache":
             path = _write_cache_json(reports, args.csv_dir)
+            print(f"[wrote {path}]", file=sys.stderr)
+        elif name == "columnar":
+            path = _write_columnar_json(reports, args.csv_dir)
             print(f"[wrote {path}]", file=sys.stderr)
         elif name == "durability":
             path = _write_durability_json(reports, args.csv_dir)

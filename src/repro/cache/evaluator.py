@@ -146,10 +146,24 @@ def _serve_hit(
 
 
 def _scan_columns(
-    relation: Any, attribute: Optional[str]
-) -> Tuple[Tuple[int, ...], Tuple[int, ...], Tuple[Any, ...]]:
-    """One counted scan decomposed into validated flat columns."""
-    starts, ends, values = zip(*relation.scan_triples(attribute))
+    relation: Any, attribute: Optional[str], counters: "OperationCounters"
+) -> Tuple[Any, Any, Any]:
+    """One counted scan decomposed into validated flat columns.
+
+    Relations offering the flat-column protocol (``columns()``) feed
+    the cache straight from their version-keyed column snapshot — no
+    per-row tuples are built between storage and the shard kernels.
+    Protocol-less relations fall back to decomposing a triple scan (and
+    account the per-row tuples that scan materialized).
+    """
+    columns_method = getattr(relation, "columns", None)
+    if callable(columns_method):
+        columns = columns_method(attribute)
+        counters.column_batches += columns.batches
+        starts, ends, values = columns.starts, columns.ends, columns.values
+    else:
+        starts, ends, values = zip(*relation.scan_triples(attribute))
+        counters.tuple_materializations += len(starts)
     validate_columns(starts, ends)
     return starts, ends, values
 
@@ -193,7 +207,7 @@ def _refresh_append(
     # Uncharge the stale entry up front; the refreshed entry re-admits
     # (and re-applies the byte budget) through the normal store path.
     cache.discard(key)
-    starts, ends, values = _scan_columns(relation, attribute)
+    starts, ends, values = _scan_columns(relation, attribute, counters)
     events_by_shard: List[int] = []
     for position, index in enumerate(dirty):
         if deadline is not None:
@@ -203,6 +217,9 @@ def _refresh_append(
         entry.shard_rows[index] = rows
         events_by_shard.append(events)
     counters.tuples += len(delta)
+    # The delta itself arrives as a short list of per-row tuples (it
+    # drives dirty-window detection); the re-sweep runs on columns.
+    counters.tuple_materializations += len(delta)
     counters.node_visits += sum(events_by_shard)
     counters.aggregate_updates += sum(events_by_shard)
     counters.cache_hits += 1
@@ -234,7 +251,7 @@ def _recompute(
     counters.cache_misses += 1
     cache.counters.cache_misses += 1
     cache.discard(key)
-    starts, ends, values = _scan_columns(relation, attribute)
+    starts, ends, values = _scan_columns(relation, attribute, counters)
     windows = shard_bounds(starts, ends, shard_count)
     shard_rows: List[List[tuple]] = []
     events_by_shard: List[int] = []

@@ -1,0 +1,89 @@
+"""Flat column snapshots: the native layout of the columnar hot path.
+
+A :class:`ColumnSet` is the page-to-row pipeline's unit of exchange:
+two parallel ``array('q')`` timestamp columns plus an optional value
+column, with *no* per-row tuple objects anywhere.  Producers are the
+batch page decoder (:meth:`repro.storage.heapfile.HeapFile.scan_columns`)
+and the in-memory snapshot (:meth:`repro.relation.relation.
+TemporalRelation.columns`); consumers are the specialized sweep kernels
+(:mod:`repro.core.columnar_sweep`), the time-domain shard workers
+(:mod:`repro.core.parallel`) and the shard-result cache's re-sweeps
+(:mod:`repro.cache.evaluator`).
+
+``values is None`` means the columns were decoded without touching any
+attribute bytes — the COUNT fast path, where the aggregate ignores
+values entirely.  ``batches`` records how many batch decodes produced
+the columns (one per storage page, or one for a whole in-memory
+relation); evaluators fold it into
+:attr:`~repro.metrics.counters.OperationCounters.column_batches` so the
+flat-column shape claim is checkable next to the
+``tuple_materializations`` counter it replaces.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Any, Iterable, List, Optional, Tuple
+
+__all__ = ["ColumnSet", "columns_from_triples"]
+
+
+class ColumnSet:
+    """Parallel (starts, ends, values) columns for one relation snapshot."""
+
+    __slots__ = ("starts", "ends", "values", "batches")
+
+    def __init__(
+        self,
+        starts: "array[int]",
+        ends: "array[int]",
+        values: Optional[List[Any]] = None,
+        *,
+        batches: int = 1,
+    ) -> None:
+        if values is not None and len(values) != len(starts):
+            raise ValueError(
+                f"value column length {len(values)} does not match "
+                f"{len(starts)} timestamps"
+            )
+        if len(ends) != len(starts):
+            raise ValueError(
+                f"end column length {len(ends)} does not match "
+                f"{len(starts)} starts"
+            )
+        self.starts = starts
+        self.ends = ends
+        self.values = values
+        self.batches = batches
+
+    def __len__(self) -> int:
+        return len(self.starts)
+
+    def __repr__(self) -> str:
+        kind = "timestamps-only" if self.values is None else "valued"
+        return (
+            f"ColumnSet({len(self.starts)} rows, {kind}, "
+            f"batches={self.batches})"
+        )
+
+
+def columns_from_triples(
+    triples: Iterable[Tuple[int, int, Any]]
+) -> ColumnSet:
+    """Decompose a triple stream into one ColumnSet (one batch).
+
+    The compatibility shim for producers that still speak per-row
+    tuples; the genuinely zero-tuple producers build their columns
+    directly from page bytes or row storage.
+    """
+    starts = array("q")
+    ends = array("q")
+    values: List[Any] = []
+    append_start = starts.append
+    append_end = ends.append
+    append_value = values.append
+    for start, end, value in triples:
+        append_start(start)
+        append_end(end)
+        append_value(value)
+    return ColumnSet(starts, ends, values, batches=1)

@@ -54,6 +54,7 @@ from repro.core.result import ConstantInterval, TemporalAggregateResult
 from repro.exec.errors import InvalidInput
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.columns import ColumnSet
     from repro.metrics.counters import OperationCounters
     from repro.metrics.space import SpaceTracker
 from repro.exec.faults import current_fault_plan
@@ -243,24 +244,74 @@ class ParallelSweepEvaluator(Evaluator):
             and "fork" in multiprocessing.get_all_start_methods()
         )
 
-    def _delegate_columnar(self, data: List[Triple]) -> TemporalAggregateResult:
+    def _make_delegate(self) -> ColumnarSweepEvaluator:
         delegate = ColumnarSweepEvaluator(
             self.aggregate, counters=self.counters, space=self.space
         )
         delegate.deadline = self.deadline
-        return delegate.evaluate(data)
+        return delegate
+
+    def _delegate_columnar(self, data: List[Triple]) -> TemporalAggregateResult:
+        return self._make_delegate().evaluate(data)
 
     def evaluate(self, triples: Iterable[Triple]) -> TemporalAggregateResult:
         data = triples if isinstance(triples, list) else list(triples)
         shards = self.shards if self.shards is not None else available_workers()
         if not data or shards <= 1:
             return self._delegate_columnar(data)
-
+        # The input arrived as per-row tuple objects; the flat-column
+        # entry points (evaluate_columns / evaluate_relation) never
+        # build these.
+        self.counters.tuple_materializations += len(data)
         starts, ends, values = zip(*data)
+        return self._evaluate_sharded(
+            starts, ends, values, shards=shards, batches=0
+        )
+
+    def evaluate_columns(self, columns: "ColumnSet") -> TemporalAggregateResult:
+        """Time-sharded evaluation of one flat-column snapshot.
+
+        The zero-tuple hot path: shard workers receive column slices
+        (clipped by :func:`repro.core.partition.clip_columns`) and no
+        per-row tuples exist anywhere between the input columns and the
+        stitched result rows.
+        """
+        shards = self.shards if self.shards is not None else available_workers()
+        if not len(columns) or shards <= 1:
+            return self._make_delegate().evaluate_columns(columns)
+        return self._evaluate_sharded(
+            columns.starts,
+            columns.ends,
+            columns.values,
+            shards=shards,
+            batches=columns.batches,
+        )
+
+    def evaluate_relation(
+        self, relation: Any, attribute: Optional[str] = None
+    ) -> TemporalAggregateResult:
+        columns_method = getattr(relation, "columns", None)
+        if callable(columns_method):
+            return self.evaluate_columns(columns_method(attribute))
+        return self.evaluate(relation.scan_triples(attribute))
+
+    def _evaluate_sharded(
+        self,
+        starts: Sequence[int],
+        ends: Sequence[int],
+        values: Optional[Sequence[Any]],
+        *,
+        shards: int,
+        batches: int,
+    ) -> TemporalAggregateResult:
         validate_columns(starts, ends)
         windows = shard_bounds(starts, ends, shards)
         if len(windows) == 1:
-            return self._delegate_columnar(data)
+            delegate = self._make_delegate()
+            result = delegate._evaluate_columns(
+                starts, ends, values, batches=batches
+            )
+            return result
 
         _SHARD_STATE.update(
             starts=starts,
@@ -274,7 +325,7 @@ class ParallelSweepEvaluator(Evaluator):
         )
         self.last_supervision = None
         try:
-            if self._pool_usable(len(data), len(windows)):
+            if self._pool_usable(len(starts), len(windows)):
                 # Publish the columns, *then* fork: workers inherit the
                 # data (and any active fault plan) copy-on-write.
                 supervisor = ShardSupervisor(
@@ -305,7 +356,8 @@ class ParallelSweepEvaluator(Evaluator):
             [rows for rows, _events in shard_results], set(starts), set(ends)
         )
         counters = self.counters
-        counters.tuples += len(data)
+        counters.tuples += len(starts)
+        counters.column_batches += batches
         for _rows, events in shard_results:
             counters.node_visits += events
             counters.aggregate_updates += events

@@ -25,7 +25,8 @@ tests lean on; the process fan-out lives in :mod:`repro.core.parallel`.
 from __future__ import annotations
 
 import os
-from typing import Any, Iterable, List, Sequence, Set, Tuple
+from array import array
+from typing import Any, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.interval import FOREVER, ORIGIN
 
@@ -33,6 +34,7 @@ __all__ = [
     "available_workers",
     "shard_bounds",
     "clip_triples",
+    "clip_columns",
     "partition_triples",
     "is_real_boundary",
     "stitch_rows",
@@ -91,6 +93,42 @@ def clip_triples(
         for start, end, value in triples
         if start <= hi and end >= lo
     ]
+
+
+def clip_columns(
+    starts: Sequence[int],
+    ends: Sequence[int],
+    values: Optional[Sequence[Any]],
+    lo: int,
+    hi: int,
+) -> Tuple["array[int]", "array[int]", Optional[List[Any]]]:
+    """Column-layout clipping: flat columns in, flat columns out.
+
+    The columnar pipeline's counterpart of :func:`clip_triples` — same
+    per-instant-multiset exactness argument, but the clipped rows land
+    directly in fresh ``array('q')`` columns instead of a list of
+    per-row tuples, so shard workers and cache re-sweeps never
+    materialize row objects.  ``values=None`` (the value-less COUNT
+    feed) clips just the two timestamp columns.
+    """
+    clipped_starts = array("q")
+    clipped_ends = array("q")
+    append_start = clipped_starts.append
+    append_end = clipped_ends.append
+    if values is None:
+        for start, end in zip(starts, ends):  # ta: hot
+            if start <= hi and end >= lo:
+                append_start(start if start > lo else lo)
+                append_end(end if end < hi else hi)
+        return clipped_starts, clipped_ends, None
+    clipped_values: List[Any] = []
+    append_value = clipped_values.append
+    for start, end, value in zip(starts, ends, values):  # ta: hot
+        if start <= hi and end >= lo:
+            append_start(start if start > lo else lo)
+            append_end(end if end < hi else hi)
+            append_value(value)
+    return clipped_starts, clipped_ends, clipped_values
 
 
 def partition_triples(

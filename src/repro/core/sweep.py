@@ -105,6 +105,10 @@ class SweepEvaluator(Evaluator):
             if end < FOREVER:
                 events.append((end + 1, 0, value))
         events.sort(key=lambda event: (event[0], event[1]))
+        # Each event is a freshly built per-event tuple object — the
+        # cost the columnar pipeline exists to avoid (its counterpart
+        # keeps this counter at zero).
+        counters.tuple_materializations += len(events)
         self.space.allocate(len(events))
 
         use_heap = not aggregate.invertible

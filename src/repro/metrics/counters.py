@@ -25,7 +25,17 @@ operations that dominate its running time:
 * ``checkpoints_written`` — evaluator state snapshots journaled by
   :mod:`repro.storage.checkpoint`,
 * ``records_replayed`` — journal records parsed during crash recovery
-  (:mod:`repro.storage.recovery`).
+  (:mod:`repro.storage.recovery`),
+* ``tuple_materializations`` — per-row or per-event Python tuple
+  objects the evaluation pipeline built *between* the input pages and
+  the emitted result rows (decoded row tuples entering an evaluator,
+  event tuples built by the object sweep).  The columnar end-to-end
+  path (:meth:`HeapFile.scan_columns` / :meth:`TemporalRelation.columns`
+  feeding :meth:`ColumnarSweepEvaluator.evaluate_columns`) keeps this
+  at exactly zero — the shape claim ``BENCH_columnar.json`` records,
+* ``column_batches`` — whole-page (or whole-relation) batch decodes
+  performed on the columnar path; the flat-column replacement for the
+  per-row work ``tuple_materializations`` counts.
 
 Counters are plain ints on a slotted object, cheap enough to leave on
 even in benchmarks that measure wall-clock.
@@ -57,6 +67,8 @@ class OperationCounters:
         "journal_syncs",
         "checkpoints_written",
         "records_replayed",
+        "tuple_materializations",
+        "column_batches",
     )
 
     def __init__(self) -> None:
@@ -78,6 +90,8 @@ class OperationCounters:
         self.journal_syncs = 0
         self.checkpoints_written = 0
         self.records_replayed = 0
+        self.tuple_materializations = 0
+        self.column_batches = 0
 
     def snapshot(self) -> Dict[str, int]:
         """An immutable dict view for reports and assertions."""

@@ -21,7 +21,20 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.columns import ColumnSet
 
 from repro.core.interval import FOREVER, Interval, InvalidIntervalError
 from repro.core.ordering import k_ordered_percentage, k_orderedness
@@ -129,6 +142,10 @@ class TemporalRelation:
         for row in self._rows:
             self._fingerprint = fold_fingerprint(self._fingerprint, row)
         self._statistics_cache: Optional[Tuple[int, RelationStatistics]] = None
+        #: Version-keyed flat-column snapshots per attribute (None =
+        #: timestamps only); served until the next mutation bumps
+        #: :attr:`version`.
+        self._columns_cache: dict = {}
         #: Set by ``read_csv(on_error="quarantine")`` to the load's
         #: :class:`~repro.relation.io.QuarantineReport`; None otherwise.
         self.quarantine: Optional[Any] = None
@@ -252,6 +269,48 @@ class TemporalRelation:
             return lambda row: None
         position = self.schema.position_of(attribute)
         return lambda row: row.values[position]
+
+    def columns(self, attribute: Optional[str] = None) -> "ColumnSet":
+        """A version-keyed flat-column snapshot of the relation.
+
+        The columnar evaluators' feed: parallel ``array('q')``
+        start/end columns plus the selected attribute's value column
+        (``None`` keeps the snapshot timestamps-only for COUNT).
+        Building the snapshot counts as one scan; repeat queries at the
+        same version share it without rescanning — the column-layout
+        analogue of the cached :meth:`statistics`.  Callers must treat
+        the snapshot as read-only.
+        """
+        from array import array
+
+        from repro.core.columns import ColumnSet
+
+        cached = self._columns_cache.get(attribute)
+        if cached is not None and cached[0] == self.version:
+            snapshot: ColumnSet = cached[1]
+            return snapshot
+        self.scan_count += 1
+        starts = array("q")
+        ends = array("q")
+        append_start = starts.append
+        append_end = ends.append
+        values: Optional[List[Any]]
+        if attribute is None:
+            for row in self._rows:
+                append_start(row.start)
+                append_end(row.end)
+            values = None
+        else:
+            position = self.schema.position_of(attribute)
+            values = []
+            append_value = values.append
+            for row in self._rows:
+                append_start(row.start)
+                append_end(row.end)
+                append_value(row.values[position])
+        snapshot = ColumnSet(starts, ends, values, batches=1)
+        self._columns_cache[attribute] = (self.version, snapshot)
+        return snapshot
 
     # ------------------------------------------------------------------
     # Ordering

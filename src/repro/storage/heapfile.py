@@ -15,8 +15,10 @@ from __future__ import annotations
 
 import io
 import os
+from array import array
 from typing import Any, BinaryIO, Iterator, List, Optional, Tuple
 
+from repro.core.columns import ColumnSet
 from repro.core.interval import FOREVER, Interval
 from repro.core.ordering import k_ordered_percentage, k_orderedness
 from repro.relation.relation import (
@@ -82,6 +84,9 @@ class HeapFile:
         #: tuple count, so an equal-cardinality rewrite still invalidates.
         self.version = 0
         self._statistics_cache: Optional[Tuple[int, RelationStatistics]] = None
+        #: Version-keyed flat-column snapshots, one per attribute (None
+        #: = timestamps only); any mutation invalidates by version.
+        self._columns_cache: dict = {}
         #: Chained order-sensitive fingerprint over every stored row,
         #: maintained per append when journaled (COMMIT records carry
         #: it; recovery re-derives and compares it end to end).
@@ -165,6 +170,7 @@ class HeapFile:
         """
         self.version += 1
         self._statistics_cache = None
+        self._columns_cache.clear()
 
     # ------------------------------------------------------------------
     # Scanning
@@ -198,6 +204,63 @@ class HeapFile:
         position = self.schema.position_of(attribute)
         for row in self.scan():
             yield (row.start, row.end, row.values[position])
+
+    def scan_columns(self, attribute: Optional[str] = None) -> ColumnSet:
+        """One scan batch-decoding whole pages into flat columns.
+
+        The zero-tuple fast path: each page's record region is
+        unpacked in a single ``struct`` call
+        (:meth:`~repro.storage.codec.FixedWidthCodec.decode_page_columns`)
+        and extended onto growing ``array('q')`` columns — no
+        TemporalTuple, no per-record triple, nothing per row but array
+        slots.  ``attribute=None`` skips every attribute byte (the
+        COUNT path); otherwise exactly that attribute's bytes are
+        decoded into the value column.
+        """
+        from repro.storage.page import PAGE_HEADER_BYTES
+
+        position = (
+            None if attribute is None else self.schema.position_of(attribute)
+        )
+        record_bytes = self.codec.record_bytes
+        decode_page = self.codec.decode_page_columns
+        starts = array("q")
+        ends = array("q")
+        values: Optional[List[Any]] = None if position is None else []
+        batches = 0
+        for page_id in range(self.buffer.page_count()):
+            page = self.buffer.get(page_id)
+            count = page.record_count
+            if not count:
+                continue
+            region = memoryview(page.data)[
+                PAGE_HEADER_BYTES : PAGE_HEADER_BYTES + count * record_bytes
+            ]
+            page_starts, page_ends, page_values = decode_page(
+                region, count, position
+            )
+            starts.extend(page_starts)
+            ends.extend(page_ends)
+            if values is not None and page_values is not None:
+                values.extend(page_values)
+            batches += 1
+        return ColumnSet(starts, ends, values, batches=max(1, batches))
+
+    def columns(self, attribute: Optional[str] = None) -> ColumnSet:
+        """A version-keyed flat-column snapshot of the whole file.
+
+        Mirrors :meth:`TemporalRelation.columns`: the first call per
+        (version, attribute) pays one :meth:`scan_columns`; repeats at
+        the same version share the snapshot.  Callers must treat the
+        columns as read-only.
+        """
+        cached = self._columns_cache.get(attribute)
+        if cached is not None and cached[0] == self.version:
+            snapshot: ColumnSet = cached[1]
+            return snapshot
+        snapshot = self.scan_columns(attribute)
+        self._columns_cache[attribute] = (self.version, snapshot)
+        return snapshot
 
     # ------------------------------------------------------------------
     # Statistics

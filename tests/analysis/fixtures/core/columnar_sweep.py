@@ -1,0 +1,42 @@
+"""TA010 fixture: allocation and dispatch inside marked hot loops.
+
+The basename matches a real hot-path module so the rule's scoping
+picks it up; the marked loop commits both sins (a NamedTuple build and
+two attribute-lookup calls), the unmarked loop shows the marker is
+opt-in, and the hoisted loop is the compliant shape.
+"""
+
+from typing import Any, List, NamedTuple
+
+
+class Pair(NamedTuple):
+    start: int
+    end: int
+
+
+class Sink:
+    def push(self, item: Any) -> None:
+        pass
+
+
+def marked_loop(starts: List[int], sink: Sink) -> List[Pair]:
+    out: List[Pair] = []
+    for start in starts:  # ta: hot
+        pair = Pair(start, start + 1)
+        out.append(pair)
+        sink.push(start)
+    return out
+
+
+def unmarked_loop(starts: List[int], sink: Sink) -> None:
+    for start in starts:
+        sink.push(start)
+
+
+def hoisted_loop(starts: List[int], sink: Sink) -> None:
+    push = sink.push
+    i = 0
+    n = len(starts)
+    while i < n:  # ta: hot
+        push(starts[i])
+        i += 1

@@ -21,6 +21,7 @@ from repro.analysis.rules import (
     AnnotationGateRule,
     BoundaryValidationRule,
     EvaluatorProtocolRule,
+    HotLoopRule,
     JournalBypassRule,
     MutableDefaultRule,
     SetIterationRule,
@@ -144,6 +145,43 @@ class TestRuleFirings:
             for path in collect_files([REPO_ROOT / "src" / "repro" / "storage"])
         ]
         assert LintRunner([JournalBypassRule()]).run(files) == []
+
+    def test_ta010_hot_loop_allocation(self):
+        found = run_rules([HotLoopRule()], "core/columnar_sweep.py")
+        assert locations(found) == [
+            ("TA010", 25),  # Pair(...) NamedTuple build in a marked loop
+            ("TA010", 26),  # out.append(...) attribute-lookup call
+            ("TA010", 27),  # sink.push(...) attribute-lookup call
+        ]
+        assert "NamedTuple" in found[0].message
+        assert "hoist" in found[1].message
+        # The unmarked loop's sink.push and the hoisted while loop stay
+        # silent: the '# ta: hot' marker is opt-in, and Name calls to
+        # pre-bound locals are the compliant shape.
+
+    def test_ta010_scopes_to_hot_path_basenames(self):
+        rule = HotLoopRule()
+        hot = SourceFile.parse(FIXTURES / "core" / "columnar_sweep.py")
+        partition = SourceFile.parse(FIXTURES / "core" / "partition.py")
+        elsewhere = SourceFile.parse(FIXTURES / "core" / "ta003_swallow.py")
+        assert rule.applies_to(hot)
+        assert rule.applies_to(partition)  # partition.py is hot-path too
+        assert not rule.applies_to(elsewhere)
+
+    def test_ta010_real_hot_path_modules_are_clean(self):
+        paths = [
+            REPO_ROOT / "src" / "repro" / "core" / "columnar_sweep.py",
+            REPO_ROOT / "src" / "repro" / "core" / "sweep.py",
+            REPO_ROOT / "src" / "repro" / "core" / "partition.py",
+            REPO_ROOT / "src" / "repro" / "storage" / "codec.py",
+        ]
+        files = [SourceFile.parse(path) for path in paths]
+        # The real hot loops carry the marker, so silence here means the
+        # shipped kernels actually honor the zero-allocation contract.
+        assert any(
+            "ta: hot" in line for source in files for line in source.lines
+        )
+        assert LintRunner([HotLoopRule()]).run(files) == []
 
 
 class TestSuppressions:

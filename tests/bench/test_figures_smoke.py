@@ -66,6 +66,7 @@ class TestFigureDrivers:
             "ablations",
             "parallel",
             "cache",
+            "columnar",
             "durability",
         }
 

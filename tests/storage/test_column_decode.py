@@ -1,0 +1,126 @@
+"""Tests for the batch column decoder and the flat-column scan path.
+
+Covers the page-to-row zero-tuple pipeline at the storage layer: the
+whole-page ``decode_page_columns`` unpack (timestamps-only and valued),
+saturated-timestamp widening, the typed corruption errors for truncated
+inputs (including the ``decode_timestamps_only`` regression), and the
+version-keyed column snapshots on :class:`~repro.storage.heapfile.
+HeapFile`.
+"""
+
+import pytest
+
+from repro.core.interval import FOREVER
+from repro.exec.errors import StorageCorruption
+from repro.relation.schema import EMPLOYED_SCHEMA
+from repro.relation.tuples import TemporalTuple
+from repro.storage.codec import FixedWidthCodec
+from repro.storage.heapfile import HeapFile
+
+
+@pytest.fixture
+def codec():
+    return FixedWidthCodec(EMPLOYED_SCHEMA)
+
+
+def _region(codec, rows):
+    return b"".join(codec.encode(row) for row in rows)
+
+
+ROWS = [
+    TemporalTuple(("Rich", 10), 0, 9),
+    TemporalTuple(("Anna", 20), 5, FOREVER),
+    TemporalTuple(("Eli", 30), 12, 12),
+]
+
+
+class TestDecodePageColumns:
+    def test_timestamps_only_matches_row_decode(self, codec):
+        region = _region(codec, ROWS)
+        starts, ends, values = codec.decode_page_columns(region, len(ROWS))
+        assert list(starts) == [row.start for row in ROWS]
+        assert list(ends) == [row.end for row in ROWS]
+        assert values is None
+
+    def test_int_value_column(self, codec):
+        region = _region(codec, ROWS)
+        position = EMPLOYED_SCHEMA.position_of("salary")
+        starts, ends, values = codec.decode_page_columns(
+            region, len(ROWS), position
+        )
+        assert values == [10, 20, 30]
+        assert list(starts) == [0, 5, 12]
+
+    def test_str_value_column_strips_padding(self, codec):
+        region = _region(codec, ROWS)
+        position = EMPLOYED_SCHEMA.position_of("name")
+        _starts, _ends, values = codec.decode_page_columns(
+            region, len(ROWS), position
+        )
+        assert values == ["Rich", "Anna", "Eli"]
+
+    def test_forever_widens_from_saturated_encoding(self, codec):
+        region = _region(codec, ROWS)
+        _starts, ends, _values = codec.decode_page_columns(region, len(ROWS))
+        assert ends[1] == FOREVER
+        assert ends[1] > 0xFFFF_FFFF  # widened, not the raw 4-byte value
+
+    def test_empty_region(self, codec):
+        starts, ends, values = codec.decode_page_columns(b"", 0)
+        assert (len(starts), len(ends), values) == (0, 0, None)
+        _s, _e, valued = codec.decode_page_columns(b"", 0, 1)
+        assert valued == []
+
+    def test_truncated_region_raises_typed_corruption(self, codec):
+        region = _region(codec, ROWS)
+        with pytest.raises(StorageCorruption):
+            codec.decode_page_columns(region[:-1], len(ROWS))
+        with pytest.raises(StorageCorruption):
+            codec.decode_page_columns(region, len(ROWS) + 1)
+
+
+class TestDecodeTimestampsOnlyRegression:
+    def test_truncated_record_raises_typed_corruption(self, codec):
+        record = codec.encode(ROWS[0])
+        with pytest.raises(StorageCorruption) as excinfo:
+            codec.decode_timestamps_only(record[:-3])
+        assert "truncated record" in str(excinfo.value)
+
+    def test_full_record_still_decodes(self, codec):
+        record = codec.encode(ROWS[1])
+        assert codec.decode_timestamps_only(record) == (5, FOREVER)
+
+
+class TestHeapFileColumns:
+    def test_scan_columns_matches_scan_triples(self, employed):
+        heap = HeapFile.from_relation(employed)
+        columns = heap.scan_columns("salary")
+        triples = list(heap.scan_triples("salary"))
+        assert list(zip(columns.starts, columns.ends, columns.values)) == triples
+        assert columns.batches >= 1
+
+    def test_timestamps_only_columns(self, employed):
+        heap = HeapFile.from_relation(employed)
+        columns = heap.scan_columns()
+        assert columns.values is None
+        assert list(columns.starts) == [t[0] for t in heap.scan_triples()]
+
+    def test_columns_snapshot_is_version_keyed(self, employed):
+        heap = HeapFile.from_relation(employed)
+        first = heap.columns("salary")
+        assert heap.columns("salary") is first  # cached at this version
+        heap.append(TemporalTuple(("New", 99), 3, 7))
+        refreshed = heap.columns("salary")
+        assert refreshed is not first
+        assert len(refreshed) == len(first) + 1
+
+    def test_spans_multiple_pages(self, employed):
+        heap = HeapFile.from_relation(employed)
+        per_page = heap.records_per_page
+        for index in range(per_page * 2):
+            heap.append(TemporalTuple((f"w{index}", index), index, index + 5))
+        columns = heap.columns("salary")
+        assert list(zip(columns.starts, columns.ends, columns.values)) == list(
+            heap.scan_triples("salary")
+        )
+        assert columns.batches >= 3
