@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-invariants bench figures figures-full examples lint scrub clean
+.PHONY: install test test-invariants bench figures figures-full examples lint scrub serve bench-serving clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -40,6 +40,14 @@ examples:
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null; true
 	rm -rf .pytest_cache .hypothesis src/repro.egg-info
+
+# A query server on the paper's Employed relation: make serve PORT=7474
+serve:
+	PYTHONPATH=src $(PYTHON) -m repro.serve --seed --port $(or $(PORT),7474)
+
+# Serving throughput/latency at the paper's 64K grid -> results/BENCH_serving.json
+bench-serving:
+	REPRO_BENCH_MAX_TUPLES=65536 PYTHONPATH=src $(PYTHON) -m repro.bench serving --csv-dir results
 
 # Read-only fsck of heap files + their journals: make scrub FILES="a.dat b.dat"
 scrub:

@@ -140,6 +140,42 @@ def _write_columnar_json(reports, csv_dir) -> str:
     return path
 
 
+def _write_serving_json(reports, csv_dir) -> str:
+    """Machine-readable artifact for the ``serving`` driver.
+
+    Per-size qps and client-observed p50/p99 land here so the
+    acceptance check (serving numbers at the paper's 64K grid) reads
+    numbers, not rendered tables.
+    """
+    from repro.bench.config import bench_seeds, bench_sizes
+    from repro.bench.serving import CLIENTS, ROUNDS_PER_CLIENT, SERVING_DETAIL
+    from repro.serve.config import ServerConfig
+
+    defaults = ServerConfig()
+    payload = {
+        "generated_by": "python -m repro.bench serving",
+        "cpu_count": os.cpu_count(),
+        "clients": CLIENTS,
+        "rounds_per_client": ROUNDS_PER_CLIENT,
+        "workers": defaults.workers,
+        "ladder": {
+            "shed_load": defaults.shed_load,
+            "degrade_load": defaults.degrade_load,
+            "reject_load": defaults.reject_load,
+        },
+        "sizes": bench_sizes(),
+        "seeds": bench_seeds(),
+        "cells": SERVING_DETAIL.get("cells", []),
+        "note": SERVING_DETAIL.get("note", ""),
+        "reports": [report.to_dict() for report in reports],
+    }
+    path = os.path.join(csv_dir or ".", "BENCH_serving.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return path
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
@@ -217,6 +253,9 @@ def main(argv=None) -> int:
             print(f"[wrote {path}]", file=sys.stderr)
         elif name == "durability":
             path = _write_durability_json(reports, args.csv_dir)
+            print(f"[wrote {path}]", file=sys.stderr)
+        elif name == "serving":
+            path = _write_serving_json(reports, args.csv_dir)
             print(f"[wrote {path}]", file=sys.stderr)
         print(f"[{name} completed in {elapsed:.1f}s]", file=sys.stderr)
     return 0

@@ -949,6 +949,8 @@ def durability(
     return [throughput, recovery]
 
 
+from repro.bench.serving import serving  # noqa: E402  (registry import)
+
 #: Driver registry for the CLI.
 DRIVERS: Dict[str, Callable[..., List[Report]]] = {
     "fig6": figure6,
@@ -965,4 +967,5 @@ DRIVERS: Dict[str, Callable[..., List[Report]]] = {
     "columnar": columnar,
     "cache": cache,
     "durability": durability,
+    "serving": serving,
 }

@@ -108,7 +108,9 @@ def evaluate_cached(
         and entry.version == relation.version
         and entry.fingerprint == relation.fingerprint
     ):
-        return _serve_hit(relation, aggregate, attribute, entry, cache, counters)
+        return _serve_hit(
+            relation, aggregate, attribute, entry, cache, counters, deadline
+        )
 
     if (
         entry is not None
@@ -134,9 +136,15 @@ def _serve_hit(
     entry: CachedEntry,
     cache: ShardResultCache,
     counters: "OperationCounters",
+    deadline: "Optional[Deadline]" = None,
 ) -> TemporalAggregateResult:
+    # Even a pure hit honors the caller's deadline: a statement that
+    # arrived already past its budget must fail typed, not serve rows
+    # the session will never read.
+    if deadline is not None:
+        deadline.check(cached_rows=len(entry.rows))
     counters.cache_hits += 1
-    cache.counters.cache_hits += 1
+    cache.tally(cache_hits=1)
     counters.emitted += len(entry.rows)
     if _invariants.invariants_enabled():
         _invariants.verify_cached_shards(
@@ -193,7 +201,15 @@ def _refresh_append(
     space: "SpaceTracker",
     deadline: "Optional[Deadline]",
 ) -> TemporalAggregateResult:
-    """Fold appended tuples in by re-sweeping only the dirty shards."""
+    """Fold appended tuples in by re-sweeping only the dirty shards.
+
+    The refresh is copy-on-write: a published entry is never mutated
+    (a concurrent session that validated the old version against the
+    old entry may still be copying its rows), so the dirty shards are
+    re-swept into a *fresh* entry that replaces the stale one in the
+    store.  Readers holding the old object keep a consistent row set
+    for the version they pinned.
+    """
     delta = relation.triples_since(entry.row_count, attribute)
     windows = entry.windows
     dirty = sorted(
@@ -208,13 +224,21 @@ def _refresh_append(
     # (and re-applies the byte budget) through the normal store path.
     cache.discard(key)
     starts, ends, values = _scan_columns(relation, attribute, counters)
+    refreshed = CachedEntry(
+        version=relation.version,
+        fingerprint=relation.fingerprint,
+        row_count=len(relation),
+        windows=windows,
+        shard_rows=list(entry.shard_rows),
+        rows=[],
+    )
     events_by_shard: List[int] = []
     for position, index in enumerate(dirty):
         if deadline is not None:
             deadline.check(completed_shards=position, total_shards=len(dirty))
         lo, hi = windows[index]
         rows, events = window_rows(starts, ends, values, aggregate, lo, hi)
-        entry.shard_rows[index] = rows
+        refreshed.shard_rows[index] = rows
         events_by_shard.append(events)
     counters.tuples += len(delta)
     # The delta itself arrives as a short list of per-row tuples (it
@@ -224,15 +248,11 @@ def _refresh_append(
     counters.aggregate_updates += sum(events_by_shard)
     counters.cache_hits += 1
     counters.cache_dirty_shards += len(dirty)
-    cache.counters.cache_hits += 1
-    cache.counters.cache_dirty_shards += len(dirty)
+    cache.tally(cache_hits=1, cache_dirty_shards=len(dirty))
     space.absorb_concurrent(events_by_shard)
 
-    entry.version = relation.version
-    entry.fingerprint = relation.fingerprint
-    entry.row_count = len(relation)
-    result = _finish(entry, starts, ends, counters)
-    cache.store(key, entry)
+    result = _finish(refreshed, starts, ends, counters)
+    cache.store(key, refreshed)
     return result
 
 
@@ -249,7 +269,7 @@ def _recompute(
 ) -> TemporalAggregateResult:
     """Full miss: sweep every window, stitch, store."""
     counters.cache_misses += 1
-    cache.counters.cache_misses += 1
+    cache.tally(cache_misses=1)
     cache.discard(key)
     starts, ends, values = _scan_columns(relation, attribute, counters)
     windows = shard_bounds(starts, ends, shard_count)

@@ -33,6 +33,7 @@ cache is constructed, so tests can swap it per-process).
 from __future__ import annotations
 
 import os
+import threading
 from collections import OrderedDict
 from typing import Any, List, NamedTuple, Optional, Tuple
 
@@ -144,21 +145,41 @@ class ShardResultCache:
         self._recent: "OrderedDict[Tuple[int, str, Optional[str]], bool]" = (
             OrderedDict()
         )
+        #: Guards every structural operation (and the shared counter
+        #: tallies) so one cache instance can serve many sessions on
+        #: threads — the serving layer's shared server cache.  Re-entrant
+        #: because store() calls discard() internally.
+        self.lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Entry lifecycle
     # ------------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self.lock:
+            return len(self._entries)
 
     def __contains__(self, key: CacheKey) -> bool:
-        return key in self._entries
+        with self.lock:
+            return key in self._entries
 
     @property
     def live_bytes(self) -> int:
         """Modeled bytes currently held by cached entries."""
-        return self.space.live_bytes
+        with self.lock:
+            return self.space.live_bytes
+
+    def tally(self, **deltas: int) -> None:
+        """Add ``deltas`` to the cache's shared counters, atomically.
+
+        Concurrent sessions share one counter object on the cache;
+        bare ``cache.counters.x += 1`` from many threads would race
+        (read-modify-write), so the evaluator routes its shared-side
+        tallies through here.
+        """
+        with self.lock:
+            for name, delta in deltas.items():
+                setattr(self.counters, name, getattr(self.counters, name) + delta)
 
     def lookup(self, key: CacheKey) -> Optional[CachedEntry]:
         """The entry under ``key`` (refreshing its recency), or None.
@@ -166,29 +187,32 @@ class ShardResultCache:
         Validity against the relation's current version/fingerprint is
         the *evaluator's* decision — the store only remembers.
         """
-        entry = self._entries.get(key)
-        if entry is not None:
-            self._entries.move_to_end(key)
-        return entry
+        with self.lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+            return entry
 
     def store(self, key: CacheKey, entry: CachedEntry) -> bool:
         """Insert (or replace) ``entry``, evicting LRU peers past the
         budget.  Returns False when the entry alone outweighs the whole
         budget and was not admitted."""
-        self.discard(key)
-        nodes = entry.node_count()
-        if nodes * self.space.node_bytes > self.budget_bytes:
-            return False
-        self._entries[key] = entry
-        self.space.allocate(nodes)
-        self._evict_over_budget(keep=key)
-        return True
+        with self.lock:
+            self.discard(key)
+            nodes = entry.node_count()
+            if nodes * self.space.node_bytes > self.budget_bytes:
+                return False
+            self._entries[key] = entry
+            self.space.allocate(nodes)
+            self._evict_over_budget(keep=key)
+            return True
 
     def discard(self, key: CacheKey) -> None:
         """Drop one entry (no-op when absent)."""
-        entry = self._entries.pop(key, None)
-        if entry is not None:
-            self.space.free(entry.node_count())
+        with self.lock:
+            entry = self._entries.pop(key, None)
+            if entry is not None:
+                self.space.free(entry.node_count())
 
     def _evict_over_budget(self, keep: CacheKey) -> None:
         """Evict least-recently-used entries until under budget.
@@ -212,20 +236,22 @@ class ShardResultCache:
         budget, cached results are the first allocation to go — they
         are always recomputable.
         """
-        released = self.space.live_bytes
-        evicted = len(self._entries)
-        for entry in self._entries.values():
-            self.space.free(entry.node_count())
-        self._entries.clear()
-        self.counters.cache_evictions += evicted
-        return released
+        with self.lock:
+            released = self.space.live_bytes
+            evicted = len(self._entries)
+            for entry in self._entries.values():
+                self.space.free(entry.node_count())
+            self._entries.clear()
+            self.counters.cache_evictions += evicted
+            return released
 
     def reset(self) -> None:
         """Drop entries, recency, and counters (test isolation)."""
-        self.shed()
-        self._recent.clear()
-        self.counters.reset()
-        self.space.reset()
+        with self.lock:
+            self.shed()
+            self._recent.clear()
+            self.counters.reset()
+            self.space.reset()
 
     # ------------------------------------------------------------------
     # Repeat detection
@@ -242,14 +268,15 @@ class ShardResultCache:
         so a scan over thousands of distinct relations cannot grow it.
         """
         signature = (relation_uid, aggregate, attribute)
-        seen = signature in self._recent
-        if seen:
-            self._recent.move_to_end(signature)
-        else:
-            self._recent[signature] = True
-            while len(self._recent) > RECENT_QUERY_LIMIT:
-                self._recent.popitem(last=False)
-        return seen
+        with self.lock:
+            seen = signature in self._recent
+            if seen:
+                self._recent.move_to_end(signature)
+            else:
+                self._recent[signature] = True
+                while len(self._recent) > RECENT_QUERY_LIMIT:
+                    self._recent.popitem(last=False)
+            return seen
 
 
 # ---------------------------------------------------------------------------
@@ -258,13 +285,25 @@ class ShardResultCache:
 
 _default: Optional[ShardResultCache] = None
 
+#: Guards first-touch construction of the default cache.  Double-checked:
+#: the fast path reads the module global without locking (an attribute
+#: read of an already-published object is safe under the GIL); only the
+#: None case takes the lock and re-checks, so two sessions racing the
+#: first query cannot each build (and then split traffic across) their
+#: own cache.
+_default_lock = threading.Lock()
+
 
 def default_cache() -> ShardResultCache:
     """The process-wide cache ``temporal_aggregate`` uses by default."""
     global _default
-    if _default is None:
-        _default = ShardResultCache()
-    return _default
+    cache = _default
+    if cache is None:
+        with _default_lock:
+            cache = _default
+            if cache is None:
+                cache = _default = ShardResultCache()
+    return cache
 
 
 def set_default_cache(cache: Optional[ShardResultCache]) -> None:

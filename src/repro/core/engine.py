@@ -14,7 +14,7 @@ benchmarks that need precise control and raw triple streams.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import TYPE_CHECKING, Dict, Iterable, Optional, Type
+from typing import TYPE_CHECKING, Dict, Iterable, Optional, Type, Union
 
 from repro.analysis import invariants as _invariants
 from repro.cache.evaluator import CachedSweepEvaluator
@@ -195,7 +195,7 @@ def temporal_aggregate(
     k: Optional[int] = None,
     shards: Optional[int] = None,
     memory_budget_bytes: Optional[int] = None,
-    deadline_ms: Optional[float] = None,
+    deadline_ms: Union[float, Deadline, None] = None,
     counters: Optional[OperationCounters] = None,
     space: Optional[SpaceTracker] = None,
     explain: bool = False,
@@ -228,14 +228,21 @@ def temporal_aggregate(
     deadline_ms:
         Wall-clock bound for the whole call; when it passes,
         :class:`~repro.exec.errors.DeadlineExceeded` is raised from
-        the next checkpoint, carrying partial-progress metrics.
+        the next checkpoint, carrying partial-progress metrics.  An
+        already-running :class:`~repro.exec.deadline.Deadline` is also
+        accepted, so a caller executing several aggregate calls under
+        one statement budget (the tsql2 executor, the query server)
+        can share the clock instead of restarting it per call.
     explain:
         When true, also return the :class:`PlannerDecision` (a
         synthesised one when ``strategy`` was given explicitly).
 
     Returns the result, or ``(result, decision)`` with ``explain``.
     """
-    deadline = Deadline.after_ms(deadline_ms)
+    if isinstance(deadline_ms, Deadline):
+        deadline: Optional[Deadline] = deadline_ms
+    else:
+        deadline = Deadline.after_ms(deadline_ms)
     aggregate = coerce_aggregate(aggregate)
     if aggregate.needs_value and attribute is None:
         raise ValueError(

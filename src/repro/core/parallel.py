@@ -34,9 +34,10 @@ tiny window descriptors and the flat result rows crosses the pipe.
 from __future__ import annotations
 
 import multiprocessing
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from itertools import repeat
-from typing import TYPE_CHECKING, Any, Callable, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.aggregates import AGGREGATES, Aggregate, get_aggregate
 from repro.core.base import Evaluator, Triple, coerce_aggregate
@@ -139,6 +140,13 @@ def merge_results(
 #: crossing processes (the instance for in-process shards).
 _SHARD_STATE: dict = {}
 
+#: Serializes sharded evaluations across threads: the shard state is a
+#: module global (so fork can inherit it copy-on-write), which means
+#: two concurrent ParallelSweepEvaluator runs — e.g. two server
+#: sessions on worker threads — would publish over each other.  Held
+#: for the whole publish/fan-out/clear window.
+_SHARD_STATE_LOCK = threading.RLock()
+
 
 def _resolve_shard_aggregate() -> Aggregate:
     spec = _SHARD_STATE["aggregate"]
@@ -178,6 +186,16 @@ def _shard_task(args: Tuple[Tuple[int, int], int, int, bool]) -> Tuple[List[tupl
     return _shard_worker(window)
 
 
+#: Memo of registry-name -> constructed type, filled on first touch
+#: under a lock: registered_instance runs on every engine call, and
+#: without the memo each call constructs a throwaway aggregate; with a
+#: plain dict two threads' first touches would both construct and race
+#: the insert (harmless for dicts, but the double-checked discipline
+#: keeps the invariant obvious and the construction single).
+_REGISTERED_TYPE_MEMO: Dict[str, type] = {}
+_REGISTERED_TYPE_LOCK = threading.Lock()
+
+
 def registered_instance(aggregate: Aggregate) -> bool:
     """Can this aggregate be rebuilt elsewhere from its name alone?
 
@@ -188,7 +206,16 @@ def registered_instance(aggregate: Aggregate) -> bool:
     because entries are keyed by aggregate *name*.
     """
     factory = AGGREGATES.get(aggregate.name)
-    return factory is not None and type(factory()) is type(aggregate)
+    if factory is None:
+        return False
+    registered_type = _REGISTERED_TYPE_MEMO.get(aggregate.name)
+    if registered_type is None:
+        with _REGISTERED_TYPE_LOCK:
+            registered_type = _REGISTERED_TYPE_MEMO.get(aggregate.name)
+            if registered_type is None:
+                registered_type = type(factory())
+                _REGISTERED_TYPE_MEMO[aggregate.name] = registered_type
+    return registered_type is type(aggregate)
 
 
 class ParallelSweepEvaluator(Evaluator):
@@ -313,6 +340,10 @@ class ParallelSweepEvaluator(Evaluator):
             )
             return result
 
+        # Serialize sharded runs across threads: the shard state is a
+        # module global (fork inherits it copy-on-write), so concurrent
+        # server sessions must not publish over each other.
+        _SHARD_STATE_LOCK.acquire()
         _SHARD_STATE.update(
             starts=starts,
             ends=ends,
@@ -351,6 +382,7 @@ class ParallelSweepEvaluator(Evaluator):
                     )
         finally:
             _SHARD_STATE.clear()
+            _SHARD_STATE_LOCK.release()
 
         raw = stitch_rows(
             [rows for rows, _events in shard_results], set(starts), set(ends)

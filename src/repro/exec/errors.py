@@ -25,6 +25,10 @@ one type and branch on the subclass instead of fishing bare
   recovery) and :class:`RecoveryError` (the recovery procedure itself
   could not restore a consistent state — acknowledged data is missing
   or the fingerprint chain broke).
+* :class:`ServerOverloaded` — the serving front end
+  (:mod:`repro.serve`) refused to admit a session or statement because
+  admission capacity is exhausted; carries a ``retry_after_ms`` hint
+  so well-behaved clients back off instead of hammering.
 """
 
 from __future__ import annotations
@@ -42,6 +46,7 @@ __all__ = [
     "StorageError",
     "StorageCorruption",
     "RecoveryError",
+    "ServerOverloaded",
 ]
 
 
@@ -173,3 +178,25 @@ class BudgetExhausted(TemporalAggregateError):
         self.budget_bytes = budget_bytes
         self.observed_bytes = observed_bytes
         self.consumed = consumed
+
+
+class ServerOverloaded(TemporalAggregateError):
+    """The serving front end refused to take on more work.
+
+    Raised (or sent over the wire as a typed error frame) when the
+    session count or statement queue is at capacity, and by the final
+    rung of the overload-degradation ladder.  ``retry_after_ms`` is the
+    server's backoff hint; ``reason`` names which bound tripped
+    (``"sessions"``, ``"queue"``, ...).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        retry_after_ms: int,
+        reason: str = "sessions",
+    ) -> None:
+        super().__init__(message)
+        self.retry_after_ms = int(retry_after_ms)
+        self.reason = reason

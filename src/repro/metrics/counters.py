@@ -39,13 +39,23 @@ operations that dominate its running time:
 
 Counters are plain ints on a slotted object, cheap enough to leave on
 even in benchmarks that measure wall-clock.
+
+**Threads.**  A single :class:`OperationCounters` is *not* safe to
+increment from several threads: ``counters.tuples += 1`` is a
+read-modify-write and increments race (the serving layer runs many
+sessions on a worker pool).  :class:`ThreadLocalCounters` is the
+concurrent aggregation point: each thread increments its own private
+:class:`OperationCounters` (:meth:`ThreadLocalCounters.local`, no lock
+on the hot path) and :meth:`ThreadLocalCounters.merged` folds every
+thread's tally into one exact total under a lock.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+import threading
+from typing import Dict, List
 
-__all__ = ["OperationCounters"]
+__all__ = ["OperationCounters", "ThreadLocalCounters"]
 
 
 class OperationCounters:
@@ -110,3 +120,55 @@ class OperationCounters:
     def __repr__(self) -> str:
         parts = ", ".join(f"{k}={v}" for k, v in self.snapshot().items())
         return f"OperationCounters({parts})"
+
+
+class ThreadLocalCounters:
+    """Per-thread :class:`OperationCounters` with an exact locked merge.
+
+    The increment path stays lock-free: each thread gets (and reuses)
+    its own private counter object via :meth:`local`, so evaluators
+    keep doing plain ``counters.field += 1`` with no contention.  Only
+    registration of a *new* thread's counters and the cross-thread
+    :meth:`merged` / :meth:`reset` operations take the lock.  Totals
+    are exact: a counter object is registered before any increment can
+    land on it, and ``merged`` folds a stable snapshot of the registry.
+    """
+
+    __slots__ = ("_lock", "_registry", "_slot")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._registry: List[OperationCounters] = []
+        self._slot = threading.local()
+
+    def local(self) -> OperationCounters:
+        """This thread's private counter set (created on first touch)."""
+        counters = getattr(self._slot, "counters", None)
+        if counters is None:
+            counters = OperationCounters()
+            with self._lock:
+                self._registry.append(counters)
+            self._slot.counters = counters
+        return counters
+
+    def merged(self) -> OperationCounters:
+        """An exact total over every thread's counters, as a fresh
+        :class:`OperationCounters` (the per-thread tallies keep
+        accumulating; merging does not reset them)."""
+        total = OperationCounters()
+        with self._lock:
+            parts = list(self._registry)
+        for part in parts:
+            total.merge(part)
+        return total
+
+    def snapshot(self) -> Dict[str, int]:
+        """Dict view of :meth:`merged`, for reports and stats frames."""
+        return self.merged().snapshot()
+
+    def reset(self) -> None:
+        """Zero every registered thread's counters."""
+        with self._lock:
+            parts = list(self._registry)
+        for part in parts:
+            part.reset()

@@ -177,6 +177,15 @@ class TemporalRelation:
         :class:`~repro.exec.errors.InvalidInput`, which remains an
         ``InvalidIntervalError``/``ValueError`` for older callers.
         """
+        row = self._validated_row(values, start, end)
+        self._rows.append(row)
+        self._note_appended([row])
+        return row
+
+    def _validated_row(
+        self, values: Sequence[Any], start: int, end: int
+    ) -> TemporalTuple:
+        """Validate one ``(values, start, end)`` row without storing it."""
         if type(start) is not int or type(end) is not int:
             raise InvalidInput(
                 f"valid-time endpoints must be plain integers, got "
@@ -196,10 +205,32 @@ class TemporalRelation:
                     f"NaN attribute value in tuple valid at [{start}, {end}]; "
                     "NaN does not order and would corrupt aggregate results"
                 )
-        row = TemporalTuple(self.schema.validate_values(values), start, end)
-        self._rows.append(row)
-        self._note_appended([row])
-        return row
+        return TemporalTuple(self.schema.validate_values(values), start, end)
+
+    def append_batch(
+        self, rows: Iterable[Tuple[Sequence[Any], int, int]]
+    ) -> int:
+        """Validate and append a batch of ``(values, start, end)`` rows
+        as **one** mutation: a single version bump covers the whole
+        batch, whatever its size.
+
+        This is the serving layer's append unit — one client append
+        operation maps to exactly one relation version, so a reader's
+        pinned version identifies an exact prefix of append batches.
+        Validation runs for *every* row before any row is stored; a
+        malformed row rejects the whole batch, leaving the relation
+        untouched.  Returns the number of rows appended (an empty batch
+        appends nothing and does not bump the version).
+        """
+        validated = [
+            self._validated_row(values, start, end)
+            for values, start, end in rows
+        ]
+        if not validated:
+            return 0
+        self._rows.extend(validated)
+        self._note_appended(validated)
+        return len(validated)
 
     def extend(self, rows: Iterable[TemporalTuple]) -> None:
         """Append already-validated rows (e.g. from another relation)."""
@@ -234,6 +265,17 @@ class TemporalRelation:
     def rows(self) -> List[TemporalTuple]:
         """A copy of the row list (mutating it does not affect the relation)."""
         return list(self._rows)
+
+    def iter_prefix(self, count: int) -> Iterator[TemporalTuple]:
+        """Yield the first ``count`` rows without copying the row list.
+
+        The serving layer's snapshot views read a pinned prefix of a
+        relation other sessions keep appending to.  Appends only ever
+        grow the underlying list (rows are immutable and never move),
+        so iterating the first ``count`` positions is consistent even
+        while concurrent appends land past them.
+        """
+        return itertools.islice(self._rows, count)
 
     def scan(self) -> Iterator[TemporalTuple]:
         """One sequential scan of the relation, counted for accounting.

@@ -1,0 +1,81 @@
+"""Server configuration: every serving knob in one frozen dataclass.
+
+The degradation thresholds are *load ratios* — outstanding statements
+(queued + running, across all sessions) divided by worker count.  A
+ratio of 1.0 means every worker is busy and nothing is queued; the
+defaults shed the cache when the pool is three-quarters committed,
+force the low-memory paged-tree path once statements queue past 1.5×
+capacity, and reject outright at 3× (see
+:mod:`repro.serve.admission` for the ladder itself).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["ServerConfig"]
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """All knobs of one :class:`~repro.serve.server.QueryServer`.
+
+    * ``host`` / ``port`` — listen address; port 0 asks the OS for a
+      free port (the bound port is on ``QueryServer.port`` after
+      ``start``).
+    * ``max_sessions`` — admission bound on concurrent connections;
+      connection ``max_sessions + 1`` is answered with a typed
+      ``ServerOverloaded`` hello and closed.
+    * ``max_queue_depth`` — per-session bound on statements queued
+      behind the in-flight one; excess statements are rejected
+      (``reason="queue"``) without dropping the session.
+    * ``workers`` — thread-pool width; also the denominator of the
+      load ratio.
+    * ``deadline_ms`` / ``memory_budget_bytes`` — per-statement budgets
+      every admitted statement runs under (None = unbounded), reusing
+      the engine's :class:`~repro.exec.deadline.Deadline` and
+      :class:`~repro.exec.budget.MemoryGuard` machinery.
+    * ``shed_load`` / ``degrade_load`` / ``reject_load`` — ladder
+      thresholds, as load ratios, in non-decreasing order.
+    * ``retry_after_ms`` — the backoff hint stamped on every
+      ``ServerOverloaded`` rejection.
+    * ``debug_statement_delay_ms`` — test/bench hook: each worker
+      sleeps this long before executing a statement, making queue
+      buildup deterministic regardless of machine speed.  0 in
+      production.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_sessions: int = 32
+    max_queue_depth: int = 8
+    workers: int = 4
+    deadline_ms: Optional[float] = None
+    memory_budget_bytes: Optional[int] = None
+    shed_load: float = 0.75
+    degrade_load: float = 1.5
+    reject_load: float = 3.0
+    retry_after_ms: int = 100
+    debug_statement_delay_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_sessions < 1:
+            raise ValueError("max_sessions must be at least 1")
+        if self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be at least 1")
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ValueError("deadline_ms must be positive when set")
+        if self.memory_budget_bytes is not None and self.memory_budget_bytes <= 0:
+            raise ValueError("memory_budget_bytes must be positive when set")
+        if not (0 < self.shed_load <= self.degrade_load <= self.reject_load):
+            raise ValueError(
+                "degradation thresholds must satisfy "
+                "0 < shed_load <= degrade_load <= reject_load"
+            )
+        if self.retry_after_ms < 1:
+            raise ValueError("retry_after_ms must be at least 1")
+        if self.debug_statement_delay_ms < 0:
+            raise ValueError("debug_statement_delay_ms must be >= 0")

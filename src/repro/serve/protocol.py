@@ -1,0 +1,159 @@
+"""The wire format: length-prefixed JSON frames.
+
+Every message in either direction is one *frame*: a 4-byte big-endian
+unsigned length followed by exactly that many bytes of UTF-8 JSON
+encoding one object.  The format is deliberately boring — it has to be
+implementable from this docstring alone:
+
+* length ``0`` is invalid (every frame carries an object);
+* lengths above :data:`MAX_FRAME_BYTES` are refused *before* reading
+  the body, so a garbage header cannot make the server allocate
+  gigabytes;
+* the body must decode as UTF-8 JSON whose top level is an object.
+
+Violations raise :class:`FrameError`; a clean end-of-stream before a
+complete header raises :class:`ConnectionClosed` so callers can tell a
+departed peer from a misbehaving one.
+
+Requests carry ``{"op": ...}`` plus op-specific fields (``query``,
+``append``, ``stats``, ``ping``, ``close``); replies carry
+``{"ok": true, ...}`` or ``{"ok": false, "error": {"type", "message",
+"hint", ...}}``.  The op vocabulary lives in
+:mod:`repro.serve.server`; this module only moves frames.
+
+Both a blocking-socket flavor (client library, tests) and an asyncio
+flavor (server) are provided over the same encode/decode core.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+from typing import Any, Dict
+
+from repro.exec.errors import TemporalAggregateError
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "FrameError",
+    "ConnectionClosed",
+    "encode_frame",
+    "decode_body",
+    "send_frame",
+    "recv_frame",
+    "write_frame",
+    "read_frame",
+]
+
+#: Hard ceiling on one frame's body.  Large enough for tens of
+#: thousands of result rows, small enough that a hostile length header
+#: cannot balloon server memory.
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+
+class FrameError(TemporalAggregateError):
+    """A malformed frame: bad length, bad UTF-8, bad JSON, or a
+    non-object body.  The peer that sent it is not speaking the
+    protocol; the server answers once (when it can) and hangs up."""
+
+
+class ConnectionClosed(Exception):
+    """The peer closed the connection at a frame boundary (clean EOF),
+    or mid-frame (the message carries which)."""
+
+
+def encode_frame(payload: Dict[str, Any]) -> bytes:
+    """One frame's bytes: header + UTF-8 JSON body."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame body of {len(body)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    return _HEADER.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> Dict[str, Any]:
+    """Decode one frame body; raises :class:`FrameError` on garbage."""
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise FrameError(f"frame body is not UTF-8 JSON: {error}") from error
+    if not isinstance(payload, dict):
+        raise FrameError(
+            f"frame body must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def _checked_length(header: bytes) -> int:
+    (length,) = _HEADER.unpack(header)
+    if length == 0:
+        raise FrameError("zero-length frame")
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame header announces {length} bytes, over the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    return length
+
+
+# ---------------------------------------------------------------------------
+# Blocking sockets (client library, tests)
+# ---------------------------------------------------------------------------
+
+
+def send_frame(sock: socket.socket, payload: Dict[str, Any]) -> None:
+    """Encode and send one frame over a blocking socket."""
+    sock.sendall(encode_frame(payload))
+
+
+def _recv_exact(sock: socket.socket, count: int, context: str) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if remaining == count and context == "header":
+                raise ConnectionClosed("peer closed at a frame boundary")
+            raise ConnectionClosed(f"peer closed mid-{context}")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Dict[str, Any]:
+    """Read one complete frame from a blocking socket."""
+    header = _recv_exact(sock, _HEADER.size, "header")
+    length = _checked_length(header)
+    return decode_body(_recv_exact(sock, length, "body"))
+
+
+# ---------------------------------------------------------------------------
+# asyncio streams (server)
+# ---------------------------------------------------------------------------
+
+
+def write_frame(writer: asyncio.StreamWriter, payload: Dict[str, Any]) -> None:
+    """Queue one frame on an asyncio transport (caller drains)."""
+    writer.write(encode_frame(payload))
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Dict[str, Any]:
+    """Read one complete frame from an asyncio stream."""
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            raise ConnectionClosed("peer closed at a frame boundary") from None
+        raise ConnectionClosed("peer closed mid-header") from None
+    length = _checked_length(header)
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise ConnectionClosed("peer closed mid-body") from None
+    return decode_body(body)

@@ -1,0 +1,179 @@
+"""Fair round-robin scheduling of statements onto a worker pool.
+
+Admitted statements wait in *per-session* queues; the scheduler walks
+the sessions in a rotating ring and dispatches at most one statement
+per session onto a shared :class:`~concurrent.futures.ThreadPoolExecutor`.
+Two invariants fall out of that shape:
+
+* **Fairness** — a session that floods its queue cannot starve its
+  neighbors: each ring pass takes one statement from each session with
+  pending work, so a newcomer's first statement starts after at most
+  one statement from every other active session, never behind the
+  flooder's whole backlog.
+* **Per-session ordering** — with at most one in-flight statement per
+  session, replies leave in submission order without any sequencing
+  machinery.
+
+The scheduler owns no policy: admission decided *whether* a statement
+runs and at what degradation level; the statement's ``run`` closure
+(built by the server) decides *what* it does.  Completion callbacks
+(``on_done``) fire on the event-loop thread after the reply is sent —
+the server uses them to balance admission's outstanding count.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, Optional
+
+from repro.serve.session import Session
+
+__all__ = ["Statement", "FairScheduler"]
+
+
+@dataclass
+class Statement:
+    """One admitted unit of work: a closure producing a reply frame.
+
+    ``run`` executes on a worker thread and must return the reply
+    payload (it catches its own taxonomy errors and encodes them as
+    error frames — a worker thread never throws through the pool).
+    ``on_done`` runs on the event-loop thread exactly once, whether the
+    statement ran or was dropped with its session.
+    """
+
+    run: Callable[[], Dict[str, Any]]
+    on_done: Optional[Callable[[], None]] = None
+    label: str = "statement"
+    _completed: bool = field(default=False, repr=False)
+
+    def finish(self) -> None:
+        if not self._completed:
+            self._completed = True
+            if self.on_done is not None:
+                self.on_done()
+
+
+class FairScheduler:
+    """Round-robin over sessions, bounded by a thread pool."""
+
+    def __init__(self, workers: int) -> None:
+        self.workers = workers
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-serve"
+        )
+        self._ring: Deque[Session] = deque()
+        self._wakeup = asyncio.Event()
+        self._stopped = False
+        self._inflight_tasks: set = set()
+        self.statements_started = 0
+        self.statements_finished = 0
+
+    # ------------------------------------------------------------------
+    # Session membership (event-loop thread only)
+    # ------------------------------------------------------------------
+
+    def add_session(self, session: Session) -> None:
+        self._ring.append(session)
+
+    def remove_session(self, session: Session) -> None:
+        try:
+            self._ring.remove(session)
+        except ValueError:
+            pass
+
+    def submit(self, session: Session, statement: Statement) -> None:
+        """Queue one admitted statement and poke the dispatch loop."""
+        session.queue.append(statement)
+        self._wakeup.set()
+
+    # ------------------------------------------------------------------
+    # Dispatch loop
+    # ------------------------------------------------------------------
+
+    async def run(self) -> None:
+        """Dispatch until :meth:`stop`; run as one asyncio task."""
+        slots = asyncio.Semaphore(self.workers)
+        while not self._stopped:
+            dispatched = self._next()
+            if dispatched is None:
+                self._wakeup.clear()
+                # Re-check before sleeping: a submit between _next and
+                # clear would otherwise be lost until the next poke.
+                if self._has_work():
+                    continue
+                await self._wakeup.wait()
+                continue
+            session, statement = dispatched
+            await slots.acquire()
+            if self._stopped:
+                slots.release()
+                statement.finish()
+                break
+            self.statements_started += 1
+            task = asyncio.get_running_loop().create_task(
+                self._run_one(session, statement, slots)
+            )
+            self._inflight_tasks.add(task)
+            task.add_done_callback(self._inflight_tasks.discard)
+
+    def _has_work(self) -> bool:
+        return any(
+            not s.closed and not s.in_flight and s.queue for s in self._ring
+        )
+
+    def _next(self) -> Optional[Any]:
+        """The next (session, statement) in ring order, if any.
+
+        Each call resumes *after* the last dispatched session (the ring
+        rotates), which is the round-robin guarantee.
+        """
+        for _ in range(len(self._ring)):
+            session = self._ring[0]
+            self._ring.rotate(-1)
+            if session.closed or session.in_flight or not session.queue:
+                continue
+            statement = session.queue.popleft()
+            session.in_flight = True
+            return session, statement
+        return None
+
+    async def _run_one(
+        self, session: Session, statement: Statement, slots: asyncio.Semaphore
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            reply = await loop.run_in_executor(self._executor, statement.run)
+        except Exception as error:  # pragma: no cover - run() encodes its own
+            reply = {
+                "ok": False,
+                "error": {
+                    "type": type(error).__name__,
+                    "message": f"internal error running {statement.label}: {error}",
+                },
+            }
+        finally:
+            slots.release()
+            session.in_flight = False
+            session.statements_done += 1
+            self.statements_finished += 1
+            statement.finish()
+            if session.queue:
+                self._wakeup.set()
+        await session.send(reply)
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+
+    async def stop(self) -> None:
+        """Stop dispatching, let in-flight statements drain, shut the
+        pool down."""
+        self._stopped = True
+        self._wakeup.set()
+        if self._inflight_tasks:
+            await asyncio.gather(*list(self._inflight_tasks), return_exceptions=True)
+        self._executor.shutdown(wait=True)

@@ -1,0 +1,489 @@
+"""The query server: asyncio front end over the evaluation engine.
+
+One :class:`QueryServer` serves many concurrent TSQL2-lite sessions
+over the frame protocol (:mod:`repro.serve.protocol`).  The division
+of labor per connection:
+
+* the **reader coroutine** (event-loop thread) parses frames, answers
+  the cheap ops inline (``ping``, ``stats``, ``close``), and runs
+  ``query``/``append`` through admission
+  (:class:`~repro.serve.admission.AdmissionController`) into the fair
+  scheduler;
+* a **worker thread** executes the statement against snapshot-pinned
+  relations (:mod:`repro.serve.snapshots`) under the per-statement
+  deadline/memory budgets and whatever degradation level admission
+  assigned;
+* the reader's session object sends the reply (or drops it if the
+  client died mid-query — a kill never wedges a worker).
+
+Failures cross the wire as typed error frames: ``{"ok": false,
+"error": {"type", "message", "hint", ...}}`` with the same recovery
+hints the shell prints (:func:`repro.tsql2.shell.recovery_hint`), plus
+``retry_after_ms`` on every ``ServerOverloaded``.
+
+:class:`ServerRunner` hosts a server on a dedicated thread with its
+own event loop — the harness the blocking client library, the tests,
+and the serving benchmark all use.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from typing import Any, Dict, Optional
+
+from repro.cache.store import default_cache
+from repro.exec.deadline import Deadline
+from repro.exec.errors import ServerOverloaded, TemporalAggregateError
+from repro.metrics.counters import ThreadLocalCounters
+from repro.relation.relation import TemporalRelation
+from repro.serve.admission import AdmissionController, DegradationLevel
+from repro.serve.config import ServerConfig
+from repro.serve.protocol import ConnectionClosed, FrameError, read_frame, write_frame
+from repro.serve.scheduler import FairScheduler, Statement
+from repro.serve.session import Session
+from repro.serve.snapshots import ServedRelation
+from repro.tsql2.executor import Database, StatementLimits, TSQL2SemanticError
+from repro.tsql2.lexer import TSQL2SyntaxError
+from repro.tsql2.parser import parse
+from repro.tsql2.shell import recovery_hint
+
+__all__ = ["QueryServer", "ServerRunner"]
+
+
+def _error_frame(error: BaseException) -> Dict[str, Any]:
+    """Encode any failure as a typed error frame."""
+    payload: Dict[str, Any] = {
+        "type": type(error).__name__,
+        "message": str(error),
+    }
+    if isinstance(error, TemporalAggregateError):
+        payload["hint"] = recovery_hint(error)
+    if isinstance(error, ServerOverloaded):
+        payload["retry_after_ms"] = error.retry_after_ms
+        payload["reason"] = error.reason
+    deadline_ms = getattr(error, "deadline_ms", None)
+    if deadline_ms is not None:
+        payload["deadline_ms"] = deadline_ms
+        payload["elapsed_ms"] = getattr(error, "elapsed_ms", None)
+    return {"ok": False, "error": payload}
+
+
+class QueryServer:
+    """A bounded, snapshot-isolated, degradation-aware query server."""
+
+    def __init__(self, config: Optional[ServerConfig] = None) -> None:
+        self.config = config if config is not None else ServerConfig()
+        self.admission = AdmissionController(self.config)
+        self.scheduler = FairScheduler(self.config.workers)
+        #: Server-side operation counters, merged exactly across worker
+        #: threads for the stats frame.
+        self.counters = ThreadLocalCounters()
+        self._served: Dict[str, ServedRelation] = {}
+        self._sessions: Dict[int, Session] = {}
+        self._sid_counter = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._scheduler_task: Optional[asyncio.Task] = None
+        self._started_monotonic = 0.0
+        self.port: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Relations
+    # ------------------------------------------------------------------
+
+    def register(
+        self, relation: TemporalRelation, name: Optional[str] = None
+    ) -> ServedRelation:
+        """Serve ``relation`` under ``name`` (default: its own name).
+
+        Must happen before clients query it; the relation becomes
+        append-only from here on (snapshot isolation relies on it).
+        """
+        served = ServedRelation(relation, name=name or relation.name)
+        self._served[served.name.lower()] = served
+        return served
+
+    def served(self, name: str) -> ServedRelation:
+        served = self._served.get(name.lower())
+        if served is None:
+            known = ", ".join(sorted(self._served)) or "(none)"
+            raise TSQL2SemanticError(
+                f"unknown relation {name!r}; served: {known}"
+            )
+        return served
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start accepting; resolves once the port is bound."""
+        self._server = await asyncio.start_server(
+            self._on_connect, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started_monotonic = time.monotonic()
+        self._scheduler_task = asyncio.get_running_loop().create_task(
+            self.scheduler.run()
+        )
+
+    async def stop(self) -> None:
+        """Stop accepting, close sessions, drain the worker pool."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for session in list(self._sessions.values()):
+            session.closed = True
+            try:
+                session.writer.close()
+            except Exception:
+                pass
+        await self.scheduler.stop()
+        if self._scheduler_task is not None:
+            self._scheduler_task.cancel()
+            try:
+                await self._scheduler_task
+            except asyncio.CancelledError:
+                pass
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    # ------------------------------------------------------------------
+    # Connection handling (event-loop thread)
+    # ------------------------------------------------------------------
+
+    async def _on_connect(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            self.admission.admit_session()
+        except ServerOverloaded as error:
+            # Refused at the door: one typed hello-error frame, then
+            # hang up.  The client library raises this as-is.
+            try:
+                write_frame(writer, _error_frame(error))
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+            writer.close()
+            return
+
+        self._sid_counter += 1
+        session = Session(self._sid_counter, writer)
+        self._sessions[session.sid] = session
+        self.scheduler.add_session(session)
+        try:
+            await session.send(
+                {
+                    "ok": True,
+                    "op": "hello",
+                    "session": session.sid,
+                    "server": "repro-serve",
+                    "max_queue_depth": self.config.max_queue_depth,
+                    "tables": sorted(self._served),
+                }
+            )
+            await self._session_loop(reader, session)
+        except ConnectionClosed:
+            pass
+        except FrameError as error:
+            # A peer that stops speaking the protocol gets one typed
+            # answer (best effort) and is disconnected: resynchronizing
+            # inside a length-prefixed stream is impossible.
+            await session.send(_error_frame(error))
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            self._close_session(session)
+
+    async def _session_loop(
+        self, reader: asyncio.StreamReader, session: Session
+    ) -> None:
+        while not session.closed:
+            frame = await read_frame(reader)
+            op = frame.get("op")
+            if op == "ping":
+                await session.send({"ok": True, "op": "pong"})
+            elif op == "stats":
+                await session.send({"ok": True, "op": "stats", "stats": self.stats()})
+            elif op == "close":
+                await session.send({"ok": True, "op": "closed"})
+                return
+            elif op == "query":
+                self._admit(session, frame, self._query_statement)
+            elif op == "append":
+                self._admit(session, frame, self._append_statement)
+            else:
+                await session.send(
+                    _error_frame(FrameError(f"unknown op {op!r}"))
+                )
+                return
+
+    def _admit(self, session: Session, frame: Dict[str, Any], builder) -> None:
+        """Run one statement frame through admission into the scheduler."""
+        try:
+            level = self.admission.admit_statement(len(session.queue))
+        except ServerOverloaded as error:
+            # Statement-level rejection: the session survives, the
+            # client backs off by retry_after_ms.  The error frame rides
+            # the normal queue so it leaves in order with other replies.
+            self.scheduler.submit(session, _InlineReply(_error_frame(error)))
+            return
+        statement = builder(frame, level)
+        statement.on_done = self.admission.statement_done
+        self.scheduler.submit(session, statement)
+
+    def _close_session(self, session: Session) -> None:
+        session.closed = True
+        self._sessions.pop(session.sid, None)
+        self.scheduler.remove_session(session)
+        # Admitted-but-unrun statements are dropped; each still owes
+        # admission a completion so the outstanding count drains.
+        while session.queue:
+            statement = session.queue.popleft()
+            statement.finish()
+        try:
+            session.writer.close()
+        except Exception:
+            pass
+        self.admission.release_session()
+
+    # ------------------------------------------------------------------
+    # Statement builders (closures executed on worker threads)
+    # ------------------------------------------------------------------
+
+    def _statement_limits(self, level: DegradationLevel) -> StatementLimits:
+        return StatementLimits(
+            deadline=Deadline.after_ms(self.config.deadline_ms),
+            memory_budget_bytes=self.config.memory_budget_bytes,
+            # Rung 2: force every new statement onto the low-memory
+            # spilling paged tree.
+            strategy_override=(
+                "paged_tree" if level >= DegradationLevel.FORCE_PAGED else None
+            ),
+            # Rung 1 already shed the shared cache; stop re-filling it
+            # until load returns to normal.
+            prefer_cache=(level is DegradationLevel.NORMAL),
+        )
+
+    def _debug_delay(self) -> None:
+        if self.config.debug_statement_delay_ms:
+            time.sleep(self.config.debug_statement_delay_ms / 1000.0)
+
+    def _query_statement(
+        self, frame: Dict[str, Any], level: DegradationLevel
+    ) -> Statement:
+        text = frame.get("text")
+
+        def run() -> Dict[str, Any]:
+            started = time.perf_counter()
+            self._debug_delay()
+            if not isinstance(text, str) or not text.strip():
+                return _error_frame(
+                    TSQL2SemanticError("query op needs a non-empty 'text'")
+                )
+            try:
+                query = parse(text)
+                served = self.served(query.table)
+                view = served.pin()
+                database = Database()
+                database.register(view, name=served.name)
+                limits = self._statement_limits(level)
+                result = database.execute(text, limits=limits)
+            except TemporalAggregateError as error:
+                return _error_frame(error)
+            except (TSQL2SyntaxError, TSQL2SemanticError) as error:
+                return _error_frame(error)
+            local = self.counters.local()
+            local.emitted += len(result)
+            return {
+                "ok": True,
+                "op": "query",
+                "columns": list(result.columns),
+                "rows": [list(row) for row in result.rows],
+                "pinned": {
+                    "table": served.name,
+                    "version": view.version,
+                    "row_count": len(view),
+                },
+                "degraded": int(level),
+                "elapsed_ms": round((time.perf_counter() - started) * 1000.0, 3),
+            }
+
+        return Statement(run=run, label="query")
+
+    def _append_statement(
+        self, frame: Dict[str, Any], level: DegradationLevel
+    ) -> Statement:
+        table = frame.get("table")
+        rows = frame.get("rows")
+
+        def run() -> Dict[str, Any]:
+            started = time.perf_counter()
+            self._debug_delay()
+            if not isinstance(table, str) or not isinstance(rows, list) or not rows:
+                return _error_frame(
+                    TSQL2SemanticError(
+                        "append op needs 'table' and a non-empty 'rows' list"
+                    )
+                )
+            try:
+                served = self.served(table)
+                batch = []
+                for row in rows:
+                    if not isinstance(row, list) or len(row) < 2:
+                        raise TSQL2SemanticError(
+                            "each append row is [value..., start, end]"
+                        )
+                    batch.append((row[:-2], row[-2], row[-1]))
+                version, row_count = served.append_batch(batch)
+            except TemporalAggregateError as error:
+                return _error_frame(error)
+            except (TSQL2SemanticError, ValueError) as error:
+                return _error_frame(error)
+            local = self.counters.local()
+            local.tuples += len(rows)
+            return {
+                "ok": True,
+                "op": "append",
+                "table": served.name,
+                "appended": len(rows),
+                "version": version,
+                "row_count": row_count,
+                "elapsed_ms": round((time.perf_counter() - started) * 1000.0, 3),
+            }
+
+        return Statement(run=run, label="append")
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """The ``stats`` frame body: admission, scheduler, cache, tables."""
+        cache = default_cache()
+        with cache.lock:
+            cache_stats = {
+                "entries": len(cache),
+                "live_bytes": cache.live_bytes,
+                "budget_bytes": cache.budget_bytes,
+                "hits": cache.counters.cache_hits,
+                "misses": cache.counters.cache_misses,
+                "evictions": cache.counters.cache_evictions,
+                "dirty_shards": cache.counters.cache_dirty_shards,
+            }
+        return {
+            "uptime_ms": round(
+                (time.monotonic() - self._started_monotonic) * 1000.0, 1
+            ),
+            "admission": self.admission.snapshot(),
+            "scheduler": {
+                "workers": self.config.workers,
+                "statements_started": self.scheduler.statements_started,
+                "statements_finished": self.scheduler.statements_finished,
+            },
+            "cache": cache_stats,
+            "counters": self.counters.snapshot(),
+            "tables": {
+                served.name: {
+                    "rows": len(served.base),
+                    "version": served.base.version,
+                }
+                for served in self._served.values()
+            },
+        }
+
+
+class _InlineReply(Statement):
+    """A pre-computed reply frame queued like a statement.
+
+    Used for statement-level rejections: the error frame must leave in
+    order with the session's other replies, so it rides the same queue
+    — but it costs no worker and owes admission nothing.
+    """
+
+    def __init__(self, reply: Dict[str, Any]) -> None:
+        super().__init__(run=lambda: reply, label="rejection")
+
+
+class ServerRunner:
+    """Host a :class:`QueryServer` on a dedicated event-loop thread.
+
+    The blocking-world harness: tests, the swarm, the benchmark, and
+    the CLI's programmatic users start a runner, talk to
+    ``runner.port`` with :class:`~repro.serve.client.QueryClient`, and
+    ``stop()`` it.  Usable as a context manager.
+    """
+
+    def __init__(self, server: QueryServer) -> None:
+        self.server = server
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._stop_signal: Optional[asyncio.Future] = None
+
+    @property
+    def port(self) -> int:
+        assert self.server.port is not None, "runner not started"
+        return self.server.port
+
+    @property
+    def host(self) -> str:
+        return self.server.config.host
+
+    def start(self, timeout: float = 10.0) -> "ServerRunner":
+        self._thread = threading.Thread(
+            target=self._thread_main, name="repro-serve-loop", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError("server failed to start within the timeout")
+        if self._startup_error is not None:
+            raise RuntimeError("server failed to start") from self._startup_error
+        return self
+
+    def _thread_main(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        stop_signal = loop.create_future()
+        self._stop_signal = stop_signal
+
+        async def main() -> None:
+            try:
+                await self.server.start()
+            except BaseException as error:
+                self._startup_error = error
+                self._ready.set()
+                return
+            self._ready.set()
+            await stop_signal
+            await self.server.stop()
+
+        try:
+            loop.run_until_complete(main())
+        finally:
+            loop.close()
+
+    def stop(self) -> None:
+        loop = self._loop
+        if loop is None or not loop.is_running():
+            return
+
+        def _signal() -> None:
+            if not self._stop_signal.done():
+                self._stop_signal.set_result(None)
+
+        loop.call_soon_threadsafe(_signal)
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+
+    def __enter__(self) -> "ServerRunner":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -1,0 +1,61 @@
+"""Per-connection session state.
+
+A :class:`Session` is one accepted connection: its writer, its bounded
+statement queue, and the single-in-flight flag the fair scheduler
+keys on.  All mutation of session state happens on the event-loop
+thread (the reader coroutine and scheduler callbacks); worker threads
+only ever *compute* replies, never touch sessions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import TYPE_CHECKING, Any, Deque, Dict
+
+from repro.serve.protocol import write_frame
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serve.scheduler import Statement
+
+__all__ = ["Session"]
+
+
+class Session:
+    """One client connection's serving state."""
+
+    def __init__(self, sid: int, writer: asyncio.StreamWriter) -> None:
+        self.sid = sid
+        self.writer = writer
+        #: Statements admitted but not yet started (the in-flight one is
+        #: not in here).  Bounded by admission, drained by the scheduler.
+        self.queue: Deque["Statement"] = deque()
+        #: At most one statement of this session runs at a time — the
+        #: invariant that keeps per-session replies in submission order.
+        self.in_flight = False
+        self.closed = False
+        #: Completed statements, for fairness accounting and stats.
+        self.statements_done = 0
+
+    async def send(self, payload: Dict[str, Any]) -> bool:
+        """Send one frame; False when the peer is gone.
+
+        A departed client (killed mid-query, reset connection) must
+        never take the server down or wedge a worker — the reply is
+        simply dropped.
+        """
+        if self.closed:
+            return False
+        try:
+            write_frame(self.writer, payload)
+            await self.writer.drain()
+            return True
+        except (ConnectionError, RuntimeError, OSError):
+            self.closed = True
+            return False
+
+    def __repr__(self) -> str:
+        return (
+            f"Session(#{self.sid}, queued={len(self.queue)}, "
+            f"in_flight={self.in_flight}, closed={self.closed})"
+        )

@@ -1,0 +1,287 @@
+"""Deterministic multi-client swarm harness and serial reference.
+
+The server's correctness claim is end-to-end: N concurrent sessions
+mixing reads and appends (with some clients dying mid-query and some
+speaking garbage) must each receive rows *identical* to what a serial,
+single-threaded execution would have produced at their pinned
+snapshot.  This module provides both halves of that claim:
+
+* :func:`run_swarm` — drive one scripted client per thread.  Scripts
+  are data (:class:`SwarmStep`), so the same swarm replays exactly;
+  the only nondeterminism is interleaving, which is precisely what the
+  snapshot protocol must absorb.  Overloaded statements retry after
+  the server's ``retry_after_ms`` hint.
+* :func:`serial_reference` — replay the swarm's *observed* appends in
+  server version order onto a fresh copy of the initial relation and
+  re-run every query serially at its pinned version with the default
+  engine.  Because one append operation maps to exactly one version
+  bump, a reader's ``(version, row_count)`` pin names an exact prefix
+  of append batches — no clock, no coordination, just the version
+  numbers the server already handed out.
+
+The acceptance tests assert ``reply.rows == serial rows`` for every
+surviving query; the serving benchmark reuses :func:`run_swarm` for
+its sustained-load measurement.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.exec.errors import ServerOverloaded
+from repro.relation.relation import TemporalRelation
+from repro.serve.client import QueryClient, QueryReply
+from repro.tsql2.executor import Database
+
+__all__ = [
+    "SwarmStep",
+    "ClientReport",
+    "run_swarm",
+    "serial_reference",
+    "verify_swarm",
+]
+
+
+@dataclass(frozen=True)
+class SwarmStep:
+    """One scripted client action.
+
+    ``kind`` is one of:
+
+    * ``"query"`` — run ``text``, record the reply;
+    * ``"append"`` — append ``rows`` to ``table``, record the version;
+    * ``"kill"`` — send ``text`` as a query, then sever the connection
+      without reading the reply (mid-query client death); ends the
+      script;
+    * ``"garble"`` — send a malformed frame body, record that the
+      server refused it; ends the script;
+    * ``"stall"`` — sleep ``seconds`` while holding the session open.
+    """
+
+    kind: str
+    text: Optional[str] = None
+    table: Optional[str] = None
+    rows: Optional[Tuple[Tuple[Any, ...], ...]] = None
+    seconds: float = 0.0
+
+
+@dataclass
+class ClientReport:
+    """Everything one swarm client observed, for the serial check."""
+
+    client_id: int
+    queries: List[Tuple[str, QueryReply]] = field(default_factory=list)
+    #: ``(table, rows, version, row_count)`` per acknowledged append.
+    appends: List[Tuple[str, Tuple[Tuple[Any, ...], ...], int, int]] = field(
+        default_factory=list
+    )
+    killed: bool = False
+    garbled: bool = False
+    overload_retries: int = 0
+    errors: List[str] = field(default_factory=list)
+
+
+def _with_overload_retry(
+    report: ClientReport,
+    action: Callable[[], Any],
+    *,
+    max_retries: int = 50,
+) -> Any:
+    """Run ``action``, honoring ServerOverloaded retry-after hints."""
+    for _ in range(max_retries):
+        try:
+            return action()
+        except ServerOverloaded as error:
+            report.overload_retries += 1
+            time.sleep(max(error.retry_after_ms, 1) / 1000.0)
+    raise ServerOverloaded(
+        f"still overloaded after {max_retries} retries",
+        retry_after_ms=1,
+        reason="swarm",
+    )
+
+
+def _run_script(
+    host: str,
+    port: int,
+    client_id: int,
+    script: Sequence[SwarmStep],
+    report: ClientReport,
+    barrier: threading.Barrier,
+) -> None:
+    client = _with_overload_retry(
+        report, lambda: QueryClient(host, port)
+    )
+    try:
+        barrier.wait(timeout=30.0)
+        for step in script:
+            if step.kind == "query":
+                assert step.text is not None
+                reply = _with_overload_retry(
+                    report, lambda: client.query(step.text)
+                )
+                report.queries.append((step.text, reply))
+            elif step.kind == "append":
+                assert step.table is not None and step.rows is not None
+                version, row_count = _with_overload_retry(
+                    report,
+                    lambda: client.append(
+                        step.table, [list(row) for row in step.rows]
+                    ),
+                )
+                report.appends.append(
+                    (step.table, step.rows, version, row_count)
+                )
+            elif step.kind == "kill":
+                assert step.text is not None
+                client.send({"op": "query", "text": step.text})
+                client.kill()
+                report.killed = True
+                return
+            elif step.kind == "garble":
+                # A syntactically valid header announcing a body that is
+                # not JSON: the server must answer typed (or just hang
+                # up) without disturbing any other session.
+                sock = client._sock
+                body = b"\xff\xfe not json \x00"
+                sock.sendall(len(body).to_bytes(4, "big") + body)
+                report.garbled = True
+                sock.close()
+                return
+            elif step.kind == "stall":
+                time.sleep(step.seconds)
+            else:
+                raise ValueError(f"unknown swarm step kind {step.kind!r}")
+        client.close()
+    except Exception as error:
+        report.errors.append(f"{type(error).__name__}: {error}")
+        try:
+            client.kill()
+        except Exception:
+            pass
+
+
+def run_swarm(
+    host: str,
+    port: int,
+    scripts: Sequence[Sequence[SwarmStep]],
+) -> List[ClientReport]:
+    """Run one scripted client per thread; returns their reports.
+
+    All clients connect first, then start their scripts together
+    behind a barrier — maximum interleaving pressure from the first
+    statement on.
+    """
+    reports = [ClientReport(client_id=i) for i in range(len(scripts))]
+    barrier = threading.Barrier(len(scripts))
+    threads = [
+        threading.Thread(
+            target=_run_script,
+            args=(host, port, i, script, reports[i], barrier),
+            name=f"swarm-client-{i}",
+        )
+        for i, script in enumerate(scripts)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120.0)
+    return reports
+
+
+# ---------------------------------------------------------------------------
+# Serial reference
+# ---------------------------------------------------------------------------
+
+
+def serial_reference(
+    initial: Callable[[], TemporalRelation],
+    reports: Sequence[ClientReport],
+    table: str,
+) -> Callable[[str, int, int], List[tuple]]:
+    """A serial oracle for one served table.
+
+    ``initial`` rebuilds the table's pre-swarm state.  The observed
+    appends (across all reports) are ordered by the server-assigned
+    version; ``oracle(text, version, row_count)`` replays exactly the
+    batches up to ``version``, asserts the row count matches the pin,
+    and runs ``text`` serially with the default engine.
+    """
+    appends = sorted(
+        (
+            (version, rows, row_count)
+            for report in reports
+            for (t, rows, version, row_count) in report.appends
+            if t.lower() == table.lower()
+        ),
+        key=lambda item: item[0],
+    )
+    versions = [version for version, _rows, _count in appends]
+    if len(set(versions)) != len(versions):
+        raise AssertionError(
+            f"server assigned duplicate append versions: {versions}"
+        )
+
+    def oracle(text: str, version: int, row_count: int) -> List[tuple]:
+        relation = initial()
+        if relation.version != 0:
+            raise AssertionError(
+                "initial() must rebuild the pre-swarm relation at version 0"
+            )
+        for batch_version, rows, batch_count in appends:
+            if batch_version > version:
+                break
+            appended = relation.append_batch(
+                [(list(row[:-2]), row[-2], row[-1]) for row in rows]
+            )
+            # Replay must agree with the server's own accounting: the
+            # batch landed as one version bump at this exact size.
+            if relation.version != batch_version or len(relation) != batch_count:
+                raise AssertionError(
+                    f"replay diverged at version {batch_version}: "
+                    f"replayed v{relation.version}/{len(relation)} rows vs "
+                    f"acknowledged v{batch_version}/{batch_count} "
+                    f"(+{appended})"
+                )
+        if len(relation) != row_count:
+            raise AssertionError(
+                f"pin (v{version}, {row_count} rows) does not match the "
+                f"replayed prefix ({len(relation)} rows)"
+            )
+        database = Database()
+        database.register(relation, name=table)
+        return [tuple(row) for row in database.execute(text).rows]
+
+    return oracle
+
+
+def verify_swarm(
+    initial: Callable[[], TemporalRelation],
+    reports: Sequence[ClientReport],
+    table: str,
+) -> int:
+    """Check every surviving query against the serial oracle.
+
+    Returns the number of queries verified; raises ``AssertionError``
+    with a row-level diff on the first mismatch.
+    """
+    oracle = serial_reference(initial, reports, table)
+    verified = 0
+    for report in reports:
+        for text, reply in report.queries:
+            expected = oracle(
+                text, reply.pinned_version, reply.pinned_row_count
+            )
+            got = [tuple(row) for row in reply.rows]
+            if got != expected:
+                raise AssertionError(
+                    f"client {report.client_id} query {text!r} pinned at "
+                    f"v{reply.pinned_version} diverged from serial "
+                    f"reference:\n  served: {got[:5]}...\n"
+                    f"  serial: {expected[:5]}..."
+                )
+            verified += 1
+    return verified

@@ -17,14 +17,18 @@ The executor glues the query language to the evaluation engine:
 from __future__ import annotations
 
 import operator
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.cache.store import cacheable_relation
 from repro.core.base import coerce_aggregate
-from repro.core.engine import STRATEGIES, make_evaluator
+from repro.core.engine import STRATEGIES, make_evaluator, temporal_aggregate
 from repro.core.interval import FOREVER, Interval, format_instant
 from repro.core.calendar import CalendarError, calendar_span_aggregate
 from repro.core.planner import PlannerDecision, choose_strategy
 from repro.core.span_grouping import span_aggregate
+from repro.exec.budget import MemoryGuard, evaluate_with_degradation
+from repro.exec.deadline import Deadline
 from repro.relation.relation import TemporalRelation
 from repro.tsql2.ast import (
     AggregateCall,
@@ -37,7 +41,7 @@ from repro.tsql2.ast import (
 )
 from repro.tsql2.parser import parse
 
-__all__ = ["Database", "QueryResult", "TSQL2SemanticError"]
+__all__ = ["Database", "QueryResult", "StatementLimits", "TSQL2SemanticError"]
 
 _COMPARATORS = {
     "=": operator.eq,
@@ -64,6 +68,56 @@ _STRATEGY_ALIASES = {
 class TSQL2SemanticError(ValueError):
     """A well-formed query that cannot be executed (unknown table,
     unknown attribute, ungrouped select column, ...)."""
+
+
+@dataclass
+class StatementLimits:
+    """Per-statement execution limits and routing knobs.
+
+    The serving layer (:mod:`repro.serve`) and the shell's
+    ``\\deadline`` / ``\\budget`` session settings build one of these
+    per statement; plain library callers can ignore it entirely.
+
+    * ``deadline`` — one already-started wall-clock budget shared by
+      every aggregate call the statement makes.
+    * ``memory_budget_bytes`` — run-time memory bound; an
+      aggregation-tree build that crosses it degrades to the spilling
+      paged tree instead of OOMing.
+    * ``strategy_override`` — forces every call onto one strategy
+      (the overload ladder downgrades statements to ``paged_tree``
+      this way); wins over USING ALGORITHM hints.
+    * ``prefer_cache`` — route unfiltered instant queries through the
+      full engine (``temporal_aggregate``), which serves them from the
+      shard-result cache when the relation carries the cache protocol.
+    """
+
+    deadline: Optional[Deadline] = None
+    memory_budget_bytes: Optional[int] = None
+    strategy_override: Optional[str] = None
+    prefer_cache: bool = False
+
+    @classmethod
+    def from_options(
+        cls,
+        deadline_ms: Optional[float] = None,
+        memory_budget_bytes: Optional[int] = None,
+        strategy_override: Optional[str] = None,
+        prefer_cache: bool = False,
+    ) -> "Optional[StatementLimits]":
+        """Build limits from plain options; None when nothing is set."""
+        if (
+            deadline_ms is None
+            and memory_budget_bytes is None
+            and strategy_override is None
+            and not prefer_cache
+        ):
+            return None
+        return cls(
+            deadline=Deadline.after_ms(deadline_ms),
+            memory_budget_bytes=memory_budget_bytes,
+            strategy_override=strategy_override,
+            prefer_cache=prefer_cache,
+        )
 
 
 class QueryResult:
@@ -162,26 +216,59 @@ class Database:
     # Execution
     # ------------------------------------------------------------------
 
-    def execute(self, text: str, *, keep_empty: bool = True) -> QueryResult:
+    def execute(
+        self,
+        text: str,
+        *,
+        keep_empty: bool = True,
+        limits: Optional[StatementLimits] = None,
+        deadline_ms: Optional[float] = None,
+        memory_budget_bytes: Optional[int] = None,
+        strategy_override: Optional[str] = None,
+        prefer_cache: bool = False,
+    ) -> QueryResult:
         """Parse and run one query.
 
         ``keep_empty=False`` drops rows whose aggregate values are all
         empty (None, or 0 for COUNT) — TSQL2's presentation of Table 1.
+
+        ``limits`` (or the equivalent plain options ``deadline_ms``,
+        ``memory_budget_bytes``, ``strategy_override``,
+        ``prefer_cache``) bound and route this one statement — see
+        :class:`StatementLimits`.  A tripped deadline raises
+        :class:`~repro.exec.errors.DeadlineExceeded`; a tripped memory
+        budget degrades tree builds to the spilling paged tree.
         """
+        if limits is None:
+            limits = StatementLimits.from_options(
+                deadline_ms=deadline_ms,
+                memory_budget_bytes=memory_budget_bytes,
+                strategy_override=strategy_override,
+                prefer_cache=prefer_cache,
+            )
         query = parse(text)
         relation = self.relation(query.table)
         self._check_semantics(query, relation)
+        if limits is not None and limits.strategy_override is not None:
+            override = _STRATEGY_ALIASES.get(
+                limits.strategy_override, limits.strategy_override
+            )
+            if override not in STRATEGIES:
+                known = ", ".join(sorted(STRATEGIES))
+                raise TSQL2SemanticError(
+                    f"unknown override strategy {override!r}; known: {known}"
+                )
         filtered = self._apply_where(query, relation)
 
         if query.explain:
             return self._explain(query, relation, filtered)
 
         if query.group_by.kind == "span":
-            result = self._execute_span(query, relation, filtered)
+            result = self._execute_span(query, relation, filtered, limits)
         elif query.group_by.attributes:
-            result = self._execute_grouped(query, relation, filtered)
+            result = self._execute_grouped(query, relation, filtered, limits)
         else:
-            result = self._execute_instant(query, relation, filtered)
+            result = self._execute_instant(query, relation, filtered, limits)
 
         if not keep_empty:
             result = self._drop_empty(query, result)
@@ -293,8 +380,19 @@ class Database:
     # ------------------------------------------------------------------
 
     def _resolve_strategy(
-        self, query: Query, relation: TemporalRelation, rows: List
+        self,
+        query: Query,
+        relation: TemporalRelation,
+        rows: List,
+        limits: Optional[StatementLimits] = None,
     ) -> Tuple[str, Optional[int]]:
+        if limits is not None and limits.strategy_override is not None:
+            # The overload-degradation ladder (and any other caller
+            # bounding a statement) wins over per-query hints.
+            override = _STRATEGY_ALIASES.get(
+                limits.strategy_override, limits.strategy_override
+            )
+            return override, None
         if query.hint is not None:
             strategy = _STRATEGY_ALIASES.get(query.hint.strategy, query.hint.strategy)
             return strategy, query.hint.k
@@ -313,16 +411,30 @@ class Database:
         rows: List,
         strategy: str,
         k: Optional[int],
+        limits: Optional[StatementLimits] = None,
     ) -> Dict[AggregateCall, Any]:
         """One TemporalAggregateResult per distinct aggregate call."""
+        deadline = limits.deadline if limits is not None else None
+        budget = limits.memory_budget_bytes if limits is not None else None
         results: Dict[AggregateCall, Any] = {}
         for call in query.aggregate_calls():
+            if deadline is not None:
+                deadline.check(aggregate=call.label())
             extractor = relation.value_extractor(call.argument)
             triples = [(row.start, row.end, extractor(row)) for row in rows]
             evaluator = make_evaluator(
-                strategy, call.function, k=k if strategy == "kordered_tree" else None
+                strategy,
+                call.function,
+                k=k if strategy == "kordered_tree" else None,
+                deadline=deadline,
             )
-            results[call] = evaluator.evaluate(triples)
+            if budget is not None and strategy == "aggregation_tree":
+                guard = MemoryGuard(budget, evaluator.space)
+                results[call], _trip = evaluate_with_degradation(
+                    evaluator, triples, guard, deadline=deadline
+                )
+            else:
+                results[call] = evaluator.evaluate(triples)
         return results
 
     # ------------------------------------------------------------------
@@ -402,17 +514,72 @@ class Database:
         return True
 
     def _execute_instant(
-        self, query: Query, relation: TemporalRelation, rows: List
+        self,
+        query: Query,
+        relation: TemporalRelation,
+        rows: List,
+        limits: Optional[StatementLimits] = None,
     ) -> QueryResult:
-        strategy, k = self._resolve_strategy(query, relation, rows)
-        results = self._evaluate_calls(query, relation, rows, strategy, k)
         columns = ["valid_start", "valid_end"] + [
             item.label() for item in self._output_items(query)
         ]
+        fast = self._engine_results(query, relation, rows, limits)
+        if fast is not None:
+            return QueryResult(columns, self._item_rows(query, fast))
+        strategy, k = self._resolve_strategy(query, relation, rows, limits)
+        results = self._evaluate_calls(query, relation, rows, strategy, k, limits)
         return QueryResult(columns, self._item_rows(query, results))
 
+    def _engine_results(
+        self,
+        query: Query,
+        relation: TemporalRelation,
+        rows: List,
+        limits: Optional[StatementLimits],
+    ) -> Optional[Dict[AggregateCall, Any]]:
+        """Cache-eligible fast path: route whole-relation instant queries
+        through :func:`temporal_aggregate` so the shard-result cache (and
+        append-delta maintenance) can serve them.
+
+        Only taken when the caller opted in (``limits.prefer_cache``) and
+        the query covers the relation unfiltered — a WHERE-qualified row
+        subset has no stable identity for cache keys.  Returns None when
+        ineligible, deferring to the per-statement evaluator path.
+        """
+        if limits is None or not limits.prefer_cache:
+            return None
+        if query.where or not cacheable_relation(relation):
+            return None
+        if len(rows) != len(relation):
+            return None
+        if limits.strategy_override is not None:
+            strategy = _STRATEGY_ALIASES.get(
+                limits.strategy_override, limits.strategy_override
+            )
+        elif query.hint is not None:
+            strategy = _STRATEGY_ALIASES.get(
+                query.hint.strategy, query.hint.strategy
+            )
+        else:
+            strategy = "auto"
+        results: Dict[AggregateCall, Any] = {}
+        for call in query.aggregate_calls():
+            results[call] = temporal_aggregate(
+                relation,
+                call.function,
+                call.argument,
+                strategy=strategy,
+                memory_budget_bytes=limits.memory_budget_bytes,
+                deadline_ms=limits.deadline,
+            )
+        return results
+
     def _execute_grouped(
-        self, query: Query, relation: TemporalRelation, rows: List
+        self,
+        query: Query,
+        relation: TemporalRelation,
+        rows: List,
+        limits: Optional[StatementLimits] = None,
     ) -> QueryResult:
         schema = relation.schema
         positions = [schema.position_of(name) for name in query.group_by.attributes]
@@ -429,14 +596,20 @@ class Database:
         table: List[Tuple] = []
         for key in sorted(partitions, key=repr):
             group_rows = partitions[key]
-            strategy, k = self._resolve_strategy(query, relation, group_rows)
-            results = self._evaluate_calls(query, relation, group_rows, strategy, k)
+            strategy, k = self._resolve_strategy(query, relation, group_rows, limits)
+            results = self._evaluate_calls(
+                query, relation, group_rows, strategy, k, limits
+            )
             for row in self._item_rows(query, results):
                 table.append(key + row)
         return QueryResult(columns, table)
 
     def _execute_span(
-        self, query: Query, relation: TemporalRelation, rows: List
+        self,
+        query: Query,
+        relation: TemporalRelation,
+        rows: List,
+        limits: Optional[StatementLimits] = None,
     ) -> QueryResult:
         group_by = query.group_by
         if group_by.window is not None:
@@ -461,6 +634,8 @@ class Database:
         ]
         results: Dict[AggregateCall, Any] = {}
         for call in query.aggregate_calls():
+            if limits is not None and limits.deadline is not None:
+                limits.deadline.check(aggregate=call.label())
             extractor = relation.value_extractor(call.argument)
             triples = [(row.start, row.end, extractor(row)) for row in rows]
             if group_by.unit is not None:

@@ -21,6 +21,10 @@ Meta-commands (backslash-prefixed):
 ``\\plan QUERY``           show the Section 6.3 planner decision for QUERY's
                           underlying relation (without running it)
 ``\\time QUERY``           run QUERY and report the elapsed time
+``\\deadline [MS]``         set (or show) the session's per-statement
+                          deadline in milliseconds; ``off`` clears it
+``\\budget [BYTES]``        set (or show) the session's per-statement
+                          memory budget in bytes; ``off`` clears it
 ``\\scrub PATH``           fsck-style check of a heap file and its journal
 ``\\help``                 this text
 ``\\quit``                 exit
@@ -48,6 +52,7 @@ from repro.exec.errors import (
     DeadlineExceeded,
     InvalidInput,
     RecoveryError,
+    ServerOverloaded,
     ShardFailure,
     StorageCorruption,
     StorageError,
@@ -58,7 +63,7 @@ from repro.tsql2.executor import Database, TSQL2SemanticError
 from repro.tsql2.lexer import TSQL2SyntaxError
 from repro.tsql2.parser import parse
 
-__all__ = ["Shell", "main"]
+__all__ = ["Shell", "diagnose", "main", "recovery_hint"]
 
 _HELP = __doc__.split("Meta-commands", 1)[1].split("Engine failures", 1)[0]
 
@@ -81,12 +86,18 @@ _ERROR_HINTS = (
     ),
     (
         BudgetExhausted,
-        "raise the memory budget or let the engine degrade to the "
-        "spilling paged tree",
+        "raise the memory budget (\\budget BYTES, or `\\budget off`) or "
+        "let the engine degrade to the spilling paged tree",
     ),
     (
         DeadlineExceeded,
-        "raise the deadline or narrow the query window",
+        "raise the deadline (\\deadline MS, or `\\deadline off`) or "
+        "narrow the query window",
+    ),
+    (
+        ServerOverloaded,
+        "the server is at capacity; back off for the reply's "
+        "retry_after_ms and resubmit",
     ),
     (
         ShardFailure,
@@ -103,12 +114,21 @@ _ERROR_HINTS = (
 )
 
 
-def diagnose(error: TemporalAggregateError) -> str:
-    """One-line diagnostic with a recovery hint for a taxonomy error."""
+def recovery_hint(error: TemporalAggregateError) -> str:
+    """The recovery hint for a taxonomy error (most-derived match wins).
+
+    Shared with the query server, which puts the same hint in its typed
+    error frames so remote clients see the diagnostics the shell shows.
+    """
     for kind, hint in _ERROR_HINTS:
         if isinstance(error, kind):
-            return f"error[{type(error).__name__}]: {error} (hint: {hint})"
+            return hint
     raise AssertionError("unreachable: base class terminates the table")
+
+
+def diagnose(error: TemporalAggregateError) -> str:
+    """One-line diagnostic with a recovery hint for a taxonomy error."""
+    return f"error[{type(error).__name__}]: {error} (hint: {recovery_hint(error)})"
 
 
 class Shell:
@@ -120,6 +140,9 @@ class Shell:
         self.database = database if database is not None else Database()
         self.out = out if out is not None else sys.stdout
         self.done = False
+        #: Session-wide per-statement limits (``\deadline`` / ``\budget``).
+        self.deadline_ms: Optional[float] = None
+        self.memory_budget_bytes: Optional[int] = None
 
     def _print(self, text: str = "") -> None:
         self.out.write(text + "\n")
@@ -215,13 +238,21 @@ class Shell:
             relation = self.database.relation(query.table)
             decision = choose_strategy(relation.statistics())
             self._print(decision.describe())
+        elif command == "deadline":
+            self._set_limit("deadline", arguments)
+        elif command == "budget":
+            self._set_limit("budget", arguments)
         elif command == "time":
             query_text = line[len("\\time") :].strip()
             if not query_text:
                 self._print("usage: \\time QUERY")
                 return
             started = time.perf_counter()
-            result = self.database.execute(query_text)
+            result = self.database.execute(
+                query_text,
+                deadline_ms=self.deadline_ms,
+                memory_budget_bytes=self.memory_budget_bytes,
+            )
             elapsed = time.perf_counter() - started
             self._print(result.pretty())
             self._print(f"({len(result)} rows in {elapsed:.4f}s)")
@@ -237,8 +268,41 @@ class Shell:
         else:
             self._print(f"unknown meta-command \\{command}; try \\help")
 
+    def _set_limit(self, which: str, arguments) -> None:
+        """Show, set, or clear a session-wide per-statement limit."""
+        unit = "ms" if which == "deadline" else "bytes"
+        current = (
+            self.deadline_ms if which == "deadline" else self.memory_budget_bytes
+        )
+        if not arguments:
+            shown = "off" if current is None else f"{current} {unit}"
+            self._print(f"{which}: {shown}")
+            return
+        token = arguments[0].lower()
+        if token in ("off", "none", "0"):
+            value: Optional[float] = None
+        else:
+            try:
+                value = float(token) if which == "deadline" else int(token)
+            except ValueError:
+                self._print(f"usage: \\{which} [{unit.upper()}|off]")
+                return
+            if value <= 0:
+                self._print(f"error: {which} must be positive")
+                return
+        if which == "deadline":
+            self.deadline_ms = value
+        else:
+            self.memory_budget_bytes = None if value is None else int(value)
+        shown = "off" if value is None else f"{value:g} {unit}"
+        self._print(f"{which} set to {shown} (per statement)")
+
     def _query(self, line: str) -> None:
-        result = self.database.execute(line)
+        result = self.database.execute(
+            line,
+            deadline_ms=self.deadline_ms,
+            memory_budget_bytes=self.memory_budget_bytes,
+        )
         self._print(result.pretty())
         self._print(f"({len(result)} rows)")
 

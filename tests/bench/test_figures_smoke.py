@@ -68,6 +68,7 @@ class TestFigureDrivers:
             "cache",
             "columnar",
             "durability",
+            "serving",
         }
 
     def test_ablations_driver(self):

@@ -1,0 +1,131 @@
+"""Deadline enforcement on the cache's serving paths.
+
+A statement that arrives already past its budget must fail typed on
+*every* path — including the cheap ones.  A pure cache hit that ignored
+the deadline would return rows the session will never read; an
+append-delta refresh that ignored it would burn worker time re-sweeping
+shards for a dead statement.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.cache.evaluator import evaluate_cached
+from repro.cache.store import CacheKey, ShardResultCache
+from repro.exec.deadline import Deadline
+from repro.exec.errors import DeadlineExceeded
+from repro.relation.relation import TemporalRelation
+from repro.relation.schema import EMPLOYED_SCHEMA
+
+
+def expired_deadline() -> Deadline:
+    """A deadline that was already dead before the statement started."""
+    return Deadline(1.0, _now=time.monotonic() - 1.0)
+
+
+@pytest.fixture()
+def relation() -> TemporalRelation:
+    relation = TemporalRelation(EMPLOYED_SCHEMA, name="employed")
+    relation.append_batch(
+        [
+            (("Ann", 10), 0, 10),
+            (("Bob", 20), 5, 15),
+            (("Cid", 30), 12, 20),
+        ]
+    )
+    return relation
+
+
+@pytest.fixture()
+def cache() -> ShardResultCache:
+    return ShardResultCache()
+
+
+def warm(relation, cache, shards=2):
+    """Fill the cache for COUNT over ``relation``; returns its key."""
+    evaluate_cached(relation, "count", None, shards=shards, cache=cache)
+    key = CacheKey(relation.uid, "count", None, shards)
+    assert cache.lookup(key) is not None
+    return key
+
+
+class TestPureHitPath:
+    def test_hit_honors_an_expired_deadline(self, relation, cache):
+        warm(relation, cache)
+        with pytest.raises(DeadlineExceeded) as info:
+            evaluate_cached(
+                relation, "count", None, shards=2, cache=cache,
+                deadline=expired_deadline(),
+            )
+        # The progress metrics identify the path that tripped.
+        assert "cached_rows" in info.value.progress
+
+    def test_hit_with_live_deadline_serves_rows(self, relation, cache):
+        warm(relation, cache)
+        before = cache.counters.cache_hits
+        result = evaluate_cached(
+            relation, "count", None, shards=2, cache=cache,
+            deadline=Deadline(60_000.0),
+        )
+        assert len(result) > 0
+        assert cache.counters.cache_hits == before + 1
+
+    def test_expired_hit_leaves_the_entry_intact(self, relation, cache):
+        key = warm(relation, cache)
+        with pytest.raises(DeadlineExceeded):
+            evaluate_cached(
+                relation, "count", None, shards=2, cache=cache,
+                deadline=expired_deadline(),
+            )
+        assert cache.lookup(key) is not None
+
+
+class TestAppendDeltaPath:
+    def test_refresh_honors_an_expired_deadline(self, relation, cache):
+        warm(relation, cache)
+        relation.append_batch([(("Dee", 40), 3, 18)])
+        with pytest.raises(DeadlineExceeded) as info:
+            evaluate_cached(
+                relation, "count", None, shards=2, cache=cache,
+                deadline=expired_deadline(),
+            )
+        assert "total_shards" in info.value.progress
+
+    def test_refresh_with_live_deadline_is_exact(self, relation, cache):
+        warm(relation, cache)
+        relation.append_batch([(("Dee", 40), 3, 18)])
+        refreshed = evaluate_cached(
+            relation, "count", None, shards=2, cache=cache,
+            deadline=Deadline(60_000.0),
+        )
+        serial = evaluate_cached(relation, "count", None, shards=2,
+                                 cache=ShardResultCache())
+        assert list(refreshed) == list(serial)
+
+    def test_expired_refresh_fails_before_publishing(self, relation, cache):
+        """A deadline trip mid-refresh must not publish a half-refreshed
+        entry: the next (unhurried) call recomputes and lands the right
+        answer."""
+        warm(relation, cache)
+        relation.append_batch([(("Dee", 40), 3, 18)])
+        with pytest.raises(DeadlineExceeded):
+            evaluate_cached(
+                relation, "count", None, shards=2, cache=cache,
+                deadline=expired_deadline(),
+            )
+        result = evaluate_cached(relation, "count", None, shards=2, cache=cache)
+        serial = evaluate_cached(relation, "count", None, shards=2,
+                                 cache=ShardResultCache())
+        assert list(result) == list(serial)
+
+
+class TestMissPath:
+    def test_cold_miss_honors_an_expired_deadline(self, relation, cache):
+        with pytest.raises(DeadlineExceeded):
+            evaluate_cached(
+                relation, "count", None, shards=2, cache=cache,
+                deadline=expired_deadline(),
+            )

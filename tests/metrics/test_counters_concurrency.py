@@ -1,0 +1,110 @@
+"""Concurrency regression tests for :class:`ThreadLocalCounters`.
+
+A single :class:`OperationCounters` loses increments under threads
+(``+= 1`` is a read-modify-write); the thread-local aggregation point
+must not.  These tests hammer the increment path from many threads and
+assert the merged totals are *exact*, not merely close.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.metrics.counters import OperationCounters, ThreadLocalCounters
+
+THREADS = 8
+INCREMENTS = 5_000
+
+
+def _hammer(counters: ThreadLocalCounters, barrier: threading.Barrier) -> None:
+    barrier.wait(timeout=10.0)
+    local = counters.local()
+    for _ in range(INCREMENTS):
+        local.tuples += 1
+        local.node_visits += 2
+        local.emitted += 1
+
+
+class TestThreadLocalCounters:
+    def test_local_is_per_thread_and_stable(self):
+        counters = ThreadLocalCounters()
+        assert counters.local() is counters.local()
+        seen = []
+        thread = threading.Thread(target=lambda: seen.append(counters.local()))
+        thread.start()
+        thread.join()
+        assert seen[0] is not counters.local()
+
+    def test_merged_totals_are_exact_under_contention(self):
+        counters = ThreadLocalCounters()
+        barrier = threading.Barrier(THREADS)
+        threads = [
+            threading.Thread(target=_hammer, args=(counters, barrier))
+            for _ in range(THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        merged = counters.merged()
+        assert merged.tuples == THREADS * INCREMENTS
+        assert merged.node_visits == 2 * THREADS * INCREMENTS
+        assert merged.emitted == THREADS * INCREMENTS
+        # Untouched fields stay zero — merge adds, never invents.
+        assert merged.splits == 0
+        assert merged.cache_hits == 0
+
+    def test_merged_does_not_reset_the_parts(self):
+        counters = ThreadLocalCounters()
+        counters.local().tuples += 3
+        assert counters.merged().tuples == 3
+        assert counters.merged().tuples == 3
+        counters.local().tuples += 1
+        assert counters.merged().tuples == 4
+
+    def test_reset_zeroes_every_registered_thread(self):
+        counters = ThreadLocalCounters()
+        barrier = threading.Barrier(2)
+        threads = [
+            threading.Thread(target=_hammer, args=(counters, barrier))
+            for _ in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        counters.reset()
+        assert counters.merged().tuples == 0
+        counters.local().tuples += 1
+        assert counters.merged().tuples == 1
+
+    def test_snapshot_matches_merged(self):
+        counters = ThreadLocalCounters()
+        local = counters.local()
+        local.cache_hits += 5
+        local.journal_syncs += 2
+        snapshot = counters.snapshot()
+        assert snapshot["cache_hits"] == 5
+        assert snapshot["journal_syncs"] == 2
+        assert set(snapshot) == set(OperationCounters.__slots__)
+
+
+class TestLostUpdateDemonstration:
+    def test_thread_local_beats_shared_counter_semantics(self):
+        """The registry registers a counter before any increment lands
+        on it, so a merge concurrent with the hammer never exceeds the
+        final exact total (no double counting)."""
+        counters = ThreadLocalCounters()
+        barrier = threading.Barrier(THREADS + 1)
+        threads = [
+            threading.Thread(target=_hammer, args=(counters, barrier))
+            for _ in range(THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait(timeout=10.0)
+        mid = counters.merged().tuples  # racing read: must never overcount
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert 0 <= mid <= THREADS * INCREMENTS
+        assert counters.merged().tuples == THREADS * INCREMENTS

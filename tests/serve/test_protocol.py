@@ -1,0 +1,141 @@
+"""Frame protocol unit tests: the boring format, enforced precisely."""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    ConnectionClosed,
+    FrameError,
+    decode_body,
+    encode_frame,
+    recv_frame,
+    send_frame,
+)
+
+
+def pair():
+    return socket.socketpair()
+
+
+class TestEncodeDecode:
+    def test_roundtrip(self):
+        payload = {"op": "query", "text": "SELECT COUNT(x) FROM t", "n": 3}
+        frame = encode_frame(payload)
+        length = struct.unpack(">I", frame[:4])[0]
+        assert length == len(frame) - 4
+        assert decode_body(frame[4:]) == payload
+
+    def test_body_is_compact_json(self):
+        frame = encode_frame({"a": 1})
+        assert frame[4:] == b'{"a":1}'
+
+    def test_oversized_payload_refused_at_encode(self):
+        with pytest.raises(FrameError):
+            encode_frame({"blob": "x" * (MAX_FRAME_BYTES + 1)})
+
+    def test_non_object_body_refused(self):
+        with pytest.raises(FrameError, match="JSON object"):
+            decode_body(b"[1,2,3]")
+
+    def test_garbage_body_refused(self):
+        with pytest.raises(FrameError, match="not UTF-8 JSON"):
+            decode_body(b"\xff\xfe not json \x00")
+
+
+class TestBlockingSockets:
+    def test_send_recv_roundtrip(self):
+        a, b = pair()
+        try:
+            send_frame(a, {"op": "ping"})
+            assert recv_frame(b) == {"op": "ping"}
+        finally:
+            a.close()
+            b.close()
+
+    def test_many_frames_in_sequence(self):
+        a, b = pair()
+        try:
+            for i in range(10):
+                send_frame(a, {"i": i})
+            for i in range(10):
+                assert recv_frame(b) == {"i": i}
+        finally:
+            a.close()
+            b.close()
+
+    def test_clean_eof_raises_connection_closed(self):
+        a, b = pair()
+        a.close()
+        try:
+            with pytest.raises(ConnectionClosed, match="frame boundary"):
+                recv_frame(b)
+        finally:
+            b.close()
+
+    def test_eof_mid_header_is_distinguished(self):
+        a, b = pair()
+        try:
+            a.sendall(b"\x00\x00")  # half a header, then hang up
+            a.close()
+            with pytest.raises(ConnectionClosed, match="mid-header"):
+                recv_frame(b)
+        finally:
+            b.close()
+
+    def test_eof_mid_body_is_distinguished(self):
+        a, b = pair()
+        try:
+            a.sendall(struct.pack(">I", 100) + b"only a little")
+            a.close()
+            with pytest.raises(ConnectionClosed, match="mid-body"):
+                recv_frame(b)
+        finally:
+            b.close()
+
+    def test_zero_length_header_refused(self):
+        a, b = pair()
+        try:
+            a.sendall(struct.pack(">I", 0))
+            with pytest.raises(FrameError, match="zero-length"):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_hostile_length_refused_before_allocation(self):
+        """A header announcing 4 GiB must fail from the header alone —
+        the body is never read."""
+        a, b = pair()
+        try:
+            a.sendall(struct.pack(">I", 0xFFFFFFFF))
+            with pytest.raises(FrameError, match="over the"):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_partial_sends_reassemble(self):
+        """recv_frame must loop: one frame delivered a byte at a time."""
+        a, b = pair()
+        frame = encode_frame({"op": "stats", "detail": "x" * 100})
+        received = {}
+
+        def reader():
+            received.update(recv_frame(b))
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        try:
+            for i in range(len(frame)):
+                a.sendall(frame[i : i + 1])
+            thread.join(timeout=10.0)
+            assert received["op"] == "stats"
+        finally:
+            a.close()
+            b.close()

@@ -160,7 +160,7 @@ class TestDiagnostics:
         out = io.StringIO()
         shell = Shell(out=out)
 
-        def explode(_query):
+        def explode(_query, **_limits):
             raise BudgetExhausted(
                 "tree wants 64 nodes, budget is 16",
                 budget_bytes=16,
