@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-invariants bench figures figures-full examples lint scrub serve bench-serving clean
+.PHONY: install test test-invariants test-races bench figures figures-full examples lint scrub serve bench-serving clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -18,10 +18,15 @@ test-invariants:
 lint:
 	PYTHONPATH=src $(PYTHON) -m repro.analysis.lint src/ tests/
 	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
-		PYTHONPATH=src $(PYTHON) -m mypy src/repro/core src/repro/exec src/repro/analysis; \
+		PYTHONPATH=src $(PYTHON) -m mypy src/repro/core src/repro/exec src/repro/analysis src/repro/serve src/repro/cache src/repro/metrics; \
 	else \
 		echo "mypy not installed; skipped (the TA008 annotation gate still ran)"; \
 	fi
+
+# Dynamic lockset race checker over the concurrent suites (the swarm
+# acceptance tests plus the cache/metrics contention tests).
+test-races:
+	REPRO_CHECK_RACES=1 PYTHONPATH=src $(PYTHON) -m pytest tests/serve tests/cache/test_concurrency.py tests/metrics/test_counters_concurrency.py tests/analysis/test_racecheck.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,0 +1,913 @@
+"""Static concurrency model: lock ownership, guarded state, TA011-TA015.
+
+The serving stack's correctness rests on hand-placed ``threading.Lock``
+discipline (DESIGN.md, concurrency model).  This pass makes that
+discipline checkable without running the code:
+
+1. every class is summarized into a :class:`ClassConcurrencyModel` —
+   which attributes hold locks, which attributes are *guarded* by which
+   lock, which are deliberately lock-free;
+2. guarded-ness comes from two sources that cooperate: an explicit
+   ``# ta: guarded-by(self._lock)`` trailing comment on an assignment
+   to the attribute, and *inference* — any attribute ever mutated under
+   a ``with self.<lock>:`` block (outside ``__init__``) in a class that
+   owns a lock is presumed guarded by that lock.  A trailing
+   ``# ta: unguarded`` comment opts an attribute out (for deliberate
+   lock-free protocols such as double-checked publication);
+3. five rules consume the model: TA011 (guarded attribute touched
+   outside its lock), TA012 (inconsistent lock acquisition order —
+   static lock-order graph with cycle detection), TA013 (guarded
+   mutable container escapes by reference), TA014 (blocking call while
+   holding a lock), TA015 (lock constructed per-call).
+
+The same model drives the *dynamic* half of the checker: the
+Eraser-style lockset tracker in :mod:`repro.analysis.racecheck`
+instruments exactly the locks and guarded attributes collected here.
+
+Conventions the model understands:
+
+* a method whose name ends in ``_locked`` asserts "caller already
+  holds this object's lock(s)" — TA011 treats it as entered with every
+  owned lock held (and its accesses do not feed inference);
+* ``__init__`` is construction-time: unpublished objects need no
+  locking, so it neither feeds inference nor is checked;
+* code inside a nested ``def``/``lambda`` runs later, possibly on
+  another thread, so it is analyzed as holding *no* locks even when
+  the enclosing statement does.
+
+Known limits (documented, not silent): the lock-order graph is
+per-file, and calls through other objects (``self.cache.reset()``)
+are not traversed — only ``self``-calls and module-level functions.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.lint import ProjectIndex, Rule, SourceFile, Violation
+
+__all__ = [
+    "ClassConcurrencyModel",
+    "build_class_models",
+    "module_locks",
+    "GuardedAttributeRule",
+    "LockOrderRule",
+    "EscapingGuardedStateRule",
+    "BlockingCallUnderLockRule",
+    "LockPerCallRule",
+]
+
+#: ``self.x = threading.Lock()  # noqa`` — the factories that make an
+#: attribute a lock attribute.  Kind matters: re-acquiring a plain
+#: ``Lock`` you already hold deadlocks; an ``RLock`` is re-entrant.
+_LOCK_FACTORIES = frozenset({"Lock", "RLock"})
+
+#: Trailing-comment annotations the model reads off assignment lines.
+_GUARDED_BY_RE = re.compile(r"#\s*ta:\s*guarded-by\(\s*self\.(\w+)\s*\)")
+_UNGUARDED_RE = re.compile(r"#\s*ta:\s*unguarded\b")
+
+#: Method names whose call mutates the receiver: ``self.x.append(...)``
+#: under a lock marks ``x`` as written under that lock.
+_MUTATOR_METHODS = frozenset({
+    "add", "append", "appendleft", "clear", "discard", "extend",
+    "insert", "move_to_end", "pop", "popitem", "popleft", "remove",
+    "reverse", "rotate", "setdefault", "sort", "update",
+})
+
+#: Constructors/displays whose result is a shared mutable container —
+#: the values TA013 refuses to let escape by reference.
+_CONTAINER_FACTORIES = frozenset({
+    "list", "dict", "set", "bytearray", "deque", "OrderedDict",
+    "defaultdict", "Counter",
+})
+
+#: Attribute-call names that block (socket/file/sleep/pool-future); a
+#: call to one while holding a lock serializes every other thread on
+#: I/O latency.  ``.join`` is deliberately absent (``str.join``); bare
+#: ``.get`` counts only when called with ``timeout=``/``block=``
+#: (queue-style), never plain ``dict.get``.
+_BLOCKING_ATTR_CALLS = frozenset({
+    "accept", "connect", "fsync", "getaddrinfo", "recv", "recv_into",
+    "result", "select", "send", "sendall", "sendto", "sleep", "submit",
+    "wait",
+})
+
+#: Bare-name calls that block (``from time import sleep``; ``open``).
+_BLOCKING_NAME_CALLS = frozenset({"sleep", "open"})
+
+#: Everything ``threading`` offers that TA015 refuses to see built
+#: per-call: a fresh lock each invocation excludes nothing.
+_PER_CALL_LOCK_FACTORIES = frozenset({
+    "Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore",
+})
+
+
+def _self_attr(node: ast.expr) -> Optional[str]:
+    """``X`` when ``node`` is exactly ``self.X``, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _lock_kind(expr: ast.expr) -> Optional[str]:
+    """``"Lock"``/``"RLock"`` for ``threading.Lock()`` / ``Lock()``."""
+    if not isinstance(expr, ast.Call):
+        return None
+    function = expr.func
+    name = None
+    if isinstance(function, ast.Name):
+        name = function.id
+    elif isinstance(function, ast.Attribute):
+        name = function.attr
+    return name if name in _LOCK_FACTORIES else None
+
+
+def _mutation_root(target: ast.expr) -> Optional[str]:
+    """The ``self`` attribute whose object a store target mutates.
+
+    ``self.x[k] = v``, ``self.x.y = v``, ``del self.x[k]`` all mutate
+    the object reached through ``self.x`` — the guarded location —
+    while ``self.x = v`` rebinds the attribute itself (handled by the
+    caller as a binding write).
+    """
+    node = target
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        parent = node.value
+        attr = _self_attr(parent)
+        if attr is not None:
+            return attr
+        node = parent
+    return None
+
+
+@dataclass(slots=True)
+class _Access:
+    """One ``self.X`` touch inside a method body."""
+
+    node: ast.AST
+    attr: str
+    is_write: bool
+    held: FrozenSet[str]
+
+
+@dataclass(slots=True)
+class ClassConcurrencyModel:
+    """What the pass knows about one class's locking discipline."""
+
+    name: str
+    line: int
+    #: lock attribute -> factory kind ("Lock" | "RLock").
+    locks: Dict[str, str] = field(default_factory=dict)
+    #: guarded attribute -> the lock attrs that may guard it (a
+    #: declared ``# ta: guarded-by`` pins a single lock; inference can
+    #: accumulate several, any of which satisfies TA011).
+    guarded: Dict[str, FrozenSet[str]] = field(default_factory=dict)
+    #: attributes with an explicit ``# ta: guarded-by`` annotation.
+    declared: Set[str] = field(default_factory=set)
+    #: attributes opted out via ``# ta: unguarded``.
+    unguarded: Set[str] = field(default_factory=set)
+    #: attributes ever assigned a mutable container value.
+    mutable_attrs: Set[str] = field(default_factory=set)
+
+    def guard_names(self, attr: str) -> str:
+        """Human-readable guard list for messages."""
+        return " or ".join(
+            f"self.{lock}" for lock in sorted(self.guarded.get(attr, ()))
+        )
+
+
+def _line_annotations(
+    source: SourceFile, lineno: int
+) -> Tuple[Optional[str], bool]:
+    """(guarded-by lock attr, unguarded?) on one source line."""
+    if not (1 <= lineno <= len(source.lines)):
+        return None, False
+    line = source.lines[lineno - 1]
+    match = _GUARDED_BY_RE.search(line)
+    return (
+        match.group(1) if match else None,
+        bool(_UNGUARDED_RE.search(line)),
+    )
+
+
+def _class_methods(node: ast.ClassDef) -> List[ast.FunctionDef]:
+    return [
+        statement
+        for statement in node.body
+        if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+
+
+def _statement_accesses(
+    statement: ast.stmt, held: FrozenSet[str]
+) -> Iterator[_Access]:
+    """Classify every ``self.X`` touch in one simple statement.
+
+    Binding writes (``self.x = ...``), mutation writes (subscript
+    stores, ``del self.x[...]``, augmented assigns, mutator-method
+    calls), and plain reads all count as accesses; the write flag
+    feeds guarded-ness inference.
+    """
+    written: Set[str] = set()
+    if isinstance(statement, ast.Assign):
+        targets: List[ast.expr] = list(statement.targets)
+    elif isinstance(statement, (ast.AnnAssign, ast.AugAssign)):
+        targets = [statement.target]
+    elif isinstance(statement, ast.Delete):
+        targets = list(statement.targets)
+    else:
+        targets = []
+    for target in targets:
+        root = _mutation_root(target)
+        if root is not None:
+            written.add(root)
+    for node in ast.walk(statement):
+        if isinstance(node, ast.Call):
+            function = node.func
+            if (
+                isinstance(function, ast.Attribute)
+                and function.attr in _MUTATOR_METHODS
+            ):
+                root = _self_attr(function.value) or _mutation_root(
+                    function.value
+                )
+                if root is not None:
+                    written.add(root)
+    for node in ast.walk(statement):
+        attr = _self_attr(node)
+        if attr is None:
+            continue
+        assert isinstance(node, ast.Attribute)
+        is_write = isinstance(node.ctx, (ast.Store, ast.Del)) or attr in written
+        yield _Access(node=node, attr=attr, is_write=is_write, held=held)
+
+
+def _with_locks(
+    item: ast.withitem, lock_attrs: FrozenSet[str]
+) -> Optional[str]:
+    """The owned lock attr a ``with`` item acquires, if any."""
+    expr = item.context_expr
+    attr = _self_attr(expr)
+    if attr is not None and attr in lock_attrs:
+        return attr
+    return None
+
+
+def _walk_accesses(
+    body: Sequence[ast.stmt],
+    lock_attrs: FrozenSet[str],
+    held: FrozenSet[str],
+) -> Iterator[_Access]:
+    """Yield every ``self.X`` access with the lock set held at it."""
+    for statement in body:
+        if isinstance(statement, (ast.With, ast.AsyncWith)):
+            acquired = set(held)
+            for item in statement.items:
+                yield from _statement_accesses(
+                    ast.Expr(value=item.context_expr), held
+                )
+                lock = _with_locks(item, lock_attrs)
+                if lock is not None:
+                    acquired.add(lock)
+            yield from _walk_accesses(
+                statement.body, lock_attrs, frozenset(acquired)
+            )
+        elif isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # A nested def runs later, possibly on another thread: the
+            # enclosing lock gives its body no protection.
+            yield from _walk_accesses(statement.body, lock_attrs, frozenset())
+        elif isinstance(statement, ast.ClassDef):
+            yield from _walk_accesses(statement.body, lock_attrs, held)
+        elif isinstance(statement, (ast.For, ast.AsyncFor)):
+            yield from _statement_accesses(
+                ast.Expr(value=statement.iter), held
+            )
+            yield from _walk_accesses(statement.body, lock_attrs, held)
+            yield from _walk_accesses(statement.orelse, lock_attrs, held)
+        elif isinstance(statement, ast.While):
+            yield from _statement_accesses(
+                ast.Expr(value=statement.test), held
+            )
+            yield from _walk_accesses(statement.body, lock_attrs, held)
+            yield from _walk_accesses(statement.orelse, lock_attrs, held)
+        elif isinstance(statement, ast.If):
+            yield from _statement_accesses(
+                ast.Expr(value=statement.test), held
+            )
+            yield from _walk_accesses(statement.body, lock_attrs, held)
+            yield from _walk_accesses(statement.orelse, lock_attrs, held)
+        elif isinstance(statement, ast.Try):
+            yield from _walk_accesses(statement.body, lock_attrs, held)
+            for handler in statement.handlers:
+                yield from _walk_accesses(handler.body, lock_attrs, held)
+            yield from _walk_accesses(statement.orelse, lock_attrs, held)
+            yield from _walk_accesses(statement.finalbody, lock_attrs, held)
+        else:
+            yield from _statement_accesses(statement, held)
+
+
+def _is_container_value(expr: ast.expr) -> bool:
+    if isinstance(
+        expr, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+    ):
+        return True
+    if isinstance(expr, ast.Call):
+        function = expr.func
+        name = None
+        if isinstance(function, ast.Name):
+            name = function.id
+        elif isinstance(function, ast.Attribute):
+            name = function.attr
+        return name in _CONTAINER_FACTORIES
+    return False
+
+
+def build_class_models(source: SourceFile) -> Dict[str, ClassConcurrencyModel]:
+    """Per-class concurrency models for one parsed file."""
+    models: Dict[str, ClassConcurrencyModel] = {}
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.ClassDef):
+            models[node.name] = _build_model(source, node)
+    return models
+
+
+def _build_model(
+    source: SourceFile, node: ast.ClassDef
+) -> ClassConcurrencyModel:
+    model = ClassConcurrencyModel(name=node.name, line=node.lineno)
+    declared_guards: Dict[str, str] = {}
+
+    # Pass 1: lock attributes, annotations, container assignments —
+    # every ``self.X = ...`` anywhere in the class body.
+    for inner in ast.walk(node):
+        if isinstance(inner, ast.Assign):
+            targets, value = inner.targets, inner.value
+        elif isinstance(inner, ast.AnnAssign) and inner.value is not None:
+            targets, value = [inner.target], inner.value
+        else:
+            continue
+        for target in targets:
+            attr = _self_attr(target)
+            if attr is None:
+                continue
+            kind = _lock_kind(value)
+            if kind is not None:
+                model.locks[attr] = kind
+            if _is_container_value(value):
+                model.mutable_attrs.add(attr)
+            guard, unguarded = _line_annotations(source, inner.lineno)
+            if guard is not None:
+                declared_guards[attr] = guard
+                model.declared.add(attr)
+            if unguarded:
+                model.unguarded.add(attr)
+
+    lock_attrs = frozenset(model.locks)
+
+    # Pass 2: inference — attributes mutated while an owned lock is
+    # held (outside __init__ and outside *_locked helpers) are guarded
+    # by that lock.
+    if lock_attrs:
+        for method in _class_methods(node):
+            if method.name == "__init__" or method.name.endswith("_locked"):
+                continue
+            for access in _walk_accesses(
+                method.body, lock_attrs, frozenset()
+            ):
+                if not access.is_write:
+                    continue
+                attr = access.attr
+                if attr in lock_attrs or attr in model.unguarded:
+                    continue
+                guards = access.held & lock_attrs
+                if guards:
+                    model.guarded[attr] = (
+                        model.guarded.get(attr, frozenset()) | guards
+                    )
+
+    # Declared annotations pin the guard to a single lock and win over
+    # whatever inference accumulated.
+    for attr, guard in declared_guards.items():
+        if attr not in model.unguarded:
+            model.guarded[attr] = frozenset({guard})
+    for attr in model.unguarded:
+        model.guarded.pop(attr, None)
+    return model
+
+
+def module_locks(source: SourceFile) -> Dict[str, str]:
+    """Module-level ``NAME = threading.Lock()`` bindings -> kind."""
+    locks: Dict[str, str] = {}
+    for statement in source.tree.body:
+        if isinstance(statement, ast.Assign):
+            kind = _lock_kind(statement.value)
+            if kind is None:
+                continue
+            for target in statement.targets:
+                if isinstance(target, ast.Name):
+                    locks[target.id] = kind
+    return locks
+
+
+_CONCURRENT_SCOPES = ("serve", "cache", "metrics", "core")
+
+
+class _ConcurrencyRule(Rule):
+    """Shared scope: the layers that actually own threads and locks."""
+
+    def applies_to(self, source: SourceFile) -> bool:
+        return source.in_scope(*_CONCURRENT_SCOPES)
+
+
+class GuardedAttributeRule(_ConcurrencyRule):
+    """TA011 — guarded attributes are only touched under their lock.
+
+    Consumes the per-class model: any read or write of a guarded
+    attribute in a method body without the guarding lock statically
+    held is flagged.  ``__init__`` is exempt (construction-time),
+    ``*_locked`` methods are treated as entered with every owned lock
+    held (the repo's caller-holds-the-lock convention), and nested
+    ``def`` bodies hold nothing (they run later, possibly elsewhere).
+    """
+
+    code = "TA011"
+    name = "guarded-attr-outside-lock"
+    description = (
+        "attributes guarded by a lock (annotated or inferred) must not "
+        "be read or written outside a 'with <lock>:' block"
+    )
+
+    def check(self, source: SourceFile, index: ProjectIndex) -> Iterator[Violation]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            model = _build_model(source, node)
+            if not model.locks or not model.guarded:
+                continue
+            lock_attrs = frozenset(model.locks)
+            for method in _class_methods(node):
+                if method.name == "__init__":
+                    continue
+                initial = (
+                    lock_attrs
+                    if method.name.endswith("_locked")
+                    else frozenset()
+                )
+                seen: Set[Tuple[int, str]] = set()
+                for access in _walk_accesses(
+                    method.body, lock_attrs, initial
+                ):
+                    guards = model.guarded.get(access.attr)
+                    if not guards or access.held & guards:
+                        continue
+                    key = (getattr(access.node, "lineno", 0), access.attr)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    action = "written" if access.is_write else "read"
+                    origin = (
+                        "declared" if access.attr in model.declared
+                        else "inferred"
+                    )
+                    yield self.violation(
+                        source,
+                        access.node,
+                        f"self.{access.attr} is {action} in "
+                        f"{node.name}.{method.name}() without holding "
+                        f"{model.guard_names(access.attr)} ({origin} "
+                        "guard); take the lock, rename the method "
+                        "*_locked, or annotate '# ta: unguarded'",
+                    )
+
+
+@dataclass(slots=True)
+class _LockEdge:
+    """First lexical witness of acquiring ``dst`` while holding ``src``."""
+
+    src: str
+    dst: str
+    node: ast.AST
+
+
+class LockOrderRule(_ConcurrencyRule):
+    """TA012 — locks are acquired in one global order per file.
+
+    Builds a lock-order graph: an edge A -> B for every place lock B is
+    acquired while A is held — lexically nested ``with`` blocks, plus
+    ``self``-calls and module-function calls whose bodies (transitively)
+    acquire locks.  A cycle means two code paths can each hold one lock
+    of a pair while waiting for the other: a deadlock waiting for the
+    right interleaving.  Re-acquiring a held non-reentrant ``Lock`` is
+    reported immediately (self-deadlock); ``RLock`` re-entry is fine.
+    """
+
+    code = "TA012"
+    name = "inconsistent-lock-order"
+    description = (
+        "the static lock-order graph (nested with blocks + call-through) "
+        "must stay acyclic; plain Lock re-entry is a self-deadlock"
+    )
+
+    def check(self, source: SourceFile, index: ProjectIndex) -> Iterator[Violation]:
+        mod_locks = module_locks(source)
+        class_nodes = [
+            node for node in ast.walk(source.tree)
+            if isinstance(node, ast.ClassDef)
+        ]
+        models = {node.name: _build_model(source, node) for node in class_nodes}
+
+        kinds: Dict[str, str] = {
+            f"<module>.{name}": kind for name, kind in mod_locks.items()
+        }
+        for model in models.values():
+            for attr, kind in model.locks.items():
+                kinds[f"{model.name}.{attr}"] = kind
+
+        # acquires[(owner, method)] = lock ids with-ed anywhere inside;
+        # owner is the class name or None for module functions.
+        acquires: Dict[Tuple[Optional[str], str], Set[str]] = {}
+        functions: List[Tuple[Optional[str], ast.FunctionDef]] = []
+        for statement in source.tree.body:
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                functions.append((None, statement))
+        for node in class_nodes:
+            for method in _class_methods(node):
+                functions.append((node.name, method))
+
+        def lock_id(
+            owner: Optional[str], expr: ast.expr
+        ) -> Optional[str]:
+            attr = _self_attr(expr)
+            if attr is not None and owner is not None:
+                if attr in models[owner].locks:
+                    return f"{owner}.{attr}"
+                return None
+            if isinstance(expr, ast.Name) and expr.id in mod_locks:
+                return f"<module>.{expr.id}"
+            return None
+
+        for owner, function in functions:
+            ids: Set[str] = set()
+            for inner in ast.walk(function):
+                if isinstance(inner, (ast.With, ast.AsyncWith)):
+                    for item in inner.items:
+                        identifier = lock_id(owner, item.context_expr)
+                        if identifier is not None:
+                            ids.add(identifier)
+            acquires[(owner, function.name)] = ids
+
+        # Transitive closure over self-calls / module-function calls.
+        changed = True
+        while changed:
+            changed = False
+            for owner, function in functions:
+                key = (owner, function.name)
+                for inner in ast.walk(function):
+                    if not isinstance(inner, ast.Call):
+                        continue
+                    callee: Optional[Tuple[Optional[str], str]] = None
+                    func = inner.func
+                    if (
+                        isinstance(func, ast.Attribute)
+                        and _self_attr(func) is not None
+                        and owner is not None
+                    ):
+                        callee = (owner, func.attr)
+                    elif isinstance(func, ast.Name):
+                        callee = (None, func.id)
+                    if callee is None or callee not in acquires:
+                        continue
+                    merged = acquires[key] | acquires[callee]
+                    if merged != acquires[key]:
+                        acquires[key] = merged
+                        changed = True
+
+        edges: Dict[Tuple[str, str], _LockEdge] = {}
+        self_deadlocks: List[Tuple[str, ast.AST]] = []
+
+        def record(src: str, dst: str, node: ast.AST) -> None:
+            if src == dst:
+                if kinds.get(src) == "Lock":
+                    self_deadlocks.append((src, node))
+                return
+            edges.setdefault((src, dst), _LockEdge(src, dst, node))
+
+        def walk(
+            owner: Optional[str],
+            body: Sequence[ast.stmt],
+            held: Tuple[str, ...],
+        ) -> None:
+            for statement in body:
+                if isinstance(statement, (ast.With, ast.AsyncWith)):
+                    inner_held = held
+                    for item in statement.items:
+                        identifier = lock_id(owner, item.context_expr)
+                        if identifier is None:
+                            continue
+                        for held_id in inner_held:
+                            record(held_id, identifier, item.context_expr)
+                        inner_held = inner_held + (identifier,)
+                    walk(owner, statement.body, inner_held)
+                    continue
+                if isinstance(
+                    statement, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    walk(owner, statement.body, ())
+                    continue
+                if held:
+                    for inner in ast.walk(statement):
+                        if not isinstance(inner, ast.Call):
+                            continue
+                        func = inner.func
+                        callee = None
+                        if (
+                            isinstance(func, ast.Attribute)
+                            and _self_attr(func) is not None
+                            and owner is not None
+                        ):
+                            callee = (owner, func.attr)
+                        elif isinstance(func, ast.Name):
+                            callee = (None, func.id)
+                        if callee is None:
+                            continue
+                        for acquired in sorted(acquires.get(callee, ())):
+                            for held_id in held:
+                                record(held_id, acquired, inner)
+                for child_body in (
+                    getattr(statement, "body", None),
+                    getattr(statement, "orelse", None),
+                    getattr(statement, "finalbody", None),
+                ):
+                    if isinstance(child_body, list):
+                        walk(owner, child_body, held)
+                for handler in getattr(statement, "handlers", []) or []:
+                    walk(owner, handler.body, held)
+
+        for owner, function in functions:
+            walk(owner, function.body, ())
+
+        for identifier, node in self_deadlocks:
+            yield self.violation(
+                source,
+                node,
+                f"non-reentrant {identifier} acquired while already held "
+                "on this path: guaranteed self-deadlock (use an RLock or "
+                "restructure)",
+            )
+
+        # Cycle detection over the recorded edges.
+        graph: Dict[str, List[str]] = {}
+        for src, dst in edges:
+            graph.setdefault(src, []).append(dst)
+        reported: Set[FrozenSet[str]] = set()
+        for start in sorted(graph):
+            cycle = _find_cycle(graph, start)
+            if cycle is None:
+                continue
+            key = frozenset(cycle)
+            if key in reported:
+                continue
+            reported.add(key)
+            witness = edges[(cycle[0], cycle[1])]
+            chain = " -> ".join(cycle + [cycle[0]])
+            yield self.violation(
+                source,
+                witness.node,
+                f"inconsistent lock order: {chain} forms a cycle — two "
+                "threads taking opposite ends deadlock; pick one global "
+                "order and restructure the odd path out",
+            )
+
+
+def _find_cycle(
+    graph: Dict[str, List[str]], start: str
+) -> Optional[List[str]]:
+    """A cycle reachable from ``start`` as an ordered node list."""
+    path: List[str] = []
+    on_path: Set[str] = set()
+    visited: Set[str] = set()
+
+    def dfs(node: str) -> Optional[List[str]]:
+        path.append(node)
+        on_path.add(node)
+        for neighbor in sorted(graph.get(node, [])):
+            if neighbor in on_path:
+                return path[path.index(neighbor):]
+            if neighbor not in visited:
+                found = dfs(neighbor)
+                if found is not None:
+                    return found
+        on_path.discard(node)
+        visited.add(node)
+        path.pop()
+        return None
+
+    return dfs(start)
+
+
+class EscapingGuardedStateRule(_ConcurrencyRule):
+    """TA013 — guarded mutable containers never escape by reference.
+
+    ``return self._entries`` hands a caller the very object the lock
+    guards: every later iteration or mutation happens outside any
+    lock, unseen by TA011 (the access is through the alias).  Return a
+    copy — ``list(...)``, ``dict(...)``, ``.copy()`` — instead; the
+    copy is consistent because it is built under the lock.
+    """
+
+    code = "TA013"
+    name = "escaping-guarded-state"
+    description = (
+        "methods must not return/yield a lock-guarded mutable container "
+        "by reference; snapshot it (list()/dict()/.copy()) first"
+    )
+
+    def check(self, source: SourceFile, index: ProjectIndex) -> Iterator[Violation]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            model = _build_model(source, node)
+            escaping = {
+                attr for attr in model.guarded
+                if attr in model.mutable_attrs
+            }
+            if not escaping:
+                continue
+            for method in _class_methods(node):
+                for inner in ast.walk(method):
+                    value: Optional[ast.expr] = None
+                    if isinstance(inner, ast.Return):
+                        value = inner.value
+                        verb = "returns"
+                    elif isinstance(inner, ast.Yield):
+                        value = inner.value
+                        verb = "yields"
+                    else:
+                        continue
+                    if value is None:
+                        continue
+                    attr = _self_attr(value)
+                    if attr in escaping:
+                        yield self.violation(
+                            source,
+                            inner,
+                            f"{node.name}.{method.name}() {verb} guarded "
+                            f"container self.{attr} by reference — every "
+                            "use after return is an unlocked access; "
+                            "return a copy built under the lock",
+                        )
+
+
+class BlockingCallUnderLockRule(_ConcurrencyRule):
+    """TA014 — no blocking calls while holding a lock.
+
+    A sleep, socket operation, file open, or pool-future wait inside a
+    ``with <lock>:`` block turns every other thread that needs the lock
+    into a queue behind that latency — and a future-wait under a lock
+    the worker also needs is a deadlock.  Applies to every with-target
+    that is a known lock or whose name ends in ``lock``.
+    """
+
+    code = "TA014"
+    name = "blocking-call-under-lock"
+    description = (
+        "no sleep/socket/file-open/pool-wait calls inside a "
+        "'with <lock>:' block; do the slow work outside"
+    )
+
+    @staticmethod
+    def _lockish(expr: ast.expr) -> Optional[str]:
+        if isinstance(expr, ast.Name) and expr.id.lower().endswith("lock"):
+            return expr.id
+        if isinstance(expr, ast.Attribute) and expr.attr.lower().endswith(
+            "lock"
+        ):
+            return expr.attr
+        return None
+
+    @classmethod
+    def _blocking(cls, call: ast.Call) -> Optional[str]:
+        func = call.func
+        if isinstance(func, ast.Name) and func.id in _BLOCKING_NAME_CALLS:
+            return f"{func.id}()"
+        if isinstance(func, ast.Attribute):
+            if func.attr in _BLOCKING_ATTR_CALLS:
+                return f".{func.attr}()"
+            if func.attr == "get" and any(
+                keyword.arg in ("timeout", "block")
+                for keyword in call.keywords
+            ):
+                return ".get(timeout=...)"
+        return None
+
+    def check(self, source: SourceFile, index: ProjectIndex) -> Iterator[Violation]:
+        def walk(body: Sequence[ast.stmt], lock: Optional[str]) -> Iterator[Violation]:
+            for statement in body:
+                if isinstance(statement, (ast.With, ast.AsyncWith)):
+                    inner_lock = lock
+                    for item in statement.items:
+                        name = self._lockish(item.context_expr)
+                        if name is not None:
+                            inner_lock = name
+                    yield from walk(statement.body, inner_lock)
+                    continue
+                if isinstance(
+                    statement, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    yield from walk(statement.body, None)
+                    continue
+                if lock is not None:
+                    for inner in ast.walk(statement):
+                        if isinstance(inner, ast.Call):
+                            blocking = self._blocking(inner)
+                            if blocking is not None:
+                                yield self.violation(
+                                    source,
+                                    inner,
+                                    f"blocking call {blocking} while "
+                                    f"holding {lock}; every contending "
+                                    "thread now waits on this latency — "
+                                    "move the slow work outside the lock",
+                                )
+                for child_body in (
+                    getattr(statement, "body", None),
+                    getattr(statement, "orelse", None),
+                    getattr(statement, "finalbody", None),
+                ):
+                    if isinstance(child_body, list):
+                        yield from walk(child_body, lock)
+                for handler in getattr(statement, "handlers", []) or []:
+                    yield from walk(handler.body, lock)
+
+        yield from walk(source.tree.body, None)
+
+
+class LockPerCallRule(_ConcurrencyRule):
+    """TA015 — locks are per-instance (or module-level), never per-call.
+
+    ``threading.Lock()`` constructed inside a function body makes a
+    fresh lock every invocation: each caller acquires its own private
+    lock and excludes nobody.  Locks belong in ``__init__`` (one per
+    instance) or at module scope (one per process).
+    """
+
+    code = "TA015"
+    name = "per-call-lock"
+    description = (
+        "threading.Lock/RLock/Condition/Semaphore must be created in "
+        "__init__ or at module scope, not inside a function body"
+    )
+
+    @staticmethod
+    def _is_lock_factory(call: ast.Call) -> Optional[str]:
+        func = call.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute) and isinstance(
+            func.value, ast.Name
+        ) and func.value.id == "threading":
+            name = func.attr
+        return name if name in _PER_CALL_LOCK_FACTORIES else None
+
+    @staticmethod
+    def _own_calls(function: ast.AST) -> Iterator[ast.Call]:
+        """Calls in the function body, excluding nested def subtrees
+        (those are visited on their own walk)."""
+        stack: List[ast.AST] = list(
+            getattr(function, "body", [])
+        )
+        while stack:
+            node = stack.pop()
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            if isinstance(node, ast.Call):
+                yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    def check(self, source: SourceFile, index: ProjectIndex) -> Iterator[Violation]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name == "__init__":
+                continue
+            for call in self._own_calls(node):
+                factory = self._is_lock_factory(call)
+                if factory is not None:
+                    yield self.violation(
+                        source,
+                        call,
+                        f"threading.{factory}() constructed inside "
+                        f"{node.name}(): a fresh per-call lock "
+                        "excludes nobody — create it in __init__ "
+                        "or at module scope",
+                    )

@@ -350,19 +350,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """
     import argparse
 
-    from repro.analysis.report import render_json, render_text
+    from repro.analysis.report import render_json, render_sarif, render_text
     from repro.analysis.rules import default_rules
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.lint",
-        description="Repo-specific AST lint pass (rules TA001...TA010).",
+        description="Repo-specific AST lint pass (rules TA001...TA015).",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "exit status:\n"
+            "  0  no violations survived suppression\n"
+            "  1  at least one violation\n"
+            "  2  usage error (unknown rule code, bad flag)"
+        ),
     )
     parser.add_argument(
         "paths", nargs="*", default=["src"], help="files or directories to lint"
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="reporter (default: text)",
     )
@@ -371,6 +378,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         metavar="CODES",
         default=None,
         help="comma-separated TA codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="CODES",
+        default=None,
+        help="comma-separated TA codes to skip (complement of --select)",
     )
     parser.add_argument(
         "--include-fixtures",
@@ -387,20 +400,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for rule in rules:
             print(f"{rule.code}  {rule.name}: {rule.description}")
         return 0
+    known = {rule.code for rule in rules}
     if options.select is not None:
         wanted = {code.strip().upper() for code in options.select.split(",")}
-        unknown = wanted - {rule.code for rule in rules}
+        unknown = wanted - known
         if unknown:
             parser.error(f"unknown rule codes: {', '.join(sorted(unknown))}")
         rules = [rule for rule in rules if rule.code in wanted]
+    if options.ignore is not None:
+        skipped = {code.strip().upper() for code in options.ignore.split(",")}
+        unknown = skipped - known
+        if unknown:
+            parser.error(f"unknown rule codes: {', '.join(sorted(unknown))}")
+        rules = [rule for rule in rules if rule.code not in skipped]
 
     violations, files_checked = lint_paths(
         [Path(path) for path in options.paths],
         rules=rules,
         include_fixtures=options.include_fixtures,
     )
-    renderer = render_json if options.format == "json" else render_text
-    print(renderer(violations, files_checked))
+    if options.format == "sarif":
+        print(render_sarif(violations, files_checked, rules=rules))
+    else:
+        renderer = render_json if options.format == "json" else render_text
+        print(renderer(violations, files_checked))
     return 1 if violations else 0
 
 

@@ -1,19 +1,22 @@
-"""Reporters for lint results: human text and machine JSON.
+"""Reporters for lint results: human text, machine JSON, and SARIF.
 
 The text form is the familiar ``path:line:col: CODE message`` stream
 with a one-line summary; the JSON form is a stable document
 (``{"files_checked", "violation_count", "violations": [...]}``) for CI
-annotation tooling.
+annotation tooling; the SARIF form is a SARIF 2.1.0 log that code
+hosts (GitHub code scanning and friends) ingest natively, carrying the
+rule catalogue in ``tool.driver.rules`` so findings link back to the
+rule descriptions.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
-from repro.analysis.lint import Violation
+from repro.analysis.lint import Rule, Violation
 
-__all__ = ["render_text", "render_json"]
+__all__ = ["render_text", "render_json", "render_sarif"]
 
 
 def render_text(violations: Sequence[Violation], files_checked: int) -> str:
@@ -47,3 +50,70 @@ def render_json(violations: Sequence[Violation], files_checked: int) -> str:
         indent=2,
         sort_keys=True,
     )
+
+
+def render_sarif(
+    violations: Sequence[Violation],
+    files_checked: int,
+    *,
+    rules: Optional[Sequence[Rule]] = None,
+) -> str:
+    """The SARIF 2.1.0 reporter.
+
+    ``rules`` populates ``tool.driver.rules``; violations whose code
+    has no catalogue entry still render (SARIF allows results without a
+    rule index).  ``files_checked`` lands in the run's property bag —
+    SARIF has no first-class slot for it.
+    """
+    catalogue = list(rules) if rules is not None else []
+    rule_index = {rule.code: i for i, rule in enumerate(catalogue)}
+    results: List[Dict[str, Any]] = []
+    for violation in violations:
+        result: Dict[str, Any] = {
+            "ruleId": violation.code,
+            "level": "error",
+            "message": {"text": violation.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": violation.path.replace("\\", "/"),
+                        },
+                        "region": {
+                            "startLine": violation.line,
+                            "startColumn": violation.col,
+                        },
+                    }
+                }
+            ],
+        }
+        if violation.code in rule_index:
+            result["ruleIndex"] = rule_index[violation.code]
+        results.append(result)
+    document = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "https://github.com/paper-repro/temporal-aggregates"
+                        ),
+                        "rules": [
+                            {
+                                "id": rule.code,
+                                "name": rule.name,
+                                "shortDescription": {"text": rule.description},
+                            }
+                            for rule in catalogue
+                        ],
+                    }
+                },
+                "results": results,
+                "properties": {"filesChecked": files_checked},
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

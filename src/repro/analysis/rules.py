@@ -1,4 +1,6 @@
-"""The repo-specific lint rules (``TA001``...``TA010``).
+"""The repo-specific lint rules (``TA001``...``TA010``; the
+concurrency rules ``TA011``...``TA015`` live in
+:mod:`repro.analysis.concurrency` and join the registry here).
 
 Each rule is small, syntactic, and tied to a property the engine
 actually relies on; DESIGN.md §8 documents the rationale behind every
@@ -478,12 +480,15 @@ class AnnotationGateRule(Rule):
     code = "TA008"
     name = "annotation-gate"
     description = (
-        "public functions/methods in core/, exec/ and analysis/ must "
-        "annotate every parameter and the return type"
+        "public functions/methods in core/, exec/, analysis/, serve/, "
+        "cache/ and metrics/ must annotate every parameter and the "
+        "return type"
     )
 
     def applies_to(self, source: SourceFile) -> bool:
-        return source.in_scope("core", "exec", "analysis")
+        return source.in_scope(
+            "core", "exec", "analysis", "serve", "cache", "metrics"
+        )
 
     @staticmethod
     def _is_static(function: ast.FunctionDef) -> bool:
@@ -719,6 +724,14 @@ class HotLoopRule(Rule):
 
 def default_rules() -> List[Rule]:
     """Every rule, in code order (the registry the CLI and tests use)."""
+    from repro.analysis.concurrency import (
+        BlockingCallUnderLockRule,
+        EscapingGuardedStateRule,
+        GuardedAttributeRule,
+        LockOrderRule,
+        LockPerCallRule,
+    )
+
     return [
         EvaluatorProtocolRule(),
         SlotsOnNodeClassesRule(),
@@ -730,4 +743,9 @@ def default_rules() -> List[Rule]:
         AnnotationGateRule(),
         JournalBypassRule(),
         HotLoopRule(),
+        GuardedAttributeRule(),
+        LockOrderRule(),
+        EscapingGuardedStateRule(),
+        BlockingCallUnderLockRule(),
+        LockPerCallRule(),
     ]

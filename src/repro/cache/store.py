@@ -141,10 +141,10 @@ class ShardResultCache:
         self.budget_bytes = int(budget_bytes)
         self.counters = counters if counters is not None else OperationCounters()
         self.space = space if space is not None else SpaceTracker()
-        self._entries: "OrderedDict[CacheKey, CachedEntry]" = OrderedDict()
+        self._entries: "OrderedDict[CacheKey, CachedEntry]" = OrderedDict()  # ta: guarded-by(self.lock)
         self._recent: "OrderedDict[Tuple[int, str, Optional[str]], bool]" = (
             OrderedDict()
-        )
+        )  # ta: guarded-by(self.lock)
         #: Guards every structural operation (and the shared counter
         #: tallies) so one cache instance can serve many sessions on
         #: threads — the serving layer's shared server cache.  Re-entrant
@@ -204,7 +204,7 @@ class ShardResultCache:
                 return False
             self._entries[key] = entry
             self.space.allocate(nodes)
-            self._evict_over_budget(keep=key)
+            self._evict_over_budget_locked(keep=key)
             return True
 
     def discard(self, key: CacheKey) -> None:
@@ -214,8 +214,12 @@ class ShardResultCache:
             if entry is not None:
                 self.space.free(entry.node_count())
 
-    def _evict_over_budget(self, keep: CacheKey) -> None:
+    def _evict_over_budget_locked(self, keep: CacheKey) -> None:
         """Evict least-recently-used entries until under budget.
+
+        The ``_locked`` suffix is the repo's caller-holds-the-lock
+        convention: ``store()`` already holds ``self.lock`` around the
+        insert + eviction, so this helper takes none itself.
 
         ``keep`` (the entry just inserted at the MRU end) survives even
         when it alone is what crossed the line — admission already

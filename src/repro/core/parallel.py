@@ -342,47 +342,51 @@ class ParallelSweepEvaluator(Evaluator):
 
         # Serialize sharded runs across threads: the shard state is a
         # module global (fork inherits it copy-on-write), so concurrent
-        # server sessions must not publish over each other.
-        _SHARD_STATE_LOCK.acquire()
-        _SHARD_STATE.update(
-            starts=starts,
-            ends=ends,
-            values=values,
-            aggregate=(
-                self.aggregate.name
-                if registered_instance(self.aggregate)
-                else self.aggregate
-            ),
-        )
-        self.last_supervision = None
-        try:
-            if self._pool_usable(len(starts), len(windows)):
-                # Publish the columns, *then* fork: workers inherit the
-                # data (and any active fault plan) copy-on-write.
-                supervisor = ShardSupervisor(
-                    _shard_task,
-                    windows,
-                    mp_context=multiprocessing.get_context("fork"),
-                    retry=self.retry,
-                    shard_timeout=self.shard_timeout,
-                    deadline=self.deadline,
-                    max_pool_rebuilds=self.max_pool_rebuilds,
-                )
-                shard_results = supervisor.run()
-                self.last_supervision = supervisor.report
-            else:
-                shard_results = []
-                for index, window in enumerate(windows):
-                    if self.deadline is not None:
-                        self.deadline.check(
-                            completed_shards=index, total_shards=len(windows)
-                        )
-                    shard_results.append(
-                        _shard_task((window, index, 1, False))
+        # server sessions must not publish over each other.  The whole
+        # publish/fan-out/clear window is deliberately held — that
+        # serialization *is* the correctness property — and the with
+        # block (rather than bare acquire/release) keeps the critical
+        # section visible to the static lock-discipline pass.
+        with _SHARD_STATE_LOCK:
+            _SHARD_STATE.update(
+                starts=starts,
+                ends=ends,
+                values=values,
+                aggregate=(
+                    self.aggregate.name
+                    if registered_instance(self.aggregate)
+                    else self.aggregate
+                ),
+            )
+            self.last_supervision = None
+            try:
+                if self._pool_usable(len(starts), len(windows)):
+                    # Publish the columns, *then* fork: workers inherit
+                    # the data (and any active fault plan) copy-on-write.
+                    supervisor = ShardSupervisor(
+                        _shard_task,
+                        windows,
+                        mp_context=multiprocessing.get_context("fork"),
+                        retry=self.retry,
+                        shard_timeout=self.shard_timeout,
+                        deadline=self.deadline,
+                        max_pool_rebuilds=self.max_pool_rebuilds,
                     )
-        finally:
-            _SHARD_STATE.clear()
-            _SHARD_STATE_LOCK.release()
+                    shard_results = supervisor.run()
+                    self.last_supervision = supervisor.report
+                else:
+                    shard_results = []
+                    for index, window in enumerate(windows):
+                        if self.deadline is not None:
+                            self.deadline.check(
+                                completed_shards=index,
+                                total_shards=len(windows),
+                            )
+                        shard_results.append(
+                            _shard_task((window, index, 1, False))
+                        )
+            finally:
+                _SHARD_STATE.clear()
 
         raw = stitch_rows(
             [rows for rows, _events in shard_results], set(starts), set(ends)

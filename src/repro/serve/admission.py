@@ -68,18 +68,20 @@ class AdmissionController:
         #: The cache-shedding hook level 1 fires (injectable for tests).
         self._shed = shed if shed is not None else shed_default_cache
         self._lock = threading.Lock()
-        self._sessions = 0
-        self._outstanding = 0
-        self._shed_armed = True
-        # Tallies for the stats frame.
-        self.sessions_admitted = 0
-        self.sessions_rejected = 0
-        self.statements_admitted = 0
-        self.statements_rejected_queue = 0
-        self.statements_rejected_overload = 0
-        self.cache_sheds = 0
-        self.shed_bytes_released = 0
-        self.degraded_statements = 0
+        self._sessions = 0  # ta: guarded-by(self._lock)
+        self._outstanding = 0  # ta: guarded-by(self._lock)
+        self._shed_armed = True  # ta: guarded-by(self._lock)
+        # Tallies for the stats frame: bumped from both the event-loop
+        # thread (admission) and worker threads (completion), so every
+        # one of these read-modify-writes needs the lock.
+        self.sessions_admitted = 0  # ta: guarded-by(self._lock)
+        self.sessions_rejected = 0  # ta: guarded-by(self._lock)
+        self.statements_admitted = 0  # ta: guarded-by(self._lock)
+        self.statements_rejected_queue = 0  # ta: guarded-by(self._lock)
+        self.statements_rejected_overload = 0  # ta: guarded-by(self._lock)
+        self.cache_sheds = 0  # ta: guarded-by(self._lock)
+        self.shed_bytes_released = 0  # ta: guarded-by(self._lock)
+        self.degraded_statements = 0  # ta: guarded-by(self._lock)
 
     # ------------------------------------------------------------------
     # Sessions
@@ -176,7 +178,13 @@ class AdmissionController:
         finally:
             if shed_now:
                 # Outside the lock: shedding walks the whole cache.
-                self.shed_bytes_released += self._shed()
+                released = self._shed()
+                # The tally bump re-takes the lock: the unlocked
+                # read-modify-write here raced concurrent shed
+                # excursions and tore reads in snapshot() (found by
+                # TA011 once the tallies were annotated).
+                with self._lock:
+                    self.shed_bytes_released += released
 
     def statement_done(self) -> None:
         """One admitted statement finished (or was dropped unrun)."""

@@ -31,7 +31,7 @@ from __future__ import annotations
 import asyncio
 import threading
 import time
-from typing import Any, Dict, Optional
+from typing import Any, Callable, Dict, Optional
 
 from repro.cache.store import default_cache
 from repro.exec.deadline import Deadline
@@ -222,7 +222,12 @@ class QueryServer:
                 )
                 return
 
-    def _admit(self, session: Session, frame: Dict[str, Any], builder) -> None:
+    def _admit(
+        self,
+        session: Session,
+        frame: Dict[str, Any],
+        builder: "Callable[[Dict[str, Any], DegradationLevel], Statement]",
+    ) -> None:
         """Run one statement frame through admission into the scheduler."""
         try:
             level = self.admission.admit_statement(len(session.queue))
@@ -387,12 +392,14 @@ class QueryServer:
             },
             "cache": cache_stats,
             "counters": self.counters.snapshot(),
+            # Per-table pairs come from ServedRelation.stats(), which
+            # reads (version, row_count) under the append lock: the
+            # old unlocked len(base)/base.version reads here could
+            # tear across a concurrent append.
             "tables": {
-                served.name: {
-                    "rows": len(served.base),
-                    "version": served.base.version,
-                }
+                served.name: {"rows": row_count, "version": version}
                 for served in self._served.values()
+                for version, row_count in (served.stats(),)
             },
         }
 

@@ -45,6 +45,7 @@ from repro.relation.tuples import TemporalTuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.columns import ColumnSet
+    from repro.core.interval import Interval
 
 __all__ = ["SnapshotView", "ServedRelation", "PIN_MEMO_LIMIT"]
 
@@ -81,9 +82,15 @@ class SnapshotView:
         self.version = version
         self.fingerprint = fingerprint
         self._row_count = row_count
-        self.scan_count = 0
+        self._stats_lock = threading.Lock()
+        self.scan_count = 0  # ta: guarded-by(self._stats_lock)
         self._materialize_lock = threading.Lock()
-        self._materialized: Optional[TemporalRelation] = None
+        # Deliberately lock-free on the read side (double-checked
+        # publication): _working() reads it unlocked on the fast path
+        # and only takes _materialize_lock to build-and-publish once.
+        # Safe under the GIL — the reference assignment is atomic and
+        # the relation is fully built before it is published.
+        self._materialized: Optional[TemporalRelation] = None  # ta: unguarded
 
     # ------------------------------------------------------------------
     # Row access (prefix-limited, copy-free)
@@ -99,14 +106,18 @@ class SnapshotView:
         return list(self._base.iter_prefix(self._row_count))
 
     def scan(self) -> Iterator[TemporalTuple]:
-        self.scan_count += 1
+        # Views are shared across worker threads; the unlocked += here
+        # was a lost-update race between concurrent statements.
+        with self._stats_lock:
+            self.scan_count += 1
         return self._base.iter_prefix(self._row_count)
 
     def scan_triples(
         self, attribute: Optional[str] = None
     ) -> Iterator[Tuple[int, int, Any]]:
         extractor = self.value_extractor(attribute)
-        self.scan_count += 1
+        with self._stats_lock:
+            self.scan_count += 1
         for row in self._base.iter_prefix(self._row_count):
             yield (row.start, row.end, extractor(row))
 
@@ -185,7 +196,7 @@ class SnapshotView:
         return self._working().unique_timestamps()
 
     @property
-    def lifespan(self):
+    def lifespan(self) -> Optional["Interval"]:
         return self._working().lifespan
 
     def __repr__(self) -> str:
@@ -225,6 +236,18 @@ class ServedRelation:
             else:
                 self._pins.move_to_end(version)
             return view
+
+    def stats(self) -> Tuple[int, int]:
+        """``(version, row_count)`` read atomically under the append
+        lock.
+
+        The stats frame used to read ``base.version`` and
+        ``len(base)`` separately without the lock — a concurrent
+        append between the two reads produced a torn pair (version v
+        with v+1's row count).
+        """
+        with self._lock:
+            return self.base.version, len(self.base)
 
     def append_batch(self, rows: Any) -> Tuple[int, int]:
         """Append one batch of ``(values, start, end)`` rows atomically.

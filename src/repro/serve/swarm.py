@@ -175,6 +175,13 @@ def run_swarm(
     behind a barrier — maximum interleaving pressure from the first
     statement on.
     """
+    from repro.analysis import racecheck
+
+    if racecheck.races_enabled():
+        # Arm the Eraser-style lockset tracker over the serving
+        # stack's shared classes: the swarm is exactly the concurrent
+        # workload the checker wants to watch.
+        racecheck.install_default()
     reports = [ClientReport(client_id=i) for i in range(len(scripts))]
     barrier = threading.Barrier(len(scripts))
     threads = [

@@ -1,0 +1,38 @@
+"""Deliberate TA011 violations (guarded-attribute fixture; never imported)."""
+
+import threading
+
+
+class Ledger:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.balance = 0  # ta: guarded-by(self._lock)
+        self._entries = []
+        self.hits = 0  # ta: unguarded
+
+    def deposit(self, amount):
+        with self._lock:
+            self.balance += amount
+            self._entries.append(amount)
+
+    def peek(self):
+        return self.balance  # declared guard read outside the lock
+
+    def drain(self):
+        self._entries.clear()  # inferred guard written outside the lock
+
+    def bump(self):
+        self.hits += 1  # opted out via '# ta: unguarded' — clean
+
+    def peek_suppressed(self):
+        return self.balance  # ta: ignore[TA011]
+
+    def _drain_locked(self):
+        self._entries.clear()  # *_locked convention: caller holds it
+
+    def on_timer(self):
+        def later():
+            self.balance += 1  # nested def holds nothing even if outer did
+
+        with self._lock:
+            return later

@@ -1,0 +1,60 @@
+"""Deliberate TA012 violations (lock-order fixture; never imported)."""
+
+import threading
+
+REGISTRY_LOCK = threading.Lock()
+
+
+class Transfer:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+
+    def forward(self):
+        with self._a:
+            with self._b:  # edge a -> b (first witness of the cycle)
+                pass
+
+    def backward(self):
+        with self._b:
+            with self._a:  # edge b -> a closes the cycle
+                pass
+
+    def reenter(self):
+        with self._a:
+            with self._a:  # plain Lock re-entry: self-deadlock
+                pass
+
+
+class Bridge:
+    def __init__(self):
+        self._gate = threading.Lock()
+
+    def _grab_registry(self):
+        with REGISTRY_LOCK:
+            pass
+
+    def cross(self):
+        with self._gate:
+            self._grab_registry()  # call-through edge gate -> REGISTRY
+
+    def recross(self):
+        with REGISTRY_LOCK:
+            with self._gate:  # reverse edge: call-through cycle witness
+                pass
+
+
+class Quiet:
+    def __init__(self):
+        self._m = threading.Lock()
+        self._r = threading.RLock()
+
+    def reenter_suppressed(self):
+        with self._m:
+            with self._m:  # ta: ignore[TA012]
+                pass
+
+    def reenter_rlock(self):
+        with self._r:
+            with self._r:  # RLock re-entry is fine
+                pass

@@ -1,0 +1,29 @@
+"""Deliberate TA013 violations (escaping-guarded-state fixture; never imported)."""
+
+import threading
+
+
+class Registry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = {}
+
+    def put(self, key, value):
+        with self._lock:
+            self._entries[key] = value
+
+    def raw(self):
+        with self._lock:
+            return self._entries  # the reference outlives the lock
+
+    def streamed(self):
+        with self._lock:
+            yield self._entries  # yielding the live dict is the same leak
+
+    def snapshot(self):
+        with self._lock:
+            return dict(self._entries)  # copy built under the lock: clean
+
+    def raw_suppressed(self):
+        with self._lock:
+            return self._entries  # ta: ignore[TA013]

@@ -1,0 +1,33 @@
+"""Deliberate TA014 violations (blocking-under-lock fixture; never imported)."""
+
+import threading
+import time
+
+
+class Publisher:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._pending = []
+        self._inbox = None  # a queue.Queue in real code
+
+    def flush(self, sock):
+        with self._lock:
+            time.sleep(0.01)  # blocking sleep under the lock
+            sock.sendall(b"x")  # socket write under the lock
+
+    def poll(self):
+        with self._lock:
+            return self._inbox.get(timeout=1.0)  # queue-style blocking get
+
+    def flush_fast(self, sock):
+        with self._lock:
+            payload = bytes(self._pending)
+        sock.sendall(payload)  # slow work outside the lock: clean
+
+    def lookup(self, table, key):
+        with self._lock:
+            return table.get(key)  # plain dict.get: not blocking
+
+    def flush_suppressed(self):
+        with self._lock:
+            time.sleep(0.01)  # ta: ignore[TA014]

@@ -1,0 +1,31 @@
+"""Deliberate TA015 violations (per-call-lock fixture; never imported)."""
+
+import threading
+
+GLOBAL_LOCK = threading.Lock()  # module scope: one per process, clean
+
+
+class Worker:
+    def __init__(self):
+        self._lock = threading.Lock()  # construction-time: clean
+
+    def compute(self):
+        lock = threading.Lock()  # fresh lock per call excludes nobody
+        with lock:
+            return 1
+
+    def compute_suppressed(self):
+        lock = threading.Lock()  # ta: ignore[TA015]
+        with lock:
+            return 2
+
+
+def handshake():
+    return threading.Semaphore(2)  # per-call semaphore
+
+
+def factory():
+    def make():
+        return threading.Condition()  # flagged on make's own visit
+
+    return make

@@ -9,7 +9,7 @@ import sys
 from pathlib import Path
 
 from repro.analysis.lint import main
-from repro.analysis.report import render_json, render_text
+from repro.analysis.report import render_json, render_sarif, render_text
 from repro.analysis.rules import default_rules
 
 HERE = Path(__file__).parent
@@ -50,6 +50,18 @@ class TestExitCodes:
         assert result.returncode == 2
         assert "unknown rule codes: TA999" in result.stderr
 
+    def test_unknown_ignore_code_exits_two(self):
+        result = run_cli("--ignore", "TA998,TA005", str(FIXTURES))
+        assert result.returncode == 2
+        assert "unknown rule codes: TA998" in result.stderr
+
+    def test_help_documents_exit_codes(self):
+        result = run_cli("--help")
+        assert result.returncode == 0
+        assert "exit status" in result.stdout
+        for line in ("0  no violations", "1  at least one", "2  usage error"):
+            assert line in result.stdout
+
     def test_subprocess_entry_point(self):
         result = run_cli("src/repro/analysis")
         assert result.returncode == 0, result.stdout + result.stderr
@@ -71,6 +83,31 @@ class TestSelection:
         for rule in default_rules():
             assert rule.code in out
             assert rule.name in out
+
+    def test_list_rules_includes_concurrency_pass(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("TA011", "TA012", "TA013", "TA014", "TA015"):
+            assert code in out
+
+    def test_ignore_skips_named_rules(self, capsys):
+        # The fixture trips TA005 (deliberate) and TA008 (unannotated
+        # defs); ignoring both leaves nothing.
+        assert main(
+            ["--ignore", "TA005,TA008", "--include-fixtures",
+             str(FIXTURES / "core" / "ta005_defaults.py")]
+        ) == 0
+        assert "0 violations" in capsys.readouterr().out
+
+    def test_ignore_composes_with_select(self, capsys):
+        # Select two codes, ignore one of them: only the other runs.
+        assert main(
+            ["--select", "TA005,TA008", "--ignore", "TA008",
+             "--include-fixtures", str(FIXTURES)]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "TA005" in out
+        assert "TA008" not in out
 
 
 class TestJsonReporter:
@@ -97,3 +134,49 @@ class TestJsonReporter:
         assert payload["violation_count"] == len(violations)
         # The text summary breaks the total down per code.
         assert "TA005 x" in text
+
+
+class TestSarifReporter:
+    def test_sarif_shape(self, capsys):
+        assert main(
+            ["--format", "sarif", "--select", "TA011", "--include-fixtures",
+             str(FIXTURES / "serve" / "ta011_guarded.py")]
+        ) == 1
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        assert log["$schema"].endswith("sarif-2.1.0.json")
+        (run,) = log["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        rule_ids = [rule["id"] for rule in driver["rules"]]
+        assert "TA011" in rule_ids
+        assert run["results"], "fixture violations must appear as results"
+        first = run["results"][0]
+        assert first["ruleId"] == "TA011"
+        assert first["level"] == "error"
+        assert first["message"]["text"]
+        region = first["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 19
+        # ruleIndex points back into the driver's rule catalogue.
+        assert driver["rules"][first["ruleIndex"]]["id"] == "TA011"
+        assert run["properties"]["filesChecked"] == 1
+
+    def test_sarif_clean_run_exits_zero(self, capsys):
+        assert main(
+            ["--format", "sarif",
+             str(REPO_ROOT / "src" / "repro" / "analysis")]
+        ) == 0
+        log = json.loads(capsys.readouterr().out)
+        assert log["runs"][0]["results"] == []
+
+    def test_render_sarif_without_catalogue(self):
+        from repro.analysis.lint import lint_paths
+
+        violations, files_checked = lint_paths(
+            [FIXTURES / "core" / "ta005_defaults.py"],
+            include_fixtures=True,
+        )
+        log = json.loads(render_sarif(violations, files_checked))
+        (run,) = log["runs"]
+        assert run["tool"]["driver"]["rules"] == []
+        assert all("ruleIndex" not in result for result in run["results"])

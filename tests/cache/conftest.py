@@ -4,7 +4,22 @@ from __future__ import annotations
 
 import pytest
 
+from repro.analysis import racecheck
 from repro.cache.store import ShardResultCache, set_default_cache
+
+
+@pytest.fixture(autouse=True)
+def _race_checked():
+    """Under ``REPRO_CHECK_RACES=1``, cache tests (notably the
+    contention suite) run with the lockset tracker armed and fail on
+    any recorded candidate race."""
+    if not racecheck.races_enabled():
+        yield
+        return
+    racecheck.install_default()
+    racecheck.clear_reports()
+    yield
+    racecheck.assert_no_races()
 
 
 @pytest.fixture(autouse=True)

@@ -12,6 +12,7 @@ from contextlib import contextmanager
 
 import pytest
 
+from repro.analysis import racecheck
 from repro.cache.store import set_default_cache
 from repro.relation.relation import TemporalRelation
 from repro.relation.schema import EMPLOYED_SCHEMA
@@ -24,6 +25,19 @@ def _fresh_default_cache():
     set_default_cache(None)
     yield
     set_default_cache(None)
+
+
+@pytest.fixture(autouse=True)
+def _race_checked():
+    """Under ``REPRO_CHECK_RACES=1``, every serving test runs with the
+    lockset tracker armed and fails if it recorded a candidate race."""
+    if not racecheck.races_enabled():
+        yield
+        return
+    racecheck.install_default()
+    racecheck.clear_reports()
+    yield
+    racecheck.assert_no_races()
 
 
 def make_relation(n: int = 64, name: str = "jobs") -> TemporalRelation:
