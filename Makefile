@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-invariants test-races bench figures figures-full examples lint scrub serve bench-serving clean
+.PHONY: install test test-invariants test-races bench figures figures-full examples lint scrub serve bench-serving bench-pool clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -53,6 +53,11 @@ serve:
 # Serving throughput/latency at the paper's 64K grid -> results/BENCH_serving.json
 bench-serving:
 	REPRO_BENCH_MAX_TUPLES=65536 PYTHONPATH=src $(PYTHON) -m repro.bench serving --csv-dir results
+
+# The resident execution backend under the coalescing fleet at the 64K
+# grid -> results/BENCH_pool.json (--workers/--clients to resize)
+bench-pool:
+	REPRO_BENCH_MAX_TUPLES=65536 PYTHONPATH=src $(PYTHON) -m repro.bench pool --csv-dir results
 
 # Read-only fsck of heap files + their journals: make scrub FILES="a.dat b.dat"
 scrub:

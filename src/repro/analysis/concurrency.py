@@ -416,7 +416,7 @@ def module_locks(source: SourceFile) -> Dict[str, str]:
     return locks
 
 
-_CONCURRENT_SCOPES = ("serve", "cache", "metrics", "core")
+_CONCURRENT_SCOPES = ("serve", "cache", "metrics", "core", "exec")
 
 
 class _ConcurrencyRule(Rule):

@@ -176,6 +176,47 @@ def _write_serving_json(reports, csv_dir) -> str:
     return path
 
 
+def _write_pool_json(reports, csv_dir) -> str:
+    """Machine-readable artifact for the ``pool`` driver.
+
+    Per-size qps with the coalescing and fork-once counter proofs land
+    here so the acceptance check (coalesced serving throughput at the
+    64K grid vs the ``serving`` baseline) reads numbers, not rendered
+    tables.
+    """
+    from repro.bench.config import bench_seeds, bench_sizes
+    from repro.bench.pool import (
+        CLIENTS,
+        POOL_DETAIL,
+        ROUNDS_PER_CLIENT,
+        _resolved_pool_workers,
+    )
+    from repro.exec.pool import pool_min_tuples
+
+    payload = {
+        "generated_by": "python -m repro.bench pool",
+        "cpu_count": os.cpu_count(),
+        "clients": CLIENTS,
+        "rounds_per_client": ROUNDS_PER_CLIENT,
+        "pool_workers": _resolved_pool_workers(),
+        "pool_min_tuples": pool_min_tuples(),
+        "env": {
+            "REPRO_POOL_MIN_TUPLES": os.environ.get("REPRO_POOL_MIN_TUPLES"),
+            "REPRO_POOL_WORKERS": os.environ.get("REPRO_POOL_WORKERS"),
+        },
+        "sizes": bench_sizes(),
+        "seeds": bench_seeds(),
+        "cells": POOL_DETAIL.get("cells", []),
+        "note": POOL_DETAIL.get("note", ""),
+        "reports": [report.to_dict() for report in reports],
+    }
+    path = os.path.join(csv_dir or ".", "BENCH_pool.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return path
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
@@ -203,7 +244,33 @@ def main(argv=None) -> int:
         help="run each driver under cProfile and print the top 20 "
         "functions by cumulative time",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="resident pool size for the 'pool' driver (default: "
+        "REPRO_POOL_WORKERS or the machine's available workers)",
+    )
+    parser.add_argument(
+        "--clients",
+        type=int,
+        default=None,
+        help="concurrent client connections for the 'pool' driver "
+        "(default: %(default)s -> driver default)",
+    )
     args = parser.parse_args(argv)
+
+    if args.workers is not None or args.clients is not None:
+        import repro.bench.pool as pool_module
+
+        if args.workers is not None:
+            if args.workers < 1:
+                parser.error("--workers must be at least 1")
+            pool_module.POOL_WORKERS = args.workers
+        if args.clients is not None:
+            if args.clients < 1:
+                parser.error("--clients must be at least 1")
+            pool_module.CLIENTS = args.clients
 
     names = sorted(DRIVERS) if "all" in args.drivers else args.drivers
     unknown = [name for name in names if name not in DRIVERS]
@@ -256,6 +323,9 @@ def main(argv=None) -> int:
             print(f"[wrote {path}]", file=sys.stderr)
         elif name == "serving":
             path = _write_serving_json(reports, args.csv_dir)
+            print(f"[wrote {path}]", file=sys.stderr)
+        elif name == "pool":
+            path = _write_pool_json(reports, args.csv_dir)
             print(f"[wrote {path}]", file=sys.stderr)
         print(f"[{name} completed in {elapsed:.1f}s]", file=sys.stderr)
     return 0

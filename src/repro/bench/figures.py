@@ -949,6 +949,7 @@ def durability(
     return [throughput, recovery]
 
 
+from repro.bench.pool import pool  # noqa: E402  (registry import)
 from repro.bench.serving import serving  # noqa: E402  (registry import)
 
 #: Driver registry for the CLI.
@@ -968,4 +969,5 @@ DRIVERS: Dict[str, Callable[..., List[Report]]] = {
     "cache": cache,
     "durability": durability,
     "serving": serving,
+    "pool": pool,
 }

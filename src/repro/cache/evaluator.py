@@ -155,7 +155,7 @@ def _serve_hit(
 
 def _scan_columns(
     relation: Any, attribute: Optional[str], counters: "OperationCounters"
-) -> Tuple[Any, Any, Any]:
+) -> Tuple[Any, Any, Any, Any]:
     """One counted scan decomposed into validated flat columns.
 
     Relations offering the flat-column protocol (``columns()``) feed
@@ -163,6 +163,11 @@ def _scan_columns(
     per-row tuples are built between storage and the shard kernels.
     Protocol-less relations fall back to decomposing a triple scan (and
     account the per-row tuples that scan materialized).
+
+    The fourth return is the :class:`~repro.core.columns.ColumnSet`
+    itself when the relation produced one (None otherwise) — the
+    resident execution backend needs its identity stamp to key a
+    shared-memory publication.
     """
     columns_method = getattr(relation, "columns", None)
     if callable(columns_method):
@@ -170,10 +175,58 @@ def _scan_columns(
         counters.column_batches += columns.batches
         starts, ends, values = columns.starts, columns.ends, columns.values
     else:
+        columns = None
         starts, ends, values = zip(*relation.scan_triples(attribute))
         counters.tuple_materializations += len(starts)
     validate_columns(starts, ends)
-    return starts, ends, values
+    return starts, ends, values, columns
+
+
+def _pool_sweep(
+    columns: Any,
+    starts: Any,
+    ends: Any,
+    values: Any,
+    sweep_windows: List[Tuple[int, int]],
+    aggregate: "Aggregate",
+    counters: "OperationCounters",
+    deadline: "Optional[Deadline]",
+) -> Optional[List[Tuple[List[tuple], int]]]:
+    """Sweep ``sweep_windows`` on the resident pool, if it applies.
+
+    Engages for identified column snapshots at or above the
+    ``REPRO_POOL_MIN_TUPLES`` threshold with more than one window to
+    sweep; returns per-window ``(rows, events)`` (worker counter
+    deltas already merged into ``counters``) or None for the serial
+    in-process path.
+    """
+    if columns is None or len(sweep_windows) <= 1:
+        return None
+    if getattr(columns, "uid", None) is None or columns.version is None:
+        return None
+    from repro.exec.pool import default_pool, pool_min_tuples
+
+    if len(starts) < pool_min_tuples():
+        return None
+    pool = default_pool()
+    if pool is None:
+        return None
+    outcome = pool.sweep_columns(
+        starts,
+        ends,
+        values,
+        sweep_windows,
+        aggregate.name,
+        uid=columns.uid,
+        version=columns.version,
+        column_key=columns.column_key,
+        owner=columns,
+        deadline=deadline,
+        counters=counters,
+    )
+    if outcome is None:
+        return None
+    return outcome[0]
 
 
 def _finish(
@@ -223,7 +276,7 @@ def _refresh_append(
     # Uncharge the stale entry up front; the refreshed entry re-admits
     # (and re-applies the byte budget) through the normal store path.
     cache.discard(key)
-    starts, ends, values = _scan_columns(relation, attribute, counters)
+    starts, ends, values, columns = _scan_columns(relation, attribute, counters)
     refreshed = CachedEntry(
         version=relation.version,
         fingerprint=relation.fingerprint,
@@ -233,13 +286,22 @@ def _refresh_append(
         rows=[],
     )
     events_by_shard: List[int] = []
-    for position, index in enumerate(dirty):
-        if deadline is not None:
-            deadline.check(completed_shards=position, total_shards=len(dirty))
-        lo, hi = windows[index]
-        rows, events = window_rows(starts, ends, values, aggregate, lo, hi)
-        refreshed.shard_rows[index] = rows
-        events_by_shard.append(events)
+    dirty_windows = [windows[index] for index in dirty]
+    pooled = _pool_sweep(
+        columns, starts, ends, values, dirty_windows, aggregate, counters, deadline
+    )
+    if pooled is not None:
+        for index, (rows, events) in zip(dirty, pooled):
+            refreshed.shard_rows[index] = rows
+            events_by_shard.append(events)
+    else:
+        for position, index in enumerate(dirty):
+            if deadline is not None:
+                deadline.check(completed_shards=position, total_shards=len(dirty))
+            lo, hi = windows[index]
+            rows, events = window_rows(starts, ends, values, aggregate, lo, hi)
+            refreshed.shard_rows[index] = rows
+            events_by_shard.append(events)
     counters.tuples += len(delta)
     # The delta itself arrives as a short list of per-row tuples (it
     # drives dirty-window detection); the re-sweep runs on columns.
@@ -271,16 +333,24 @@ def _recompute(
     counters.cache_misses += 1
     cache.tally(cache_misses=1)
     cache.discard(key)
-    starts, ends, values = _scan_columns(relation, attribute, counters)
+    starts, ends, values, columns = _scan_columns(relation, attribute, counters)
     windows = shard_bounds(starts, ends, shard_count)
     shard_rows: List[List[tuple]] = []
     events_by_shard: List[int] = []
-    for index, (lo, hi) in enumerate(windows):
-        if deadline is not None:
-            deadline.check(completed_shards=index, total_shards=len(windows))
-        rows, events = window_rows(starts, ends, values, aggregate, lo, hi)
-        shard_rows.append(rows)
-        events_by_shard.append(events)
+    pooled = _pool_sweep(
+        columns, starts, ends, values, windows, aggregate, counters, deadline
+    )
+    if pooled is not None:
+        for rows, events in pooled:
+            shard_rows.append(rows)
+            events_by_shard.append(events)
+    else:
+        for index, (lo, hi) in enumerate(windows):
+            if deadline is not None:
+                deadline.check(completed_shards=index, total_shards=len(windows))
+            rows, events = window_rows(starts, ends, values, aggregate, lo, hi)
+            shard_rows.append(rows)
+            events_by_shard.append(events)
     counters.tuples += len(starts)
     counters.node_visits += sum(events_by_shard)
     counters.aggregate_updates += sum(events_by_shard)

@@ -18,6 +18,15 @@ relation); evaluators fold it into
 :attr:`~repro.metrics.counters.OperationCounters.column_batches` so the
 flat-column shape claim is checkable next to the
 ``tuple_materializations`` counter it replaces.
+
+``uid``/``version``/``column_key`` are the snapshot's *identity*: the
+producing relation's uid, the relation version the columns were cut
+at, and the attribute the value column came from.  They are optional
+(anonymous column sets still evaluate everywhere) but required for the
+resident execution backend (:mod:`repro.exec.pool`) — a shared-memory
+publication is keyed by exactly this triple, so an unidentified
+ColumnSet can never be published (and silently falls back to the
+copy-on-write path) rather than risking a stale-snapshot reuse.
 """
 
 from __future__ import annotations
@@ -31,7 +40,20 @@ __all__ = ["ColumnSet", "columns_from_triples"]
 class ColumnSet:
     """Parallel (starts, ends, values) columns for one relation snapshot."""
 
-    __slots__ = ("starts", "ends", "values", "batches")
+    __slots__ = (
+        "starts",
+        "ends",
+        "values",
+        "batches",
+        "uid",
+        "version",
+        "column_key",
+        # Weak-referenceable so the resident execution backend can tie
+        # a shared-memory publication's lifetime to this snapshot: when
+        # the ColumnSet is garbage collected (superseded version, or
+        # its relation died), the segments unlink themselves.
+        "__weakref__",
+    )
 
     def __init__(
         self,
@@ -40,6 +62,9 @@ class ColumnSet:
         values: Optional[List[Any]] = None,
         *,
         batches: int = 1,
+        uid: Optional[int] = None,
+        version: Optional[int] = None,
+        column_key: str = "",
     ) -> None:
         if values is not None and len(values) != len(starts):
             raise ValueError(
@@ -55,6 +80,9 @@ class ColumnSet:
         self.ends = ends
         self.values = values
         self.batches = batches
+        self.uid = uid
+        self.version = version
+        self.column_key = column_key
 
     def __len__(self) -> int:
         return len(self.starts)

@@ -71,7 +71,10 @@ __all__ = [
 ]
 
 #: Below this many tuples the fork + pickle overhead of a process pool
-#: dwarfs the sweep itself; shards run in-process instead.
+#: dwarfs the sweep itself; shards run in-process instead.  This is
+#: the *default*: the live threshold is the ``REPRO_POOL_MIN_TUPLES``
+#: env knob, read per evaluation through
+#: :func:`repro.exec.pool.pool_min_tuples`.
 POOL_MIN_TUPLES = 32_768
 
 #: Aggregates whose finalized values merge like states.
@@ -262,12 +265,14 @@ class ParallelSweepEvaluator(Evaluator):
         self.last_supervision: Optional[SupervisionReport] = None
 
     def _pool_usable(self, tuple_count: int, windows: int) -> bool:
+        from repro.exec.pool import pool_min_tuples
+
         if windows <= 1 or not registered_instance(self.aggregate):
             return False
         if self.use_processes is not None:
             return self.use_processes
         return (
-            tuple_count >= POOL_MIN_TUPLES
+            tuple_count >= pool_min_tuples()
             and "fork" in multiprocessing.get_all_start_methods()
         )
 
@@ -312,6 +317,7 @@ class ParallelSweepEvaluator(Evaluator):
             columns.values,
             shards=shards,
             batches=columns.batches,
+            columns=columns,
         )
 
     def evaluate_relation(
@@ -322,6 +328,51 @@ class ParallelSweepEvaluator(Evaluator):
             return self.evaluate_columns(columns_method(attribute))
         return self.evaluate(relation.scan_triples(attribute))
 
+    def _resident_sharded(
+        self,
+        starts: Sequence[int],
+        ends: Sequence[int],
+        values: Optional[Sequence[Any]],
+        windows: Sequence[Tuple[int, int]],
+        columns: "Optional[ColumnSet]",
+    ) -> Optional[List[Tuple[List[tuple], int]]]:
+        """Try the resident shared-memory backend for this fan-out.
+
+        Engages only for an *identified* snapshot (a ColumnSet stamped
+        with its relation uid/version — anonymous columns could alias a
+        stale publication) whose columns map to int64 segments.
+        Returns per-window ``(rows, events)`` results with worker
+        counter deltas already merged, or None to use the legacy
+        fork-per-evaluation path.
+        """
+        if columns is None or columns.uid is None or columns.version is None:
+            return None
+        from repro.exec.pool import default_pool
+
+        pool = default_pool()
+        if pool is None:
+            return None
+        outcome = pool.sweep_columns(
+            starts,
+            ends,
+            values,
+            windows,
+            self.aggregate.name,
+            uid=columns.uid,
+            version=columns.version,
+            column_key=columns.column_key,
+            owner=columns,
+            deadline=self.deadline,
+            retry=self.retry,
+            shard_timeout=self.shard_timeout,
+            counters=self.counters,
+        )
+        if outcome is None:
+            return None
+        shard_results, supervisor = outcome
+        self.last_supervision = supervisor.report
+        return shard_results
+
     def _evaluate_sharded(
         self,
         starts: Sequence[int],
@@ -330,6 +381,7 @@ class ParallelSweepEvaluator(Evaluator):
         *,
         shards: int,
         batches: int,
+        columns: "Optional[ColumnSet]" = None,
     ) -> TemporalAggregateResult:
         validate_columns(starts, ends)
         windows = shard_bounds(starts, ends, shards)
@@ -339,6 +391,16 @@ class ParallelSweepEvaluator(Evaluator):
                 starts, ends, values, batches=batches
             )
             return result
+
+        if self._pool_usable(len(starts), len(windows)):
+            self.last_supervision = None
+            resident = self._resident_sharded(
+                starts, ends, values, windows, columns
+            )
+            if resident is not None:
+                return self._fold_shard_results(
+                    resident, starts, ends, batches
+                )
 
         # Serialize sharded runs across threads: the shard state is a
         # module global (fork inherits it copy-on-write), so concurrent
@@ -388,6 +450,22 @@ class ParallelSweepEvaluator(Evaluator):
             finally:
                 _SHARD_STATE.clear()
 
+        return self._fold_shard_results(shard_results, starts, ends, batches)
+
+    def _fold_shard_results(
+        self,
+        shard_results: List[Tuple[List[tuple], int]],
+        starts: Sequence[int],
+        ends: Sequence[int],
+        batches: int,
+    ) -> TemporalAggregateResult:
+        """Stitch per-window rows and fold shard events into counters.
+
+        Shared by the resident and legacy backends, so both produce
+        identical rows *and* identical counter shapes (worker-private
+        deltas like ``pool_shards`` are merged separately by the
+        resident backend before this fold).
+        """
         raw = stitch_rows(
             [rows for rows, _events in shard_results], set(starts), set(ends)
         )

@@ -78,12 +78,21 @@ class SupervisionReport:
     retries: int = 0
     timeouts: int = 0
     pool_rebuilds: int = 0
+    #: Resident workers replaced after a crash or hang — the resident
+    #: backend's (:mod:`repro.exec.pool`) analogue of a pool rebuild,
+    #: scoped to the one dead worker instead of the whole executor.
+    respawns: int = 0
     failures: List[ShardFailure] = field(default_factory=list)
 
     @property
     def degraded(self) -> bool:
         """Did any shard need recovery (retry, rebuild, or fallback)?"""
-        return bool(self.retries or self.pool_rebuilds or self.inprocess_shards)
+        return bool(
+            self.retries
+            or self.pool_rebuilds
+            or self.inprocess_shards
+            or self.respawns
+        )
 
 
 class ShardSupervisor:

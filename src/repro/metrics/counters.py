@@ -35,7 +35,20 @@ operations that dominate its running time:
   at exactly zero — the shape claim ``BENCH_columnar.json`` records,
 * ``column_batches`` — whole-page (or whole-relation) batch decodes
   performed on the columnar path; the flat-column replacement for the
-  per-row work ``tuple_materializations`` counts.
+  per-row work ``tuple_materializations`` counts,
+* ``pool_forks`` — worker processes forked by the resident execution
+  pool (:mod:`repro.exec.pool`).  The pool's hot-path proof: this
+  equals the pool width (plus any crash respawns), never the statement
+  count — forks happen once at pool start, not per query,
+* ``worker_respawns`` — resident workers respawned after a crash or
+  hang (each respawn also counts one ``pool_forks``),
+* ``pool_shards`` — shard sweeps executed inside resident workers,
+* ``segments_published`` / ``segments_reclaimed`` — shared-memory
+  column segments created for (relation uid, version) snapshots and
+  segments unlinked on release/GC/shutdown,
+* ``coalesced_statements`` — served statements that joined an
+  identical in-flight execution (single-flight coalescing in
+  :mod:`repro.serve.scheduler`) instead of running their own sweep.
 
 Counters are plain ints on a slotted object, cheap enough to leave on
 even in benchmarks that measure wall-clock.
@@ -79,6 +92,12 @@ class OperationCounters:
         "records_replayed",
         "tuple_materializations",
         "column_batches",
+        "pool_forks",
+        "worker_respawns",
+        "pool_shards",
+        "segments_published",
+        "segments_reclaimed",
+        "coalesced_statements",
     )
 
     def __init__(self) -> None:
@@ -102,6 +121,12 @@ class OperationCounters:
         self.records_replayed = 0
         self.tuple_materializations = 0
         self.column_batches = 0
+        self.pool_forks = 0
+        self.worker_respawns = 0
+        self.pool_shards = 0
+        self.segments_published = 0
+        self.segments_reclaimed = 0
+        self.coalesced_statements = 0
 
     def snapshot(self) -> Dict[str, int]:
         """An immutable dict view for reports and assertions."""

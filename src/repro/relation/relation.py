@@ -350,7 +350,15 @@ class TemporalRelation:
                 append_start(row.start)
                 append_end(row.end)
                 append_value(row.values[position])
-        snapshot = ColumnSet(starts, ends, values, batches=1)
+        snapshot = ColumnSet(
+            starts,
+            ends,
+            values,
+            batches=1,
+            uid=self.uid,
+            version=self.version,
+            column_key=attribute or "",
+        )
         self._columns_cache[attribute] = (self.version, snapshot)
         return snapshot
 

@@ -44,6 +44,15 @@ class ServerConfig:
       sleeps this long before executing a statement, making queue
       buildup deterministic regardless of machine speed.  0 in
       production.
+    * ``pool_workers`` — size of the resident shared-memory worker
+      pool (:mod:`repro.exec.pool`) started with the server; 0 (the
+      default) leaves the pool off and statements evaluate in-process
+      exactly as before.
+    * ``coalesce`` — single-flight execution of identical concurrent
+      queries: statements with the same text against the same pinned
+      relation version at the same degradation level share one
+      evaluation and one encoded reply (see
+      :class:`~repro.serve.scheduler.FairScheduler`).
     """
 
     host: str = "127.0.0.1"
@@ -58,6 +67,8 @@ class ServerConfig:
     reject_load: float = 3.0
     retry_after_ms: int = 100
     debug_statement_delay_ms: float = 0.0
+    pool_workers: int = 0
+    coalesce: bool = True
 
     def __post_init__(self) -> None:
         if self.max_sessions < 1:
@@ -79,3 +90,5 @@ class ServerConfig:
             raise ValueError("retry_after_ms must be at least 1")
         if self.debug_statement_delay_ms < 0:
             raise ValueError("debug_statement_delay_ms must be >= 0")
+        if self.pool_workers < 0:
+            raise ValueError("pool_workers must be >= 0 (0 disables the pool)")

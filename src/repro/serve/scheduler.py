@@ -19,6 +19,20 @@ runs and at what degradation level; the statement's ``run`` closure
 (built by the server) decides *what* it does.  Completion callbacks
 (``on_done``) fire on the event-loop thread after the reply is sent —
 the server uses them to balance admission's outstanding count.
+
+**Single-flight coalescing.**  A statement may carry a
+``coalesce_key`` — the server stamps queries with
+``(op, table, pinned version, text, degradation level)`` when the
+reply is fully determined at admission time.  When a keyed statement
+is dispatched while another statement with the same key is still in
+flight, the newcomer does not run: it waits on the leader's flight,
+receives the *same encoded reply bytes*, and costs no worker slot.
+Every reply is encoded exactly once (``encode_frame``) and fanned out
+with :meth:`~repro.serve.session.Session.send_encoded`; per-session
+ordering is untouched because followers still occupy their session's
+single in-flight slot until the shared bytes are sent.  Only leaders
+count in ``statements_started``/``statements_finished``; followers
+are tallied in ``coalesced_statements``.
 """
 
 from __future__ import annotations
@@ -29,9 +43,24 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, Optional
 
+from repro.serve.protocol import FrameError, encode_frame
 from repro.serve.session import Session
 
 __all__ = ["Statement", "FairScheduler"]
+
+
+def _encode_reply(reply: Dict[str, Any]) -> bytes:
+    """Encode one reply frame, downgrading oversize bodies to a typed
+    error frame (a coalesced flight must always resolve to bytes)."""
+    try:
+        return encode_frame(reply)
+    except FrameError as error:
+        return encode_frame(
+            {
+                "ok": False,
+                "error": {"type": "FrameError", "message": str(error)},
+            }
+        )
 
 
 @dataclass
@@ -48,6 +77,10 @@ class Statement:
     run: Callable[[], Dict[str, Any]]
     on_done: Optional[Callable[[], None]] = None
     label: str = "statement"
+    #: Identity for single-flight coalescing, or None to always run.
+    #: Statements dispatched while a same-key statement is in flight
+    #: join its flight instead of executing.
+    coalesce_key: Optional[Any] = None
     _completed: bool = field(default=False, repr=False)
 
     def finish(self) -> None:
@@ -69,8 +102,12 @@ class FairScheduler:
         self._wakeup = asyncio.Event()
         self._stopped = False
         self._inflight_tasks: set = set()
+        #: Open flights by coalesce key; each resolves to the leader's
+        #: encoded reply bytes (event-loop thread only).
+        self._flights: Dict[Any, "asyncio.Future[bytes]"] = {}
         self.statements_started = 0
         self.statements_finished = 0
+        self.coalesced_statements = 0
 
     # ------------------------------------------------------------------
     # Session membership (event-loop thread only)
@@ -108,14 +145,30 @@ class FairScheduler:
                 await self._wakeup.wait()
                 continue
             session, statement = dispatched
+            loop = asyncio.get_running_loop()
+            key = statement.coalesce_key
+            if key is not None and key in self._flights:
+                # Single-flight: an identical statement is already
+                # running — wait for its bytes, cost no worker slot.
+                self.coalesced_statements += 1
+                task = loop.create_task(
+                    self._join_flight(session, statement, self._flights[key])
+                )
+                self._inflight_tasks.add(task)
+                task.add_done_callback(self._inflight_tasks.discard)
+                continue
             await slots.acquire()
             if self._stopped:
                 slots.release()
                 statement.finish()
                 break
             self.statements_started += 1
-            task = asyncio.get_running_loop().create_task(
-                self._run_one(session, statement, slots)
+            flight: Optional["asyncio.Future[bytes]"] = None
+            if key is not None:
+                flight = loop.create_future()
+                self._flights[key] = flight
+            task = loop.create_task(
+                self._run_one(session, statement, slots, key, flight)
             )
             self._inflight_tasks.add(task)
             task.add_done_callback(self._inflight_tasks.discard)
@@ -142,20 +195,47 @@ class FairScheduler:
         return None
 
     async def _run_one(
-        self, session: Session, statement: Statement, slots: asyncio.Semaphore
+        self,
+        session: Session,
+        statement: Statement,
+        slots: asyncio.Semaphore,
+        key: Optional[Any] = None,
+        flight: Optional["asyncio.Future[bytes]"] = None,
     ) -> None:
         loop = asyncio.get_running_loop()
-        try:
-            reply = await loop.run_in_executor(self._executor, statement.run)
-        except Exception as error:  # pragma: no cover - run() encodes its own
-            reply = {
+        data = _encode_reply(
+            {
                 "ok": False,
                 "error": {
-                    "type": type(error).__name__,
-                    "message": f"internal error running {statement.label}: {error}",
+                    "type": "CancelledError",
+                    "message": f"{statement.label} cancelled during shutdown",
                 },
             }
+        )
+        try:
+            try:
+                reply = await loop.run_in_executor(
+                    self._executor, statement.run
+                )
+            except Exception as error:  # pragma: no cover - run() encodes its own
+                reply = {
+                    "ok": False,
+                    "error": {
+                        "type": type(error).__name__,
+                        "message": (
+                            f"internal error running {statement.label}: {error}"
+                        ),
+                    },
+                }
+            data = _encode_reply(reply)
         finally:
+            # Resolve the flight no matter how the run ended (even a
+            # shutdown cancellation): a follower awaiting it must
+            # never hang.
+            if flight is not None:
+                self._flights.pop(key, None)
+                if not flight.done():
+                    flight.set_result(data)
             slots.release()
             session.in_flight = False
             session.statements_done += 1
@@ -163,7 +243,25 @@ class FairScheduler:
             statement.finish()
             if session.queue:
                 self._wakeup.set()
-        await session.send(reply)
+        await session.send_encoded(data)
+
+    async def _join_flight(
+        self,
+        session: Session,
+        statement: Statement,
+        flight: "asyncio.Future[bytes]",
+    ) -> None:
+        """Follower half of a coalesced flight: reuse the leader's
+        encoded bytes; no worker slot, no started/finished tally."""
+        try:
+            data = await asyncio.shield(flight)
+        finally:
+            session.in_flight = False
+            session.statements_done += 1
+            statement.finish()
+            if session.queue:
+                self._wakeup.set()
+        await session.send_encoded(data)
 
     # ------------------------------------------------------------------
     # Shutdown

@@ -87,6 +87,9 @@ class QueryServer:
         self._scheduler_task: Optional[asyncio.Task] = None
         self._started_monotonic = 0.0
         self.port: Optional[int] = None
+        #: The resident worker pool this server started (None when
+        #: ``config.pool_workers`` is 0 or the platform lacks fork).
+        self._pool: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Relations
@@ -119,6 +122,16 @@ class QueryServer:
 
     async def start(self) -> None:
         """Bind and start accepting; resolves once the port is bound."""
+        if self.config.pool_workers > 0:
+            # Fork the resident workers once, before any statement
+            # runs: every query served afterwards reuses these
+            # processes (pool_forks stays at worker count for the
+            # server's whole life unless a worker crashes).
+            from repro.exec.pool import default_pool
+
+            self._pool = default_pool(self.config.pool_workers)
+            if self._pool is not None:
+                self._pool.start(counters=self.counters.local())
         self._server = await asyncio.start_server(
             self._on_connect, self.config.host, self.config.port
         )
@@ -146,6 +159,13 @@ class QueryServer:
                 await self._scheduler_task
             except asyncio.CancelledError:
                 pass
+        if self._pool is not None:
+            # This server started the process-wide pool, so it stops
+            # it: workers exit, every published segment unlinks.
+            from repro.exec.pool import shutdown_default_pool
+
+            self._pool = None
+            shutdown_default_pool()
 
     async def serve_forever(self) -> None:
         assert self._server is not None, "call start() first"
@@ -226,7 +246,7 @@ class QueryServer:
         self,
         session: Session,
         frame: Dict[str, Any],
-        builder: "Callable[[Dict[str, Any], DegradationLevel], Statement]",
+        builder: "Callable[..., Statement]",
     ) -> None:
         """Run one statement frame through admission into the scheduler."""
         try:
@@ -237,7 +257,7 @@ class QueryServer:
             # the normal queue so it leaves in order with other replies.
             self.scheduler.submit(session, _InlineReply(_error_frame(error)))
             return
-        statement = builder(frame, level)
+        statement = builder(frame, level, session)
         statement.on_done = self.admission.statement_done
         self.scheduler.submit(session, statement)
 
@@ -278,10 +298,51 @@ class QueryServer:
         if self.config.debug_statement_delay_ms:
             time.sleep(self.config.debug_statement_delay_ms / 1000.0)
 
+    def _pin_at_admit(
+        self, session: Session, text: Any, level: DegradationLevel
+    ) -> "Optional[tuple]":
+        """Pin a query's snapshot at admission, when that is sound.
+
+        Pinning early is what makes two identical queries from
+        different sessions *provably* the same work — both carry the
+        same ``(table, version)`` before either runs, so the scheduler
+        can coalesce them into one flight.  It is only sound when this
+        session has nothing queued or running: a queued append must
+        become visible to a query submitted after it (read-your-writes),
+        so such queries keep pinning at run time and never coalesce.
+
+        Returns ``(served, view, coalesce_key)`` or None.
+        """
+        if not self.config.coalesce:
+            return None
+        if session.queue or session.in_flight:
+            return None
+        if not isinstance(text, str) or not text.strip():
+            return None
+        try:
+            query = parse(text)
+            served = self.served(query.table)
+            view = served.pin()
+        except (TSQL2SyntaxError, TSQL2SemanticError, TemporalAggregateError):
+            # Let the run-time path produce the (uncoalesced) error.
+            return None
+        key = (
+            "query",
+            served.name.lower(),
+            view.version,
+            text.strip(),
+            int(level),
+        )
+        return served, view, key
+
     def _query_statement(
-        self, frame: Dict[str, Any], level: DegradationLevel
+        self,
+        frame: Dict[str, Any],
+        level: DegradationLevel,
+        session: Session,
     ) -> Statement:
         text = frame.get("text")
+        pinned = self._pin_at_admit(session, text, level)
 
         def run() -> Dict[str, Any]:
             started = time.perf_counter()
@@ -291,9 +352,12 @@ class QueryServer:
                     TSQL2SemanticError("query op needs a non-empty 'text'")
                 )
             try:
-                query = parse(text)
-                served = self.served(query.table)
-                view = served.pin()
+                if pinned is not None:
+                    served, view = pinned[0], pinned[1]
+                else:
+                    query = parse(text)
+                    served = self.served(query.table)
+                    view = served.pin()
                 database = Database()
                 database.register(view, name=served.name)
                 limits = self._statement_limits(level)
@@ -318,10 +382,17 @@ class QueryServer:
                 "elapsed_ms": round((time.perf_counter() - started) * 1000.0, 3),
             }
 
-        return Statement(run=run, label="query")
+        return Statement(
+            run=run,
+            label="query",
+            coalesce_key=None if pinned is None else pinned[2],
+        )
 
     def _append_statement(
-        self, frame: Dict[str, Any], level: DegradationLevel
+        self,
+        frame: Dict[str, Any],
+        level: DegradationLevel,
+        session: Session,
     ) -> Statement:
         table = frame.get("table")
         rows = frame.get("rows")
@@ -367,6 +438,19 @@ class QueryServer:
     # Observability
     # ------------------------------------------------------------------
 
+    def _pool_stats(self) -> Dict[str, Any]:
+        """The ``pool`` section of the stats frame."""
+        pool = self._pool
+        if pool is None:
+            return {"workers": 0, "forks": 0, "live_segments": 0}
+        return {
+            "workers": pool.worker_count,
+            "forks": pool.forks_total,
+            "live_segments": len(pool.store.live_segment_names()),
+            "segments_published": pool.store.published_total,
+            "segments_reclaimed": pool.store.reclaimed_total,
+        }
+
     def stats(self) -> Dict[str, Any]:
         """The ``stats`` frame body: admission, scheduler, cache, tables."""
         cache = default_cache()
@@ -389,7 +473,9 @@ class QueryServer:
                 "workers": self.config.workers,
                 "statements_started": self.scheduler.statements_started,
                 "statements_finished": self.scheduler.statements_finished,
+                "coalesced_statements": self.scheduler.coalesced_statements,
             },
+            "pool": self._pool_stats(),
             "cache": cache_stats,
             "counters": self.counters.snapshot(),
             # Per-table pairs come from ServedRelation.stats(), which

@@ -54,6 +54,23 @@ class Session:
             self.closed = True
             return False
 
+    async def send_encoded(self, data: bytes) -> bool:
+        """Send one pre-encoded frame; False when the peer is gone.
+
+        The single-flight path encodes a reply exactly once and fans
+        the same bytes out to every coalesced session — this is the
+        fan-out half (see :class:`~repro.serve.scheduler.FairScheduler`).
+        """
+        if self.closed:
+            return False
+        try:
+            self.writer.write(data)
+            await self.writer.drain()
+            return True
+        except (ConnectionError, RuntimeError, OSError):
+            self.closed = True
+            return False
+
     def __repr__(self) -> str:
         return (
             f"Session(#{self.sid}, queued={len(self.queue)}, "

@@ -69,6 +69,7 @@ class TestFigureDrivers:
             "columnar",
             "durability",
             "serving",
+            "pool",
         }
 
     def test_ablations_driver(self):
