@@ -196,7 +196,13 @@ def _pool_sweep(
 
     Engages for identified column snapshots at or above the
     ``REPRO_POOL_MIN_TUPLES`` threshold with more than one window to
-    sweep; returns per-window ``(rows, events)`` (worker counter
+    sweep — and only when a resident pool is *already running*
+    (:func:`repro.exec.pool.active_pool`).  The cache evaluator never
+    creates the pool itself: it runs on server executor threads
+    mid-query, where a lazy first-touch fork would fork a
+    multi-threaded process at an arbitrary point, and
+    ``ServerConfig(pool_workers=0)`` promises statements evaluate
+    in-process.  Returns per-window ``(rows, events)`` (worker counter
     deltas already merged into ``counters``) or None for the serial
     in-process path.
     """
@@ -204,11 +210,11 @@ def _pool_sweep(
         return None
     if getattr(columns, "uid", None) is None or columns.version is None:
         return None
-    from repro.exec.pool import default_pool, pool_min_tuples
+    from repro.exec.pool import active_pool, pool_min_tuples
 
     if len(starts) < pool_min_tuples():
         return None
-    pool = default_pool()
+    pool = active_pool()
     if pool is None:
         return None
     outcome = pool.sweep_columns(

@@ -65,6 +65,7 @@ import weakref
 from array import array
 from collections import OrderedDict
 from multiprocessing import shared_memory
+from multiprocessing.connection import wait as connection_wait
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.aggregates import get_aggregate
@@ -84,6 +85,9 @@ __all__ = [
     "pool_min_tuples",
     "pool_workers_from_env",
     "default_pool",
+    "active_pool",
+    "acquire_default_pool",
+    "release_default_pool",
     "shutdown_default_pool",
     "default_segment_store",
 ]
@@ -246,6 +250,12 @@ class SegmentStore:
         self._snapshots: "OrderedDict[Tuple[int, int, str], PublishedSnapshot]" = (
             OrderedDict()
         )
+        #: Doomed-but-pinned snapshots whose registry slot was reused
+        #: by a later publish of the same key.  They no longer appear
+        #: in ``_snapshots`` yet their segments are still linked, so
+        #: the store must keep owning them until the last unpin (or
+        #: ``shutdown``) destroys them.  # ta: guarded-by(self._lock)
+        self._limbo: List[PublishedSnapshot] = []
         self._nonce = 0  # ta: guarded-by(self._lock)
         self.published_total = 0  # ta: guarded-by(self._lock)
         self.reclaimed_total = 0  # ta: guarded-by(self._lock)
@@ -367,6 +377,13 @@ class SegmentStore:
                 segments,
                 segments[2].name if value_column is not None else None,
             )
+            if existing is not None:
+                # A doomed snapshot still in the registry is pinned by
+                # an in-flight sweep (unpinned doomed snapshots are
+                # popped eagerly).  Overwriting its slot must not lose
+                # track of its live segments: park it in limbo until
+                # its last unpin destroys it.
+                self._limbo.append(existing)
             self._snapshots[key] = snapshot
             self.published_total += len(segments)
             if counters is not None:
@@ -426,9 +443,18 @@ class SegmentStore:
             snapshot.pins -= 1
             doomed = snapshot.doomed and snapshot.pins <= 0
             if doomed:
-                self._snapshots.pop(
-                    (snapshot.uid, snapshot.version, snapshot.column_key), None
-                )
+                key = (snapshot.uid, snapshot.version, snapshot.column_key)
+                # Pop by identity, never by key alone: while this pin
+                # was held the key's slot may have been republished,
+                # and popping the *new* snapshot would orphan its
+                # segments (untracked yet still linked in /dev/shm).
+                if self._snapshots.get(key) is snapshot:
+                    self._snapshots.pop(key)
+                else:
+                    try:
+                        self._limbo.remove(snapshot)
+                    except ValueError:
+                        pass
                 self._account_reclaim_locked(snapshot, counters)
         if doomed:
             snapshot.destroy()
@@ -518,9 +544,10 @@ class SegmentStore:
 
     def live_segment_names(self) -> List[str]:
         with self._lock:
+            snapshots = list(self._snapshots.values()) + self._limbo
             return sorted(
                 segment.name
-                for snapshot in self._snapshots.values()
+                for snapshot in snapshots
                 for segment in snapshot.segments
             )
 
@@ -531,8 +558,9 @@ class SegmentStore:
         again, so holding segments for pinned sweeps only leaks them.
         """
         with self._lock:
-            snapshots = list(self._snapshots.values())
+            snapshots = list(self._snapshots.values()) + self._limbo
             self._snapshots.clear()
+            self._limbo = []
             for snapshot in snapshots:
                 self._account_reclaim_locked(snapshot, counters)
         for snapshot in snapshots:
@@ -748,8 +776,11 @@ class ResidentPoolSupervisor:
 
         ``fallback(spec)`` computes one job in-process (exact, faults
         exempt) after retries are exhausted or when no worker remains.
-        Jobs round-robin over workers; each worker executes its jobs
-        serially in order, all workers in parallel.
+        Jobs round-robin over workers; every worker's whole batch is
+        sent before any reply is read, so all workers compute in
+        parallel, and replies are drained from whichever worker
+        finishes next (per worker they arrive in send order, which is
+        what matches a reply back to its job).
         """
         n = len(specs)
         self.report.total_shards = n
@@ -769,7 +800,7 @@ class ResidentPoolSupervisor:
                 pending = []
                 break
 
-            # Round-robin assignment; per-worker queues drain serially.
+            # Round-robin assignment; per-worker queues run in order.
             queues: Dict[int, List[int]] = {w.index: [] for w in workers}
             by_index = {w.index: w for w in workers}
             for position, index in enumerate(pending):
@@ -778,54 +809,94 @@ class ResidentPoolSupervisor:
 
             failed: List[Tuple[int, Optional[str]]] = []
             dead_workers: List[int] = []
+
+            def mark_dead(worker_index: int) -> None:
+                if worker_index not in dead_workers:
+                    dead_workers.append(worker_index)
+
+            # Send phase: every batch goes out up front.  Job
+            # descriptors are a few hundred bytes, so a whole round's
+            # batch fits the pipe buffer without the worker consuming.
+            outstanding: "OrderedDict[int, List[int]]" = OrderedDict()
             for worker_index, job_indexes in queues.items():
                 worker = by_index[worker_index]
+                pipe_down = False
                 sent: List[int] = []
                 for index in job_indexes:
                     attempts[index] += 1
                     specs[index]["attempt"] = attempts[index]
-                    try:
-                        worker.conn.send(("sweep", specs[index]))
-                        sent.append(index)
-                    except (OSError, ValueError, BrokenPipeError):
-                        failed.append((index, "send failed: worker pipe down"))
-                        if worker_index not in dead_workers:
-                            dead_workers.append(worker_index)
-                        # Un-count the attempt that never started? No:
-                        # a dead pipe consumed a real attempt window.
-                drained_dead = False
-                for index in sent:
-                    if drained_dead:
-                        failed.append((index, "worker died mid-batch"))
-                        continue
-                    try:
-                        timeout = self._poll_timeout()
-                        if timeout is not None and not worker.conn.poll(
-                            max(0.0, timeout)
-                        ):
-                            self.report.timeouts += 1
-                            failed.append((index, "job timed out"))
-                            drained_dead = True
-                            if worker_index not in dead_workers:
-                                dead_workers.append(worker_index)
-                            self._check_deadline(completed, n)
+                    if not pipe_down:
+                        try:
+                            worker.conn.send(("sweep", specs[index]))
+                            sent.append(index)
                             continue
-                        reply = worker.conn.recv()
-                    except (EOFError, OSError):
-                        failed.append((index, "worker died (pipe EOF)"))
-                        drained_dead = True
-                        if worker_index not in dead_workers:
-                            dead_workers.append(worker_index)
-                        continue
-                    kind, payload = reply
-                    if kind == "ok":
-                        results[index] = payload
-                        self.report.pooled_shards += 1
-                        completed += 1
-                    else:
-                        type_name, message = payload
-                        failed.append((index, f"{type_name}: {message}"))
+                        except (OSError, ValueError, BrokenPipeError):
+                            pipe_down = True
+                            mark_dead(worker_index)
+                            # Un-count the attempt that never started?
+                            # No: a dead pipe consumed a real attempt
+                            # window.
+                    failed.append((index, "send failed: worker pipe down"))
+                if sent:
+                    outstanding[worker_index] = sent
+
+            # Drain phase: wait on every owing worker's pipe at once.
+            try:
+                while outstanding:
                     self._check_deadline(completed, n)
+                    conns = {by_index[wi].conn: wi for wi in outstanding}
+                    timeout = self._poll_timeout()
+                    ready = connection_wait(
+                        list(conns),
+                        timeout=None if timeout is None else max(0.0, timeout),
+                    )
+                    if not ready:
+                        # A full per-shard timeout passed with no reply
+                        # from *any* worker: everything still owing is
+                        # wedged (or mid-sleep on a delay fault).
+                        self.report.timeouts += 1
+                        for worker_index in list(outstanding):
+                            for index in outstanding.pop(worker_index):
+                                failed.append((index, "job timed out"))
+                            mark_dead(worker_index)
+                        # Deadline enforcement resumes right after the
+                        # wedged workers are respawned below — raising
+                        # before the respawn would leave their stale
+                        # replies in the pipes.
+                        continue
+                    for conn in ready:
+                        worker_index = conns[conn]
+                        queue = outstanding.get(worker_index)
+                        if not queue:
+                            continue
+                        try:
+                            reply = conn.recv()
+                        except (EOFError, OSError):
+                            for index in outstanding.pop(worker_index):
+                                failed.append((index, "worker died (pipe EOF)"))
+                            mark_dead(worker_index)
+                            continue
+                        index = queue.pop(0)
+                        if not queue:
+                            outstanding.pop(worker_index, None)
+                        kind, payload = reply
+                        if kind == "ok":
+                            results[index] = payload
+                            self.report.pooled_shards += 1
+                            completed += 1
+                        else:
+                            type_name, message = payload
+                            failed.append((index, f"{type_name}: {message}"))
+                        self._check_deadline(completed, n)
+            except BaseException:
+                # Abandoning the round (a deadline, typically) with
+                # replies still owed would leave stale replies in those
+                # pipes to corrupt the next fan-out: replace the owing
+                # workers before propagating.
+                for worker_index in outstanding:
+                    self.report.respawns += 1
+                    self.pool.respawn(worker_index, counters=counters)
+                raise
 
             for worker_index in dead_workers:
                 # A timed-out worker may still be alive but wedged (or
@@ -1111,6 +1182,9 @@ class ResidentWorkerPool:
 _DEFAULT_LOCK = threading.RLock()
 _DEFAULT_STORE: Optional[SegmentStore] = None  # ta: guarded-by(_DEFAULT_LOCK)
 _DEFAULT_POOL: Optional[ResidentWorkerPool] = None  # ta: guarded-by(_DEFAULT_LOCK)
+#: Outstanding acquire_default_pool() references; the pool is shut
+#: down when the count returns to zero.  # ta: guarded-by(_DEFAULT_LOCK)
+_DEFAULT_POOL_REFS = 0
 
 
 def default_segment_store() -> SegmentStore:
@@ -1139,12 +1213,63 @@ def default_pool(workers: Optional[int] = None) -> Optional[ResidentWorkerPool]:
         return _DEFAULT_POOL
 
 
+def active_pool() -> Optional[ResidentWorkerPool]:
+    """The default pool only if it is *already running*; never creates.
+
+    The opt-in gate for evaluation paths that must not fork lazily:
+    the cached evaluator runs on server executor threads mid-query
+    (forking a multi-threaded process at an arbitrary point), and
+    ``ServerConfig`` documents ``pool_workers=0`` as "no resident
+    execution".  Whoever wants resident execution starts the pool
+    explicitly — the server's ``start()``, a ``with`` block, a bench
+    driver — and this returns it; otherwise None and the caller stays
+    on its in-process path.
+    """
+    with _DEFAULT_LOCK:
+        pool = _DEFAULT_POOL
+    if pool is not None and pool.usable() and pool.started():
+        return pool
+    return None
+
+
+def acquire_default_pool(
+    workers: Optional[int] = None,
+) -> Optional[ResidentWorkerPool]:
+    """:func:`default_pool` plus a shutdown reference.
+
+    Callers that own a pool lifetime (one per server instance) pair
+    this with :func:`release_default_pool`; the process-wide pool is
+    only torn down when the last reference drops, so one server
+    stopping cannot unlink segments out from under another server — or
+    any evaluator sweep — sharing the same process.
+    """
+    global _DEFAULT_POOL_REFS
+    pool = default_pool(workers)
+    if pool is None:
+        return None
+    with _DEFAULT_LOCK:
+        _DEFAULT_POOL_REFS += 1
+    return pool
+
+
+def release_default_pool() -> None:
+    """Drop one acquire reference; shuts the pool down at zero."""
+    global _DEFAULT_POOL_REFS
+    with _DEFAULT_LOCK:
+        if _DEFAULT_POOL_REFS > 0:
+            _DEFAULT_POOL_REFS -= 1
+        remaining = _DEFAULT_POOL_REFS
+    if remaining == 0:
+        shutdown_default_pool()
+
+
 def shutdown_default_pool() -> None:
     """Stop the default pool and unlink every default-store segment."""
-    global _DEFAULT_POOL
+    global _DEFAULT_POOL, _DEFAULT_POOL_REFS
     with _DEFAULT_LOCK:
         pool = _DEFAULT_POOL
         _DEFAULT_POOL = None
+        _DEFAULT_POOL_REFS = 0
         store = _DEFAULT_STORE
     if pool is not None:
         pool.stop()

@@ -148,6 +148,13 @@ class FairScheduler:
             loop = asyncio.get_running_loop()
             key = statement.coalesce_key
             if key is not None and key in self._flights:
+                if self._stopped:
+                    # Mirrors the leader path's post-acquire check: a
+                    # statement dispatched during shutdown finishes
+                    # without joining the flight, so no follower task
+                    # is created outside the shutdown sequencing.
+                    statement.finish()
+                    break
                 # Single-flight: an identical statement is already
                 # running — wait for its bytes, cost no worker slot.
                 self.coalesced_statements += 1

@@ -126,10 +126,13 @@ class QueryServer:
             # Fork the resident workers once, before any statement
             # runs: every query served afterwards reuses these
             # processes (pool_forks stays at worker count for the
-            # server's whole life unless a worker crashes).
-            from repro.exec.pool import default_pool
+            # server's whole life unless a worker crashes).  Acquired,
+            # not merely fetched: the pool is process-wide, and a
+            # reference per server keeps one server's stop() from
+            # unlinking segments another user still sweeps over.
+            from repro.exec.pool import acquire_default_pool
 
-            self._pool = default_pool(self.config.pool_workers)
+            self._pool = acquire_default_pool(self.config.pool_workers)
             if self._pool is not None:
                 self._pool.start(counters=self.counters.local())
         self._server = await asyncio.start_server(
@@ -160,12 +163,13 @@ class QueryServer:
             except asyncio.CancelledError:
                 pass
         if self._pool is not None:
-            # This server started the process-wide pool, so it stops
-            # it: workers exit, every published segment unlinks.
-            from repro.exec.pool import shutdown_default_pool
+            # Drop this server's reference on the process-wide pool;
+            # the last reference out actually stops it (workers exit,
+            # every published segment unlinks).
+            from repro.exec.pool import release_default_pool
 
             self._pool = None
-            shutdown_default_pool()
+            release_default_pool()
 
     async def serve_forever(self) -> None:
         assert self._server is not None, "call start() first"

@@ -250,6 +250,41 @@ class TestPublication:
         }
 
 
+class TestConcurrentWorkers:
+    def test_workers_compute_in_parallel(self, pool):
+        """Delay faults on the first job of BOTH workers: a serial
+        per-worker drain would stack the sleeps (>= 2x the delay); the
+        pipelined send + wait-any drain overlaps them."""
+        from time import perf_counter
+
+        starts, ends, values = columns_for()
+        windows = shard_bounds(starts, ends, 4)
+        delay = 0.5
+        plan = FaultPlan(
+            name="delay-both",
+            shard_faults=(
+                ShardFault(0, "delay", attempts=1, delay_seconds=delay),
+                ShardFault(1, "delay", attempts=1, delay_seconds=delay),
+            ),
+        )
+        started = perf_counter()
+        with fault_plan(plan):
+            outcome = pool.sweep_columns(
+                starts, ends, values, windows, "sum",
+                uid=915, version=1, column_key="salary",
+            )
+        elapsed = perf_counter() - started
+        assert outcome is not None
+        shard_results, supervisor = outcome
+        assert [rows for rows, _ in shard_results] == reference_rows(
+            starts, ends, values, "sum", windows
+        )
+        assert supervisor.report.pooled_shards == len(windows)
+        assert elapsed < 2 * delay - 0.1, (
+            f"sweeps did not overlap: {elapsed:.2f}s for two {delay}s delays"
+        )
+
+
 class TestRecovery:
     def test_worker_kill_respawns_and_retries(self, pool):
         starts, ends, values = columns_for()
@@ -386,6 +421,54 @@ class TestHygiene:
             gc.collect()
             assert store.live_keys() == []
 
+    def test_unpin_after_republish_keeps_new_snapshot(self):
+        """A snapshot doomed while pinned can have its registry slot
+        republished before the unpin lands; the unpin must destroy the
+        *old* snapshot only, never untrack the new one."""
+        before = shm_names()
+        store = SegmentStore()
+        try:
+            starts, ends, values = columns_for(n=100)
+            old = store.publish(
+                950, 1, starts, ends, values, column_key="salary"
+            )
+            assert old is not None
+            pinned = store.pin(950, 1, "salary")
+            assert pinned is old
+            # The owner dies while the sweep is in flight...
+            store.release_key(950, 1, "salary")
+            # ...and the key is republished before the unpin lands.
+            new = store.publish(
+                950, 1, starts, ends, values, column_key="salary"
+            )
+            assert new is not None and new is not old
+            store.unpin(pinned)
+            assert old.segments == []  # the doomed snapshot unlinked
+            assert store.live_keys() == [(950, 1, "salary")]
+            repinned = store.pin(950, 1, "salary")
+            assert repinned is new  # the live snapshot stayed tracked
+            store.unpin(repinned)
+        finally:
+            store.shutdown()
+        assert shm_names() == before
+
+    def test_shutdown_reclaims_superseded_pinned_snapshot(self):
+        """Even if the last unpin never lands (crash path), shutdown
+        still owns — and unlinks — a snapshot whose registry slot was
+        republished while it was pinned."""
+        before = shm_names()
+        store = SegmentStore()
+        starts, ends, values = columns_for(n=100)
+        old = store.publish(951, 1, starts, ends, values, column_key="salary")
+        assert store.pin(951, 1, "salary") is old
+        store.release_key(951, 1, "salary")
+        new = store.publish(951, 1, starts, ends, values, column_key="salary")
+        assert new is not old
+        # Both snapshots' segments stay tracked until shutdown.
+        assert len(store.live_segment_names()) == 6
+        store.shutdown()
+        assert shm_names() == before
+
     def test_crash_recovery_leaves_no_segments(self):
         """A worker killed mid-query must not leak segments: the parent
         still owns every name and unlinks on shutdown."""
@@ -408,7 +491,8 @@ class TestHygiene:
 
 class TestCachedEvaluatorPoolPath:
     """The cached evaluator's recompute and dirty-refresh sweeps run on
-    the resident backend when the snapshot qualifies."""
+    the resident backend when a pool is already running — it never
+    starts one itself."""
 
     def relation(self, n=900):
         rows = []
@@ -430,6 +514,7 @@ class TestCachedEvaluatorPoolPath:
         monkeypatch.setenv("REPRO_POOL_MIN_TUPLES", "64")
         counters = OperationCounters()
         try:
+            pool_module.default_pool(2).start()
             pooled = evaluate_cached(
                 relation,
                 "sum",
@@ -456,6 +541,46 @@ class TestCachedEvaluatorPoolPath:
         )
         assert counters.pool_shards == 0
         assert counters.pool_forks == 0
+
+    def test_no_running_pool_means_no_lazy_fork(self, monkeypatch):
+        """ServerConfig's pool_workers=0 contract: with no resident
+        pool started, a qualifying sweep stays in-process — the cache
+        evaluator must never create (and fork) the pool itself."""
+        from repro.exec import pool as pool_module
+
+        monkeypatch.setenv("REPRO_POOL_MIN_TUPLES", "64")
+        pool_module.shutdown_default_pool()  # known-clean slate
+        assert pool_module.active_pool() is None
+        relation = self.relation()
+        counters = OperationCounters()
+        result = evaluate_cached(
+            relation, "sum", "salary", shards=4,
+            cache=ShardResultCache(), counters=counters,
+        )
+        assert result.rows
+        assert pool_module.active_pool() is None
+        assert counters.pool_shards == 0
+        assert counters.pool_forks == 0
+
+
+class TestDefaultPoolRefcount:
+    def test_release_waits_for_last_reference(self):
+        from repro.exec import pool as pool_module
+
+        try:
+            first = pool_module.acquire_default_pool(1)
+            assert first is not None
+            first.start()
+            second = pool_module.acquire_default_pool(1)
+            assert second is first
+            pool_module.release_default_pool()
+            # One holder remains: the pool must survive.
+            assert pool_module.active_pool() is first
+            pool_module.release_default_pool()
+            assert pool_module.active_pool() is None
+            assert not first.usable()
+        finally:
+            pool_module.shutdown_default_pool()
 
 
 class TestWorkerDeltaContract:
