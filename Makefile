@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-invariants test-races bench figures figures-full examples lint scrub serve bench-serving bench-pool clean
+.PHONY: install test test-invariants test-races bench figures figures-full examples lint scrub serve bench-serving bench-pool bench-replication chaos clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -58,6 +58,16 @@ bench-serving:
 # grid -> results/BENCH_pool.json (--workers/--clients to resize)
 bench-pool:
 	REPRO_BENCH_MAX_TUPLES=65536 PYTHONPATH=src $(PYTHON) -m repro.bench pool --csv-dir results
+
+# Shipping overhead, catch-up, failover and read scaling
+# -> results/BENCH_replication.json
+bench-replication:
+	PYTHONPATH=src $(PYTHON) -m repro.bench replication --csv-dir results
+
+# Kill-the-primary acceptance: SIGKILL mid-append under load, promote,
+# prove zero acknowledged-commit loss and a fenced resurrection
+chaos:
+	PYTHONPATH=src $(PYTHON) -m repro.replicate.chaos
 
 # Read-only fsck of heap files + their journals: make scrub FILES="a.dat b.dat"
 scrub:

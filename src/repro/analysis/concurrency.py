@@ -416,7 +416,7 @@ def module_locks(source: SourceFile) -> Dict[str, str]:
     return locks
 
 
-_CONCURRENT_SCOPES = ("serve", "cache", "metrics", "core", "exec")
+_CONCURRENT_SCOPES = ("serve", "cache", "metrics", "core", "exec", "replicate")
 
 
 class _ConcurrencyRule(Rule):

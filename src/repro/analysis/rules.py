@@ -240,10 +240,10 @@ class WallClockRule(Rule):
 
     code = "TA004"
     name = "wall-clock-in-deadline-code"
-    description = "no time.time() in core/ or exec/ (monotonic only)"
+    description = "no time.time() in core/, exec/, or replicate/ (monotonic only)"
 
     def applies_to(self, source: SourceFile) -> bool:
-        return source.in_scope("core", "exec")
+        return source.in_scope("core", "exec", "replicate")
 
     def check(self, source: SourceFile, index: ProjectIndex) -> Iterator[Violation]:
         for node in ast.walk(source.tree):

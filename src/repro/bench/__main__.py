@@ -217,6 +217,41 @@ def _write_pool_json(reports, csv_dir) -> str:
     return path
 
 
+def _write_replication_json(reports, csv_dir) -> str:
+    """Machine-readable artifact for the ``replication`` driver.
+
+    Shipping overhead, catch-up rows/s, failover-to-first-answer, and
+    the 1-to-2 replica read scaling land here so the acceptance check
+    reads numbers, not rendered tables.
+    """
+    from repro.bench.replication import (
+        APPEND_BATCHES,
+        CATCHUP_ROWS,
+        READ_CLIENTS,
+        READ_ROUNDS,
+        REPLICATION_DETAIL,
+        ROWS_PER_BATCH,
+    )
+
+    payload = {
+        "generated_by": "python -m repro.bench replication",
+        "cpu_count": os.cpu_count(),
+        "append_batches": APPEND_BATCHES,
+        "rows_per_batch": ROWS_PER_BATCH,
+        "catchup_rows": CATCHUP_ROWS,
+        "read_clients": READ_CLIENTS,
+        "read_rounds": READ_ROUNDS,
+        "cells": REPLICATION_DETAIL.get("cells", []),
+        "note": REPLICATION_DETAIL.get("note", ""),
+        "reports": [report.to_dict() for report in reports],
+    }
+    path = os.path.join(csv_dir or ".", "BENCH_replication.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return path
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
@@ -326,6 +361,9 @@ def main(argv=None) -> int:
             print(f"[wrote {path}]", file=sys.stderr)
         elif name == "pool":
             path = _write_pool_json(reports, args.csv_dir)
+            print(f"[wrote {path}]", file=sys.stderr)
+        elif name == "replication":
+            path = _write_replication_json(reports, args.csv_dir)
             print(f"[wrote {path}]", file=sys.stderr)
         print(f"[{name} completed in {elapsed:.1f}s]", file=sys.stderr)
     return 0

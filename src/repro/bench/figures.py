@@ -950,6 +950,7 @@ def durability(
 
 
 from repro.bench.pool import pool  # noqa: E402  (registry import)
+from repro.bench.replication import replication  # noqa: E402  (registry import)
 from repro.bench.serving import serving  # noqa: E402  (registry import)
 
 #: Driver registry for the CLI.
@@ -970,4 +971,5 @@ DRIVERS: Dict[str, Callable[..., List[Report]]] = {
     "durability": durability,
     "serving": serving,
     "pool": pool,
+    "replication": replication,
 }

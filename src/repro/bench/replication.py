@@ -1,0 +1,300 @@
+"""Replication benchmark: shipping overhead, catch-up, and failover.
+
+Post-paper driver (see :mod:`repro.replicate`).  Four measurements,
+all over real loopback sockets with in-process nodes:
+
+* **Append throughput** with zero vs one synchronous replica — the
+  price of the zero acknowledged-loss guarantee (one shipping round
+  trip inside every acknowledged append).
+* **Catch-up sync** — a replica attached after the primary already
+  holds history; the connect-time ``rep.sync`` streams the whole heap,
+  and the rows-per-second of that stream is the rebuild speed.
+* **Failover time-to-first-answer** — stop the primary, promote the
+  replica, and measure from the promotion request to the first
+  successful tokened read on the survivor.
+* **Read scaling** — a fixed client fleet issuing the paper's five
+  aggregates round-robin against one replica, then spread over two.
+
+Journals run ``fsync=never`` here so the numbers isolate the shipping
+protocol, not the disk (the ``durability`` driver owns fsync costs).
+
+Run from the command line::
+
+    python -m repro.bench replication
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import threading
+from time import perf_counter
+from typing import Dict, List, Optional
+
+from repro.bench.reporting import Report
+from repro.relation.schema import EMPLOYED_SCHEMA
+
+__all__ = [
+    "replication",
+    "REPLICATION_DETAIL",
+    "APPEND_BATCHES",
+    "ROWS_PER_BATCH",
+    "CATCHUP_ROWS",
+    "READ_CLIENTS",
+    "READ_ROUNDS",
+]
+
+#: Acknowledged appends per throughput series.
+APPEND_BATCHES = 120
+
+#: Rows carried by each appended batch.
+ROWS_PER_BATCH = 4
+
+#: Heap rows pre-loaded before the late replica attaches.
+CATCHUP_ROWS = 4096
+
+#: Concurrent readers in the scaling measurement.
+READ_CLIENTS = 4
+
+#: Aggregate queries each reader issues per measured series.
+READ_ROUNDS = 10
+
+#: Machine-readable cells for ``BENCH_replication.json`` (filled by
+#: the driver on each run, read by the JSON writer in ``__main__``).
+REPLICATION_DETAIL: Dict[str, object] = {"cells": [], "note": ""}
+
+_TEXTS = (
+    "SELECT COUNT(name) FROM jobs",
+    "SELECT SUM(salary) FROM jobs",
+    "SELECT MIN(salary) FROM jobs",
+    "SELECT MAX(salary) FROM jobs",
+    "SELECT AVG(salary) FROM jobs",
+)
+
+
+def _start_node(data_dir: str, role: str, peers: Optional[List[str]] = None):
+    from repro.serve.config import ServerConfig
+    from repro.serve.server import ServerRunner
+    from repro.replicate.node import ReplicationNode, TableSpec
+
+    node = ReplicationNode(
+        ServerConfig(port=0, role=role, workers=4),
+        tables=[
+            TableSpec("jobs", EMPLOYED_SCHEMA, os.path.join(data_dir, "jobs.heap"))
+        ],
+        peers=list(peers or []),
+        fsync_policy="never",
+    )
+    runner = ServerRunner(node).start()
+    return node, runner, f"{runner.host}:{runner.port}"
+
+
+def _rows(base: int, count: int) -> List[List[object]]:
+    return [
+        [f"r{base + i}"[:8], 100 + (base + i) % 900, base + i, base + i + 25]
+        for i in range(count)
+    ]
+
+
+def _append_series(endpoint: str, batches: int) -> float:
+    """Acknowledged batches against ``endpoint``; returns rows/s."""
+    from repro.serve.client import QueryClient
+
+    host, _, port = endpoint.rpartition(":")
+    with QueryClient(host, int(port)) as client:
+        started = perf_counter()
+        for i in range(batches):
+            client.append("jobs", _rows(i * ROWS_PER_BATCH, ROWS_PER_BATCH))
+        elapsed = perf_counter() - started
+    return (batches * ROWS_PER_BATCH) / elapsed if elapsed > 0 else 0.0
+
+
+def _measure_append_throughput(root: str, replicas: int) -> float:
+    nodes = []
+    try:
+        peer_endpoints = []
+        for index in range(replicas):
+            rdir = os.path.join(root, f"replica{index}")
+            os.makedirs(rdir, exist_ok=True)
+            nodes.append(_start_node(rdir, "replica"))
+            peer_endpoints.append(nodes[-1][2])
+        pdir = os.path.join(root, "primary")
+        os.makedirs(pdir, exist_ok=True)
+        nodes.append(_start_node(pdir, "primary", peer_endpoints))
+        return _append_series(nodes[-1][2], APPEND_BATCHES)
+    finally:
+        for _, runner, _ in reversed(nodes):
+            runner.stop()
+
+
+def _measure_catchup(root: str) -> float:
+    """Rows/s of the connect-time sync into an empty late replica."""
+    pdir = os.path.join(root, "primary")
+    rdir = os.path.join(root, "replica")
+    os.makedirs(pdir, exist_ok=True)
+    os.makedirs(rdir, exist_ok=True)
+    primary, primary_runner, primary_endpoint = _start_node(pdir, "primary")
+    try:
+        table = primary.tables["jobs"]
+        batch = CATCHUP_ROWS // 8
+        for i in range(8):
+            triples = [
+                (row[:2], row[2], row[3]) for row in _rows(i * batch, batch)
+            ]
+            primary._apply_append(table.served, triples, None)
+        replica, replica_runner, replica_endpoint = _start_node(rdir, "replica")
+        try:
+            started = perf_counter()
+            primary.attach_peer(replica_endpoint)
+            elapsed = perf_counter() - started
+            applied = replica.tables["jobs"].cursor()["applied_count"]
+            if applied != len(table.heap):
+                raise AssertionError(
+                    f"catch-up incomplete: {applied} of {len(table.heap)} rows"
+                )
+            return applied / elapsed if elapsed > 0 else 0.0
+        finally:
+            replica_runner.stop()
+    finally:
+        primary_runner.stop()
+
+
+def _measure_failover_ms(root: str) -> float:
+    """Promotion request to first successful read, in milliseconds."""
+    from repro.replicate.client import ReplicatedClient
+
+    pdir = os.path.join(root, "primary")
+    rdir = os.path.join(root, "replica")
+    os.makedirs(pdir, exist_ok=True)
+    os.makedirs(rdir, exist_ok=True)
+    replica, replica_runner, replica_endpoint = _start_node(rdir, "replica")
+    primary, primary_runner, primary_endpoint = _start_node(
+        pdir, "primary", [replica_endpoint]
+    )
+    try:
+        with ReplicatedClient(
+            [primary_endpoint, replica_endpoint], client_id="bench-fo"
+        ) as client:
+            client.append("jobs", _rows(0, 8))
+            primary_runner.stop()
+            started = perf_counter()
+            replica.promote()
+            reply = client.query(_TEXTS[0], table="jobs")
+            elapsed = perf_counter() - started
+            if reply.pinned_version < 1:
+                raise AssertionError("failover read missed the acked write")
+        return elapsed * 1000.0
+    finally:
+        replica_runner.stop()
+        if primary_runner._thread is not None and primary_runner._thread.is_alive():
+            primary_runner.stop()
+
+
+def _read_fleet(endpoints: List[str]) -> float:
+    """Aggregate qps of READ_CLIENTS readers spread over ``endpoints``."""
+    from repro.serve.client import QueryClient
+
+    barrier = threading.Barrier(READ_CLIENTS + 1)
+    errors: List[BaseException] = []
+
+    def worker(index: int) -> None:
+        endpoint = endpoints[index % len(endpoints)]
+        host, _, port = endpoint.rpartition(":")
+        try:
+            with QueryClient(host, int(port)) as client:
+                barrier.wait(timeout=60.0)
+                for round_index in range(READ_ROUNDS):
+                    client.query(_TEXTS[round_index % len(_TEXTS)])
+        except BaseException as error:  # surfaced by the driver
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=worker, args=(i,), name=f"bench-read-{i}")
+        for i in range(READ_CLIENTS)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait(timeout=60.0)
+    started = perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = perf_counter() - started
+    if errors:
+        raise errors[0]
+    return (READ_CLIENTS * READ_ROUNDS) / elapsed if elapsed > 0 else 0.0
+
+
+def _measure_read_scaling(root: str) -> Dict[str, float]:
+    nodes = []
+    try:
+        replica_endpoints = []
+        for index in range(2):
+            rdir = os.path.join(root, f"replica{index}")
+            os.makedirs(rdir, exist_ok=True)
+            nodes.append(_start_node(rdir, "replica"))
+            replica_endpoints.append(nodes[-1][2])
+        pdir = os.path.join(root, "primary")
+        os.makedirs(pdir, exist_ok=True)
+        nodes.append(_start_node(pdir, "primary", replica_endpoints))
+        _append_series(nodes[-1][2], 16)
+        one = _read_fleet(replica_endpoints[:1])
+        two = _read_fleet(replica_endpoints)
+        return {"one": one, "two": two}
+    finally:
+        for _, runner, _ in reversed(nodes):
+            runner.stop()
+
+
+def replication() -> List[Report]:
+    """Run the four replication measurements and build the report."""
+    report = Report(
+        title="Replication: shipping overhead, catch-up, and failover",
+        columns=["measurement", "value", "unit"],
+    )
+    cells: List[Dict[str, object]] = []
+    root = tempfile.mkdtemp(prefix="repro-bench-repl-")
+    try:
+        solo = _measure_append_throughput(os.path.join(root, "solo"), 0)
+        shipped = _measure_append_throughput(os.path.join(root, "one"), 1)
+        overhead = solo / shipped if shipped > 0 else 0.0
+        catchup = _measure_catchup(os.path.join(root, "catchup"))
+        failover_ms = _measure_failover_ms(os.path.join(root, "failover"))
+        scaling = _measure_read_scaling(os.path.join(root, "reads"))
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    report.add_row("append rows/s, no replica", solo, "rows/s")
+    report.add_row("append rows/s, 1 sync replica", shipped, "rows/s")
+    report.add_row("shipping overhead factor", overhead, "x")
+    report.add_row("replica catch-up sync", catchup, "rows/s")
+    report.add_row("failover to first answer", failover_ms, "ms")
+    report.add_row("read qps, 1 replica", scaling["one"], "qps")
+    report.add_row("read qps, 2 replicas", scaling["two"], "qps")
+    report.add_note(
+        f"{APPEND_BATCHES} batches x {ROWS_PER_BATCH} rows per append "
+        f"series; {CATCHUP_ROWS} rows pre-loaded for catch-up; "
+        f"{READ_CLIENTS} readers x {READ_ROUNDS} aggregate queries per "
+        "read series; journals at fsync=never (shipping cost only)"
+    )
+    report.add_note(
+        "failover = explicit promote (rep.promote) plus one tokened "
+        "read through the replicated client's rotation loop"
+    )
+    cells.append(
+        {
+            "append_rows_per_s_no_replica": solo,
+            "append_rows_per_s_one_replica": shipped,
+            "ship_overhead_factor": overhead,
+            "catchup_rows_per_s": catchup,
+            "catchup_rows": CATCHUP_ROWS,
+            "failover_first_answer_ms": failover_ms,
+            "read_qps_one_replica": scaling["one"],
+            "read_qps_two_replicas": scaling["two"],
+        }
+    )
+    REPLICATION_DETAIL["cells"] = cells
+    REPLICATION_DETAIL["note"] = (
+        "synchronous shipping: every acked append waited for the replica"
+    )
+    return [report]

@@ -29,6 +29,17 @@ one type and branch on the subclass instead of fishing bare
   (:mod:`repro.serve`) refused to admit a session or statement because
   admission capacity is exhausted; carries a ``retry_after_ms`` hint
   so well-behaved clients back off instead of hammering.
+* :class:`ServerUnavailable` — the client exhausted its connect
+  retries: every attempt ended in a refused/reset connection, so the
+  endpoint is presumed down (distinct from an *admitted* session that
+  later failed).
+* :class:`ReplicationError` — the replication subsystem
+  (:mod:`repro.replicate`) failed.  Its subclasses carry the fencing
+  and staleness evidence clients branch on: :class:`StaleEpoch` (a
+  deposed primary's write was refused — split-brain fencing),
+  :class:`NotPrimary` (a write reached a replica or fenced node), and
+  :class:`ReplicaLagExceeded` (a read token demanded a version the
+  replica has not applied yet).
 """
 
 from __future__ import annotations
@@ -47,6 +58,11 @@ __all__ = [
     "StorageCorruption",
     "RecoveryError",
     "ServerOverloaded",
+    "ServerUnavailable",
+    "ReplicationError",
+    "StaleEpoch",
+    "NotPrimary",
+    "ReplicaLagExceeded",
 ]
 
 
@@ -200,3 +216,100 @@ class ServerOverloaded(TemporalAggregateError):
         super().__init__(message)
         self.retry_after_ms = int(retry_after_ms)
         self.reason = reason
+
+
+class ServerUnavailable(TemporalAggregateError):
+    """Every connect attempt to an endpoint failed.
+
+    Raised by the client after its bounded retry/backoff loop exhausts
+    ``attempts`` tries — the endpoint refused, reset, or dropped the
+    connection each time.  Distinct from :class:`ServerOverloaded`
+    (the server was up but said no) so failover logic can rotate to
+    another endpoint instead of backing off against a corpse.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        endpoint: str,
+        attempts: int,
+        cause: Optional[BaseException] = None,
+    ) -> None:
+        super().__init__(message)
+        self.endpoint = endpoint
+        self.attempts = int(attempts)
+        self.cause = cause
+
+
+class ReplicationError(TemporalAggregateError):
+    """The replication subsystem failed (shipping, apply, or fencing).
+
+    Catch this to branch on "replication is unhealthy" as a whole; the
+    subclasses carry the evidence a client or operator acts on.
+    """
+
+
+class StaleEpoch(ReplicationError):
+    """A node at a lower epoch tried to act as primary and was fenced.
+
+    ``epoch`` is the rejected node's epoch; ``observed_epoch`` the
+    higher epoch the refusing node has seen.  This is the split-brain
+    guard: after a failover the deposed primary's writes and shipping
+    attempts all land here.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        epoch: int,
+        observed_epoch: int,
+    ) -> None:
+        super().__init__(message)
+        self.epoch = int(epoch)
+        self.observed_epoch = int(observed_epoch)
+
+
+class NotPrimary(ReplicationError):
+    """A write statement reached a node that is not the primary.
+
+    ``role`` is the refusing node's current role (``"replica"`` or
+    ``"fenced"``); ``primary_hint`` is its best guess at the live
+    primary's ``host:port``, or ``None`` if unknown — clients use it
+    to rotate instead of scanning.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        role: str,
+        primary_hint: Optional[str] = None,
+    ) -> None:
+        super().__init__(message)
+        self.role = role
+        self.primary_hint = primary_hint
+
+
+class ReplicaLagExceeded(ReplicationError):
+    """A read token demanded a version the replica has not applied.
+
+    The read-your-writes guard: a client that wrote at
+    ``token_version`` on the primary refuses to silently read an older
+    snapshot from a lagging replica.  ``retry_after_ms`` hints how
+    long to wait before retrying the same replica.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        token_version: int,
+        applied_version: int,
+        retry_after_ms: int = 1,
+    ) -> None:
+        super().__init__(message)
+        self.token_version = int(token_version)
+        self.applied_version = int(applied_version)
+        self.retry_after_ms = int(retry_after_ms)

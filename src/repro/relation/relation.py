@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
+from hashlib import blake2b
 from typing import (
     TYPE_CHECKING,
     Any,
@@ -70,14 +71,29 @@ def fold_fingerprint(fingerprint: int, row: TemporalTuple) -> int:
     The chain is order-sensitive (hash mixing, not XOR), so the same
     rows appended in a different order fingerprint differently —
     exactly the property an append-only cache validity check needs.
-    Unhashable attribute values degrade to a time-only contribution;
-    the fingerprint is a cheap guard on top of (uid, version), not a
+    The fingerprint is a cheap guard on top of (uid, version), not a
     cryptographic identity.
+
+    The contribution must be **process-stable**: journal recovery
+    verifies a chain written by a *previous* interpreter, and
+    replication compares chains across *different* machines — so the
+    per-process salt of built-in ``str`` hashing (PYTHONHASHSEED) is
+    unusable here.  A short BLAKE2 digest over the row's canonical
+    repr gives the same 64-bit contribution in every process.
+    Values whose repr is not value-determined (default object reprs
+    embed addresses) degrade to a time-only contribution, matching
+    the old behavior for unhashable values.
     """
     try:
-        contribution = hash((row.start, row.end, row.values))
-    except TypeError:
-        contribution = hash((row.start, row.end))
+        payload = repr((row.start, row.end, row.values))
+    except Exception:  # pragma: no cover - pathological __repr__
+        payload = repr((row.start, row.end))
+    if " at 0x" in payload:
+        # Address-bearing default reprs are not value-determined.
+        payload = repr((row.start, row.end))
+    contribution = int.from_bytes(
+        blake2b(payload.encode("utf-8"), digest_size=8).digest(), "big"
+    )
     return ((fingerprint * 1_000_003) ^ contribution) & _FINGERPRINT_MASK
 
 

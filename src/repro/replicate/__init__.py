@@ -1,0 +1,44 @@
+"""Journal-shipping replication for the serving layer.
+
+The write-ahead journal (:mod:`repro.storage.journal`) already gives
+one node crash-safe, fingerprint-verified durability; this package
+turns that same record stream into a replication log:
+
+* :mod:`repro.replicate.wire` — the ``rep.*`` frame schema shared by
+  shipper, applier, and tests.
+* :mod:`repro.replicate.applier` — replica-side state
+  (:class:`~repro.replicate.applier.ReplicatedTable`) and the apply
+  logic for shipped batches and catch-up syncs.
+* :mod:`repro.replicate.shipper` — primary-side peer links, the
+  synchronous ship on every committed batch, heartbeats, redials.
+* :mod:`repro.replicate.node` — the replication-aware
+  :class:`~repro.replicate.node.ReplicationNode` (a
+  :class:`~repro.serve.server.QueryServer` subclass) with the epoch
+  fence, promotion, and lease-based failover.
+* :mod:`repro.replicate.client` — failover-aware client with bounded
+  retry, endpoint rotation, exactly-once statement ids, and
+  read-your-writes tokens.
+* :mod:`repro.replicate.chaos` — the deterministic kill-the-primary
+  acceptance harness.
+
+``python -m repro.replicate`` runs a node from the command line (see
+:mod:`repro.replicate.__main__`).
+"""
+
+from repro.replicate.applier import ReplicaApplier, ReplicatedTable
+from repro.replicate.client import ReplicatedClient
+from repro.replicate.node import FailoverMonitor, ReplicationNode, TableSpec
+from repro.replicate.shipper import JournalShipper, PeerLink
+from repro.replicate.wire import ShipBatch
+
+__all__ = [
+    "ReplicaApplier",
+    "ReplicatedTable",
+    "ReplicatedClient",
+    "FailoverMonitor",
+    "ReplicationNode",
+    "TableSpec",
+    "JournalShipper",
+    "PeerLink",
+    "ShipBatch",
+]

@@ -1,0 +1,127 @@
+"""Run one replication node from the command line.
+
+::
+
+    python -m repro.replicate primary --data /var/lib/repro \\
+        --port 7401 --peer 127.0.0.1:7402 --table jobs
+    python -m repro.replicate replica --data /var/lib/repro-r1 \\
+        --port 7402 --table jobs --lease-ms 500
+
+Tables default to the paper's EMPLOYED relation schema
+(``name:str:8, salary:int:4`` padded to the 128-byte tuples of the
+ICDE '95 experiments); each ``--table NAME`` serves one heap file
+``NAME.heap`` under ``--data``.
+
+Once the node is listening it prints a single machine-parseable line::
+
+    REPLICATE READY role=primary host=127.0.0.1 port=7401 epoch=3
+
+which is how the chaos harness (and any supervisor) learns the bound
+port when started with ``--port 0``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import sys
+from typing import List
+
+from repro.relation.schema import EMPLOYED_SCHEMA
+from repro.serve.config import ServerConfig
+from repro.replicate.node import ReplicationNode, TableSpec
+
+
+def _parse_args(argv: List[str]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.replicate",
+        description="Run one journal-shipping replication node.",
+    )
+    parser.add_argument(
+        "role", choices=("primary", "replica"), help="initial role"
+    )
+    parser.add_argument(
+        "--data", required=True, help="directory holding the heap files"
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=0, help="0 asks the OS for a free port"
+    )
+    parser.add_argument(
+        "--table",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="replicated table (repeatable; default: jobs)",
+    )
+    parser.add_argument(
+        "--peer",
+        action="append",
+        default=None,
+        metavar="HOST:PORT",
+        help="replica endpoint to ship to (primary role; repeatable)",
+    )
+    parser.add_argument(
+        "--lease-ms",
+        type=float,
+        default=None,
+        help="replica: promote after this long without a heartbeat",
+    )
+    parser.add_argument("--heartbeat-ms", type=float, default=100.0)
+    parser.add_argument(
+        "--fsync",
+        choices=("always", "commit", "never"),
+        default=None,
+        help="journal fsync policy (default: REPRO_JOURNAL_FSYNC or commit)",
+    )
+    parser.add_argument("--workers", type=int, default=4)
+    return parser.parse_args(argv)
+
+
+async def _run(args: argparse.Namespace) -> int:
+    os.makedirs(args.data, exist_ok=True)
+    tables = [
+        TableSpec(
+            name=name,
+            schema=EMPLOYED_SCHEMA,
+            path=os.path.join(args.data, f"{name}.heap"),
+        )
+        for name in (args.table or ["jobs"])
+    ]
+    config = ServerConfig(
+        host=args.host, port=args.port, workers=args.workers, role=args.role
+    )
+    node = ReplicationNode(
+        config,
+        tables=tables,
+        peers=list(args.peer or []),
+        lease_ms=args.lease_ms,
+        heartbeat_ms=args.heartbeat_ms,
+        fsync_policy=args.fsync,
+    )
+    await node.start()
+    print(
+        f"REPLICATE READY role={node.role} host={config.host} "
+        f"port={node.port} epoch={node.epoch}",
+        flush=True,
+    )
+    try:
+        await node.serve_forever()
+    except asyncio.CancelledError:  # pragma: no cover - shutdown path
+        pass
+    finally:
+        await node.stop()
+    return 0
+
+
+def main(argv: List[str]) -> int:
+    args = _parse_args(argv)
+    try:
+        return asyncio.run(_run(args))
+    except KeyboardInterrupt:  # pragma: no cover - operator stop
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

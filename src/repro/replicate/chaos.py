@@ -1,0 +1,401 @@
+"""Kill-the-primary acceptance harness.
+
+The replication claim is end-to-end: under concurrent client load,
+SIGKILL the primary mid-append, promote a replica, and afterwards
+
+* every append any client ever saw acknowledged is present on the
+  promoted node, exactly once, in server version order;
+* every query any client ran — before, during, or after the failover
+  — returned rows identical to a serial replay at its pinned version
+  (checked with the swarm harness's own oracle);
+* all five of the paper's aggregates (COUNT, SUM, MIN, MAX, AVG) over
+  the survivor match a serial engine run over the replayed relation;
+* the promoted node carries a strictly higher epoch, and a
+  *resurrected* old primary — restarted from its own surviving files
+  — is fenced with a typed ``StaleEpoch`` before it can acknowledge
+  anything (split-brain check).
+
+The primary runs as a real subprocess (``python -m repro.replicate``)
+so the kill is a genuine SIGKILL mid-syscall, not a cooperative stop;
+the replica runs in-process so the harness can inspect its state
+directly.  Promotion is explicit (the ``rep.promote`` op), not
+lease-based — deterministic tests must not wait out wall-clock
+leases.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.exec.errors import StaleEpoch
+from repro.relation.relation import TemporalRelation
+from repro.relation.schema import EMPLOYED_SCHEMA
+from repro.serve.client import QueryClient
+from repro.serve.config import ServerConfig
+from repro.serve.server import ServerRunner
+from repro.serve.swarm import ClientReport, verify_swarm
+from repro.tsql2.executor import Database
+from repro.replicate.client import ReplicatedClient
+from repro.replicate.node import ReplicationNode, TableSpec
+
+__all__ = ["ChaosReport", "run_failover_chaos", "AGGREGATE_QUERIES"]
+
+#: The five aggregates of the source paper, as served queries.
+AGGREGATE_QUERIES = (
+    "SELECT COUNT(name) FROM jobs",
+    "SELECT SUM(salary) FROM jobs",
+    "SELECT MIN(salary) FROM jobs",
+    "SELECT MAX(salary) FROM jobs",
+    "SELECT AVG(salary) FROM jobs",
+)
+
+
+@dataclass
+class ChaosReport:
+    """Everything the failover run observed and verified."""
+
+    acked_appends: int = 0
+    acked_rows: int = 0
+    verified_queries: int = 0
+    failover_epoch: int = 0
+    old_epoch: int = 0
+    rotations: int = 0
+    lag_retries: int = 0
+    resurrected_fenced: bool = False
+    resurrected_refusal: str = ""
+    aggregate_rows: Dict[str, List[tuple]] = field(default_factory=dict)
+    errors: List[str] = field(default_factory=list)
+
+
+def _client_script(
+    endpoints: List[str],
+    client_id: int,
+    appends: int,
+    report: ClientReport,
+    counter: "_AckCounter",
+    errors: List[str],
+    retry_totals: List[Tuple[int, int]],
+) -> None:
+    """One chaos client: interleaved exactly-once appends and tokened
+    queries, surviving the failover via the replicated client."""
+    client = ReplicatedClient(endpoints, client_id=f"chaos-{client_id}")
+    try:
+        for i in range(appends):
+            rows = (
+                (f"c{client_id}_{i}"[:8], 1000 + client_id * 100 + i,
+                 10 * i + client_id, 10 * i + client_id + 25),
+            )
+            version, row_count = client.append(
+                "jobs", [list(row) for row in rows]
+            )
+            report.appends.append(("jobs", rows, version, row_count))
+            counter.bump()
+            if i % 3 == client_id % 3:
+                text = AGGREGATE_QUERIES[(client_id + i) % len(AGGREGATE_QUERIES)]
+                reply = client.query(text, table="jobs")
+                report.queries.append((text, reply))
+    except Exception as error:  # noqa: BLE001 - reported, then re-checked
+        errors.append(f"client {client_id}: {type(error).__name__}: {error}")
+    finally:
+        retry_totals.append((client.rotations, client.lag_retries))
+        client.close()
+
+
+class _AckCounter:
+    """Global acknowledged-append counter the kill trigger watches."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.count = 0  # ta: guarded-by(self._lock)
+
+    def bump(self) -> None:
+        with self._lock:
+            self.count += 1
+
+    def value(self) -> int:
+        with self._lock:
+            return self.count
+
+
+def _spawn_primary(
+    data_dir: str, replica_endpoint: str, fsync: str = "commit"
+) -> Tuple[subprocess.Popen, str]:
+    """Start the primary subprocess; returns (process, endpoint)."""
+    src_root = os.path.abspath(
+        os.path.join(os.path.dirname(__file__), "..", "..")
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.replicate",
+            "primary",
+            "--data",
+            data_dir,
+            "--port",
+            "0",
+            "--peer",
+            replica_endpoint,
+            "--table",
+            "jobs",
+            "--fsync",
+            fsync,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        env=env,
+        text=True,
+    )
+    assert process.stdout is not None
+    deadline = time.monotonic() + 30.0
+    line = ""
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if line.startswith("REPLICATE READY"):
+            break
+        if not line and process.poll() is not None:
+            raise RuntimeError("primary subprocess died before READY")
+    else:
+        process.kill()
+        raise RuntimeError("primary subprocess never reported READY")
+    fields = dict(
+        part.split("=", 1) for part in line.split() if "=" in part
+    )
+    return process, f"{fields['host']}:{fields['port']}"
+
+
+def run_failover_chaos(
+    data_root: str,
+    *,
+    clients: int = 10,
+    appends_per_client: int = 12,
+    kill_after_acks: int = 40,
+) -> ChaosReport:
+    """Run the whole scenario; raises ``AssertionError`` on any broken
+    guarantee, returns the :class:`ChaosReport` otherwise."""
+    chaos = ChaosReport()
+    primary_dir = os.path.join(data_root, "primary")
+    replica_dir = os.path.join(data_root, "replica0")
+    os.makedirs(primary_dir, exist_ok=True)
+    os.makedirs(replica_dir, exist_ok=True)
+
+    replica = ReplicationNode(
+        ServerConfig(port=0, role="replica", workers=4),
+        tables=[
+            TableSpec(
+                "jobs", EMPLOYED_SCHEMA, os.path.join(replica_dir, "jobs.heap")
+            )
+        ],
+        fsync_policy="commit",
+    )
+    runner = ServerRunner(replica).start()
+    replica_endpoint = f"{runner.host}:{runner.port}"
+    process, primary_endpoint = _spawn_primary(primary_dir, replica_endpoint)
+    endpoints = [primary_endpoint, replica_endpoint]
+
+    reports = [ClientReport(client_id=i) for i in range(clients)]
+    counter = _AckCounter()
+    retry_totals: List[Tuple[int, int]] = []
+    threads = [
+        threading.Thread(
+            target=_client_script,
+            args=(endpoints, i, appends_per_client, reports[i], counter,
+                  chaos.errors, retry_totals),
+            name=f"chaos-client-{i}",
+        )
+        for i in range(clients)
+    ]
+    try:
+        for thread in threads:
+            thread.start()
+
+        # Let the swarm land enough acknowledged appends, then SIGKILL
+        # the primary mid-traffic.
+        deadline = time.monotonic() + 60.0
+        while counter.value() < kill_after_acks:
+            if time.monotonic() > deadline:
+                raise AssertionError(
+                    f"only {counter.value()} acks before the kill deadline"
+                )
+            time.sleep(0.002)
+        chaos.old_epoch = 0
+        process.send_signal(signal.SIGKILL)
+        process.wait(timeout=10.0)
+
+        # Promote the replica explicitly (the deterministic path).
+        with QueryClient(runner.host, runner.port) as admin:
+            admin.send({"op": "rep.promote"})
+            promoted = admin.recv()
+            chaos.failover_epoch = int(promoted["epoch"])
+
+        for thread in threads:
+            thread.join(timeout=120.0)
+        alive = [t.name for t in threads if t.is_alive()]
+        if alive:
+            raise AssertionError(f"chaos clients wedged: {alive}")
+        if chaos.errors:
+            raise AssertionError(
+                "chaos clients failed: " + "; ".join(chaos.errors)
+            )
+    finally:
+        if process.poll() is None:
+            process.kill()
+        if process.stdout is not None:
+            process.stdout.close()
+
+    # ------------------------------------------------------------------
+    # Verification
+    # ------------------------------------------------------------------
+
+    assert replica.role == "primary", replica.role
+    assert chaos.failover_epoch > chaos.old_epoch
+
+    # Zero acknowledged loss: replay every acknowledged batch in server
+    # version order; the promoted node must hold exactly those rows.
+    acked = sorted(
+        (
+            (version, rows, row_count)
+            for report in reports
+            for (_t, rows, version, row_count) in report.appends
+        ),
+        key=lambda item: item[0],
+    )
+    chaos.acked_appends = len(acked)
+    versions = [version for version, _r, _c in acked]
+    assert len(set(versions)) == len(versions), (
+        f"duplicate acknowledged versions (exactly-once broken): {versions}"
+    )
+    serial = TemporalRelation(EMPLOYED_SCHEMA, name="jobs")
+    for version, rows, row_count in acked:
+        serial.append_batch(
+            [(list(row[:-2]), row[-2], row[-1]) for row in rows]
+        )
+        assert serial.version == version, (
+            f"acknowledged versions are not contiguous: replay reached "
+            f"v{serial.version}, next acknowledged batch is v{version}"
+        )
+        assert len(serial) == row_count, (
+            f"acknowledged v{version} claims {row_count} rows, replay "
+            f"reaches {len(serial)}"
+        )
+    chaos.acked_rows = len(serial)
+    table = replica.tables["jobs"]
+    assert table.served is not None and table.heap is not None
+    survivor = table.served.base
+    assert len(survivor) == len(serial), (
+        f"promoted node holds {len(survivor)} rows, clients were "
+        f"acknowledged for {len(serial)} — acknowledged commits lost or "
+        "invented"
+    )
+    assert survivor.fingerprint == serial.fingerprint, (
+        "promoted node's rows diverge from the acknowledged history"
+    )
+    assert table.heap.fingerprint == serial.fingerprint
+
+    # Every query, at its pinned version, against the swarm oracle.
+    chaos.verified_queries = verify_swarm(
+        lambda: TemporalRelation(EMPLOYED_SCHEMA, name="jobs"),
+        reports,
+        "jobs",
+    )
+
+    # The five aggregates, served by the survivor vs the serial engine.
+    database = Database()
+    database.register(serial, name="jobs")
+    with ReplicatedClient(
+        [replica_endpoint], client_id="chaos-verify"
+    ) as verify_client:
+        for text in AGGREGATE_QUERIES:
+            reply = verify_client.query(text, table="jobs")
+            served_rows = [tuple(row) for row in reply.rows]
+            serial_rows = [tuple(row) for row in database.execute(text).rows]
+            assert served_rows == serial_rows, (
+                f"{text!r}: served {served_rows[:3]} != serial "
+                f"{serial_rows[:3]}"
+            )
+            chaos.aggregate_rows[text] = served_rows
+
+    # Resurrect the deposed primary from its own surviving files: it
+    # must fence itself on first contact and refuse writes typed.
+    resurrected = ReplicationNode(
+        ServerConfig(port=0, role="primary", workers=2),
+        tables=[
+            TableSpec(
+                "jobs", EMPLOYED_SCHEMA, os.path.join(primary_dir, "jobs.heap")
+            )
+        ],
+        peers=[replica_endpoint],
+        fsync_policy="commit",
+    )
+    res_runner = ServerRunner(resurrected).start()
+    try:
+        chaos.resurrected_fenced = resurrected.role == "fenced"
+        assert chaos.resurrected_fenced, (
+            f"resurrected primary is {resurrected.role!r}, expected fenced"
+        )
+        with QueryClient(res_runner.host, res_runner.port) as old_client:
+            try:
+                old_client.append("jobs", [["zombie", 1, 0, 1]])
+            except StaleEpoch as error:
+                chaos.resurrected_refusal = (
+                    f"StaleEpoch(epoch={error.epoch}, "
+                    f"observed_epoch={error.observed_epoch})"
+                )
+            else:
+                raise AssertionError(
+                    "deposed primary acknowledged a write after failover"
+                )
+    finally:
+        res_runner.stop()
+        runner.stop()
+
+    chaos.rotations = sum(r for r, _l in retry_totals)
+    chaos.lag_retries = sum(l for _r, l in retry_totals)
+    return chaos
+
+
+def main(argv=None) -> int:
+    import argparse
+    import tempfile
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.replicate.chaos",
+        description="SIGKILL a live primary mid-append under load, "
+        "promote a replica, and verify zero acknowledged-commit loss.",
+    )
+    parser.add_argument("--clients", type=int, default=10)
+    parser.add_argument("--appends-per-client", type=int, default=12)
+    parser.add_argument("--kill-after-acks", type=int, default=40)
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as root:
+        report = run_failover_chaos(
+            root,
+            clients=args.clients,
+            appends_per_client=args.appends_per_client,
+            kill_after_acks=args.kill_after_acks,
+        )
+    print(
+        f"acked appends survived: {report.acked_appends} "
+        f"({report.acked_rows} rows)\n"
+        f"queries verified against serial replay: {report.verified_queries}\n"
+        f"failover epoch: {report.old_epoch} -> {report.failover_epoch}\n"
+        f"client rotations: {report.rotations}, "
+        f"lag retries: {report.lag_retries}\n"
+        f"resurrected primary fenced: {report.resurrected_fenced} "
+        f"[{report.resurrected_refusal}]"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,222 @@
+"""Failover-aware client: bounded retry, exactly-once appends.
+
+:class:`ReplicatedClient` wraps :class:`~repro.serve.client.QueryClient`
+with the replication-era failure handling a caller should not have to
+hand-roll:
+
+* **Endpoint rotation** — it holds a list of node endpoints.  A dead
+  or unreachable node (``ConnectionClosed``, ``OSError``,
+  ``ServerUnavailable``) drops the session and rotates to the next
+  endpoint with the supervisor's deterministic jittered backoff.  A
+  typed ``NotPrimary`` rotates too, preferring the refusing node's
+  ``primary_hint`` when it names a known endpoint; ``StaleEpoch``
+  (the node we spoke to was deposed) likewise.
+* **Exactly-once appends** — every append carries a statement id
+  ``"{client_id}:{seq}"``.  If the acknowledgement is lost to a
+  failover, the retry re-sends the *same* sid; whichever node applied
+  it first answers from its dedup ledger with the original
+  ``(version, row_count)`` instead of applying twice.  The ledger is
+  journaled and shipped, so the guarantee spans the failover.
+* **Read-your-writes** — acknowledged appends record a
+  ``(stream_uid, version)`` token per table; subsequent queries carry
+  it, so a lagging replica refuses (``ReplicaLagExceeded``) rather
+  than silently serving a snapshot older than the caller's own write.
+  The client honours the refusal's ``retry_after_ms`` and retries the
+  same node (the batch is in flight to it).
+
+The retry budget is total across rotations, not per endpoint —
+``ServerUnavailable`` after the budget means the deployment, not one
+node, is down.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Optional, TypeVar
+
+from repro.exec.errors import (
+    NotPrimary,
+    ReplicaLagExceeded,
+    ServerUnavailable,
+    StaleEpoch,
+)
+from repro.exec.supervision import RetryPolicy
+from repro.serve.client import QueryClient, QueryReply
+from repro.serve.protocol import ConnectionClosed, FrameError
+
+__all__ = ["ReplicatedClient", "FAILOVER_RETRY"]
+
+T = TypeVar("T")
+
+#: Failover retry budget: generous attempts with quick, bounded
+#: backoff — a failover needs the promote plus one reconnect, and a
+#: dead deployment should fail in about a second, not a minute.
+FAILOVER_RETRY = RetryPolicy(max_attempts=12, base_delay=0.05, max_delay=0.4)
+
+#: A lag refusal is progress, not failure — but a replica that never
+#: catches up must not spin forever.
+MAX_LAG_RETRIES = 50
+
+
+class ReplicatedClient:
+    """One logical session against a replicated deployment."""
+
+    def __init__(
+        self,
+        endpoints: List[str],
+        *,
+        client_id: str,
+        timeout: float = 30.0,
+        retry: Optional[RetryPolicy] = None,
+        connect_retry: Optional[RetryPolicy] = None,
+    ) -> None:
+        if not endpoints:
+            raise ValueError("need at least one endpoint")
+        self.endpoints = list(endpoints)
+        self.client_id = client_id
+        self.timeout = timeout
+        self.retry = retry if retry is not None else FAILOVER_RETRY
+        #: Per-dial policy handed to QueryClient: one attempt per
+        #: endpoint per rotation — the *outer* loop owns the budget.
+        self._connect_retry = (
+            connect_retry
+            if connect_retry is not None
+            else RetryPolicy(max_attempts=1, base_delay=0.02, max_delay=0.1)
+        )
+        self._seq = 0
+        self._index = 0
+        self._client: Optional[QueryClient] = None
+        #: stream uid -> highest acknowledged version (read tokens).
+        self.tokens: Dict[str, int] = {}
+        self.rotations = 0
+        self.lag_retries = 0
+
+    # ------------------------------------------------------------------
+    # Connection management
+    # ------------------------------------------------------------------
+
+    @property
+    def endpoint(self) -> str:
+        return self.endpoints[self._index % len(self.endpoints)]
+
+    def _connected(self) -> QueryClient:
+        if self._client is None:
+            host, _, port = self.endpoint.rpartition(":")
+            self._client = QueryClient(
+                host,
+                int(port),
+                timeout=self.timeout,
+                retry=self._connect_retry,
+            )
+        return self._client
+
+    def _drop(self) -> None:
+        client, self._client = self._client, None
+        if client is not None:
+            try:
+                client.close()
+            except Exception:
+                pass
+
+    def _rotate(self, hint: Optional[str] = None) -> None:
+        """Move to the next endpoint — or straight to ``hint`` when the
+        refusing node told us who the primary is."""
+        self._drop()
+        self.rotations += 1
+        if hint is not None and hint in self.endpoints:
+            self._index = self.endpoints.index(hint)
+        else:
+            self._index = (self._index + 1) % len(self.endpoints)
+
+    def _statement(self, fn: Callable[[QueryClient], T]) -> T:
+        """Run one statement with rotation, backoff, and lag retries."""
+        policy = self.retry
+        lag_retries = 0
+        attempt = 0
+        last: Optional[BaseException] = None
+        while attempt < policy.max_attempts:
+            attempt += 1
+            try:
+                return fn(self._connected())
+            except ReplicaLagExceeded as error:
+                # The node is valid, just behind our token: brief pause,
+                # same node.  Does not consume the rotation budget.
+                attempt -= 1
+                lag_retries += 1
+                self.lag_retries += 1
+                if lag_retries > MAX_LAG_RETRIES:
+                    raise
+                time.sleep(max(error.retry_after_ms, 1) / 1000.0)
+                continue
+            except NotPrimary as error:
+                last = error
+                self._rotate(error.primary_hint)
+            except StaleEpoch as error:
+                last = error
+                self._rotate()
+            except (
+                ConnectionClosed,
+                FrameError,
+                OSError,
+                ServerUnavailable,
+            ) as error:
+                last = error
+                self._rotate()
+            if attempt < policy.max_attempts:
+                time.sleep(policy.backoff(self._index, attempt))
+        raise ServerUnavailable(
+            f"no usable node among {self.endpoints} after "
+            f"{policy.max_attempts} attempt(s): {last}",
+            endpoint=self.endpoint,
+            attempts=policy.max_attempts,
+            cause=last,
+        )
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    def append(self, table: str, rows: List[List[Any]]) -> tuple:
+        """Exactly-once append: one sid across every retry."""
+        self._seq += 1
+        sid = f"{self.client_id}:{self._seq}"
+
+        def run(client: QueryClient) -> tuple:
+            version, row_count = client.append(table, rows, sid=sid)
+            uid = client.streams.get(table)
+            if uid:
+                if version > self.tokens.get(uid, -1):
+                    self.tokens[uid] = version
+            return version, row_count
+
+        return self._statement(run)
+
+    def query(self, text: str, *, table: Optional[str] = None) -> QueryReply:
+        """Query with the read token for ``table`` (when we hold one)."""
+
+        def run(client: QueryClient) -> QueryReply:
+            token = None
+            if table is not None:
+                uid = client.streams.get(table)
+                if uid and uid in self.tokens:
+                    token = (uid, self.tokens[uid])
+            reply = client.query(text, token=token)
+            if table is not None:
+                uid = client.streams.get(table)
+                if uid and reply.pinned_version > self.tokens.get(uid, -1):
+                    self.tokens[uid] = reply.pinned_version
+            return reply
+
+        return self._statement(run)
+
+    def stats(self) -> Dict[str, Any]:
+        return self._statement(lambda client: client.stats())
+
+    def close(self) -> None:
+        self._drop()
+
+    def __enter__(self) -> "ReplicatedClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

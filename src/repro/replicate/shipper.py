@@ -1,0 +1,374 @@
+"""Primary-side journal shipping.
+
+:class:`JournalShipper` owns one :class:`PeerLink` per configured
+replica and pushes committed batches to every live link *before* the
+primary acknowledges the client (synchronous shipping — the zero
+acknowledged-loss guarantee costs one round trip per live replica).
+
+Link lifecycle:
+
+* :meth:`start` connects every peer and starts the heartbeat thread.
+* A connect performs the ``rep.hello`` handshake, verifies that the
+  replica's applied prefix lies on this primary's fingerprint chain
+  (a diverged replica is refused — it must be rebuilt, not silently
+  overwritten), then streams a ``rep.sync`` catch-up for whatever the
+  replica is missing, chunked under the frame-size bound.
+* :meth:`ship` sends one batch to each live link.  A dead socket
+  marks the link down (the heartbeat thread redials it); a typed
+  ``StaleEpoch`` from the replica means *this* primary was deposed —
+  it fences itself immediately and propagates the refusal to the
+  client whose append triggered it.
+* The heartbeat thread paces on :class:`threading.Event` waits (no
+  wall-clock reads), beats every live link so replica failover
+  monitors see liveness, and redials dead links each tick.  It exits
+  on stop or when the node stops being primary.
+
+All per-link I/O happens under ``link.lock``; ship order per link
+matches commit order because the append path itself is serialized per
+table.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+from repro.exec.errors import ReplicationError, StaleEpoch
+from repro.serve.client import raise_for_error
+from repro.serve.protocol import (
+    ConnectionClosed,
+    FrameError,
+    recv_frame,
+    send_frame,
+)
+from repro.relation.relation import fingerprint_rows
+from repro.replicate.wire import (
+    MAX_SHIP_ROWS,
+    ShipBatch,
+    heartbeat_frame,
+    hello_frame,
+    require_int,
+    ship_frame,
+    sync_frame,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.replicate.node import ReplicationNode
+
+__all__ = ["PeerLink", "JournalShipper"]
+
+#: Seconds before a replication socket operation is declared dead.
+LINK_TIMEOUT = 10.0
+
+
+class PeerLink:
+    """One replica connection: socket, liveness, and counters."""
+
+    def __init__(self, endpoint: str) -> None:
+        host, _, port = endpoint.rpartition(":")
+        if not host or not port.isdigit():
+            raise ValueError(f"peer endpoint must be host:port, got {endpoint!r}")
+        self.endpoint = endpoint
+        self.host = host
+        self.port = int(port)
+        #: Serializes all I/O on this link: ships, heartbeats, redials.
+        self.lock = threading.Lock()
+        self.sock: Optional[socket.socket] = None  # ta: guarded-by(self.lock)
+        self.alive = False  # ta: guarded-by(self.lock)
+        self.ships = 0  # ta: guarded-by(self.lock)
+        self.syncs = 0  # ta: guarded-by(self.lock)
+        self.drops = 0  # ta: guarded-by(self.lock)
+
+    def close_locked(self) -> None:
+        if self.sock is not None:
+            try:
+                self.sock.close()
+            except OSError:
+                pass
+            self.sock = None
+        self.alive = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PeerLink({self.endpoint!r})"
+
+
+class JournalShipper:
+    """Ships committed batches from one primary to its replicas."""
+
+    def __init__(
+        self,
+        node: "ReplicationNode",
+        peers: List[str],
+        *,
+        heartbeat_ms: float = 100.0,
+    ) -> None:
+        self._node = node
+        self.links = [PeerLink(endpoint) for endpoint in peers]
+        self._heartbeat_s = max(heartbeat_ms, 1.0) / 1000.0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Dial every peer (best effort — a down replica stays a dead
+        link the heartbeat thread keeps redialing) and start beating."""
+        for link in self.links:
+            with link.lock:
+                try:
+                    self._connect_locked(link)
+                except StaleEpoch:
+                    # A higher epoch exists: _receive already fenced
+                    # the node.  Starting still succeeds — a fenced
+                    # node must stay up to serve typed refusals.
+                    link.close_locked()
+                except (ReplicationError, ConnectionClosed, FrameError, OSError):
+                    link.close_locked()
+        self._thread = threading.Thread(
+            target=self._heartbeat_loop, name="repro-shipper", daemon=True
+        )
+        self._thread.start()
+
+    def signal_stop(self) -> None:
+        """Flag the shipper down without touching any link.
+
+        The fence path calls this *while a link lock may be held on
+        the current call stack* (a StaleEpoch reply surfaces inside
+        ``_connect_locked``/``ship``), so it must not try to close
+        sockets — :meth:`stop` does that later, lock-free to callers.
+        """
+        self._stop.set()
+
+    def stop(self, join: bool = True) -> None:
+        """Signal the heartbeat thread down and close every link.
+        ``join=False`` is for callers running *on* that thread
+        (fencing discovered during a heartbeat must not deadlock
+        joining itself)."""
+        self._stop.set()
+        thread = self._thread
+        if join and thread is not None and thread is not threading.current_thread():
+            thread.join(timeout=LINK_TIMEOUT)
+        for link in self.links:
+            with link.lock:
+                link.close_locked()
+
+    # ------------------------------------------------------------------
+    # Connect / resync
+    # ------------------------------------------------------------------
+
+    def _connect_locked(self, link: PeerLink) -> None:
+        """Handshake and catch the replica up.  Caller holds
+        ``link.lock``; raises on any failure (caller marks the link)."""
+        link.close_locked()
+        sock = socket.create_connection(
+            (link.host, link.port), timeout=LINK_TIMEOUT
+        )
+        try:
+            # The query server greets every connection with its hello
+            # frame; consume it before speaking rep.* ops.
+            raise_for_error(recv_frame(sock))
+            tables = {
+                table.name: {"record_bytes": table.heap.codec.record_bytes}
+                for table in self._node.replicated_tables()
+            }
+            send_frame(
+                sock,
+                hello_frame(self._node.epoch, tables, self._node.endpoint),
+            )
+            reply = self._receive(sock)
+            cursors = dict(reply.get("tables") or {})
+            for table in self._node.replicated_tables():
+                cursor = dict(cursors.get(table.name) or {})
+                self._sync_table_locked(sock, table, cursor)
+        except BaseException:
+            sock.close()
+            raise
+        link.sock = sock
+        link.alive = True
+
+    def _sync_table_locked(
+        self, sock: socket.socket, table: Any, cursor: Dict[str, Any]
+    ) -> None:
+        """Bring one table from the replica's cursor to our tail."""
+        heap = table.heap
+        with table.lock:
+            applied = require_int(cursor, "applied_count")
+            total = len(heap)
+            if applied > total:
+                raise ReplicationError(
+                    f"replica holds {applied} rows of {table.name!r} but this "
+                    f"primary only has {total} — refusing to ship into a "
+                    "longer history (rebuild the replica)"
+                )
+            if applied:
+                from itertools import islice
+
+                prefix = fingerprint_rows(islice(heap.scan(), applied))
+                if prefix != require_int(cursor, "fingerprint"):
+                    raise ReplicationError(
+                        f"replica's first {applied} rows of {table.name!r} "
+                        "diverge from this primary's fingerprint chain — "
+                        "refusing to ship (rebuild the replica)"
+                    )
+            version, _ = table.served.stats()
+            statements = (
+                heap.journal.recent_statements()
+                if heap.journal is not None
+                else []
+            )
+            if statements:
+                # Mid-append resync: the in-flight batch is journaled
+                # (ledger included) but not yet published to the served
+                # relation — the ledger's tail, not the served version,
+                # names the heap's current state.
+                version = max(version, statements[-1][1])
+            if applied == total and require_int(cursor, "applied_version") >= version:
+                return
+            rows = list(heap.scan())[applied:]
+            encoded = [heap.codec.encode(row) for row in rows]
+            chunks = [
+                encoded[i : i + MAX_SHIP_ROWS]
+                for i in range(0, len(encoded), MAX_SHIP_ROWS)
+            ] or [[]]
+            base = applied
+            for index, chunk in enumerate(chunks):
+                final = index == len(chunks) - 1
+                send_frame(
+                    sock,
+                    sync_frame(
+                        self._node.epoch,
+                        table.name,
+                        base_count=base,
+                        version=version,
+                        row_count=total,
+                        fingerprint=heap.fingerprint,
+                        records=chunk,
+                        statements=statements if final else [],
+                        final=final,
+                    ),
+                )
+                self._receive(sock)
+                base += len(chunk)
+
+    def _receive(self, sock: socket.socket) -> Dict[str, Any]:
+        """One reply, with the epoch fence applied: a peer refusing us
+        because a *higher* epoch exists means we were deposed — fence
+        now.  A peer that merely fenced itself against our (current)
+        epoch is just a dead link, not a demotion."""
+        try:
+            return raise_for_error(recv_frame(sock))
+        except StaleEpoch as error:
+            if error.observed_epoch > self._node.epoch:
+                self._node.fence(error.observed_epoch)
+            raise
+
+    # ------------------------------------------------------------------
+    # Shipping
+    # ------------------------------------------------------------------
+
+    def ship(self, batch: ShipBatch) -> int:
+        """Ship one committed batch to every live link.
+
+        Returns the number of replicas that applied it.  Dead links
+        are skipped (heartbeat redials them; the reconnect sync carries
+        this batch).  ``StaleEpoch`` propagates after self-fencing —
+        the caller's client must see the typed refusal.
+        """
+        delivered = 0
+        for link in self.links:
+            with link.lock:
+                if not link.alive or link.sock is None:
+                    continue
+                try:
+                    send_frame(link.sock, ship_frame(self._node.epoch, batch))
+                    self._receive(link.sock)
+                    link.ships += 1
+                    delivered += 1
+                except StaleEpoch:
+                    link.close_locked()
+                    raise
+                except (
+                    ReplicationError,
+                    ConnectionClosed,
+                    FrameError,
+                    OSError,
+                ):
+                    # A torn frame or a cursor mismatch: one immediate
+                    # redial catches the replica up — the reconnect
+                    # sync includes this batch, already in our heap.
+                    # (Duplicate delivery on the replica is idempotent,
+                    # so overlap with a half-applied ship is safe.)
+                    link.drops += 1
+                    try:
+                        self._connect_locked(link)
+                        link.syncs += 1
+                        delivered += 1
+                    except StaleEpoch:
+                        raise
+                    except (
+                        ReplicationError,
+                        ConnectionClosed,
+                        FrameError,
+                        OSError,
+                    ):
+                        link.close_locked()
+        return delivered
+
+    # ------------------------------------------------------------------
+    # Heartbeats
+    # ------------------------------------------------------------------
+
+    def _heartbeat_loop(self) -> None:
+        while not self._stop.wait(self._heartbeat_s):
+            if self._node.role != "primary":
+                return
+            for link in self.links:
+                with link.lock:
+                    if link.alive and link.sock is not None:
+                        try:
+                            send_frame(
+                                link.sock, heartbeat_frame(self._node.epoch)
+                            )
+                            self._receive(link.sock)
+                        except StaleEpoch:
+                            # fence() already ran inside _receive; the
+                            # loop exits on the role check above.
+                            link.close_locked()
+                        except (ConnectionClosed, FrameError, OSError):
+                            link.drops += 1
+                            link.close_locked()
+                    else:
+                        try:
+                            self._connect_locked(link)
+                            link.syncs += 1
+                        except StaleEpoch:
+                            link.close_locked()
+                        except (
+                            ReplicationError,
+                            ConnectionClosed,
+                            FrameError,
+                            OSError,
+                        ):
+                            link.close_locked()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def peer_stats(self) -> List[Dict[str, Any]]:
+        stats: List[Dict[str, Any]] = []
+        for link in self.links:
+            with link.lock:
+                stats.append(
+                    {
+                        "endpoint": link.endpoint,
+                        "alive": link.alive,
+                        "ships": link.ships,
+                        "syncs": link.syncs,
+                        "drops": link.drops,
+                    }
+                )
+        return stats

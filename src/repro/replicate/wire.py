@@ -1,0 +1,207 @@
+"""Wire format for journal shipping.
+
+Replication reuses the serving layer's length-prefixed JSON frame
+protocol (:mod:`repro.serve.protocol`) — the shipper is just another
+client of the replica's query server, speaking ``rep.*`` ops that the
+replication node handles next to ``query``/``append``.  This module
+pins down the frame bodies so the shipper, the applier, and the tests
+agree on one schema:
+
+``rep.hello``
+    Shipper handshake.  Carries the shipper's epoch and, per table,
+    the replication stream uid and record width.  The replica answers
+    with its own epoch and per-table ``(applied_count,
+    applied_version, fingerprint)`` — the cursor the shipper resumes
+    from — or refuses a lower epoch with a typed ``StaleEpoch`` (the
+    split-brain fence).
+``rep.sync``
+    Catch-up: one batch of raw records (hex-encoded fixed-width
+    bytes) bringing a behind replica from ``base_count`` rows to the
+    primary's current ``(version, row_count, fingerprint)`` in one
+    jump, plus the retained dedup-ledger entries so exactly-once
+    survives the bootstrap.
+``rep.ship``
+    One committed append batch, shipped synchronously before the
+    primary acknowledges its client: rows, the batch's
+    ``(version, row_count)`` identity, the statement id, and the
+    chained fingerprint after the batch (the replica verifies it
+    *before* mutating anything).
+``rep.heartbeat``
+    Primary liveness, stamped with the epoch.  The replica's failover
+    monitor watches the gap since the last one.
+``rep.promote`` / ``rep.status``
+    Admin: promote this replica now (the deterministic path the chaos
+    harness uses instead of waiting out a lease), and inspect
+    role/epoch/cursors.
+
+Raw records cross the wire hex-encoded: the frame protocol is JSON,
+and fixed-width records are not UTF-8.  At the paper's 128-byte
+tuples that doubles the byte count — acceptable for a reproduction;
+the framing keeps batches well under ``MAX_FRAME_BYTES``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.exec.errors import ReplicationError
+
+__all__ = [
+    "ShipBatch",
+    "encode_rows",
+    "decode_rows",
+    "hello_frame",
+    "sync_frame",
+    "ship_frame",
+    "heartbeat_frame",
+    "require_int",
+    "optional_str",
+    "MAX_SHIP_ROWS",
+]
+
+#: Rows per ``rep.sync`` frame: 128-byte records hex-encode to 256
+#: bytes, so 8192 rows stay near 2 MiB — comfortably inside the frame
+#: protocol's 8 MiB bound with JSON overhead included.
+MAX_SHIP_ROWS = 8192
+
+
+def encode_rows(records: Sequence[bytes]) -> List[str]:
+    """Fixed-width records -> JSON-safe hex strings."""
+    return [record.hex() for record in records]
+
+
+def decode_rows(encoded: Sequence[Any], record_bytes: int) -> List[bytes]:
+    """Hex strings -> records, validating width (a typed refusal beats
+    feeding a torn hex string to the codec)."""
+    records: List[bytes] = []
+    for item in encoded:
+        if not isinstance(item, str):
+            raise ReplicationError(
+                f"shipped row must be a hex string, got {type(item).__name__}"
+            )
+        try:
+            record = bytes.fromhex(item)
+        except ValueError as error:
+            raise ReplicationError(f"undecodable shipped row: {error}") from None
+        if len(record) != record_bytes:
+            raise ReplicationError(
+                f"shipped row is {len(record)} bytes; this stream carries "
+                f"{record_bytes}-byte records"
+            )
+        records.append(record)
+    return records
+
+
+class ShipBatch:
+    """One committed append batch as the shipper sends it."""
+
+    __slots__ = (
+        "table",
+        "version",
+        "row_count",
+        "base_count",
+        "fingerprint",
+        "sid",
+        "records",
+    )
+
+    def __init__(
+        self,
+        *,
+        table: str,
+        version: int,
+        row_count: int,
+        base_count: int,
+        fingerprint: int,
+        sid: str,
+        records: Sequence[bytes],
+    ) -> None:
+        self.table = table
+        self.version = version
+        self.row_count = row_count
+        self.base_count = base_count
+        self.fingerprint = fingerprint
+        self.sid = sid
+        self.records = list(records)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShipBatch({self.table!r} v{self.version}, "
+            f"{len(self.records)} rows -> {self.row_count})"
+        )
+
+
+def hello_frame(
+    epoch: int,
+    tables: Dict[str, Dict[str, Any]],
+    endpoint: Optional[str] = None,
+) -> Dict[str, Any]:
+    """The shipper's handshake frame.  ``endpoint`` is the primary's
+    *serving* address — replicas hand it to redirected clients as the
+    ``NotPrimary`` hint."""
+    frame: Dict[str, Any] = {"op": "rep.hello", "epoch": epoch, "tables": tables}
+    if endpoint:
+        frame["endpoint"] = endpoint
+    return frame
+
+
+def ship_frame(epoch: int, batch: ShipBatch) -> Dict[str, Any]:
+    """One incremental append batch."""
+    return {
+        "op": "rep.ship",
+        "epoch": epoch,
+        "table": batch.table,
+        "version": batch.version,
+        "row_count": batch.row_count,
+        "base_count": batch.base_count,
+        "fingerprint": batch.fingerprint,
+        "sid": batch.sid,
+        "rows": encode_rows(batch.records),
+    }
+
+
+def sync_frame(
+    epoch: int,
+    table: str,
+    *,
+    base_count: int,
+    version: int,
+    row_count: int,
+    fingerprint: int,
+    records: Sequence[bytes],
+    statements: Sequence[Tuple[str, int, int]],
+    final: bool,
+) -> Dict[str, Any]:
+    """One catch-up chunk; ``final`` marks the last chunk of the sync
+    (only then does the replica adopt ``version`` and verify the
+    fingerprint)."""
+    return {
+        "op": "rep.sync",
+        "epoch": epoch,
+        "table": table,
+        "base_count": base_count,
+        "version": version,
+        "row_count": row_count,
+        "fingerprint": fingerprint,
+        "rows": encode_rows(records),
+        "statements": [list(entry) for entry in statements],
+        "final": final,
+    }
+
+
+def heartbeat_frame(epoch: int) -> Dict[str, Any]:
+    """Primary liveness beacon."""
+    return {"op": "rep.heartbeat", "epoch": epoch}
+
+
+def require_int(frame: Dict[str, Any], key: str) -> int:
+    """A mandatory integer field, typed-refused when absent/malformed."""
+    value = frame.get(key)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ReplicationError(f"replication frame needs integer {key!r}")
+    return value
+
+
+def optional_str(frame: Dict[str, Any], key: str) -> Optional[str]:
+    value = frame.get(key)
+    return value if isinstance(value, str) and value else None

@@ -15,8 +15,20 @@ Server-side failures come back as typed exceptions:
   engine code would.
 * ``DeadlineExceeded`` frames re-raise as the real
   :class:`~repro.exec.errors.DeadlineExceeded`.
+* Replication fencing frames (``StaleEpoch``, ``NotPrimary``,
+  ``ReplicaLagExceeded``) re-raise as their real taxonomy types so
+  failover-aware callers can branch without string matching.
 * Everything else raises :class:`RemoteQueryError`, which keeps the
   remote type name, message, and recovery hint.
+
+Connecting is retried: a refused, reset, or mid-handshake-dropped
+connection is transient (a server restarting, a failover in
+progress), so the constructor retries with the same deterministic
+jittered backoff the shard supervisor uses
+(:class:`~repro.exec.supervision.RetryPolicy`) and raises a typed
+:class:`~repro.exec.errors.ServerUnavailable` only once the attempt
+budget is spent.  Typed admission refusals (``ServerOverloaded``)
+are *not* retried — the server was up and said no.
 """
 
 from __future__ import annotations
@@ -29,12 +41,21 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.exec.errors import (
     DeadlineExceeded,
+    NotPrimary,
+    ReplicaLagExceeded,
     ServerOverloaded,
+    ServerUnavailable,
+    StaleEpoch,
     TemporalAggregateError,
 )
-from repro.serve.protocol import recv_frame, send_frame
+from repro.exec.supervision import RetryPolicy
+from repro.serve.protocol import ConnectionClosed, recv_frame, send_frame
 
-__all__ = ["QueryClient", "QueryReply", "RemoteQueryError"]
+__all__ = ["QueryClient", "QueryReply", "RemoteQueryError", "CONNECT_RETRY"]
+
+#: Default connect-retry policy: three attempts, jittered exponential
+#: backoff capped well below a human-noticeable stall.
+CONNECT_RETRY = RetryPolicy(max_attempts=3, base_delay=0.02, max_delay=0.25)
 
 
 class RemoteQueryError(TemporalAggregateError):
@@ -75,6 +96,26 @@ def raise_for_error(reply: Dict[str, Any]) -> Dict[str, Any]:
             deadline_ms=float(error.get("deadline_ms", 0.0) or 0.0),
             elapsed_ms=float(error.get("elapsed_ms", 0.0) or 0.0),
         )
+    if remote_type == "StaleEpoch":
+        raise StaleEpoch(
+            message,
+            epoch=int(error.get("epoch", 0)),
+            observed_epoch=int(error.get("observed_epoch", 0)),
+        )
+    if remote_type == "NotPrimary":
+        hint = error.get("primary_hint")
+        raise NotPrimary(
+            message,
+            role=str(error.get("role", "replica")),
+            primary_hint=None if hint is None else str(hint),
+        )
+    if remote_type == "ReplicaLagExceeded":
+        raise ReplicaLagExceeded(
+            message,
+            token_version=int(error.get("token_version", 0)),
+            applied_version=int(error.get("applied_version", 0)),
+            retry_after_ms=int(error.get("retry_after_ms", 1)),
+        )
     raise RemoteQueryError(
         message, remote_type=remote_type, hint=error.get("hint")
     )
@@ -91,6 +132,9 @@ class QueryReply:
     pinned_row_count: int
     degraded: int
     elapsed_ms: float
+    #: Which role served this reply ("primary" or "replica") — trailing
+    #: default so pre-replication callers keep constructing replies.
+    role: str = "primary"
 
     def column(self, name: str) -> List[Any]:
         position = self.columns.index(name)
@@ -100,18 +144,66 @@ class QueryReply:
 class QueryClient:
     """One blocking session against a query server."""
 
-    def __init__(self, host: str, port: int, *, timeout: float = 30.0) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        try:
-            hello = raise_for_error(recv_frame(self._sock))
-        except BaseException:
-            # Admission refusal (or a dead server): surface the typed
-            # error with the socket already cleaned up.
-            self._sock.close()
-            raise
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 30.0,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
+        policy = retry if retry is not None else CONNECT_RETRY
+        endpoint = f"{host}:{port}"
+        last: Optional[BaseException] = None
+        for attempt in range(1, policy.max_attempts + 1):
+            try:
+                self._sock, hello = self._connect_once(host, port, timeout)
+                break
+            except (OSError, ConnectionClosed) as error:
+                # Transient: the endpoint refused/reset, or dropped the
+                # connection before the hello landed (a restart or a
+                # failover in progress).  Back off and retry.
+                last = error
+                if attempt < policy.max_attempts:
+                    time.sleep(policy.backoff(port, attempt))
+        else:
+            raise ServerUnavailable(
+                f"no server at {endpoint} after "
+                f"{policy.max_attempts} connect attempt(s): {last}",
+                endpoint=endpoint,
+                attempts=policy.max_attempts,
+                cause=last,
+            )
         self.session_id = int(hello["session"])
         self.tables = list(hello.get("tables", []))
         self.max_queue_depth = int(hello.get("max_queue_depth", 0))
+        #: Replication handshake fields; pre-replication servers omit
+        #: them and the defaults describe a standalone primary.
+        self.role = str(hello.get("role", "primary"))
+        self.epoch = int(hello.get("epoch", 0))
+        #: Table name -> replication stream uid; the uid half of a read
+        #: token, stable across every node serving that table.
+        self.streams: Dict[str, str] = {
+            str(name): str(uid)
+            for name, uid in dict(hello.get("streams", {})).items()
+        }
+        #: The node's advertised serving endpoint ("host:port"), when it
+        #: knows one — failover clients use it as a primary hint.
+        self.endpoint = str(hello.get("endpoint", "") or "")
+
+    @staticmethod
+    def _connect_once(
+        host: str, port: int, timeout: float
+    ) -> Tuple[socket.socket, Dict[str, Any]]:
+        sock = socket.create_connection((host, port), timeout=timeout)
+        try:
+            hello = raise_for_error(recv_frame(sock))
+        except BaseException:
+            # Admission refusal (or a dead server): surface the typed
+            # error with the socket already cleaned up.
+            sock.close()
+            raise
+        return sock, hello
 
     # ------------------------------------------------------------------
     # Low-level (pipelining)
@@ -133,9 +225,23 @@ class QueryClient:
     # Request/reply operations
     # ------------------------------------------------------------------
 
-    def query(self, text: str) -> QueryReply:
-        """Run one TSQL2-lite query against a pinned snapshot."""
-        self.send({"op": "query", "text": text})
+    def query(
+        self,
+        text: str,
+        *,
+        token: Optional[Tuple[str, int]] = None,
+    ) -> QueryReply:
+        """Run one TSQL2-lite query against a pinned snapshot.
+
+        ``token`` is an optional ``(stream_uid, version)`` read token:
+        a replica that has not applied ``version`` for that stream yet
+        refuses with a typed ``ReplicaLagExceeded`` instead of serving
+        a stale snapshot (read-your-writes).
+        """
+        request: Dict[str, Any] = {"op": "query", "text": text}
+        if token is not None:
+            request["token"] = {"uid": token[0], "version": int(token[1])}
+        self.send(request)
         reply = self.recv()
         pinned = reply.get("pinned", {})
         return QueryReply(
@@ -146,15 +252,29 @@ class QueryClient:
             pinned_row_count=int(pinned.get("row_count", 0)),
             degraded=int(reply.get("degraded", 0)),
             elapsed_ms=float(reply.get("elapsed_ms", 0.0)),
+            role=str(reply.get("role", "primary")),
         )
 
-    def append(self, table: str, rows: List[List[Any]]) -> Tuple[int, int]:
+    def append(
+        self,
+        table: str,
+        rows: List[List[Any]],
+        *,
+        sid: Optional[str] = None,
+    ) -> Tuple[int, int]:
         """Append one batch of ``[value..., start, end]`` rows.
 
         Returns the relation's ``(version, row_count)`` after the batch
-        — the identity a serial reference replays against.
+        — the identity a serial reference replays against.  ``sid`` is
+        an optional idempotent statement id: a retried append with the
+        same ``sid`` is deduplicated server-side and acknowledged with
+        the original ``(version, row_count)`` instead of applying
+        twice.
         """
-        self.send({"op": "append", "table": table, "rows": rows})
+        request: Dict[str, Any] = {"op": "append", "table": table, "rows": rows}
+        if sid is not None:
+            request["sid"] = sid
+        self.send(request)
         reply = self.recv()
         return int(reply["version"]), int(reply["row_count"])
 

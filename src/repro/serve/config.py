@@ -53,6 +53,11 @@ class ServerConfig:
       relation version at the same degradation level share one
       evaluation and one encoded reply (see
       :class:`~repro.serve.scheduler.FairScheduler`).
+    * ``role`` — the node's *initial* replication role, ``"primary"``
+      (default: accepts writes) or ``"replica"`` (read-only: writes
+      are refused with a typed ``NotPrimary``).  The live role can
+      change at runtime (a replica promotes during failover); this
+      knob only seeds it.
     """
 
     host: str = "127.0.0.1"
@@ -69,8 +74,11 @@ class ServerConfig:
     debug_statement_delay_ms: float = 0.0
     pool_workers: int = 0
     coalesce: bool = True
+    role: str = "primary"
 
     def __post_init__(self) -> None:
+        if self.role not in ("primary", "replica"):
+            raise ValueError("role must be 'primary' or 'replica'")
         if self.max_sessions < 1:
             raise ValueError("max_sessions must be at least 1")
         if self.max_queue_depth < 1:

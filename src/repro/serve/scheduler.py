@@ -81,6 +81,12 @@ class Statement:
     #: Statements dispatched while a same-key statement is in flight
     #: join its flight instead of executing.
     coalesce_key: Optional[Any] = None
+    #: Write statements mutate served state (appends).  When the
+    #: scheduler's write fence is up (a replica, or a deposed primary
+    #: after failover), these are answered with the fence's typed
+    #: error frame instead of running — including statements that were
+    #: already queued when the fence went up.
+    is_write: bool = False
     _completed: bool = field(default=False, repr=False)
 
     def finish(self) -> None:
@@ -105,9 +111,19 @@ class FairScheduler:
         #: Open flights by coalesce key; each resolves to the leader's
         #: encoded reply bytes (event-loop thread only).
         self._flights: Dict[Any, "asyncio.Future[bytes]"] = {}
+        #: Write fence: when set, every dispatched write statement is
+        #: answered with this factory's error frame instead of running.
+        #: Written from the promotion/demotion path (any thread) and
+        #: read by the dispatch loop — a single reference assignment,
+        #: atomic under the GIL, and the factory itself is immutable
+        #: once installed.
+        self._write_fence: Optional[
+            Callable[[], Dict[str, Any]]
+        ] = None  # ta: unguarded
         self.statements_started = 0
         self.statements_finished = 0
         self.coalesced_statements = 0
+        self.fenced_statements = 0
 
     # ------------------------------------------------------------------
     # Session membership (event-loop thread only)
@@ -126,6 +142,20 @@ class FairScheduler:
         """Queue one admitted statement and poke the dispatch loop."""
         session.queue.append(statement)
         self._wakeup.set()
+
+    def fence_writes(
+        self, reply_factory: Optional[Callable[[], Dict[str, Any]]]
+    ) -> None:
+        """Install (or with ``None`` lift) the write fence.
+
+        While fenced, every write statement the loop dispatches —
+        including ones queued *before* the fence went up — is answered
+        with ``reply_factory()`` instead of executing.  This is the
+        failover guard: a deposed primary or an unpromoted replica
+        must refuse queued appends, not run them against a sealed
+        journal.  Callable from any thread.
+        """
+        self._write_fence = reply_factory
 
     # ------------------------------------------------------------------
     # Dispatch loop
@@ -146,6 +176,16 @@ class FairScheduler:
                 continue
             session, statement = dispatched
             loop = asyncio.get_running_loop()
+            fence = self._write_fence
+            if fence is not None and statement.is_write:
+                # Fenced write: reply typed, cost no worker slot.
+                self.fenced_statements += 1
+                task = loop.create_task(
+                    self._refuse_one(session, statement, fence())
+                )
+                self._inflight_tasks.add(task)
+                task.add_done_callback(self._inflight_tasks.discard)
+                continue
             key = statement.coalesce_key
             if key is not None and key in self._flights:
                 if self._stopped:
@@ -250,6 +290,21 @@ class FairScheduler:
             statement.finish()
             if session.queue:
                 self._wakeup.set()
+        await session.send_encoded(data)
+
+    async def _refuse_one(
+        self,
+        session: Session,
+        statement: Statement,
+        reply: Dict[str, Any],
+    ) -> None:
+        """Answer a fenced write with a pre-built typed error frame."""
+        data = _encode_reply(reply)
+        session.in_flight = False
+        session.statements_done += 1
+        statement.finish()
+        if session.queue:
+            self._wakeup.set()
         await session.send_encoded(data)
 
     async def _join_flight(

@@ -31,11 +31,17 @@ from __future__ import annotations
 import asyncio
 import threading
 import time
-from typing import Any, Callable, Dict, Optional
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.cache.store import default_cache
 from repro.exec.deadline import Deadline
-from repro.exec.errors import ServerOverloaded, TemporalAggregateError
+from repro.exec.errors import (
+    NotPrimary,
+    ReplicaLagExceeded,
+    ServerOverloaded,
+    TemporalAggregateError,
+)
 from repro.metrics.counters import ThreadLocalCounters
 from repro.relation.relation import TemporalRelation
 from repro.serve.admission import AdmissionController, DegradationLevel
@@ -49,7 +55,12 @@ from repro.tsql2.lexer import TSQL2SyntaxError
 from repro.tsql2.parser import parse
 from repro.tsql2.shell import recovery_hint
 
-__all__ = ["QueryServer", "ServerRunner"]
+__all__ = ["QueryServer", "ServerRunner", "DEDUP_WINDOW"]
+
+#: Idempotent-statement dedup window: how many acknowledged statement
+#: ids the server remembers.  Matches the journal's STATEMENT
+#: retention so a recovered/promoted node can reseed the full window.
+DEDUP_WINDOW = 256
 
 
 def _error_frame(error: BaseException) -> Dict[str, Any]:
@@ -63,6 +74,17 @@ def _error_frame(error: BaseException) -> Dict[str, Any]:
     if isinstance(error, ServerOverloaded):
         payload["retry_after_ms"] = error.retry_after_ms
         payload["reason"] = error.reason
+    if isinstance(error, NotPrimary):
+        payload["role"] = error.role
+        payload["primary_hint"] = error.primary_hint
+    if isinstance(error, ReplicaLagExceeded):
+        payload["token_version"] = error.token_version
+        payload["applied_version"] = error.applied_version
+        payload["retry_after_ms"] = error.retry_after_ms
+    epoch = getattr(error, "epoch", None)
+    if epoch is not None:
+        payload["epoch"] = epoch
+        payload["observed_epoch"] = getattr(error, "observed_epoch", None)
     deadline_ms = getattr(error, "deadline_ms", None)
     if deadline_ms is not None:
         payload["deadline_ms"] = deadline_ms
@@ -83,6 +105,18 @@ class QueryServer:
         self._served: Dict[str, ServedRelation] = {}
         self._sessions: Dict[int, Session] = {}
         self._sid_counter = 0
+        #: Live replication role; seeded from config, mutated by the
+        #: replication node on promotion/demotion (a plain attribute —
+        #: reference assignment is atomic under the GIL and readers
+        #: only branch on it).
+        self.role = self.config.role  # ta: unguarded
+        self._dedup_lock = threading.Lock()
+        #: Acknowledged (sid -> (version, row_count)) window for
+        #: idempotent appends; a retried sid is re-acknowledged with
+        #: the original identity instead of applying twice.
+        self._dedup: "OrderedDict[str, Tuple[int, int]]" = (
+            OrderedDict()
+        )  # ta: guarded-by(self._dedup_lock)
         self._server: Optional[asyncio.AbstractServer] = None
         self._scheduler_task: Optional[asyncio.Task] = None
         self._started_monotonic = 0.0
@@ -208,6 +242,8 @@ class QueryServer:
                     "server": "repro-serve",
                     "max_queue_depth": self.config.max_queue_depth,
                     "tables": sorted(self._served),
+                    "role": self.role,
+                    **self.hello_extra(),
                 }
             )
             await self._session_loop(reader, session)
@@ -239,8 +275,19 @@ class QueryServer:
             elif op == "query":
                 self._admit(session, frame, self._query_statement)
             elif op == "append":
-                self._admit(session, frame, self._append_statement)
+                refusal = self._refuse_write()
+                if refusal is not None:
+                    # Not the primary: the typed refusal rides the
+                    # normal queue so it leaves in order with other
+                    # replies (mirror of statement-level rejection).
+                    self.scheduler.submit(
+                        session, _InlineReply(_error_frame(refusal))
+                    )
+                else:
+                    self._admit(session, frame, self._append_statement)
             else:
+                if await self._handle_extra_op(str(op), frame, session):
+                    continue
                 await session.send(
                     _error_frame(FrameError(f"unknown op {op!r}"))
                 )
@@ -279,6 +326,95 @@ class QueryServer:
         except Exception:
             pass
         self.admission.release_session()
+
+    # ------------------------------------------------------------------
+    # Replication extension points (overridden by repro.replicate)
+    # ------------------------------------------------------------------
+
+    def hello_extra(self) -> Dict[str, Any]:
+        """Extra hello-frame fields (epoch, stream uids, peer hints).
+
+        The base server has none; the replication node overrides this
+        to stamp its epoch and journal identity into every handshake.
+        """
+        return {}
+
+    async def _handle_extra_op(
+        self, op: str, frame: Dict[str, Any], session: Session
+    ) -> bool:
+        """Handle a non-core op; return True if ``op`` was consumed.
+
+        The replication node overrides this for the ``rep.*`` ops
+        (shipping, heartbeat, promotion).  The base server knows none,
+        so unknown ops keep falling through to the protocol error.
+        """
+        return False
+
+    def _refuse_write(self) -> Optional[TemporalAggregateError]:
+        """The typed refusal for write ops, or None to accept them.
+
+        A replica (or a fenced, deposed primary) returns ``NotPrimary``
+        / ``StaleEpoch`` here; the base server — and any node whose
+        live role is primary — accepts.
+        """
+        if self.role == "primary":
+            return None
+        return NotPrimary(
+            f"node is a {self.role}, not the primary; writes refused",
+            role=self.role,
+            primary_hint=self._primary_hint(),
+        )
+
+    def _primary_hint(self) -> Optional[str]:
+        """Best guess at the live primary's ``host:port`` (or None)."""
+        return None
+
+    def _apply_append(
+        self,
+        served: ServedRelation,
+        batch: Any,
+        sid: Optional[str],
+    ) -> Tuple[int, int]:
+        """Apply one validated append batch; returns (version, rows).
+
+        The replication node overrides this to journal the batch (with
+        its STATEMENT ledger record) and ship it to replicas before
+        acknowledging.  The base server applies in memory.
+        """
+        return served.append_batch(batch)
+
+    def _stream_uid(self, served: ServedRelation) -> str:
+        """The replication stream identity read tokens bind to."""
+        return f"local:{served.base.uid}"
+
+    def _replication_stats(self) -> Optional[Dict[str, Any]]:
+        """The stats frame's ``replication`` section (None = omit)."""
+        return None
+
+    # ------------------------------------------------------------------
+    # Idempotent-statement dedup window
+    # ------------------------------------------------------------------
+
+    def dedup_lookup(self, sid: str) -> Optional[Tuple[int, int]]:
+        """The acknowledged ``(version, row_count)`` for ``sid``, if
+        it is still inside the window."""
+        with self._dedup_lock:
+            return self._dedup.get(sid)
+
+    def dedup_record(self, sid: str, version: int, row_count: int) -> None:
+        """Remember ``sid``'s acknowledged identity (bounded window)."""
+        with self._dedup_lock:
+            self._dedup[sid] = (version, row_count)
+            self._dedup.move_to_end(sid)
+            while len(self._dedup) > DEDUP_WINDOW:
+                self._dedup.popitem(last=False)
+
+    def seed_dedup(self, entries: Any) -> None:
+        """Reseed the window from recovered ``(sid, version, rows)``
+        ledger entries — how a restarted or promoted node keeps the
+        exactly-once guarantee across the failover."""
+        for sid, version, row_count in entries:
+            self.dedup_record(str(sid), int(version), int(row_count))
 
     # ------------------------------------------------------------------
     # Statement builders (closures executed on worker threads)
@@ -346,7 +482,14 @@ class QueryServer:
         session: Session,
     ) -> Statement:
         text = frame.get("text")
-        pinned = self._pin_at_admit(session, text, level)
+        token = frame.get("token")
+        # A read token must be checked against the freshest view, and a
+        # tokened query must never coalesce with a tokenless flight
+        # (the follower would receive rows instead of the typed lag
+        # refusal) — so tokened queries always pin at run time.
+        pinned = None if token is not None else self._pin_at_admit(
+            session, text, level
+        )
 
         def run() -> Dict[str, Any]:
             started = time.perf_counter()
@@ -362,6 +505,8 @@ class QueryServer:
                     query = parse(text)
                     served = self.served(query.table)
                     view = served.pin()
+                if token is not None:
+                    self._check_read_token(token, served, view)
                 database = Database()
                 database.register(view, name=served.name)
                 limits = self._statement_limits(level)
@@ -383,6 +528,7 @@ class QueryServer:
                     "row_count": len(view),
                 },
                 "degraded": int(level),
+                "role": self.role,
                 "elapsed_ms": round((time.perf_counter() - started) * 1000.0, 3),
             }
 
@@ -392,6 +538,33 @@ class QueryServer:
             coalesce_key=None if pinned is None else pinned[2],
         )
 
+    def _check_read_token(
+        self, token: Any, served: ServedRelation, view: Any
+    ) -> None:
+        """Enforce a ``(uid, version)`` read token against ``view``.
+
+        A token binding this served relation's stream demands the view
+        be at least as new as the version the client last wrote or
+        read — the read-your-writes half of bounded staleness.  Tokens
+        for other streams are not binding here.
+        """
+        if not isinstance(token, dict):
+            raise TSQL2SemanticError(
+                "read token must be {'uid': ..., 'version': ...}"
+            )
+        uid = str(token.get("uid", ""))
+        wanted = int(token.get("version", 0))
+        if uid != self._stream_uid(served):
+            return
+        if wanted > view.version:
+            raise ReplicaLagExceeded(
+                f"read token demands {served.name} version {wanted}, "
+                f"but this node has applied only {view.version}",
+                token_version=wanted,
+                applied_version=view.version,
+                retry_after_ms=self.config.retry_after_ms,
+            )
+
     def _append_statement(
         self,
         frame: Dict[str, Any],
@@ -400,6 +573,8 @@ class QueryServer:
     ) -> Statement:
         table = frame.get("table")
         rows = frame.get("rows")
+        raw_sid = frame.get("sid")
+        sid = raw_sid if isinstance(raw_sid, str) and raw_sid else None
 
         def run() -> Dict[str, Any]:
             started = time.perf_counter()
@@ -412,31 +587,45 @@ class QueryServer:
                 )
             try:
                 served = self.served(table)
-                batch = []
-                for row in rows:
-                    if not isinstance(row, list) or len(row) < 2:
-                        raise TSQL2SemanticError(
-                            "each append row is [value..., start, end]"
-                        )
-                    batch.append((row[:-2], row[-2], row[-1]))
-                version, row_count = served.append_batch(batch)
+                deduplicated = False
+                hit = None if sid is None else self.dedup_lookup(sid)
+                if hit is not None:
+                    # The statement was already acknowledged once: the
+                    # retry gets the original identity, the relation
+                    # is untouched (exactly-once across retries and
+                    # failover).
+                    version, row_count = hit
+                    deduplicated = True
+                else:
+                    batch = []
+                    for row in rows:
+                        if not isinstance(row, list) or len(row) < 2:
+                            raise TSQL2SemanticError(
+                                "each append row is [value..., start, end]"
+                            )
+                        batch.append((row[:-2], row[-2], row[-1]))
+                    version, row_count = self._apply_append(served, batch, sid)
+                    if sid is not None:
+                        self.dedup_record(sid, version, row_count)
             except TemporalAggregateError as error:
                 return _error_frame(error)
             except (TSQL2SemanticError, ValueError) as error:
                 return _error_frame(error)
             local = self.counters.local()
-            local.tuples += len(rows)
+            if not deduplicated:
+                local.tuples += len(rows)
             return {
                 "ok": True,
                 "op": "append",
                 "table": served.name,
-                "appended": len(rows),
+                "appended": 0 if deduplicated else len(rows),
                 "version": version,
                 "row_count": row_count,
+                "deduplicated": deduplicated,
                 "elapsed_ms": round((time.perf_counter() - started) * 1000.0, 3),
             }
 
-        return Statement(run=run, label="append")
+        return Statement(run=run, label="append", is_write=True)
 
     # ------------------------------------------------------------------
     # Observability
@@ -468,16 +657,18 @@ class QueryServer:
                 "evictions": cache.counters.cache_evictions,
                 "dirty_shards": cache.counters.cache_dirty_shards,
             }
-        return {
+        body: Dict[str, Any] = {
             "uptime_ms": round(
                 (time.monotonic() - self._started_monotonic) * 1000.0, 1
             ),
+            "role": self.role,
             "admission": self.admission.snapshot(),
             "scheduler": {
                 "workers": self.config.workers,
                 "statements_started": self.scheduler.statements_started,
                 "statements_finished": self.scheduler.statements_finished,
                 "coalesced_statements": self.scheduler.coalesced_statements,
+                "fenced_statements": self.scheduler.fenced_statements,
             },
             "pool": self._pool_stats(),
             "cache": cache_stats,
@@ -492,6 +683,10 @@ class QueryServer:
                 for version, row_count in (served.stats(),)
             },
         }
+        replication = self._replication_stats()
+        if replication is not None:
+            body["replication"] = replication
+        return body
 
 
 class _InlineReply(Statement):

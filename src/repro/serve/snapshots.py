@@ -263,5 +263,56 @@ class ServedRelation:
                 raise ValueError("append batch must contain at least one row")
             return self.base.version, len(self.base)
 
+    def adopt_version(self, version: int) -> None:
+        """Fast-forward the version counter without rows.
+
+        Replica bootstrap edge case: the rows already match the
+        primary but the locally-counted version lags the shipped one
+        (e.g. after a restart whose ledger window was shorter than the
+        batch history).  Only ever moves forward.
+        """
+        with self._lock:
+            base = self.base
+            if version > base.version:
+                base.version = version
+
+    def validate_batch(self, rows: Any) -> List[TemporalTuple]:
+        """Validate ``(values, start, end)`` rows without appending.
+
+        The replication primary validates *before* journaling — a
+        malformed row must reject the whole batch before any byte of
+        it becomes durable or ships.  Uses the relation's own row
+        validation so accept/reject semantics match a plain append.
+        """
+        return [
+            self.base._validated_row(values, start, end)
+            for values, start, end in rows
+        ]
+
+    def append_replicated(self, rows: Any, version: int) -> Tuple[int, int]:
+        """Apply one primary-shipped batch, adopting the primary's
+        version number.
+
+        A replica must hand out the *primary's* version order —
+        read tokens and pinned snapshots compare versions across
+        nodes, so a locally-counted version would break
+        read-your-writes after failover.  ``append_batch`` bumps the
+        local counter by one; the explicit assignment then aligns it
+        with the shipped version (monotonicity enforced: replication
+        never moves a version backwards).
+        """
+        with self._lock:
+            base = self.base
+            if version <= base.version:
+                raise ValueError(
+                    f"replicated version {version} must exceed the applied "
+                    f"version {base.version}"
+                )
+            appended = base.append_batch(rows)
+            if appended == 0:
+                raise ValueError("append batch must contain at least one row")
+            base.version = version
+            return base.version, len(base)
+
     def __repr__(self) -> str:
         return f"ServedRelation({self.name!r}, v{self.base.version})"

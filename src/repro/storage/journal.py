@@ -26,10 +26,15 @@ torn write always tears *inside* one record::
 Kinds:
 
 ``SEGMENT_HEADER``
-    First record of every segment.  Payload ``>QHxxxxxx``: the append
-    index of the first APPEND this segment will carry (``base``) and
-    the record width, so scrub can validate APPEND lengths without the
-    schema.
+    First record of every segment.  Payload ``>QHIxx``: the append
+    index of the first APPEND this segment will carry (``base``), the
+    record width (so scrub can validate APPEND lengths without the
+    schema), and the **epoch** the writer held when it opened the
+    segment.  The epoch is the replication fencing token
+    (:mod:`repro.replicate`): a promoted replica bumps it, and a
+    deposed primary's stale-epoch segments are diagnosable from scrub.
+    Pre-epoch segments wrote zeros in these bytes, so they decode as
+    epoch 0.
 ``APPEND``
     Payload is the raw fixed-width record, exactly the bytes the data
     page will hold.
@@ -43,6 +48,14 @@ Kinds:
     Opaque evaluator state (:mod:`repro.storage.checkpoint`); recovery
     surfaces the latest one so a killed aggregation resumes instead of
     restarting.
+``STATEMENT``
+    Exactly-once bookkeeping for the replication layer.  Payload
+    ``>QQ`` (relation version, row count after the statement) followed
+    by the UTF-8 statement id.  Logged between a batch's APPENDs and
+    its COMMIT, so replaying the journal (or shipping it to a replica)
+    rebuilds the dedup ledger alongside the rows: a client retrying an
+    acknowledged append after a failover receives its original
+    ``(version, row_count)`` instead of a second application.
 
 **Segments and rotation.**  The journal lives next to the data file as
 ``<path>.journal.NNNNNN``.  Once the data file has been synced
@@ -92,6 +105,9 @@ __all__ = [
     "APPEND",
     "COMMIT",
     "CHECKPOINT",
+    "STATEMENT",
+    "encode_statement_payload",
+    "decode_statement_payload",
     "Journal",
     "JournalStats",
     "JournalState",
@@ -108,12 +124,34 @@ SEGMENT_HEADER = 1
 APPEND = 2
 COMMIT = 3
 CHECKPOINT = 4
+STATEMENT = 5
 
-_KINDS = (SEGMENT_HEADER, APPEND, COMMIT, CHECKPOINT)
+_KINDS = (SEGMENT_HEADER, APPEND, COMMIT, CHECKPOINT, STATEMENT)
 
 _RECORD_HEADER = struct.Struct(">HBBII")
-_SEGMENT_PAYLOAD = struct.Struct(">QH6x")
+# base u64, record width u16, epoch u32, 2 pad bytes.  Pre-epoch
+# writers packed ">QH6x" — six zero bytes — so their segments decode
+# as epoch 0, which is exactly the "never replicated" epoch.
+_SEGMENT_PAYLOAD = struct.Struct(">QHIxx")
 _COMMIT_PAYLOAD = struct.Struct(">QQ")
+_STATEMENT_PREFIX = struct.Struct(">QQ")
+
+
+def encode_statement_payload(sid: str, version: int, row_count: int) -> bytes:
+    """One STATEMENT record payload: dedup-ledger entry bytes."""
+    return _STATEMENT_PREFIX.pack(version, row_count) + sid.encode("utf-8")
+
+
+def decode_statement_payload(payload: bytes) -> Tuple[str, int, int]:
+    """``(sid, version, row_count)`` from a STATEMENT payload."""
+    if len(payload) < _STATEMENT_PREFIX.size:
+        raise StorageCorruption(
+            f"STATEMENT payload of {len(payload)} bytes is shorter than "
+            f"its {_STATEMENT_PREFIX.size}-byte fixed prefix"
+        )
+    version, row_count = _STATEMENT_PREFIX.unpack_from(payload, 0)
+    sid = payload[_STATEMENT_PREFIX.size :].decode("utf-8", errors="replace")
+    return sid, version, row_count
 
 #: Refuse to believe a single journal record payload above this — a
 #: corrupt length field must not trigger a gigabyte allocation.
@@ -121,6 +159,11 @@ _MAX_PAYLOAD = 64 * 1024 * 1024
 
 _FSYNC_POLICIES = ("always", "commit", "never")
 _DEFAULT_SEGMENT_BYTES = 4 * 1024 * 1024
+
+#: STATEMENT entries re-logged across rotations: the durable dedup
+#: window.  A client can only retry statements it still remembers, so
+#: a few hundred per journal bounds the tail risk comfortably.
+STATEMENT_RETENTION = 256
 
 
 def _fsync_policy_from_env() -> str:
@@ -272,6 +315,8 @@ class JournalState:
         "torn_tail",
         "records_scanned",
         "segments",
+        "epoch",
+        "statements",
     )
 
     def __init__(self) -> None:
@@ -291,6 +336,11 @@ class JournalState:
         self.records_scanned = 0
         #: Segment paths that were replayed, in order.
         self.segments: List[str] = []
+        #: Highest epoch any surviving segment header carries.
+        self.epoch = 0
+        #: Replayed ``(sid, version, row_count)`` dedup-ledger entries,
+        #: in log order (the replication layer filters to committed).
+        self.statements: List[Tuple[str, int, int]] = []
 
     @property
     def logged_count(self) -> int:
@@ -308,16 +358,26 @@ class Journal:
         record_bytes: int,
         fsync_policy: Optional[str] = None,
         segment_bytes: Optional[int] = None,
+        epoch: int = 0,
     ) -> None:
         if fsync_policy is not None and fsync_policy not in _FSYNC_POLICIES:
             raise ValueError(
                 f"unknown fsync policy {fsync_policy!r}; known: "
                 f"{', '.join(_FSYNC_POLICIES)}"
             )
+        if epoch < 0:
+            raise ValueError("epoch must be non-negative")
         self.path = path
         self.record_bytes = record_bytes
         self.fsync_policy = fsync_policy or _fsync_policy_from_env()
         self.segment_bytes = segment_bytes or _segment_bytes_from_env()
+        #: Fencing token stamped into every segment header this journal
+        #: opens.  Bumped by replica promotion (:meth:`bump_epoch`).
+        self.epoch = epoch
+        #: Recent ``(sid, version, row_count)`` entries, re-logged into
+        #: every rotation segment so the dedup window survives space
+        #: reclamation (bounded by :data:`STATEMENT_RETENTION`).
+        self._statements: List[Tuple[str, int, int]] = []
         self.stats = JournalStats()
         self._handle: Optional[BinaryIO] = None
         self._segment_path: Optional[str] = None
@@ -344,7 +404,8 @@ class Journal:
         self._handle = _journal_open(self._segment_path, "wb")
         self._segment_size = 0
         self._write_record(
-            SEGMENT_HEADER, _SEGMENT_PAYLOAD.pack(base, self.record_bytes)
+            SEGMENT_HEADER,
+            _SEGMENT_PAYLOAD.pack(base, self.record_bytes, self.epoch),
         )
 
     def _ensure_segment(self) -> None:
@@ -420,6 +481,54 @@ class Journal:
             self.sync()
         self.stats.checkpoints += 1
 
+    def log_statement(self, sid: str, version: int, row_count: int) -> None:
+        """Journal one exactly-once dedup-ledger entry.
+
+        Called between a batch's APPENDs and its COMMIT so the ledger
+        entry becomes durable (and ships to replicas) atomically with
+        the rows it acknowledges: the sealing COMMIT covers both.
+        """
+        self._ensure_segment()
+        self._write_record(
+            STATEMENT, encode_statement_payload(sid, version, row_count)
+        )
+        self._statements.append((sid, version, row_count))
+        del self._statements[:-STATEMENT_RETENTION]
+
+    def recent_statements(self) -> List[Tuple[str, int, int]]:
+        """The retained dedup-ledger entries, oldest first.
+
+        What the shipper sends a bootstrapping replica so its dedup
+        window matches the primary's durable one.
+        """
+        return list(self._statements)
+
+    def bump_epoch(self, epoch: int) -> None:
+        """Seal the live segment and continue under a higher epoch.
+
+        Replica promotion: the journal is sealed at the last committed
+        record (a fresh segment re-asserts the committed count and
+        fingerprint under the new epoch, synced before this returns),
+        and every record written from here on carries ``epoch``.  A
+        deposed primary's journal keeps its old epoch, which is what
+        makes its resurrection diagnosable from scrub.
+        """
+        if epoch <= self.epoch:
+            raise ValueError(
+                f"epoch must move forward: {epoch} <= current {self.epoch}"
+            )
+        old_handle = self._handle
+        self._handle = None
+        self.epoch = epoch
+        self._open_segment(self.record_count)
+        self._write_record(
+            COMMIT,
+            _COMMIT_PAYLOAD.pack(self.committed_count, self.committed_fingerprint),
+        )
+        self.sync()
+        if old_handle is not None:
+            old_handle.close()
+
     @property
     def should_rotate(self) -> bool:
         """Has the live segment outgrown the configured soft target?"""
@@ -456,6 +565,10 @@ class Journal:
         self._open_segment(base)
         for record in tail_records:
             self._write_record(APPEND, record)
+        for sid, version, row_count in self._statements:
+            self._write_record(
+                STATEMENT, encode_statement_payload(sid, version, row_count)
+            )
         self._write_record(
             COMMIT, _COMMIT_PAYLOAD.pack(committed_count, fingerprint)
         )
@@ -535,7 +648,8 @@ class Journal:
                     f"segment {segment} does not start with a header",
                     path=segment,
                 )
-            base, _width = _SEGMENT_PAYLOAD.unpack(payload)
+            base, _width, segment_epoch = _SEGMENT_PAYLOAD.unpack(payload)
+            state.epoch = max(state.epoch, segment_epoch)
             expected = base if first else state.base + len(state.appends)
             if base > expected:
                 raise StorageCorruption(
@@ -573,6 +687,8 @@ class Journal:
                     count, fingerprint = _COMMIT_PAYLOAD.unpack(payload)
                     state.committed_count = count
                     state.committed_fingerprint = fingerprint
+                elif kind == STATEMENT:
+                    state.statements.append(decode_statement_payload(payload))
                 else:  # CHECKPOINT — the latest one wins; resume-time
                     # validation guards against rows it references that
                     # never became durable.
@@ -602,11 +718,13 @@ class Journal:
             record_bytes=record_bytes,
             fsync_policy=fsync_policy,
             segment_bytes=segment_bytes,
+            epoch=state.epoch,
         )
         journal.base = state.base
         journal.record_count = state.logged_count
         journal.committed_count = state.committed_count or 0
         journal.committed_fingerprint = state.committed_fingerprint or 0
+        journal._statements = list(state.statements[-STATEMENT_RETENTION:])
         return journal
 
     # ------------------------------------------------------------------

@@ -81,12 +81,15 @@ class RecoveryReport:
         "segments_replayed",
         "records_scanned",
         "committed_count",
+        "committed_fingerprint",
+        "epoch",
         "discarded_appends",
         "torn_tail",
         "rebuilt_records",
         "rebuilt_pages",
         "fingerprint_verified",
         "checkpoint",
+        "statements",
     )
 
     def __init__(self, path: str) -> None:
@@ -97,6 +100,11 @@ class RecoveryReport:
         self.records_scanned = 0
         #: Appends restored (the acknowledged prefix).
         self.committed_count = 0
+        #: Head of the chained fingerprint the last COMMIT acknowledged
+        #: — the value replica divergence is diagnosed against.
+        self.committed_fingerprint = 0
+        #: Highest epoch any replayed segment header carried.
+        self.epoch = 0
         #: Journaled appends past the last COMMIT, dropped.
         self.discarded_appends = 0
         #: Whether the journal ended in a torn record.
@@ -109,14 +117,19 @@ class RecoveryReport:
         self.fingerprint_verified = False
         #: Latest committed evaluator checkpoint payload, if any.
         self.checkpoint: Optional[bytes] = None
+        #: Replayed exactly-once ledger entries ``(sid, version,
+        #: row_count)``, restricted to the committed prefix.
+        self.statements: List[Tuple[str, int, int]] = []
 
     def summary(self) -> str:
         return (
-            f"recovered {self.path}: {self.committed_count} committed rows, "
+            f"recovered {self.path}: {self.committed_count} committed rows "
+            f"across {self.segments_replayed} segment(s), "
             f"{self.discarded_appends} uncommitted discarded, "
             f"{self.rebuilt_records} rebuilt from journal"
             f"{' (torn tail cut)' if self.torn_tail else ''}, "
-            f"fingerprint {'verified' if self.fingerprint_verified else 'UNVERIFIED'}"
+            f"fingerprint {'verified' if self.fingerprint_verified else 'UNVERIFIED'} "
+            f"(head {self.committed_fingerprint:#x}), epoch {self.epoch}"
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -217,8 +230,16 @@ def recover(
     committed = state.committed_count or 0
     fingerprint = state.committed_fingerprint or 0
     report.committed_count = committed
+    report.committed_fingerprint = fingerprint
+    report.epoch = state.epoch
     report.discarded_appends = max(0, state.logged_count - committed)
     report.checkpoint = state.checkpoint
+    # Ledger entries past the committed prefix acknowledge rows that
+    # never became durable; replaying them would let a retry dedup
+    # against a batch the recovery just discarded.
+    report.statements = [
+        entry for entry in state.statements if entry[2] <= committed
+    ]
     if counters is not None:
         counters.records_replayed += state.records_scanned
 
@@ -320,6 +341,9 @@ class ScrubReport:
         "journal_records",
         "journal_torn_tail",
         "journal_committed",
+        "journal_fingerprint",
+        "journal_epoch",
+        "journal_statements",
         "errors",
     )
 
@@ -337,6 +361,14 @@ class ScrubReport:
         self.journal_records = 0
         self.journal_torn_tail = False
         self.journal_committed: Optional[int] = None
+        #: Chained-fingerprint head of the last COMMIT — comparing this
+        #: across a primary and its replicas from the CLI is how
+        #: replication divergence is diagnosed without a server.
+        self.journal_fingerprint: Optional[int] = None
+        #: Highest epoch any segment header carries.
+        self.journal_epoch = 0
+        #: Exactly-once ledger entries the journal retains.
+        self.journal_statements = 0
         #: Journal-level corruption messages.
         self.errors: List[str] = []
 
@@ -364,6 +396,16 @@ class ScrubReport:
                 f"{self.journal_records} records, committed="
                 f"{self.journal_committed}"
                 + (" (torn tail)" if self.journal_torn_tail else "")
+            )
+            fingerprint = (
+                f"{self.journal_fingerprint:#x}"
+                if self.journal_fingerprint is not None
+                else "(none)"
+            )
+            out.append(
+                f"  journal head: fingerprint {fingerprint}, "
+                f"epoch {self.journal_epoch}, "
+                f"{self.journal_statements} ledger statement(s)"
             )
         for error in self.errors:
             out.append(f"  journal error: {error}")
@@ -424,6 +466,9 @@ def scrub_journal(path: str, report: ScrubReport) -> None:
     report.journal_records = state.records_scanned
     report.journal_torn_tail = state.torn_tail
     report.journal_committed = state.committed_count
+    report.journal_fingerprint = state.committed_fingerprint
+    report.journal_epoch = state.epoch
+    report.journal_statements = len(state.statements)
 
 
 def scrub(path: str, record_bytes: Optional[int] = None) -> ScrubReport:

@@ -70,6 +70,7 @@ class TestFigureDrivers:
             "durability",
             "serving",
             "pool",
+            "replication",
         }
 
     def test_ablations_driver(self):

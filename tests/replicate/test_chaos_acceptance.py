@@ -1,0 +1,32 @@
+"""Failover chaos acceptance: SIGKILL the primary mid-append under
+concurrent load, promote the replica, and prove zero acknowledged
+commit loss with every aggregate matching the serial reference.
+
+This is the scripted scenario from ``repro.replicate.chaos`` run at a
+CI-friendly scale; ``python -m repro.replicate.chaos`` runs it bigger.
+"""
+
+from __future__ import annotations
+
+from repro.replicate.chaos import AGGREGATE_QUERIES, run_failover_chaos
+
+
+def test_failover_chaos_zero_acked_loss(tmp_path):
+    report = run_failover_chaos(
+        str(tmp_path),
+        clients=6,
+        appends_per_client=8,
+        kill_after_acks=18,
+    )
+    assert report.errors == []
+    # Every acknowledged append survived the SIGKILL + promotion.
+    assert report.acked_appends == 6 * 8
+    assert report.acked_rows == 6 * 8
+    # The failover bumped the epoch past the dead primary's...
+    assert report.failover_epoch == report.old_epoch + 1
+    # ...and the resurrected primary was fenced, not split-brained.
+    assert report.resurrected_fenced
+    assert "epoch" in report.resurrected_refusal
+    # All five aggregates matched the serial reference relation.
+    assert set(report.aggregate_rows) == set(AGGREGATE_QUERIES)
+    assert report.verified_queries > 0

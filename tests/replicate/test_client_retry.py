@@ -1,0 +1,70 @@
+"""Client-side retry: typed connect failures, deterministic backoff,
+and endpoint rotation through a failover."""
+
+from __future__ import annotations
+
+import socket
+
+import pytest
+
+from repro.exec.errors import ServerUnavailable
+from repro.exec.supervision import RetryPolicy
+from repro.serve.client import QueryClient
+from repro.replicate.client import ReplicatedClient
+
+from tests.replicate.conftest import replicated_pair
+
+
+def _dead_port() -> int:
+    """A port that was just bound and released: nothing listens on it."""
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def test_connect_to_dead_port_raises_typed_unavailable():
+    port = _dead_port()
+    policy = RetryPolicy(max_attempts=3, base_delay=0.001, max_delay=0.002)
+    with pytest.raises(ServerUnavailable) as exc:
+        QueryClient("127.0.0.1", port, retry=policy)
+    error = exc.value
+    assert error.endpoint == f"127.0.0.1:{port}"
+    assert error.attempts == 3
+    assert isinstance(error.cause, OSError)
+
+
+def test_backoff_is_deterministic_and_bounded():
+    policy = RetryPolicy(max_attempts=5, base_delay=0.02, max_delay=0.3)
+    delays = [policy.backoff(7, attempt) for attempt in range(1, 6)]
+    # Same (shard, attempt) -> same delay: replayable failure schedules.
+    assert delays == [policy.backoff(7, attempt) for attempt in range(1, 6)]
+    assert all(0.0 < d <= policy.max_delay for d in delays)
+    # Distinct shards de-synchronize (the jitter term differs).
+    assert policy.backoff(7, 2) != policy.backoff(8, 2)
+
+
+def test_replicated_client_exhausts_dead_endpoints():
+    endpoints = [f"127.0.0.1:{_dead_port()}", f"127.0.0.1:{_dead_port()}"]
+    retry = RetryPolicy(max_attempts=4, base_delay=0.001, max_delay=0.002)
+    client = ReplicatedClient(endpoints, client_id="dead", retry=retry,
+                              connect_retry=retry)
+    with pytest.raises(ServerUnavailable):
+        client.append("jobs", [["alice", 100, 0, 10]])
+    assert client.rotations >= 1
+
+
+def test_replicated_client_survives_primary_loss(tmp_path):
+    """The statement retry loop rotates off the dead primary, lands on
+    the promoted replica, and keeps the same statement id — exactly
+    one application even though the client dialed twice."""
+    with replicated_pair(tmp_path) as pair:
+        with ReplicatedClient(
+            pair.endpoints, client_id="fo"
+        ) as client:
+            assert client.append("jobs", [["alice", 100, 0, 10]]) == (1, 1)
+            pair.primary_runner.stop()
+            pair.replica.promote()
+            version, count = client.append("jobs", [["bob", 200, 5, 15]])
+            assert (version, count) == (2, 2)
+            assert client.rotations >= 1
+        assert pair.replica.tables["jobs"].cursor()["applied_count"] == 2

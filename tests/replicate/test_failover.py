@@ -1,0 +1,125 @@
+"""Failover: promotion, the epoch fence, and restart bootstrap."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.exec.errors import StaleEpoch
+from repro.serve.client import QueryClient
+from repro.serve.server import ServerRunner
+from repro.replicate.client import ReplicatedClient
+
+from tests.replicate.conftest import make_node, replicated_pair
+
+
+def test_promote_bumps_epoch_and_fences_old_primary(tmp_path):
+    with replicated_pair(tmp_path, heartbeat_ms=25.0) as pair:
+        with QueryClient(pair.primary_runner.host, pair.primary_runner.port) as c:
+            c.append("jobs", [["alice", 100, 0, 10]])
+        old_epoch = pair.primary.epoch
+        with QueryClient(pair.replica_runner.host, pair.replica_runner.port) as r:
+            r.send({"op": "rep.promote"})
+            promoted = r.recv()
+        assert promoted["epoch"] == old_epoch + 1
+        assert pair.replica.role == "primary"
+        # The deposed primary fences itself on its next heartbeat.
+        deadline = time.monotonic() + 5.0
+        while pair.primary.role != "fenced" and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert pair.primary.role == "fenced"
+        # ...and refuses writes with the typed epoch error.
+        with QueryClient(pair.primary_runner.host, pair.primary_runner.port) as c:
+            with pytest.raises(StaleEpoch) as exc:
+                c.append("jobs", [["zombie", 1, 0, 1]])
+        assert exc.value.observed_epoch == old_epoch + 1
+        # Writes continue on the new primary, extending the sequence.
+        with QueryClient(pair.replica_runner.host, pair.replica_runner.port) as r:
+            version, count = r.append("jobs", [["bob", 200, 5, 15]])
+        assert (version, count) == (2, 2)
+
+
+def test_promotion_is_idempotent(tmp_path):
+    replica = make_node(str(tmp_path / "r"), role="replica")
+    runner = ServerRunner(replica).start()
+    try:
+        assert replica.promote() == 1
+        assert replica.promote() == 1  # already primary: no new epoch
+        assert replica.role == "primary"
+    finally:
+        runner.stop()
+
+
+def test_fenced_node_cannot_be_promoted(tmp_path):
+    replica = make_node(str(tmp_path / "r"), role="replica")
+    try:
+        replica.fence(9)
+        with pytest.raises(StaleEpoch):
+            replica.promote()
+    finally:
+        for table in replica.tables.values():
+            table.close()
+        replica._repl_executor.shutdown(wait=False)
+
+
+def test_lease_monitor_promotes_without_heartbeats(tmp_path):
+    with replicated_pair(tmp_path, lease_ms=300.0, heartbeat_ms=50.0) as pair:
+        with QueryClient(pair.primary_runner.host, pair.primary_runner.port) as c:
+            c.append("jobs", [["alice", 100, 0, 10]])
+        # Heartbeats flowing: the replica must NOT promote.
+        time.sleep(0.6)
+        assert pair.replica.role == "replica"
+        # Stop the primary; the lease lapses and the monitor promotes.
+        pair.primary_runner.stop()
+        deadline = time.monotonic() + 5.0
+        while pair.replica.role != "primary" and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert pair.replica.role == "primary"
+        assert pair.replica.epoch == 1
+        with QueryClient(pair.replica_runner.host, pair.replica_runner.port) as r:
+            version, count = r.append("jobs", [["bob", 200, 0, 5]])
+        assert (version, count) == (2, 2)
+
+
+def test_restart_bootstraps_versions_and_ledger(tmp_path):
+    data = str(tmp_path / "p")
+    primary = make_node(data, role="primary")
+    runner = ServerRunner(primary).start()
+    with QueryClient(runner.host, runner.port) as c:
+        c.append("jobs", [["alice", 100, 0, 10]], sid="c1:1")
+        c.append("jobs", [["bob", 200, 5, 15]], sid="c1:2")
+    runner.stop()
+    # Rebuild from the surviving files: version counter and dedup
+    # window both come back from the journal's STATEMENT ledger.
+    reborn = make_node(data, role="primary")
+    runner2 = ServerRunner(reborn).start()
+    try:
+        assert reborn.tables["jobs"].cursor()["applied_version"] == 2
+        with QueryClient(runner2.host, runner2.port) as c:
+            # The pre-restart statement stays exactly-once.
+            assert c.append("jobs", [["bob", 200, 5, 15]], sid="c1:2") == (2, 2)
+            # New appends continue the sequence.
+            assert c.append("jobs", [["carol", 300, 8, 20]]) == (3, 3)
+    finally:
+        runner2.stop()
+
+
+def test_failover_preserves_read_your_writes_token(tmp_path):
+    """Regression: a token minted on the primary must stay valid on
+    the replica through the failover — same stream uid, same version
+    numbering."""
+    with replicated_pair(tmp_path) as pair:
+        with ReplicatedClient(pair.endpoints, client_id="rw") as client:
+            client.append("jobs", [["alice", 100, 0, 10]])
+            uid = "rep:jobs"
+            assert client.tokens[uid] == 1
+            pair.primary_runner.stop()
+            pair.replica.promote()
+            # The tokened read fails over and still sees the write.
+            reply = client.query("SELECT COUNT(name) FROM jobs", table="jobs")
+            assert reply.pinned_version >= 1
+            assert (0, 10, 1) in reply.rows
+            # And a post-failover write keeps advancing the same token.
+            client.append("jobs", [["bob", 200, 5, 15]])
+            assert client.tokens[uid] == 2

@@ -1,0 +1,108 @@
+"""Wire-format unit tests: the rep.* frame schema and the row codec."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exec.errors import ReplicationError
+from repro.replicate.wire import (
+    MAX_SHIP_ROWS,
+    ShipBatch,
+    decode_rows,
+    encode_rows,
+    heartbeat_frame,
+    hello_frame,
+    optional_str,
+    require_int,
+    ship_frame,
+    sync_frame,
+)
+
+
+def test_row_codec_roundtrip():
+    records = [bytes(range(16)), b"\x00" * 16, b"\xff" * 16]
+    assert decode_rows(encode_rows(records), 16) == records
+
+
+def test_decode_rejects_non_string():
+    with pytest.raises(ReplicationError, match="hex string"):
+        decode_rows([42], 16)
+
+
+def test_decode_rejects_bad_hex():
+    with pytest.raises(ReplicationError, match="undecodable"):
+        decode_rows(["zz" * 16], 16)
+
+
+def test_decode_rejects_wrong_width():
+    with pytest.raises(ReplicationError, match="16-byte records"):
+        decode_rows(["aa" * 8], 16)
+
+
+def test_ship_frame_carries_batch_identity():
+    batch = ShipBatch(
+        table="jobs",
+        version=7,
+        row_count=42,
+        base_count=40,
+        fingerprint=0xDEAD,
+        sid="c1:7",
+        records=[b"\x01" * 8],
+    )
+    frame = ship_frame(3, batch)
+    assert frame["op"] == "rep.ship"
+    assert frame["epoch"] == 3
+    assert (frame["version"], frame["row_count"], frame["base_count"]) == (
+        7,
+        42,
+        40,
+    )
+    assert frame["sid"] == "c1:7"
+    assert decode_rows(frame["rows"], 8) == [b"\x01" * 8]
+
+
+def test_sync_frame_marks_final_chunk():
+    frame = sync_frame(
+        1,
+        "jobs",
+        base_count=0,
+        version=5,
+        row_count=10,
+        fingerprint=99,
+        records=[],
+        statements=[("c1:1", 1, 2)],
+        final=True,
+    )
+    assert frame["final"] is True
+    assert frame["statements"] == [["c1:1", 1, 2]]
+
+
+def test_hello_frame_optional_endpoint():
+    bare = hello_frame(2, {"jobs": {"record_bytes": 128}})
+    assert "endpoint" not in bare
+    with_ep = hello_frame(2, {}, "127.0.0.1:7401")
+    assert with_ep["endpoint"] == "127.0.0.1:7401"
+    assert heartbeat_frame(4) == {"op": "rep.heartbeat", "epoch": 4}
+
+
+def test_require_int_rejects_bool_and_absent():
+    assert require_int({"n": 3}, "n") == 3
+    with pytest.raises(ReplicationError, match="integer 'n'"):
+        require_int({"n": True}, "n")
+    with pytest.raises(ReplicationError, match="integer 'n'"):
+        require_int({}, "n")
+
+
+def test_optional_str_treats_empty_as_absent():
+    assert optional_str({"s": "x"}, "s") == "x"
+    assert optional_str({"s": ""}, "s") is None
+    assert optional_str({}, "s") is None
+    assert optional_str({"s": 3}, "s") is None
+
+
+def test_ship_rows_bound_fits_frame_protocol():
+    from repro.serve.protocol import MAX_FRAME_BYTES
+
+    # 128-byte records hex-encode to 256 chars (+ JSON overhead);
+    # a full sync chunk must stay under the frame bound.
+    assert MAX_SHIP_ROWS * (2 * 128 + 4) < MAX_FRAME_BYTES
