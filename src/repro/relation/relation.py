@@ -65,6 +65,22 @@ def next_relation_uid() -> int:
     return next(_UID_COUNTER)
 
 
+def _stable_value_repr(value: Any) -> str:
+    """One value's repr, with address-bearing default object reprs
+    replaced by a type-only placeholder.
+
+    ``str``/``bytes`` reprs are always value-determined, so a string
+    that merely *contains* ``" at 0x"`` keeps its full contribution;
+    anything else whose repr carries the substring (a default object
+    repr, or a container holding one) is not stable across processes
+    and degrades to its type name.
+    """
+    payload = repr(value)
+    if " at 0x" in payload and not isinstance(value, (str, bytes)):
+        return f"<{type(value).__name__}>"
+    return payload
+
+
 def fold_fingerprint(fingerprint: int, row: TemporalTuple) -> int:
     """Fold one appended row into a chained content fingerprint.
 
@@ -80,17 +96,23 @@ def fold_fingerprint(fingerprint: int, row: TemporalTuple) -> int:
     per-process salt of built-in ``str`` hashing (PYTHONHASHSEED) is
     unusable here.  A short BLAKE2 digest over the row's canonical
     repr gives the same 64-bit contribution in every process.
-    Values whose repr is not value-determined (default object reprs
-    embed addresses) degrade to a time-only contribution, matching
-    the old behavior for unhashable values.
+    Individual values whose repr is not value-determined (default
+    object reprs embed addresses) degrade to a type-only placeholder;
+    the timestamps and every other value still contribute, and string
+    values are never degraded (their reprs are value-determined even
+    when they contain an address-like substring).
     """
     try:
         payload = repr((row.start, row.end, row.values))
     except Exception:  # pragma: no cover - pathological __repr__
         payload = repr((row.start, row.end))
-    if " at 0x" in payload:
-        # Address-bearing default reprs are not value-determined.
-        payload = repr((row.start, row.end))
+    else:
+        if " at 0x" in payload:
+            # Rebuild per value so only the address-bearing elements
+            # lose their contribution.  The "!canon" prefix keeps this
+            # payload shape disjoint from the tuple-repr fast path.
+            values = ", ".join(_stable_value_repr(v) for v in row.values)
+            payload = f"!canon({row.start!r}, {row.end!r}, [{values}])"
     contribution = int.from_bytes(
         blake2b(payload.encode("utf-8"), digest_size=8).digest(), "big"
     )

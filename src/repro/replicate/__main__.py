@@ -76,6 +76,12 @@ def _parse_args(argv: List[str]) -> argparse.Namespace:
         help="journal fsync policy (default: REPRO_JOURNAL_FSYNC or commit)",
     )
     parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument(
+        "--secret",
+        default=os.environ.get("REPRO_REPL_SECRET"),
+        help="shared token gating rep.* ops (default: REPRO_REPL_SECRET "
+        "env; unset leaves replication ops open)",
+    )
     return parser.parse_args(argv)
 
 
@@ -99,6 +105,7 @@ async def _run(args: argparse.Namespace) -> int:
         lease_ms=args.lease_ms,
         heartbeat_ms=args.heartbeat_ms,
         fsync_policy=args.fsync,
+        repl_secret=args.secret,
     )
     await node.start()
     print(

@@ -18,8 +18,12 @@ cursor.
 * **sync** — catch-up chunks.  Rows land in the heap as they arrive
   (journaled, so progress survives a crash), but nothing is committed
   or published until the final chunk's fingerprint matches the
-  primary's — a divergent sync leaves only uncommitted journal
-  records, which the next recovery discards.
+  primary's.  A divergent or abandoned sync is rolled back *in place*
+  (``_discard_uncommitted`` reopens the heap through the same crash
+  recovery that would run after a restart), so the cursor a reconnect
+  reports always describes the committed prefix — never an inflated
+  in-memory state that would permanently fail the primary's prefix
+  check.
 * **ship** — one incremental batch.  The chained fingerprint is
   verified *before* any mutation; duplicate deliveries (version at or
   below the applied cursor) are acknowledged idempotently without
@@ -75,6 +79,7 @@ class ReplicatedTable:
         self.lock = threading.RLock()
         self.heap: Optional[HeapFile] = None
         self.served: Optional[ServedRelation] = None
+        self._fsync_policy: Optional[str] = None
         #: Rows buffered between a sync's first and final chunk; only
         #: published to the served relation when the fingerprint holds.
         self._sync_rows: List[TemporalTuple] = []  # ta: guarded-by(self.lock)
@@ -91,6 +96,7 @@ class ReplicatedTable:
         directory = os.path.dirname(self.path)
         if directory:
             os.makedirs(directory, exist_ok=True)
+        self._fsync_policy = fsync_policy
         heap = HeapFile.durable(self.schema, self.path, fsync_policy=fsync_policy)
         report = heap.last_recovery
         statements: List[Tuple[str, int, int]] = (
@@ -118,6 +124,20 @@ class ReplicatedTable:
                 "applied_version": version,
                 "fingerprint": self.heap.fingerprint,
             }
+
+    def reset_to_committed(self) -> List[Tuple[str, int, int]]:
+        """Roll the in-memory state back to the durable committed
+        prefix: abandon the live handles (a crash stand-in — nothing
+        uncommitted is flushed) and reopen through recovery, which
+        discards journal appends past the last COMMIT.  Returns the
+        recovered dedup ledger.  Callers already hold the reentrant
+        ``self.lock``; re-entering keeps the guard explicit.
+        """
+        assert self.heap is not None
+        with self.lock:
+            self._sync_rows = []
+            self.heap.abandon()
+            return self.open(self._fsync_policy)
 
     def close(self) -> None:
         if self.heap is not None:
@@ -147,6 +167,34 @@ class ReplicaApplier:
         self.batches_applied = 0
         self.duplicates_ignored = 0
         self.rows_applied = 0
+        #: Times a table was rolled back to its committed prefix after
+        #: an abandoned or diverged sync.
+        self.rollbacks = 0
+
+    # ------------------------------------------------------------------
+    # Rollback to the committed prefix
+    # ------------------------------------------------------------------
+
+    def _discard_uncommitted(self, table: ReplicatedTable) -> None:
+        """Drop any uncommitted rows a failed or abandoned sync left in
+        the in-memory heap, restoring ``len(heap)``/``fingerprint`` to
+        the committed prefix.  Without this the replica's cursor would
+        report the inflated state and every subsequent reconnect would
+        fail the primary's prefix check ("rebuild the replica") until a
+        process restart.  Caller holds ``table.lock``.
+        """
+        heap = table.heap
+        assert heap is not None
+        dirty = bool(table._sync_rows)
+        if (
+            heap.journal is not None
+            and len(heap) != (heap.journal.committed_count or 0)
+        ):
+            dirty = True
+        if not dirty:
+            return
+        self._node.reload_table(table)
+        self.rollbacks += 1
 
     # ------------------------------------------------------------------
     # Lookup / validation
@@ -184,7 +232,12 @@ class ReplicaApplier:
                     f"replica stores {table.heap.codec.record_bytes}-byte "
                     "records — schema mismatch"
                 )
-            tables_reply[name] = table.cursor()
+            with table.lock:
+                # A sync the previous primary abandoned mid-stream left
+                # uncommitted rows inflating the heap; report the
+                # committed prefix or this shipper can never resume.
+                self._discard_uncommitted(table)
+                tables_reply[name] = table.cursor()
         self._node.note_heartbeat()
         return {
             "ok": True,
@@ -204,7 +257,14 @@ class ReplicaApplier:
         assert heap is not None and served is not None
         version = require_int(frame, "version")
         sid = optional_str(frame, "sid")
+        self._node.note_heartbeat()
         with table.lock:
+            # A ship means no sync is in flight on this table (rep.*
+            # ops serialize on one worker; the shipper never
+            # interleaves the two) — leftovers are an abandoned sync.
+            self._discard_uncommitted(table)
+            heap, served = table.heap, table.served
+            assert heap is not None and served is not None
             applied_version, _ = served.stats()
             if version <= applied_version:
                 # Duplicate delivery (shipper retry after a torn frame
@@ -246,6 +306,9 @@ class ReplicaApplier:
                 heap.append(row)
             row_count = len(heap)
             if row_count != require_int(frame, "row_count"):
+                # The appends above are uncommitted; drop them before
+                # raising so the cursor stays on the committed prefix.
+                self._discard_uncommitted(table)
                 raise ReplicationError(
                     f"batch v{version} lands at {row_count} rows, but the "
                     f"primary acknowledged {frame.get('row_count')}"
@@ -280,11 +343,15 @@ class ReplicaApplier:
         table = self._table(frame)
         heap, served = table.heap, table.served
         assert heap is not None and served is not None
+        self._node.note_heartbeat()
         with table.lock:
             base_count = require_int(frame, "base_count")
             expected_base = len(heap)
             if base_count != expected_base:
-                table._sync_rows = []
+                # A misaligned chunk aborts the whole sync: roll back
+                # to the committed prefix so the next attempt (which
+                # resumes from our cursor) starts clean.
+                self._discard_uncommitted(table)
                 raise ReplicationError(
                     f"sync chunk for {table.name!r} starts at row "
                     f"{base_count} but this replica holds {expected_base}"
@@ -311,12 +378,16 @@ class ReplicaApplier:
             synced = table._sync_rows
             table._sync_rows = []
             if len(heap) != row_count or heap.fingerprint != fingerprint:
-                # Leave the appends uncommitted: recovery discards them
-                # and the next sync restarts from the committed prefix.
+                reached, reached_fp = len(heap), heap.fingerprint
+                # Roll back to the committed prefix before raising: the
+                # uncommitted appends would otherwise inflate the
+                # cursor and wedge every future reconnect behind the
+                # prefix check.
+                self._discard_uncommitted(table)
                 raise ReplicationError(
                     f"sync of {table.name!r} diverged: replica reaches "
-                    f"{len(heap)} rows / fingerprint "
-                    f"{heap.fingerprint:#x}, primary acknowledged "
+                    f"{reached} rows / fingerprint "
+                    f"{reached_fp:#x}, primary acknowledged "
                     f"{row_count} rows / {fingerprint:#x}"
                 )
             for sid, stmt_version, stmt_rows in frame.get("statements") or []:

@@ -47,6 +47,11 @@ from repro.replicate.node import ReplicationNode, TableSpec
 
 __all__ = ["ChaosReport", "run_failover_chaos", "AGGREGATE_QUERIES"]
 
+#: Shared replication token the chaos nodes authenticate with — the
+#: run doubles as coverage that an authenticated cluster replicates,
+#: promotes, and fences exactly like an open one.
+CHAOS_SECRET = "chaos-repl-token"
+
 #: The five aggregates of the source paper, as served queries.
 AGGREGATE_QUERIES = (
     "SELECT COUNT(name) FROM jobs",
@@ -149,6 +154,8 @@ def _spawn_primary(
             "jobs",
             "--fsync",
             fsync,
+            "--secret",
+            CHAOS_SECRET,
         ],
         stdout=subprocess.PIPE,
         stderr=subprocess.DEVNULL,
@@ -196,6 +203,7 @@ def run_failover_chaos(
             )
         ],
         fsync_policy="commit",
+        repl_secret=CHAOS_SECRET,
     )
     runner = ServerRunner(replica).start()
     replica_endpoint = f"{runner.host}:{runner.port}"
@@ -233,7 +241,7 @@ def run_failover_chaos(
 
         # Promote the replica explicitly (the deterministic path).
         with QueryClient(runner.host, runner.port) as admin:
-            admin.send({"op": "rep.promote"})
+            admin.send({"op": "rep.promote", "auth": CHAOS_SECRET})
             promoted = admin.recv()
             chaos.failover_epoch = int(promoted["epoch"])
 
@@ -335,6 +343,7 @@ def run_failover_chaos(
         ],
         peers=[replica_endpoint],
         fsync_policy="commit",
+        repl_secret=CHAOS_SECRET,
     )
     res_runner = ServerRunner(resurrected).start()
     try:

@@ -52,6 +52,7 @@ must not wait out wall-clock leases.
 from __future__ import annotations
 
 import asyncio
+import hmac
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
@@ -98,8 +99,13 @@ class ReplicationNode(QueryServer):
         lease_ms: Optional[float] = None,
         heartbeat_ms: float = 100.0,
         fsync_policy: Optional[str] = None,
+        repl_secret: Optional[str] = None,
     ) -> None:
         super().__init__(config)
+        #: Shared token gating every ``rep.*`` op (None = open, for
+        #: single-tenant test rigs).  Without it any query client could
+        #: issue ``rep.promote`` and fence the legitimate primary.
+        self.repl_secret = repl_secret
         #: This node's *serving* address as peers should dial it —
         #: advertised in hellos so replicas can hint redirected clients.
         self.endpoint = endpoint
@@ -272,6 +278,15 @@ class ReplicationNode(QueryServer):
     def replicated_tables(self) -> List[ReplicatedTable]:
         return list(self.tables.values())
 
+    def reload_table(self, table: ReplicatedTable) -> None:
+        """Reopen one table through crash recovery, discarding journal
+        appends past the last COMMIT, and re-point the served registry
+        at the rebuilt mirror.  Caller holds ``table.lock``."""
+        statements = table.reset_to_committed()
+        self.seed_dedup(statements)
+        assert table.served is not None
+        self._served[table.name.lower()] = table.served
+
     # ------------------------------------------------------------------
     # QueryServer extension points
     # ------------------------------------------------------------------
@@ -390,6 +405,16 @@ class ReplicationNode(QueryServer):
 
     def _rep_dispatch(self, op: str, frame: Dict[str, Any]) -> Dict[str, Any]:
         try:
+            secret = self.repl_secret
+            if secret is not None:
+                supplied = frame.get("auth")
+                if not isinstance(supplied, str) or not hmac.compare_digest(
+                    supplied, secret
+                ):
+                    raise ReplicationError(
+                        f"replication op {op!r} refused: missing or invalid "
+                        "auth token"
+                    )
             if op == "rep.hello":
                 return self.applier.apply_hello(frame)
             if op == "rep.ship":
@@ -429,6 +454,7 @@ class ReplicationNode(QueryServer):
             "batches_applied": self.applier.batches_applied,
             "duplicates_ignored": self.applier.duplicates_ignored,
             "rows_applied": self.applier.rows_applied,
+            "rollbacks": self.applier.rollbacks,
         }
         shipper = self.shipper
         if shipper is not None:

@@ -59,6 +59,7 @@ def make_node(
     lease_ms: Optional[float] = None,
     heartbeat_ms: float = 50.0,
     workers: int = 2,
+    repl_secret: Optional[str] = None,
 ) -> ReplicationNode:
     return ReplicationNode(
         ServerConfig(port=0, role=role, workers=workers),
@@ -67,6 +68,7 @@ def make_node(
         lease_ms=lease_ms,
         heartbeat_ms=heartbeat_ms,
         fsync_policy="commit",
+        repl_secret=repl_secret,
     )
 
 
